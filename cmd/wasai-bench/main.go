@@ -1,0 +1,155 @@
+// Command wasai-bench regenerates the paper's evaluation tables and
+// figures (DESIGN.md's experiment index maps each to its section).
+//
+// Usage:
+//
+//	wasai-bench -exp table4 [-scale 0.1] [-seed 1]
+//	wasai-bench -exp all    -scale 0.05
+//
+// Experiments: fig3, table4, table5, table6, rq4, all. Scale multiplies
+// the dataset sizes (1.0 reproduces the full paper-sized benchmark; small
+// scales keep the shapes at a fraction of the runtime).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wasai-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|all")
+		scale = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		iters = flag.Int("iterations", 240, "fuzzing budget per contract")
+		svg   = flag.String("svg", "", "fig3: also write the figure as an SVG to this path")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Scale: *scale, Seed: *seed}
+	evalCfg := bench.DefaultEvalConfig()
+	evalCfg.FuzzIterations = *iters
+	evalCfg.Seed = *seed
+	tools := []bench.Tool{bench.ToolWASAI, bench.ToolEOSFuzzer, bench.ToolEOSAFE}
+
+	runExp := func(name string, f func() error) error {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		return nil
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig3") {
+		if err := runExp("Figure 3 (RQ1 code coverage)", func() error {
+			cfg := bench.DefaultCoverageConfig()
+			cfg.Seed = *seed
+			cfg.Iterations = *iters
+			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
+			if cfg.NumContracts < 5 {
+				cfg.NumContracts = 5
+			}
+			series, err := bench.EvaluateCoverage(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderCoverage(series))
+			if *svg != "" {
+				if err := os.WriteFile(*svg, []byte(bench.RenderCoverageSVG(series)), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("figure written to %s\n", *svg)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table4") {
+		if err := runExp("Table 4 (RQ2 ground-truth accuracy)", func() error {
+			ds, err := bench.BuildGroundTruth(bench.Table4Counts, opts)
+			if err != nil {
+				return err
+			}
+			res, err := bench.EvaluateAccuracy(ds, tools, evalCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderAccuracyTable("Table 4", ds, res))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table5") {
+		if err := runExp("Table 5 (RQ3 code obfuscation)", func() error {
+			ds, err := bench.BuildGroundTruth(bench.Table4Counts, opts)
+			if err != nil {
+				return err
+			}
+			obf, err := bench.Obfuscate(ds, *seed)
+			if err != nil {
+				return err
+			}
+			res, err := bench.EvaluateAccuracy(obf, tools, evalCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderAccuracyTable("Table 5", obf, res))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("table6") {
+		if err := runExp("Table 6 (RQ3 complicated verification)", func() error {
+			ds, err := bench.BuildVerification(bench.Table6Counts, opts)
+			if err != nil {
+				return err
+			}
+			res, err := bench.EvaluateAccuracy(ds, tools, evalCfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderAccuracyTable("Table 6", ds, res))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("rq4") {
+		if err := runExp("RQ4 (vulnerabilities in the wild)", func() error {
+			cfg := bench.DefaultWildConfig()
+			cfg.Seed = *seed
+			cfg.FuzzIterations = *iters
+			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
+			if cfg.NumContracts < 20 {
+				cfg.NumContracts = 20
+			}
+			res, err := bench.EvaluateWild(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderWild(res))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

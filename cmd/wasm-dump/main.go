@@ -1,0 +1,95 @@
+// Command wasm-dump decodes a WebAssembly binary and prints its sections
+// and (optionally) a full disassembly — handy for inspecting generated and
+// instrumented contracts.
+//
+// Usage:
+//
+//	wasm-dump [-code] contract.wasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/instrument"
+	"repro/internal/wasm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wasm-dump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	code := flag.Bool("code", false, "disassemble function bodies")
+	wat := flag.Bool("wat", false, "print the whole module in wat-like text form")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: wasm-dump [-code] file.wasm")
+	}
+	bin, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		return err
+	}
+	if *wat {
+		fmt.Print(wasm.Wat(m))
+		return nil
+	}
+
+	fmt.Printf("types:    %d\n", len(m.Types))
+	fmt.Printf("imports:  %d\n", len(m.Imports))
+	for _, imp := range m.Imports {
+		fmt.Printf("  %s.%s (%s)\n", imp.Module, imp.Name, imp.Kind)
+	}
+	fmt.Printf("funcs:    %d local (+%d imported)\n", len(m.Funcs), m.NumImportedFuncs())
+	fmt.Printf("tables:   %d, memories: %d, globals: %d\n", len(m.Tables), len(m.Memories), len(m.Globals))
+	fmt.Printf("exports:  %d\n", len(m.Exports))
+	for _, ex := range m.Exports {
+		fmt.Printf("  %q %s[%d]\n", ex.Name, ex.Kind, ex.Index)
+	}
+	fmt.Printf("elems:    %d, data segments: %d, customs: %d\n", len(m.Elems), len(m.Data), len(m.Customs))
+	for _, cs := range m.Customs {
+		fmt.Printf("  custom %q (%d bytes)\n", cs.Name, len(cs.Data))
+	}
+	if sites, err := instrument.SitesFromModule(m); err == nil && sites != nil {
+		fmt.Printf("instrumented: %d hook sites (mode %d)\n", len(sites.Sites), sites.Mode)
+	}
+
+	if *code {
+		imported := m.NumImportedFuncs()
+		for i := range m.Code {
+			idx := uint32(imported + i)
+			name := m.FuncNames[idx]
+			ft, _ := m.FuncTypeAt(idx)
+			fmt.Printf("\nfunc[%d] %s %s\n", idx, name, ft)
+			depth := 1
+			for pc, in := range m.Code[i].Body {
+				switch in.Op {
+				case wasm.OpEnd, wasm.OpElse:
+					depth--
+				}
+				fmt.Printf("  %4d %s%s\n", pc, strings.Repeat("  ", max(depth, 0)), in)
+				switch in.Op {
+				case wasm.OpBlock, wasm.OpLoop, wasm.OpIf, wasm.OpElse:
+					depth++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,472 @@
+// Package abi models EOSIO contract ABIs (the action-signature metadata the
+// C++ SDK emits next to each Wasm binary) and implements the canonical EOSIO
+// binary serialization of action data.
+//
+// WASAI consumes the ABI in two places: Engine serializes fuzz seeds
+// Γ⟨φ, ρ⃗⟩ into the byte stream a transaction carries, and Symback uses the
+// declared parameter types to lay symbolic expressions over the action
+// function's Local section (paper §3.4.2, Table 2).
+package abi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/eos"
+	"repro/internal/leb128"
+)
+
+// Field is one named, typed member of a struct definition.
+type Field struct {
+	Name string
+	Type string
+}
+
+// Struct is a named aggregate of fields, optionally extending a base struct.
+type Struct struct {
+	Name   string
+	Base   string
+	Fields []Field
+}
+
+// Action binds an action name to the struct type describing its parameters.
+type Action struct {
+	Name eos.Name
+	Type string
+}
+
+// Table declares a database table and its row type.
+type Table struct {
+	Name eos.Name
+	Type string
+}
+
+// ABI is a contract interface description.
+type ABI struct {
+	Structs []Struct
+	Actions []Action
+	Tables  []Table
+}
+
+// ErrUnknownType reports a type name with no builtin or struct definition.
+var ErrUnknownType = errors.New("abi: unknown type")
+
+// StructByName returns the struct definition with the given name.
+func (a *ABI) StructByName(name string) (*Struct, bool) {
+	for i := range a.Structs {
+		if a.Structs[i].Name == name {
+			return &a.Structs[i], true
+		}
+	}
+	return nil, false
+}
+
+// ActionByName returns the action with the given name.
+func (a *ABI) ActionByName(name eos.Name) (*Action, bool) {
+	for i := range a.Actions {
+		if a.Actions[i].Name == name {
+			return &a.Actions[i], true
+		}
+	}
+	return nil, false
+}
+
+// ActionFields resolves the full, base-first field list of an action's
+// parameter struct.
+func (a *ABI) ActionFields(name eos.Name) ([]Field, error) {
+	act, ok := a.ActionByName(name)
+	if !ok {
+		return nil, fmt.Errorf("abi: no action %q", name)
+	}
+	return a.resolveFields(act.Type, 0)
+}
+
+func (a *ABI) resolveFields(typeName string, depth int) ([]Field, error) {
+	if depth > 16 {
+		return nil, fmt.Errorf("abi: struct nesting too deep at %q", typeName)
+	}
+	st, ok := a.StructByName(typeName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+	}
+	var fields []Field
+	if st.Base != "" {
+		base, err := a.resolveFields(st.Base, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, base...)
+	}
+	return append(fields, st.Fields...), nil
+}
+
+// Encoder serializes values into the EOSIO binary wire format.
+type Encoder struct {
+	abi *ABI
+	buf []byte
+}
+
+// NewEncoder returns an encoder resolving struct types against a.
+func NewEncoder(a *ABI) *Encoder { return &Encoder{abi: a} }
+
+// Bytes returns the accumulated serialization.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// EncodeAction serializes the field values of an action's parameter struct,
+// in declaration order. args must have one entry per resolved field.
+func (e *Encoder) EncodeAction(name eos.Name, args []any) ([]byte, error) {
+	fields, err := e.abi.ActionFields(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != len(fields) {
+		return nil, fmt.Errorf("abi: action %s wants %d arguments, got %d", name, len(fields), len(args))
+	}
+	e.buf = e.buf[:0]
+	for i, f := range fields {
+		if err := e.Encode(f.Type, args[i]); err != nil {
+			return nil, fmt.Errorf("abi: action %s field %q: %w", name, f.Name, err)
+		}
+	}
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out, nil
+}
+
+// Encode appends the serialization of value as typeName.
+func (e *Encoder) Encode(typeName string, value any) error {
+	if elem, ok := strings.CutSuffix(typeName, "[]"); ok {
+		items, ok := value.([]any)
+		if !ok {
+			return fmt.Errorf("abi: %s: want []any, got %T", typeName, value)
+		}
+		e.buf = leb128.AppendUint(e.buf, uint64(len(items)))
+		for i, it := range items {
+			if err := e.Encode(elem, it); err != nil {
+				return fmt.Errorf("abi: %s[%d]: %w", elem, i, err)
+			}
+		}
+		return nil
+	}
+	switch typeName {
+	case "bool":
+		b, ok := value.(bool)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		if b {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+	case "uint8":
+		v, ok := toUint64(value)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = append(e.buf, byte(v))
+	case "uint16":
+		v, ok := toUint64(value)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = binary.LittleEndian.AppendUint16(e.buf, uint16(v))
+	case "uint32", "int32":
+		v, ok := toUint64(value)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(v))
+	case "uint64", "int64":
+		v, ok := toUint64(value)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+	case "name":
+		n, ok := value.(eos.Name)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(n))
+	case "symbol":
+		s, ok := value.(eos.Symbol)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(s))
+	case "asset":
+		a, ok := value.(eos.Asset)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(a.Amount))
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(a.Symbol))
+	case "string":
+		s, ok := value.(string)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = leb128.AppendUint(e.buf, uint64(len(s)))
+		e.buf = append(e.buf, s...)
+	case "bytes":
+		p, ok := value.([]byte)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = leb128.AppendUint(e.buf, uint64(len(p)))
+		e.buf = append(e.buf, p...)
+	case "float32":
+		f, ok := toFloat64(value)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(float32(f)))
+	case "float64":
+		f, ok := toFloat64(value)
+		if !ok {
+			return typeErr(typeName, value)
+		}
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+	default:
+		st, ok := e.abi.StructByName(typeName)
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownType, typeName)
+		}
+		fieldVals, ok := value.([]any)
+		if !ok {
+			return fmt.Errorf("abi: struct %s: want []any, got %T", typeName, value)
+		}
+		fields, err := e.abi.resolveFields(st.Name, 0)
+		if err != nil {
+			return err
+		}
+		if len(fieldVals) != len(fields) {
+			return fmt.Errorf("abi: struct %s wants %d fields, got %d", typeName, len(fields), len(fieldVals))
+		}
+		for i, f := range fields {
+			if err := e.Encode(f.Type, fieldVals[i]); err != nil {
+				return fmt.Errorf("abi: struct %s field %q: %w", typeName, f.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+func typeErr(typeName string, value any) error {
+	return fmt.Errorf("abi: cannot encode %T as %s", value, typeName)
+}
+
+func toUint64(v any) (uint64, bool) {
+	switch x := v.(type) {
+	case uint64:
+		return x, true
+	case int64:
+		return uint64(x), true
+	case int:
+		return uint64(x), true
+	case uint32:
+		return uint64(x), true
+	case int32:
+		return uint64(x), true
+	case uint8:
+		return uint64(x), true
+	case uint16:
+		return uint64(x), true
+	case eos.Name:
+		return uint64(x), true
+	default:
+		return 0, false
+	}
+}
+
+func toFloat64(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// Decoder deserializes the EOSIO binary wire format.
+type Decoder struct {
+	abi *ABI
+	buf []byte
+	pos int
+}
+
+// NewDecoder returns a decoder over data resolving struct types against a.
+func NewDecoder(a *ABI, data []byte) *Decoder { return &Decoder{abi: a, buf: data} }
+
+// Remaining returns the number of unconsumed bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
+
+func (d *Decoder) take(n int) ([]byte, error) {
+	if d.Remaining() < n {
+		return nil, fmt.Errorf("abi: need %d bytes, have %d", n, d.Remaining())
+	}
+	p := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return p, nil
+}
+
+// DecodeAction deserializes an action's parameter struct into field values.
+func (d *Decoder) DecodeAction(name eos.Name) ([]any, error) {
+	fields, err := d.abi.ActionFields(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, 0, len(fields))
+	for _, f := range fields {
+		v, err := d.Decode(f.Type)
+		if err != nil {
+			return nil, fmt.Errorf("abi: action %s field %q: %w", name, f.Name, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Decode reads one value of typeName.
+func (d *Decoder) Decode(typeName string) (any, error) {
+	if elem, ok := strings.CutSuffix(typeName, "[]"); ok {
+		n, sz, err := leb128.Uint(d.buf[d.pos:], 32)
+		if err != nil {
+			return nil, err
+		}
+		d.pos += sz
+		items := make([]any, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, err := d.Decode(elem)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+		}
+		return items, nil
+	}
+	switch typeName {
+	case "bool":
+		p, err := d.take(1)
+		if err != nil {
+			return nil, err
+		}
+		return p[0] != 0, nil
+	case "uint8":
+		p, err := d.take(1)
+		if err != nil {
+			return nil, err
+		}
+		return uint64(p[0]), nil
+	case "uint16":
+		p, err := d.take(2)
+		if err != nil {
+			return nil, err
+		}
+		return uint64(binary.LittleEndian.Uint16(p)), nil
+	case "uint32", "int32":
+		p, err := d.take(4)
+		if err != nil {
+			return nil, err
+		}
+		return uint64(binary.LittleEndian.Uint32(p)), nil
+	case "uint64", "int64":
+		p, err := d.take(8)
+		if err != nil {
+			return nil, err
+		}
+		return binary.LittleEndian.Uint64(p), nil
+	case "name":
+		p, err := d.take(8)
+		if err != nil {
+			return nil, err
+		}
+		return eos.Name(binary.LittleEndian.Uint64(p)), nil
+	case "symbol":
+		p, err := d.take(8)
+		if err != nil {
+			return nil, err
+		}
+		return eos.Symbol(binary.LittleEndian.Uint64(p)), nil
+	case "asset":
+		p, err := d.take(16)
+		if err != nil {
+			return nil, err
+		}
+		return eos.Asset{
+			Amount: int64(binary.LittleEndian.Uint64(p[:8])),
+			Symbol: eos.Symbol(binary.LittleEndian.Uint64(p[8:])),
+		}, nil
+	case "string":
+		n, sz, err := leb128.Uint(d.buf[d.pos:], 32)
+		if err != nil {
+			return nil, err
+		}
+		d.pos += sz
+		p, err := d.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		return string(p), nil
+	case "bytes":
+		n, sz, err := leb128.Uint(d.buf[d.pos:], 32)
+		if err != nil {
+			return nil, err
+		}
+		d.pos += sz
+		p, err := d.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte(nil), p...), nil
+	case "float32":
+		p, err := d.take(4)
+		if err != nil {
+			return nil, err
+		}
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(p))), nil
+	case "float64":
+		p, err := d.take(8)
+		if err != nil {
+			return nil, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(p)), nil
+	default:
+		fields, err := d.abi.resolveFields(typeName, 0)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, 0, len(fields))
+		for _, f := range fields {
+			v, err := d.Decode(f.Type)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+}
+
+// TransferABI is the canonical ABI of transfer@eosio.token — the signature
+// every eosponser must share (paper §2.1).
+func TransferABI() *ABI {
+	return &ABI{
+		Structs: []Struct{{
+			Name: "transfer",
+			Fields: []Field{
+				{Name: "from", Type: "name"},
+				{Name: "to", Type: "name"},
+				{Name: "quantity", Type: "asset"},
+				{Name: "memo", Type: "string"},
+			},
+		}},
+		Actions: []Action{{Name: eos.ActionTransfer, Type: "transfer"}},
+	}
+}

@@ -1,0 +1,224 @@
+package abi
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/eos"
+)
+
+func transferValues(from, to string, amount int64, memo string) []any {
+	return []any{
+		eos.MustName(from),
+		eos.MustName(to),
+		eos.Asset{Amount: amount, Symbol: eos.EOSSymbol},
+		memo,
+	}
+}
+
+func TestTransferRoundTrip(t *testing.T) {
+	a := TransferABI()
+	enc := NewEncoder(a)
+	vals := transferValues("alice", "bob", 100000, "hello world")
+	data, err := enc.EncodeAction(eos.ActionTransfer, vals)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// from(8) to(8) asset(16) memo(1+11)
+	if len(data) != 8+8+16+1+11 {
+		t.Errorf("serialized length = %d", len(data))
+	}
+	dec := NewDecoder(a, data)
+	back, err := dec.DecodeAction(eos.ActionTransfer)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back[0].(eos.Name) != vals[0].(eos.Name) ||
+		back[1].(eos.Name) != vals[1].(eos.Name) ||
+		back[2].(eos.Asset) != vals[2].(eos.Asset) ||
+		back[3].(string) != vals[3].(string) {
+		t.Errorf("round trip mismatch: %v vs %v", back, vals)
+	}
+	if dec.Remaining() != 0 {
+		t.Errorf("%d trailing bytes", dec.Remaining())
+	}
+}
+
+func TestTransferRoundTripQuick(t *testing.T) {
+	a := TransferABI()
+	f := func(from, to uint64, amount int64, memoSeed []byte) bool {
+		memo := make([]byte, len(memoSeed)%100)
+		for i := range memo {
+			memo[i] = 'a' + memoSeed[i]%26
+		}
+		vals := []any{
+			eos.Name(from), eos.Name(to),
+			eos.Asset{Amount: amount, Symbol: eos.EOSSymbol},
+			string(memo),
+		}
+		data, err := NewEncoder(a).EncodeAction(eos.ActionTransfer, vals)
+		if err != nil {
+			return false
+		}
+		back, err := NewDecoder(a, data).DecodeAction(eos.ActionTransfer)
+		if err != nil {
+			return false
+		}
+		return back[0].(eos.Name) == eos.Name(from) &&
+			back[1].(eos.Name) == eos.Name(to) &&
+			back[2].(eos.Asset).Amount == amount &&
+			back[3].(string) == string(memo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalarTypes(t *testing.T) {
+	a := &ABI{}
+	enc := NewEncoder(a)
+	cases := []struct {
+		typ   string
+		value any
+		size  int
+	}{
+		{"bool", true, 1},
+		{"uint8", uint64(7), 1},
+		{"uint16", uint64(300), 2},
+		{"uint32", uint64(1 << 20), 4},
+		{"uint64", uint64(1) << 50, 8},
+		{"int64", int64(-5), 8},
+		{"symbol", eos.EOSSymbol, 8},
+		{"float32", 1.5, 4},
+		{"float64", 2.25, 8},
+		{"bytes", []byte{1, 2, 3}, 4},
+	}
+	for _, tt := range cases {
+		enc.buf = enc.buf[:0]
+		if err := enc.Encode(tt.typ, tt.value); err != nil {
+			t.Fatalf("encode %s: %v", tt.typ, err)
+		}
+		if len(enc.Bytes()) != tt.size {
+			t.Errorf("%s size = %d, want %d", tt.typ, len(enc.Bytes()), tt.size)
+		}
+		dec := NewDecoder(a, enc.Bytes())
+		if _, err := dec.Decode(tt.typ); err != nil {
+			t.Errorf("decode %s: %v", tt.typ, err)
+		}
+		if dec.Remaining() != 0 {
+			t.Errorf("%s left %d bytes", tt.typ, dec.Remaining())
+		}
+	}
+}
+
+func TestArrays(t *testing.T) {
+	a := &ABI{}
+	enc := NewEncoder(a)
+	items := []any{uint64(1), uint64(2), uint64(3)}
+	if err := enc.Encode("uint64[]", items); err != nil {
+		t.Fatalf("encode array: %v", err)
+	}
+	dec := NewDecoder(a, enc.Bytes())
+	back, err := dec.Decode("uint64[]")
+	if err != nil {
+		t.Fatalf("decode array: %v", err)
+	}
+	got := back.([]any)
+	if len(got) != 3 || got[2].(uint64) != 3 {
+		t.Errorf("array round trip: %v", got)
+	}
+}
+
+func TestNestedStructsWithBase(t *testing.T) {
+	a := &ABI{
+		Structs: []Struct{
+			{Name: "base", Fields: []Field{{Name: "id", Type: "uint64"}}},
+			{Name: "derived", Base: "base", Fields: []Field{{Name: "who", Type: "name"}}},
+		},
+		Actions: []Action{{Name: eos.MustName("doit"), Type: "derived"}},
+	}
+	fields, err := a.ActionFields(eos.MustName("doit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fields) != 2 || fields[0].Name != "id" || fields[1].Name != "who" {
+		t.Fatalf("resolved fields: %+v", fields)
+	}
+	data, err := NewEncoder(a).EncodeAction(eos.MustName("doit"), []any{uint64(9), eos.MustName("alice")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewDecoder(a, data).DecodeAction(eos.MustName("doit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].(uint64) != 9 || back[1].(eos.Name) != eos.MustName("alice") {
+		t.Errorf("round trip: %v", back)
+	}
+}
+
+func TestUnknownTypeError(t *testing.T) {
+	a := &ABI{}
+	if err := NewEncoder(a).Encode("nosuch", uint64(1)); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("want ErrUnknownType, got %v", err)
+	}
+}
+
+func TestTypeMismatchError(t *testing.T) {
+	a := &ABI{}
+	if err := NewEncoder(a).Encode("name", "not-a-name"); err == nil {
+		t.Error("want type error encoding string as name")
+	}
+}
+
+func TestWrongArgCount(t *testing.T) {
+	a := TransferABI()
+	_, err := NewEncoder(a).EncodeAction(eos.ActionTransfer, []any{eos.MustName("x")})
+	if err == nil {
+		t.Error("want arity error")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	a := TransferABI()
+	data, err := NewEncoder(a).EncodeAction(eos.ActionTransfer, transferValues("a", "b", 1, "mm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut += 5 {
+		if _, err := NewDecoder(a, data[:cut]).DecodeAction(eos.ActionTransfer); err == nil && cut < len(data)-1 {
+			t.Errorf("decode of %d/%d bytes should fail", cut, len(data))
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	a := TransferABI()
+	a.Tables = []Table{{Name: eos.MustName("accounts"), Type: "account"}}
+	p, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ABI
+	if err := json.Unmarshal(p, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Structs) != 1 || len(back.Actions) != 1 || len(back.Tables) != 1 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if back.Actions[0].Name != eos.ActionTransfer || back.Structs[0].Fields[2].Type != "asset" {
+		t.Errorf("content mismatch: %+v", back)
+	}
+}
+
+func TestRecursiveStructRejected(t *testing.T) {
+	a := &ABI{
+		Structs: []Struct{{Name: "loop", Base: "loop"}},
+		Actions: []Action{{Name: eos.MustName("x"), Type: "loop"}},
+	}
+	if _, err := a.ActionFields(eos.MustName("x")); err == nil {
+		t.Error("want recursion error")
+	}
+}

@@ -1,0 +1,79 @@
+package abi
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/eos"
+)
+
+// jsonABI is the serialized form, a simplified shape of the on-chain EOSIO
+// ABI JSON (structs / actions / tables).
+type jsonABI struct {
+	Structs []jsonStruct `json:"structs"`
+	Actions []jsonAction `json:"actions"`
+	Tables  []jsonTable  `json:"tables,omitempty"`
+}
+
+type jsonStruct struct {
+	Name   string      `json:"name"`
+	Base   string      `json:"base,omitempty"`
+	Fields []jsonField `json:"fields"`
+}
+
+type jsonField struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+type jsonAction struct {
+	Name eos.Name `json:"name"`
+	Type string   `json:"type"`
+}
+
+type jsonTable struct {
+	Name eos.Name `json:"name"`
+	Type string   `json:"type"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (a *ABI) MarshalJSON() ([]byte, error) {
+	out := jsonABI{}
+	for _, s := range a.Structs {
+		js := jsonStruct{Name: s.Name, Base: s.Base}
+		for _, f := range s.Fields {
+			js.Fields = append(js.Fields, jsonField{Name: f.Name, Type: f.Type})
+		}
+		out.Structs = append(out.Structs, js)
+	}
+	for _, act := range a.Actions {
+		out.Actions = append(out.Actions, jsonAction{Name: act.Name, Type: act.Type})
+	}
+	for _, t := range a.Tables {
+		out.Tables = append(out.Tables, jsonTable{Name: t.Name, Type: t.Type})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (a *ABI) UnmarshalJSON(p []byte) error {
+	var in jsonABI
+	if err := json.Unmarshal(p, &in); err != nil {
+		return fmt.Errorf("abi: parse json: %w", err)
+	}
+	*a = ABI{}
+	for _, s := range in.Structs {
+		st := Struct{Name: s.Name, Base: s.Base}
+		for _, f := range s.Fields {
+			st.Fields = append(st.Fields, Field{Name: f.Name, Type: f.Type})
+		}
+		a.Structs = append(a.Structs, st)
+	}
+	for _, act := range in.Actions {
+		a.Actions = append(a.Actions, Action{Name: act.Name, Type: act.Type})
+	}
+	for _, t := range in.Tables {
+		a.Tables = append(a.Tables, Table{Name: t.Name, Type: t.Type})
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+// Package eosafe re-implements the EOSAFE baseline (He et al., USENIX
+// Security 2021) as the paper characterizes it: a static symbolic analyzer
+// whose path discovery "depends on a heuristic strategy to match the
+// dispatcher patterns" and whose per-class policies explain its Table 4-6
+// numbers:
+//
+//   - it only recognizes the canonical eq+if dispatcher encoding, reporting
+//     FNs (timeouts) on everything else (Fake EOS recall 44.9%);
+//   - Fake Notif treats a timeout as a positive sample (recall 98.3%,
+//     precision 67.4%);
+//   - Rollback "analyzes all branches in the conditional states, even if
+//     the constraints are impossible to be satisfied" — a whole-module
+//     reachability over-approximation (precision ~50%);
+//   - the popcount obfuscation erases the comparison patterns it matches
+//     (0 TP on obfuscated Fake EOS / MissAuth), and the opaque recursion
+//     blows up its path exploration into a timeout;
+//   - BlockinfoDep is not supported.
+package eosafe
+
+import (
+	"repro/internal/contractgen"
+	"repro/internal/eos"
+	"repro/internal/wasm"
+)
+
+// Result is EOSAFE's verdict for one contract.
+type Result struct {
+	Report map[contractgen.Class]bool
+	// Supported marks the classes the tool analyzes at all.
+	Supported map[contractgen.Class]bool
+	// TimedOut reports that path discovery failed (unmatched dispatcher or
+	// exploded exploration).
+	TimedOut bool
+}
+
+// Analyze statically inspects the contract bytecode.
+func Analyze(m *wasm.Module) *Result {
+	res := &Result{
+		Report: map[contractgen.Class]bool{},
+		Supported: map[contractgen.Class]bool{
+			contractgen.ClassFakeEOS:   true,
+			contractgen.ClassFakeNotif: true,
+			contractgen.ClassMissAuth:  true,
+			contractgen.ClassRollback:  true,
+		},
+	}
+	a := newAnalysis(m)
+
+	pathOK := a.dispatcherMatched() && !a.hasRecursion()
+	res.TimedOut = !pathOK
+
+	// Fake EOS: needs a resolvable path from apply to the transfer arm;
+	// then the guard is the comparison of the code parameter against
+	// N(eosio.token).
+	if pathOK {
+		res.Report[contractgen.ClassFakeEOS] = !a.hasTokenGuard()
+	}
+
+	// Fake Notif: timeout counts as a positive sample.
+	if pathOK {
+		res.Report[contractgen.ClassFakeNotif] = !a.hasSelfGuard()
+	} else {
+		res.Report[contractgen.ClassFakeNotif] = true
+	}
+
+	// MissAuth: per-action static ordering of permission APIs vs effects.
+	if pathOK {
+		res.Report[contractgen.ClassMissAuth] = a.hasUnauthedEffect()
+	}
+
+	// Rollback: whole-module over-approximation — any send_inline callsite
+	// counts, reachable or not.
+	res.Report[contractgen.ClassRollback] = a.callsImport("send_inline")
+
+	return res
+}
+
+type analysis struct {
+	m       *wasm.Module
+	imports map[string]uint32
+	applyFn *wasm.Code
+	actions []*wasm.Code // bodies reachable through the dispatch table
+}
+
+func newAnalysis(m *wasm.Module) *analysis {
+	a := &analysis{m: m, imports: map[string]uint32{}}
+	idx := uint32(0)
+	for _, imp := range m.Imports {
+		if imp.Kind == wasm.ExternalFunc {
+			a.imports[imp.Name] = idx
+			idx++
+		}
+	}
+	if applyIdx, ok := m.ExportedFunc("apply"); ok {
+		a.applyFn = m.CodeFor(applyIdx)
+	}
+	for _, el := range m.Elems {
+		for _, fi := range el.Funcs {
+			if c := m.CodeFor(fi); c != nil {
+				a.actions = append(a.actions, c)
+			}
+		}
+	}
+	return a
+}
+
+// dispatcherMatched recognizes the canonical SDK dispatcher: an i64.const
+// name immediately compared with i64.eq feeding an if, within the apply
+// body, eventually reaching a call_indirect. The popcount obfuscation
+// removes the i64.eq and defeats the matcher.
+func (a *analysis) dispatcherMatched() bool {
+	if a.applyFn == nil {
+		return false
+	}
+	body := a.applyFn.Body
+	sawEqIf := false
+	sawIndirect := false
+	for i := 0; i+2 < len(body); i++ {
+		if body[i].Op == wasm.OpI64Const && body[i+1].Op == wasm.OpI64Eq && body[i+2].Op == wasm.OpIf {
+			sawEqIf = true
+		}
+	}
+	for _, in := range body {
+		if in.Op == wasm.OpCallIndirect {
+			sawIndirect = true
+		}
+	}
+	return sawEqIf && sawIndirect
+}
+
+// hasRecursion detects direct self-recursion anywhere in the module — the
+// opaque-recursion obfuscation's signature. A symbolic explorer that
+// follows both arms of the opaque predicate diverges here, so the analysis
+// is treated as timed out.
+func (a *analysis) hasRecursion() bool {
+	imported := uint32(a.m.NumImportedFuncs())
+	for i := range a.m.Code {
+		self := imported + uint32(i)
+		for _, in := range a.m.Code[i].Body {
+			if in.Op == wasm.OpCall && in.A == self {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasTokenGuard looks for a comparison against N(eosio.token) in apply.
+func (a *analysis) hasTokenGuard() bool {
+	if a.applyFn == nil {
+		return false
+	}
+	body := a.applyFn.Body
+	for i := 0; i+1 < len(body); i++ {
+		if body[i].Op == wasm.OpI64Const && body[i].Imm == uint64(eos.TokenContract) &&
+			(body[i+1].Op == wasm.OpI64Eq || body[i+1].Op == wasm.OpI64Ne) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasSelfGuard looks for the to == _self comparison shape inside action
+// bodies: two local/global reads feeding i64.eq/i64.ne. The popcount pass
+// (when it hits the guard) erases the comparison opcode.
+func (a *analysis) hasSelfGuard() bool {
+	for _, c := range a.actions {
+		body := c.Body
+		for i := 0; i+2 < len(body); i++ {
+			read1 := body[i].Op == wasm.OpLocalGet || body[i].Op == wasm.OpGlobalGet
+			read2 := body[i+1].Op == wasm.OpLocalGet || body[i+1].Op == wasm.OpGlobalGet
+			cmp := body[i+2].Op == wasm.OpI64Eq || body[i+2].Op == wasm.OpI64Ne
+			if read1 && read2 && cmp {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasUnauthedEffect reports an action body with a side-effect API call not
+// preceded by a permission API call.
+func (a *analysis) hasUnauthedEffect() bool {
+	auths := map[uint32]bool{}
+	effects := map[uint32]bool{}
+	for _, name := range []string{"require_auth", "require_auth2", "has_auth"} {
+		if id, ok := a.imports[name]; ok {
+			auths[id] = true
+		}
+	}
+	for _, name := range []string{"send_inline", "send_deferred", "db_store_i64", "db_update_i64", "db_remove_i64"} {
+		if id, ok := a.imports[name]; ok {
+			effects[id] = true
+		}
+	}
+	for i, c := range a.actions {
+		if i == 0 {
+			// The first table slot is the eosponser: its effects are gated
+			// by the transfer notification, not by explicit permission, and
+			// EOSAFE's MissAuth analysis scopes to directly-invocable
+			// actions.
+			continue
+		}
+		authSeen := false
+		for _, in := range c.Body {
+			if in.Op != wasm.OpCall {
+				continue
+			}
+			if auths[in.A] {
+				authSeen = true
+			}
+			if effects[in.A] && !authSeen {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callsImport reports any call to the named import anywhere in the module.
+func (a *analysis) callsImport(name string) bool {
+	id, ok := a.imports[name]
+	if !ok {
+		return false
+	}
+	for i := range a.m.Code {
+		for _, in := range a.m.Code[i].Body {
+			if in.Op == wasm.OpCall && in.A == id {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package eosafe
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/contractgen"
+)
+
+func gen(t *testing.T, spec contractgen.Spec) *contractgen.Contract {
+	t.Helper()
+	c, err := contractgen.Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return c
+}
+
+func TestCanonicalDispatcherAnalyzed(t *testing.T) {
+	for _, vul := range []bool{true, false} {
+		c := gen(t, contractgen.Spec{
+			Class: contractgen.ClassFakeEOS, Vulnerable: vul,
+			DispatcherStyle: contractgen.DispatchCanonical, Seed: 1,
+		})
+		res := Analyze(c.Module)
+		if res.TimedOut {
+			t.Fatalf("canonical dispatcher timed out (vul=%v)", vul)
+		}
+		if got := res.Report[contractgen.ClassFakeEOS]; got != vul {
+			t.Errorf("FakeEOS vul=%v: verdict %v", vul, got)
+		}
+	}
+}
+
+func TestBlockSkipDispatcherTimesOut(t *testing.T) {
+	c := gen(t, contractgen.Spec{
+		Class: contractgen.ClassFakeEOS, Vulnerable: true,
+		DispatcherStyle: contractgen.DispatchBlockSkip, Seed: 1,
+	})
+	res := Analyze(c.Module)
+	if !res.TimedOut {
+		t.Fatal("block-skip dispatcher should defeat the eq+if heuristic")
+	}
+	// Timeout policies: FakeEOS negative (FN), FakeNotif positive.
+	if res.Report[contractgen.ClassFakeEOS] {
+		t.Error("timed-out FakeEOS should be negative")
+	}
+	if !res.Report[contractgen.ClassFakeNotif] {
+		t.Error("timed-out FakeNotif should be positive")
+	}
+}
+
+func TestFakeNotifGuardRecognized(t *testing.T) {
+	safe := gen(t, contractgen.Spec{
+		Class: contractgen.ClassFakeNotif, Vulnerable: false,
+		DispatcherStyle: contractgen.DispatchCanonical, Seed: 2,
+	})
+	if Analyze(safe.Module).Report[contractgen.ClassFakeNotif] {
+		t.Error("guarded eosponser flagged")
+	}
+	vul := gen(t, contractgen.Spec{
+		Class: contractgen.ClassFakeNotif, Vulnerable: true,
+		DispatcherStyle: contractgen.DispatchCanonical, Seed: 2,
+	})
+	if !Analyze(vul.Module).Report[contractgen.ClassFakeNotif] {
+		t.Error("guard-free eosponser not flagged")
+	}
+}
+
+func TestMissAuthStatic(t *testing.T) {
+	for _, vul := range []bool{true, false} {
+		c := gen(t, contractgen.Spec{
+			Class: contractgen.ClassMissAuth, Vulnerable: vul,
+			DispatcherStyle: contractgen.DispatchCanonical, Seed: 3,
+		})
+		if got := Analyze(c.Module).Report[contractgen.ClassMissAuth]; got != vul {
+			t.Errorf("MissAuth vul=%v: verdict %v", vul, got)
+		}
+	}
+}
+
+func TestRollbackOverApproximates(t *testing.T) {
+	// Vulnerable: send_inline present -> flagged.
+	vul := gen(t, contractgen.Spec{Class: contractgen.ClassRollback, Vulnerable: true, Seed: 4})
+	if !Analyze(vul.Module).Report[contractgen.ClassRollback] {
+		t.Error("reachable send_inline not flagged")
+	}
+	// Inaccessible template: ground-truth safe, but EOSAFE's
+	// all-branches policy still flags it — the paper's ~50% precision.
+	dead := gen(t, contractgen.Spec{
+		Class: contractgen.ClassRollback, Vulnerable: true, Inaccessible: true, Seed: 4,
+	})
+	if !Analyze(dead.Module).Report[contractgen.ClassRollback] {
+		t.Error("unreachable send_inline should still be flagged (over-approximation)")
+	}
+	// Deferred payout: no send_inline anywhere -> clean.
+	safe := gen(t, contractgen.Spec{Class: contractgen.ClassRollback, Vulnerable: false, Seed: 4})
+	if Analyze(safe.Module).Report[contractgen.ClassRollback] {
+		t.Error("deferred payout flagged")
+	}
+}
+
+func TestObfuscationDefeatsStaticAnalysis(t *testing.T) {
+	c := gen(t, contractgen.Spec{
+		Class: contractgen.ClassFakeEOS, Vulnerable: true,
+		DispatcherStyle: contractgen.DispatchCanonical, Seed: 5,
+	})
+	// Sanity: detectable before obfuscation.
+	if !Analyze(c.Module).Report[contractgen.ClassFakeEOS] {
+		t.Fatal("baseline detection failed pre-obfuscation")
+	}
+	rng := rand.New(rand.NewSource(5))
+	if _, err := contractgen.Obfuscate(c.Module, contractgen.ObfuscateOptions{
+		Popcount: true, OpaqueRecursion: true, Rng: rng,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(c.Module)
+	if !res.TimedOut {
+		t.Error("obfuscation should force a timeout")
+	}
+	if res.Report[contractgen.ClassFakeEOS] {
+		t.Error("obfuscated FakeEOS should be a (false) negative — 0 TP in Table 5")
+	}
+}
+
+func TestBlockinfoDepUnsupported(t *testing.T) {
+	c := gen(t, contractgen.Spec{Class: contractgen.ClassBlockinfoDep, Vulnerable: true, Seed: 6})
+	res := Analyze(c.Module)
+	if res.Supported[contractgen.ClassBlockinfoDep] {
+		t.Error("EOSAFE should not claim BlockinfoDep support")
+	}
+}

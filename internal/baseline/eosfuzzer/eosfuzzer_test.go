@@ -1,0 +1,101 @@
+package eosfuzzer
+
+import (
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/eos"
+)
+
+func run(t *testing.T, spec contractgen.Spec) *Result {
+	t.Helper()
+	c, err := contractgen.Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	res, err := Run(c.Module, c.ABI, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestDetectsPlainFakeEOS(t *testing.T) {
+	res := run(t, contractgen.Spec{Class: contractgen.ClassFakeEOS, Vulnerable: true, Seed: 1})
+	if !res.Report[contractgen.ClassFakeEOS] {
+		t.Error("plain Fake EOS missed")
+	}
+	res = run(t, contractgen.Spec{Class: contractgen.ClassFakeEOS, Vulnerable: false, Seed: 1})
+	if res.Report[contractgen.ClassFakeEOS] {
+		t.Error("guarded contract flagged")
+	}
+}
+
+func TestMissesBranchGuardedService(t *testing.T) {
+	// The service (and its observable DB write) hides behind a 64-bit
+	// amount check random seeds cannot hit, so the behaviour-based oracle
+	// misses (a single-byte memo command would eventually fall to random
+	// bytes, which is why the population mixes both).
+	spec := contractgen.Spec{
+		Class: contractgen.ClassFakeNotif, Vulnerable: true,
+		EosponserBranches: []contractgen.BranchCheck{{Field: "amount", Value: 123456789}},
+		Seed:              2,
+	}
+	res := run(t, spec)
+	if res.Report[contractgen.ClassFakeNotif] {
+		t.Error("behaviour-based oracle should miss the gated service")
+	}
+}
+
+func TestDetectsUngatedFakeNotif(t *testing.T) {
+	res := run(t, contractgen.Spec{Class: contractgen.ClassFakeNotif, Vulnerable: true, Seed: 3})
+	if !res.Report[contractgen.ClassFakeNotif] {
+		t.Error("ungated Fake Notif missed")
+	}
+}
+
+func TestVerificationOracleFlaw(t *testing.T) {
+	// Complicated verification makes every transaction revert; the flawed
+	// oracle then reports Fake EOS positive even for a safe contract.
+	spec := contractgen.Spec{
+		Class: contractgen.ClassFakeEOS, Vulnerable: false,
+		Verification: []contractgen.VerCheck{{Field: "amount", Value: 987654321}},
+		Seed:         4,
+	}
+	res := run(t, spec)
+	if !res.Report[contractgen.ClassFakeEOS] {
+		t.Error("the all-transactions-reverted flaw should produce a false positive")
+	}
+}
+
+func TestBlockinfoDepAlwaysNegative(t *testing.T) {
+	res := run(t, contractgen.Spec{Class: contractgen.ClassBlockinfoDep, Vulnerable: true, Seed: 5})
+	if res.Report[contractgen.ClassBlockinfoDep] {
+		t.Error("EOSFuzzer's BlockinfoDep oracle should never fire on reveal-style samples")
+	}
+}
+
+func TestCoverageMonotonic(t *testing.T) {
+	res := run(t, contractgen.Spec{Class: contractgen.ClassRollback, Vulnerable: true, Seed: 6})
+	last := 0
+	for _, p := range res.CoverageOverTime {
+		if p.Branches < last {
+			t.Fatalf("coverage decreased: %d -> %d", last, p.Branches)
+		}
+		last = p.Branches
+	}
+	if res.Coverage == 0 {
+		t.Error("no coverage at all")
+	}
+	if res.Coverage != last {
+		t.Errorf("final coverage %d != last sample %d", res.Coverage, last)
+	}
+}
+
+func TestUnsupportedClassesStayFalse(t *testing.T) {
+	res := run(t, contractgen.Spec{Class: contractgen.ClassMissAuth, Vulnerable: true, Seed: 7})
+	if res.Report[contractgen.ClassMissAuth] || res.Report[contractgen.ClassRollback] {
+		t.Error("unsupported classes must remain unflagged")
+	}
+	_ = eos.ActionTransfer
+}

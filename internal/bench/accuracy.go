@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/baseline/eosafe"
+	"repro/internal/baseline/eosfuzzer"
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+)
+
+// Counts are the confusion-matrix tallies for one detector on one class.
+type Counts struct {
+	TP, FP, TN, FN int
+}
+
+// Add merges a single verdict.
+func (c *Counts) Add(truth, flagged bool) {
+	switch {
+	case truth && flagged:
+		c.TP++
+	case truth && !flagged:
+		c.FN++
+	case !truth && flagged:
+		c.FP++
+	default:
+		c.TN++
+	}
+}
+
+// Precision returns TP/(TP+FP), 0 when undefined.
+func (c Counts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 0 when undefined.
+func (c Counts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Counts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Total merges all counts.
+func Total(per map[contractgen.Class]Counts) Counts {
+	var t Counts
+	for _, c := range per {
+		t.TP += c.TP
+		t.FP += c.FP
+		t.TN += c.TN
+		t.FN += c.FN
+	}
+	return t
+}
+
+// Tool names a detector under evaluation.
+type Tool string
+
+// The three tools of Tables 4-6.
+const (
+	ToolWASAI     Tool = "WASAI"
+	ToolEOSFuzzer Tool = "EOSFuzzer"
+	ToolEOSAFE    Tool = "EOSAFE"
+)
+
+// toolSupports mirrors the '-' cells of the paper's tables.
+func toolSupports(tool Tool, class contractgen.Class) bool {
+	switch tool {
+	case ToolEOSFuzzer:
+		return class == contractgen.ClassFakeEOS ||
+			class == contractgen.ClassFakeNotif ||
+			class == contractgen.ClassBlockinfoDep
+	case ToolEOSAFE:
+		return class != contractgen.ClassBlockinfoDep
+	default:
+		return true
+	}
+}
+
+// AccuracyResult is one detector's per-class confusion counts.
+type AccuracyResult struct {
+	Tool     Tool
+	PerClass map[contractgen.Class]Counts
+}
+
+// EvalConfig tunes the accuracy evaluation run.
+type EvalConfig struct {
+	FuzzIterations  int
+	SolverConflicts int64
+	Seed            int64
+	// Workers bounds sample-level parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultEvalConfig mirrors the paper's per-contract budget in deterministic
+// units.
+func DefaultEvalConfig() EvalConfig {
+	return EvalConfig{FuzzIterations: 240, SolverConflicts: 50_000, Seed: 1}
+}
+
+// EvaluateAccuracy runs every tool over the dataset and scores the verdicts
+// against ground truth — each sample is scored only for its own class, as
+// the paper's per-type tables do. Samples are fuzzed in parallel (each
+// campaign owns its chain, so they are independent).
+func EvaluateAccuracy(ds *Dataset, tools []Tool, cfg EvalConfig) ([]AccuracyResult, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]AccuracyResult, 0, len(tools))
+	for _, tool := range tools {
+		verdicts := make([]bool, len(ds.Samples))
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		sem := make(chan struct{}, workers)
+		for i := range ds.Samples {
+			s := ds.Samples[i]
+			if !toolSupports(tool, s.Class) {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, s Sample) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				flagged, err := runTool(tool, s, cfg)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("bench: %s on sample %d: %w", tool, s.ID, err)
+					}
+					mu.Unlock()
+					return
+				}
+				verdicts[i] = flagged
+			}(i, s)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		per := map[contractgen.Class]Counts{}
+		for i, s := range ds.Samples {
+			if !toolSupports(tool, s.Class) {
+				continue
+			}
+			c := per[s.Class]
+			c.Add(s.Truth, verdicts[i])
+			per[s.Class] = c
+		}
+		results = append(results, AccuracyResult{Tool: tool, PerClass: per})
+	}
+	return results, nil
+}
+
+func runTool(tool Tool, s Sample, cfg EvalConfig) (bool, error) {
+	switch tool {
+	case ToolWASAI:
+		f, err := fuzz.New(s.Contract.Module, s.Contract.ABI, fuzz.Config{
+			Iterations:      cfg.FuzzIterations,
+			SolverConflicts: cfg.SolverConflicts,
+			Seed:            cfg.Seed + int64(s.ID),
+		})
+		if err != nil {
+			return false, err
+		}
+		res, err := f.Run()
+		if err != nil {
+			return false, err
+		}
+		return res.Report.Vulnerable[s.Class], nil
+	case ToolEOSFuzzer:
+		res, err := eosfuzzer.Run(s.Contract.Module, s.Contract.ABI, eosfuzzer.Config{
+			Iterations: cfg.FuzzIterations,
+			Seed:       cfg.Seed + int64(s.ID),
+		})
+		if err != nil {
+			return false, err
+		}
+		return res.Report[s.Class], nil
+	case ToolEOSAFE:
+		return eosafe.Analyze(s.Contract.Module).Report[s.Class], nil
+	default:
+		return false, fmt.Errorf("unknown tool %q", tool)
+	}
+}
+
+// RenderAccuracyTable prints the Table 4/5/6 layout.
+func RenderAccuracyTable(title string, ds *Dataset, results []AccuracyResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (dataset %q, %d samples)\n", title, ds.Name, len(ds.Samples))
+	fmt.Fprintf(&sb, "%-14s %-16s", "Types", "#Cnt(Vul/Non)")
+	for _, r := range results {
+		fmt.Fprintf(&sb, " | %-9s P      R      F1   ", r.Tool)
+	}
+	sb.WriteString("\n")
+
+	classCount := map[contractgen.Class][2]int{}
+	for _, s := range ds.Samples {
+		c := classCount[s.Class]
+		if s.Truth {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		classCount[s.Class] = c
+	}
+	classes := append([]contractgen.Class(nil), contractgen.Classes...)
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+
+	row := func(label string, count string, get func(AccuracyResult) (Counts, bool)) {
+		fmt.Fprintf(&sb, "%-14s %-16s", label, count)
+		for _, r := range results {
+			c, ok := get(r)
+			if !ok {
+				fmt.Fprintf(&sb, " | %-9s %-6s %-6s %-6s", "", "-", "-", "-")
+				continue
+			}
+			fmt.Fprintf(&sb, " | %-9s %5.1f%% %5.1f%% %5.1f%%", "",
+				100*c.Precision(), 100*c.Recall(), 100*c.F1())
+		}
+		sb.WriteString("\n")
+	}
+	for _, class := range classes {
+		cc := classCount[class]
+		cls := class
+		row(class.String(), fmt.Sprintf("%d(%d/%d)", cc[0]+cc[1], cc[0], cc[1]), func(r AccuracyResult) (Counts, bool) {
+			c, ok := r.PerClass[cls]
+			return c, ok
+		})
+	}
+	row("Total", fmt.Sprintf("%d", len(ds.Samples)), func(r AccuracyResult) (Counts, bool) {
+		return Total(r.PerClass), true
+	})
+	return sb.String()
+}

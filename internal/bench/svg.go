@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderCoverageSVG emits Figure 3 as a standalone SVG: cumulative distinct
+// branches (y) over the fuzzing budget (x), one polyline per tool.
+func RenderCoverageSVG(series []CoverageSeries) string {
+	const (
+		width   = 640
+		height  = 400
+		marginL = 70
+		marginR = 20
+		marginT = 30
+		marginB = 50
+	)
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+
+	var maxX, maxY int
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Iteration > maxX {
+				maxX = p.Iteration
+			}
+			if p.Branches > maxY {
+				maxY = p.Branches
+			}
+		}
+	}
+	if maxX == 0 || maxY == 0 {
+		return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>"
+	}
+	x := func(it int) float64 { return marginL + float64(it)/float64(maxX)*float64(plotW) }
+	y := func(b int) float64 { return float64(marginT+plotH) - float64(b)/float64(maxY)*float64(plotH) }
+
+	colors := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd"}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="18" font-size="14" text-anchor="middle">Figure 3: cumulative distinct branches vs fuzzing budget</text>`+"\n", width/2)
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	for i := 0; i <= 4; i++ {
+		yy := maxY * i / 4
+		fmt.Fprintf(&sb, `<text x="%d" y="%.0f" text-anchor="end">%d</text>`+"\n", marginL-6, y(yy)+4, yy)
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.0f" x2="%d" y2="%.0f" stroke="#ddd"/>`+"\n", marginL, y(yy), marginL+plotW, y(yy))
+		xx := maxX * i / 4
+		fmt.Fprintf(&sb, `<text x="%.0f" y="%d" text-anchor="middle">%d</text>`+"\n", x(xx), marginT+plotH+18, xx)
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle">fuzzing iterations</text>`+"\n", marginL+plotW/2, height-10)
+	fmt.Fprintf(&sb, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">distinct branches</text>`+"\n", marginT+plotH/2, marginT+plotH/2)
+
+	for si, s := range series {
+		color := colors[si%len(colors)]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(p.Iteration), y(p.Branches)))
+		}
+		fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n", color, strings.Join(pts, " "))
+		// Legend.
+		ly := marginT + 16 + si*18
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n", marginL+12, ly, marginL+40, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d">%s</text>`+"\n", marginL+46, ly+4, s.Tool)
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+)
+
+// WildConfig tunes the RQ4 reproduction.
+type WildConfig struct {
+	NumContracts   int
+	FuzzIterations int
+	Seed           int64
+}
+
+// DefaultWildConfig mirrors §4.4: 991 profitable contracts.
+func DefaultWildConfig() WildConfig {
+	return WildConfig{NumContracts: 991, FuzzIterations: 240, Seed: 1}
+}
+
+// WildResult aggregates the RQ4 study outcome.
+type WildResult struct {
+	Total          int
+	Flagged        int
+	PerClass       map[contractgen.Class]int
+	StillOperating int
+	Abandoned      int
+	Patched        int
+	Exposed        int
+	// VerifiedPatched counts patched versions WASAI re-analyzed and found
+	// clean (the paper's footnote 1: "we further applied WASAI to analyze
+	// their latest version to investigate whether the vulnerability has
+	// been patched").
+	VerifiedPatched int
+	// Accuracy vs the generator's ground truth (the paper verified 100
+	// samples manually; we can score everything).
+	PerClassAccuracy map[contractgen.Class]Counts
+}
+
+// EvaluateWild generates the wild population, fuzzes every contract, and
+// reproduces the §4.4 analysis including the patch/abandon lifecycle.
+func EvaluateWild(cfg WildConfig) (*WildResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pop, err := contractgen.GenerateWild(contractgen.DefaultWildOptions(cfg.NumContracts), rng)
+	if err != nil {
+		return nil, err
+	}
+	res := &WildResult{
+		Total:            len(pop),
+		PerClass:         map[contractgen.Class]int{},
+		PerClassAccuracy: map[contractgen.Class]Counts{},
+	}
+	// Fuzz the population in parallel; campaigns are independent.
+	runs := make([]*fuzz.Result, len(pop))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range pop {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			wc := &pop[i]
+			f, err := fuzz.New(wc.Contract.Module, wc.Contract.ABI, fuzz.Config{
+				Iterations:      cfg.FuzzIterations,
+				SolverConflicts: 50_000,
+				Seed:            cfg.Seed + int64(i),
+			})
+			if err == nil {
+				runs[i], err = f.Run()
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("bench: wild %s: %w", wc.Name, err)
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range pop {
+		wc := &pop[i]
+		run := runs[i]
+		flagged := false
+		for cl, truth := range wc.Truth {
+			verdict := run.Report.Vulnerable[cl]
+			if verdict {
+				res.PerClass[cl]++
+				flagged = true
+			}
+			c := res.PerClassAccuracy[cl]
+			c.Add(truth, verdict)
+			res.PerClassAccuracy[cl] = c
+		}
+		if !flagged {
+			continue
+		}
+		res.Flagged++
+		switch {
+		case wc.Abandoned:
+			res.Abandoned++
+		case wc.Patched:
+			res.StillOperating++
+			res.Patched++
+			// Re-analyze the latest (patched) version.
+			if wc.PatchedContract != nil {
+				pf, err := fuzz.New(wc.PatchedContract.Module, wc.PatchedContract.ABI, fuzz.Config{
+					Iterations:      cfg.FuzzIterations,
+					SolverConflicts: 50_000,
+					Seed:            cfg.Seed + int64(i),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("bench: wild %s patched: %w", wc.Name, err)
+				}
+				prun, err := pf.Run()
+				if err != nil {
+					return nil, fmt.Errorf("bench: wild %s patched: %w", wc.Name, err)
+				}
+				clean := true
+				for _, cl := range contractgen.Classes {
+					if prun.Report.Vulnerable[cl] {
+						clean = false
+					}
+				}
+				if clean {
+					res.VerifiedPatched++
+				}
+			}
+		default:
+			res.StillOperating++
+			res.Exposed++
+		}
+	}
+	return res, nil
+}
+
+// RenderWild prints the §4.4 summary.
+func RenderWild(r *WildResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "RQ4 — vulnerabilities in the wild (%d profitable contracts)\n", r.Total)
+	fmt.Fprintf(&sb, "flagged vulnerable: %d (%.1f%%)\n", r.Flagged, 100*float64(r.Flagged)/float64(r.Total))
+	for _, cl := range contractgen.Classes {
+		fmt.Fprintf(&sb, "  %-14s %4d flagged (P=%.1f%% R=%.1f%% vs ground truth)\n",
+			cl, r.PerClass[cl],
+			100*r.PerClassAccuracy[cl].Precision(), 100*r.PerClassAccuracy[cl].Recall())
+	}
+	if r.Flagged > 0 {
+		fmt.Fprintf(&sb, "lifecycle of flagged contracts: %d still operating (%.1f%%), %d abandoned, %d patched (%d verified clean on re-analysis), %d exposed\n",
+			r.StillOperating, 100*float64(r.StillOperating)/float64(r.Flagged),
+			r.Abandoned, r.Patched, r.VerifiedPatched, r.Exposed)
+	}
+	return sb.String()
+}

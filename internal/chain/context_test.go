@@ -1,0 +1,131 @@
+package chain
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eos"
+)
+
+func testCtx() *Context {
+	bc := New()
+	return &Context{
+		chain:    bc,
+		Receiver: victim,
+		Code:     eos.TokenContract,
+		Action:   eos.ActionTransfer,
+		Auth:     auth(alice),
+		iters:    NewIterCache(bc.db),
+	}
+}
+
+func TestContextAuth(t *testing.T) {
+	ctx := testCtx()
+	if !ctx.HasAuth(alice) {
+		t.Error("alice should be authorized")
+	}
+	if ctx.HasAuth(bob) {
+		t.Error("bob should not be authorized")
+	}
+	if err := ctx.RequireAuth(alice); err != nil {
+		t.Errorf("RequireAuth(alice): %v", err)
+	}
+	err := ctx.RequireAuth(bob)
+	if err == nil || !strings.Contains(err.Error(), "missing required authority") {
+		t.Errorf("RequireAuth(bob): %v", err)
+	}
+}
+
+func TestRequireRecipientSkipsSelf(t *testing.T) {
+	ctx := testCtx()
+	ctx.RequireRecipient(victim) // self: no-op
+	ctx.RequireRecipient(alice)
+	ctx.RequireRecipient(alice) // duplicates are deduplicated at dispatch
+	if len(ctx.notified) != 2 {
+		t.Errorf("notified = %v", ctx.notified)
+	}
+	for _, n := range ctx.notified {
+		if n == victim {
+			t.Error("self-notification recorded")
+		}
+	}
+}
+
+func TestInlineDepthLimit(t *testing.T) {
+	// A native contract that re-sends itself inline forever must be cut
+	// off by MaxInlineDepth, reverting the transaction.
+	bc := New()
+	loop := eos.MustName("looper")
+	bc.DeployNative(loop, nativeFunc(func(ctx *Context, code, action eos.Name) error {
+		if code != ctx.Receiver {
+			return nil
+		}
+		ctx.SendInline(Action{
+			Account: loop, Name: action,
+			Authorization: auth(loop),
+		})
+		return nil
+	}), nil)
+	rcpt := bc.PushTransaction(Transaction{Actions: []Action{{
+		Account: loop, Name: eos.MustName("go"), Authorization: auth(loop),
+	}}})
+	if rcpt.Err == nil || !strings.Contains(rcpt.Err.Error(), "inline action depth") {
+		t.Fatalf("want depth-limit error, got %v", rcpt.Err)
+	}
+}
+
+// nativeFunc adapts a function to the NativeContract interface.
+type nativeFunc func(ctx *Context, code, action eos.Name) error
+
+func (f nativeFunc) ApplyNative(ctx *Context, code, action eos.Name) error {
+	return f(ctx, code, action)
+}
+
+func TestDeferredFailureDoesNotRevertParent(t *testing.T) {
+	// A native contract schedules a deferred transfer it cannot afford;
+	// the parent transaction still commits.
+	bc := New()
+	sched := eos.MustName("scheduler")
+	bc.DeployNative(sched, nativeFunc(func(ctx *Context, code, action eos.Name) error {
+		if code != ctx.Receiver {
+			return nil
+		}
+		ctx.SendDeferred(Transaction{Actions: []Action{{
+			Account:       eos.TokenContract,
+			Name:          eos.ActionTransfer,
+			Authorization: auth(sched),
+			Data: EncodeTransfer(TransferArgs{
+				From: sched, To: alice, Quantity: eos.MustAsset("999.0000 EOS"),
+			}),
+		}}})
+		// And a visible write so we can confirm the parent committed.
+		ctx.chain.db.Store(sched, sched, eos.MustName("mark"), 1, []byte{1})
+		return nil
+	}), nil)
+	bc.CreateAccount(alice)
+	rcpt := bc.PushTransaction(Transaction{Actions: []Action{{
+		Account: sched, Name: eos.MustName("go"), Authorization: auth(sched),
+	}}})
+	if rcpt.Err != nil {
+		t.Fatalf("parent reverted: %v", rcpt.Err)
+	}
+	if _, ok := bc.db.Get(sched, sched, eos.MustName("mark"), 1); !ok {
+		t.Error("parent write lost even though only the deferred leg failed")
+	}
+}
+
+func TestUnDeployMakesAccountInert(t *testing.T) {
+	bc := New()
+	bc.DeployNative(victim, &ForwarderAgent{Victim: alice}, nil)
+	bc.UnDeploy(victim)
+	if bc.Account(victim).HasCode() {
+		t.Error("undeployed account still has code")
+	}
+	// Actions to it are now no-ops.
+	rcpt := bc.PushTransaction(Transaction{Actions: []Action{{
+		Account: victim, Name: eos.ActionTransfer, Authorization: auth(alice),
+	}}})
+	if rcpt.Err != nil {
+		t.Errorf("action on undeployed account: %v", rcpt.Err)
+	}
+}

@@ -1,0 +1,320 @@
+// Package chain implements a local EOSIO blockchain: accounts, contract
+// deployment, transaction execution with EOSIO's notification and inline /
+// deferred action semantics, the multi-index key-value database exposed via
+// the db_* intrinsics, native system contracts (eosio.token), and the host
+// API surface the EOSVM provides to Wasm contracts.
+//
+// It substitutes for the Nodeos 1.8.6 testbed the paper instruments: the
+// fuzzer interacts with contracts exactly the way transactions do on the
+// real chain (including rollback of failed transactions and cross-contract
+// notification fan-out), which is all the vulnerability oracles observe.
+package chain
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eos"
+)
+
+// tableKey identifies one (code, scope, table) database table.
+type tableKey struct {
+	Code  eos.Name
+	Scope eos.Name
+	Table eos.Name
+}
+
+// String renders the key for diagnostics.
+func (k tableKey) String() string {
+	return fmt.Sprintf("%s/%s/%s", k.Code, k.Scope, k.Table)
+}
+
+// table is one primary-index table: rows sorted by primary key.
+type table struct {
+	keys []uint64 // sorted
+	rows map[uint64][]byte
+}
+
+func newTable() *table { return &table{rows: map[uint64][]byte{}} }
+
+func (t *table) find(id uint64) (int, bool) {
+	i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= id })
+	return i, i < len(t.keys) && t.keys[i] == id
+}
+
+func (t *table) store(id uint64, data []byte) {
+	if _, ok := t.rows[id]; !ok {
+		i, _ := t.find(id)
+		t.keys = append(t.keys, 0)
+		copy(t.keys[i+1:], t.keys[i:])
+		t.keys[i] = id
+	}
+	t.rows[id] = append([]byte(nil), data...)
+}
+
+func (t *table) remove(id uint64) {
+	if _, ok := t.rows[id]; !ok {
+		return
+	}
+	delete(t.rows, id)
+	i, _ := t.find(id)
+	t.keys = append(t.keys[:i], t.keys[i+1:]...)
+}
+
+func (t *table) clone() *table {
+	c := &table{keys: append([]uint64(nil), t.keys...), rows: make(map[uint64][]byte, len(t.rows))}
+	for k, v := range t.rows {
+		c.rows[k] = append([]byte(nil), v...)
+	}
+	return c
+}
+
+// Database is the chain's persistent key-value store.
+type Database struct {
+	tables map[tableKey]*table
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database { return &Database{tables: map[tableKey]*table{}} }
+
+// Snapshot deep-copies the database for transaction rollback.
+func (db *Database) Snapshot() *Database {
+	s := &Database{tables: make(map[tableKey]*table, len(db.tables))}
+	for k, t := range db.tables {
+		s.tables[k] = t.clone()
+	}
+	return s
+}
+
+// Restore replaces the database contents with a snapshot.
+func (db *Database) Restore(s *Database) { db.tables = s.tables }
+
+func (db *Database) tableFor(k tableKey, create bool) *table {
+	t, ok := db.tables[k]
+	if !ok && create {
+		t = newTable()
+		db.tables[k] = t
+	}
+	return t
+}
+
+// Store inserts or replaces a row.
+func (db *Database) Store(code, scope, tab eos.Name, id uint64, data []byte) {
+	db.tableFor(tableKey{code, scope, tab}, true).store(id, data)
+}
+
+// Get returns the row with primary key id.
+func (db *Database) Get(code, scope, tab eos.Name, id uint64) ([]byte, bool) {
+	t := db.tableFor(tableKey{code, scope, tab}, false)
+	if t == nil {
+		return nil, false
+	}
+	row, ok := t.rows[id]
+	return row, ok
+}
+
+// Remove deletes the row with primary key id.
+func (db *Database) Remove(code, scope, tab eos.Name, id uint64) {
+	if t := db.tableFor(tableKey{code, scope, tab}, false); t != nil {
+		t.remove(id)
+	}
+}
+
+// Rows returns the number of rows in a table.
+func (db *Database) Rows(code, scope, tab eos.Name) int {
+	if t := db.tableFor(tableKey{code, scope, tab}, false); t != nil {
+		return len(t.keys)
+	}
+	return 0
+}
+
+// --- Iterator layer (db_* intrinsic semantics) ------------------------------
+
+// iterRef is a resolved database iterator: a table plus a position.
+type iterRef struct {
+	key tableKey
+	id  uint64
+	end bool
+}
+
+// IterCache implements EOSIO's per-apply-context iterator handles: positive
+// handles index live rows, negative handles (-2-tableIdx) are per-table end
+// sentinels, and -1 is "not found" where the table itself does not exist.
+type IterCache struct {
+	db     *Database
+	refs   []iterRef  // positive handles: refs[handle-1]... (see mapping below)
+	tables []tableKey // end-iterator table registry
+	tindex map[tableKey]int
+}
+
+// NewIterCache returns an iterator cache over db.
+func NewIterCache(db *Database) *IterCache {
+	return &IterCache{db: db, tindex: map[tableKey]int{}}
+}
+
+const iterNotFound = -1
+
+func (ic *IterCache) endHandle(k tableKey) int32 {
+	idx, ok := ic.tindex[k]
+	if !ok {
+		idx = len(ic.tables)
+		ic.tables = append(ic.tables, k)
+		ic.tindex[k] = idx
+	}
+	return int32(-2 - idx)
+}
+
+func (ic *IterCache) add(k tableKey, id uint64) int32 {
+	ic.refs = append(ic.refs, iterRef{key: k, id: id})
+	return int32(len(ic.refs) - 1)
+}
+
+func (ic *IterCache) ref(handle int32) (iterRef, bool) {
+	if handle < 0 || int(handle) >= len(ic.refs) {
+		return iterRef{}, false
+	}
+	return ic.refs[handle], true
+}
+
+func (ic *IterCache) endTable(handle int32) (tableKey, bool) {
+	idx := int(-2 - handle)
+	if idx < 0 || idx >= len(ic.tables) {
+		return tableKey{}, false
+	}
+	return ic.tables[idx], true
+}
+
+// Find implements db_find_i64.
+func (ic *IterCache) Find(code, scope, tab eos.Name, id uint64) int32 {
+	k := tableKey{code, scope, tab}
+	t := ic.db.tableFor(k, false)
+	if t == nil {
+		return iterNotFound
+	}
+	if _, ok := t.rows[id]; !ok {
+		return ic.endHandle(k)
+	}
+	return ic.add(k, id)
+}
+
+// End implements db_end_i64.
+func (ic *IterCache) End(code, scope, tab eos.Name) int32 {
+	k := tableKey{code, scope, tab}
+	if ic.db.tableFor(k, false) == nil {
+		return iterNotFound
+	}
+	return ic.endHandle(k)
+}
+
+// LowerBound implements db_lowerbound_i64.
+func (ic *IterCache) LowerBound(code, scope, tab eos.Name, id uint64) int32 {
+	k := tableKey{code, scope, tab}
+	t := ic.db.tableFor(k, false)
+	if t == nil {
+		return iterNotFound
+	}
+	i := sort.Search(len(t.keys), func(i int) bool { return t.keys[i] >= id })
+	if i == len(t.keys) {
+		return ic.endHandle(k)
+	}
+	return ic.add(k, t.keys[i])
+}
+
+// Store implements db_store_i64, returning an iterator to the new row.
+func (ic *IterCache) Store(scope eos.Name, tab eos.Name, code eos.Name, id uint64, data []byte) int32 {
+	k := tableKey{code, scope, tab}
+	ic.db.tableFor(k, true).store(id, data)
+	return ic.add(k, id)
+}
+
+// Get implements db_get_i64: returns the row bytes for a live iterator.
+func (ic *IterCache) Get(handle int32) ([]byte, error) {
+	r, ok := ic.ref(handle)
+	if !ok {
+		return nil, fmt.Errorf("chain: invalid db iterator %d", handle)
+	}
+	t := ic.db.tableFor(r.key, false)
+	if t == nil {
+		return nil, fmt.Errorf("chain: iterator %d references dropped table %s", handle, r.key)
+	}
+	row, ok := t.rows[r.id]
+	if !ok {
+		return nil, fmt.Errorf("chain: iterator %d references erased row %d", handle, r.id)
+	}
+	return row, nil
+}
+
+// Update implements db_update_i64.
+func (ic *IterCache) Update(handle int32, data []byte) error {
+	r, ok := ic.ref(handle)
+	if !ok {
+		return fmt.Errorf("chain: invalid db iterator %d", handle)
+	}
+	ic.db.tableFor(r.key, true).store(r.id, data)
+	return nil
+}
+
+// Remove implements db_remove_i64.
+func (ic *IterCache) Remove(handle int32) error {
+	r, ok := ic.ref(handle)
+	if !ok {
+		return fmt.Errorf("chain: invalid db iterator %d", handle)
+	}
+	if t := ic.db.tableFor(r.key, false); t != nil {
+		t.remove(r.id)
+	}
+	return nil
+}
+
+// Next implements db_next_i64; it returns the next iterator and writes the
+// next primary key through idOut when non-nil.
+func (ic *IterCache) Next(handle int32) (int32, uint64) {
+	r, ok := ic.ref(handle)
+	if !ok {
+		return iterNotFound, 0
+	}
+	t := ic.db.tableFor(r.key, false)
+	if t == nil {
+		return iterNotFound, 0
+	}
+	i, found := t.find(r.id)
+	if found {
+		i++
+	}
+	if i >= len(t.keys) {
+		return ic.endHandle(r.key), 0
+	}
+	id := t.keys[i]
+	return ic.add(r.key, id), id
+}
+
+// Previous implements db_previous_i64.
+func (ic *IterCache) Previous(handle int32) (int32, uint64) {
+	if handle < iterNotFound {
+		// End iterator: previous is the last row.
+		k, ok := ic.endTable(handle)
+		if !ok {
+			return iterNotFound, 0
+		}
+		t := ic.db.tableFor(k, false)
+		if t == nil || len(t.keys) == 0 {
+			return iterNotFound, 0
+		}
+		id := t.keys[len(t.keys)-1]
+		return ic.add(k, id), id
+	}
+	r, ok := ic.ref(handle)
+	if !ok {
+		return iterNotFound, 0
+	}
+	t := ic.db.tableFor(r.key, false)
+	if t == nil {
+		return iterNotFound, 0
+	}
+	i, _ := t.find(r.id)
+	if i == 0 {
+		return iterNotFound, 0
+	}
+	id := t.keys[i-1]
+	return ic.add(r.key, id), id
+}

@@ -1,0 +1,494 @@
+package chain
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/eos"
+	"repro/internal/instrument"
+	"repro/internal/trace"
+	"repro/internal/wasm/exec"
+)
+
+// Host API intrinsic names (the subset of the EOSIO C API the paper's
+// detectors reason about, plus the memory/print helpers contracts need).
+const (
+	APIRequireAuth      = "require_auth"
+	APIRequireAuth2     = "require_auth2"
+	APIHasAuth          = "has_auth"
+	APIRequireRecipient = "require_recipient"
+	APIIsAccount        = "is_account"
+	APICurrentReceiver  = "current_receiver"
+	APIEosioAssert      = "eosio_assert"
+	APIReadActionData   = "read_action_data"
+	APIActionDataSize   = "action_data_size"
+	APISendInline       = "send_inline"
+	APISendDeferred     = "send_deferred"
+	APITaposBlockNum    = "tapos_block_num"
+	APITaposBlockPrefix = "tapos_block_prefix"
+	APICurrentTime      = "current_time"
+	APIDBStore          = "db_store_i64"
+	APIDBFind           = "db_find_i64"
+	APIDBGet            = "db_get_i64"
+	APIDBUpdate         = "db_update_i64"
+	APIDBRemove         = "db_remove_i64"
+	APIDBNext           = "db_next_i64"
+	APIDBPrevious       = "db_previous_i64"
+	APIDBLowerbound     = "db_lowerbound_i64"
+	APIDBEnd            = "db_end_i64"
+	APIPrints           = "prints"
+	APIPrintsL          = "prints_l"
+	APIPrintI           = "printi"
+	APIPrintN           = "printn"
+	APIMemcpy           = "memcpy"
+	APIMemset           = "memset"
+	APIAbort            = "abort"
+)
+
+// PermissionAPIs is the set of authorization-checking intrinsics (paper §2.2).
+var PermissionAPIs = map[string]bool{
+	APIRequireAuth:  true,
+	APIRequireAuth2: true,
+	APIHasAuth:      true,
+}
+
+// EffectAPIs is the set of side-effect intrinsics the MissAuth oracle guards.
+var EffectAPIs = map[string]bool{
+	APISendInline:   true,
+	APISendDeferred: true,
+	APIDBStore:      true,
+	APIDBUpdate:     true,
+	APIDBRemove:     true,
+}
+
+// BlockinfoAPIs is the set of blockchain-state intrinsics the BlockinfoDep
+// oracle flags.
+var BlockinfoAPIs = map[string]bool{
+	APITaposBlockNum:    true,
+	APITaposBlockPrefix: true,
+}
+
+func ctxOf(vm *exec.VM) *Context {
+	ctx, _ := vm.Context.(*Context)
+	return ctx
+}
+
+// readCStr reads a NUL-terminated string from instance memory (bounded).
+func readCStr(vm *exec.VM, ptr uint32) string {
+	mem := vm.Instance().Memory()
+	if int(ptr) >= len(mem) {
+		return ""
+	}
+	end := int(ptr)
+	for end < len(mem) && mem[end] != 0 && end-int(ptr) < 256 {
+		end++
+	}
+	return string(mem[ptr:end])
+}
+
+// resolverFor builds the import resolver for executing a contract under ctx.
+// ctx may be nil at deploy-time link checking.
+func (bc *Blockchain) resolverFor(ctx *Context) exec.Resolver {
+	env := exec.HostModule{
+		APIRequireAuth: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, ctxOf(vm).RequireAuth(eos.Name(args[0]))
+		},
+		APIRequireAuth2: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, ctxOf(vm).RequireAuth(eos.Name(args[0]))
+		},
+		APIHasAuth: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			if ctxOf(vm).HasAuth(eos.Name(args[0])) {
+				return []uint64{1}, nil
+			}
+			return []uint64{0}, nil
+		},
+		APIRequireRecipient: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			ctxOf(vm).RequireRecipient(eos.Name(args[0]))
+			return nil, nil
+		},
+		APIIsAccount: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			if ctxOf(vm).chain.Account(eos.Name(args[0])) != nil {
+				return []uint64{1}, nil
+			}
+			return []uint64{0}, nil
+		},
+		APICurrentReceiver: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return []uint64{uint64(ctxOf(vm).Receiver)}, nil
+		},
+		APIEosioAssert: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			if uint32(args[0]) != 0 {
+				return nil, nil
+			}
+			return nil, &AssertError{Msg: readCStr(vm, uint32(args[1]))}
+		},
+		APIReadActionData: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			ctx := ctxOf(vm)
+			n := int(uint32(args[1]))
+			if n > len(ctx.Data) {
+				n = len(ctx.Data)
+			}
+			if err := vm.Instance().WriteMemory(uint32(args[0]), ctx.Data[:n]); err != nil {
+				return nil, err
+			}
+			return []uint64{uint64(uint32(n))}, nil
+		},
+		APIActionDataSize: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return []uint64{uint64(uint32(len(ctxOf(vm).Data)))}, nil
+		},
+		APISendInline: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			p, err := vm.Instance().ReadMemory(uint32(args[0]), uint32(args[1]))
+			if err != nil {
+				return nil, err
+			}
+			act, err := UnpackAction(p)
+			if err != nil {
+				return nil, fmt.Errorf("send_inline: %w", err)
+			}
+			ctxOf(vm).SendInline(act)
+			return nil, nil
+		},
+		APISendDeferred: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			// Simplified signature: (payer i64, ptr i32, len i32).
+			p, err := vm.Instance().ReadMemory(uint32(args[1]), uint32(args[2]))
+			if err != nil {
+				return nil, err
+			}
+			act, err := UnpackAction(p)
+			if err != nil {
+				return nil, fmt.Errorf("send_deferred: %w", err)
+			}
+			ctxOf(vm).SendDeferred(Transaction{Actions: []Action{act}})
+			return nil, nil
+		},
+		APITaposBlockNum: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return []uint64{uint64(ctxOf(vm).chain.TaposBlockNum())}, nil
+		},
+		APITaposBlockPrefix: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return []uint64{uint64(ctxOf(vm).chain.TaposBlockPrefix())}, nil
+		},
+		APICurrentTime: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return []uint64{ctxOf(vm).chain.TimeUs()}, nil
+		},
+		APIPrints: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			ctxOf(vm).Print(readCStr(vm, uint32(args[0])))
+			return nil, nil
+		},
+		APIPrintsL: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			p, err := vm.Instance().ReadMemory(uint32(args[0]), uint32(args[1]))
+			if err != nil {
+				return nil, err
+			}
+			ctxOf(vm).Print(string(p))
+			return nil, nil
+		},
+		APIPrintI: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			ctxOf(vm).Print(fmt.Sprintf("%d", int64(args[0])))
+			return nil, nil
+		},
+		APIPrintN: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			ctxOf(vm).Print(eos.Name(args[0]).String())
+			return nil, nil
+		},
+		APIMemcpy: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			dst, src, n := uint32(args[0]), uint32(args[1]), uint32(args[2])
+			p, err := vm.Instance().ReadMemory(src, n)
+			if err != nil {
+				return nil, err
+			}
+			if err := vm.Instance().WriteMemory(dst, p); err != nil {
+				return nil, err
+			}
+			return []uint64{uint64(dst)}, nil
+		},
+		APIMemset: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			dst, val, n := uint32(args[0]), byte(args[1]), uint32(args[2])
+			p := make([]byte, n)
+			for i := range p {
+				p[i] = val
+			}
+			if err := vm.Instance().WriteMemory(dst, p); err != nil {
+				return nil, err
+			}
+			return []uint64{uint64(dst)}, nil
+		},
+		APIAbort: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, &AssertError{Msg: "abort() called"}
+		},
+	}
+	bc.addDBAPIs(env)
+	return exec.Resolver{
+		"env":                 env,
+		instrument.HookModule: bc.hookModule(),
+	}
+}
+
+func (bc *Blockchain) addDBAPIs(env exec.HostModule) {
+	env[APIDBStore] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+		ctx := ctxOf(vm)
+		scope, tab := eos.Name(args[0]), eos.Name(args[1])
+		id := args[3]
+		p, err := vm.Instance().ReadMemory(uint32(args[4]), uint32(args[5]))
+		if err != nil {
+			return nil, err
+		}
+		ctx.RecordDBOpKey(DBWrite, tab, id)
+		it := ctx.iters.Store(scope, tab, ctx.Receiver, id, p)
+		return []uint64{uint64(uint32(it))}, nil
+	}
+	env[APIDBFind] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+		ctx := ctxOf(vm)
+		code, scope, tab, id := eos.Name(args[0]), eos.Name(args[1]), eos.Name(args[2]), args[3]
+		ctx.RecordDBOpKey(DBRead, tab, id)
+		return []uint64{uint64(uint32(ctx.iters.Find(code, scope, tab, id)))}, nil
+	}
+	env[APIDBGet] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+		ctx := ctxOf(vm)
+		row, err := ctx.iters.Get(int32(uint32(args[0])))
+		if err != nil {
+			return nil, err
+		}
+		n := int(uint32(args[2]))
+		if n == 0 {
+			return []uint64{uint64(uint32(len(row)))}, nil
+		}
+		if n > len(row) {
+			n = len(row)
+		}
+		if err := vm.Instance().WriteMemory(uint32(args[1]), row[:n]); err != nil {
+			return nil, err
+		}
+		return []uint64{uint64(uint32(n))}, nil
+	}
+	env[APIDBUpdate] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+		ctx := ctxOf(vm)
+		p, err := vm.Instance().ReadMemory(uint32(args[2]), uint32(args[3]))
+		if err != nil {
+			return nil, err
+		}
+		ctx.RecordDBOp(DBWrite, eos.Name(0))
+		return nil, ctx.iters.Update(int32(uint32(args[0])), p)
+	}
+	env[APIDBRemove] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+		ctx := ctxOf(vm)
+		ctx.RecordDBOp(DBWrite, eos.Name(0))
+		return nil, ctx.iters.Remove(int32(uint32(args[0])))
+	}
+	env[APIDBNext] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+		ctx := ctxOf(vm)
+		it, pk := ctx.iters.Next(int32(uint32(args[0])))
+		if ptr := uint32(args[1]); ptr != 0 && it >= 0 {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], pk)
+			if err := vm.Instance().WriteMemory(ptr, buf[:]); err != nil {
+				return nil, err
+			}
+		}
+		return []uint64{uint64(uint32(it))}, nil
+	}
+	env[APIDBPrevious] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+		ctx := ctxOf(vm)
+		it, pk := ctx.iters.Previous(int32(uint32(args[0])))
+		if ptr := uint32(args[1]); ptr != 0 && it >= 0 {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], pk)
+			if err := vm.Instance().WriteMemory(ptr, buf[:]); err != nil {
+				return nil, err
+			}
+		}
+		return []uint64{uint64(uint32(it))}, nil
+	}
+	env[APIDBLowerbound] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+		ctx := ctxOf(vm)
+		code, scope, tab, id := eos.Name(args[0]), eos.Name(args[1]), eos.Name(args[2]), args[3]
+		ctx.RecordDBOp(DBRead, tab)
+		return []uint64{uint64(uint32(ctx.iters.LowerBound(code, scope, tab, id)))}, nil
+	}
+	env[APIDBEnd] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+		ctx := ctxOf(vm)
+		code, scope, tab := eos.Name(args[0]), eos.Name(args[1]), eos.Name(args[2])
+		ctx.RecordDBOp(DBRead, tab)
+		return []uint64{uint64(uint32(ctx.iters.End(code, scope, tab)))}, nil
+	}
+}
+
+// hookModule implements the wasai.* logging imports the instrumenter
+// injects. Events reference original-module coordinates via the deployed
+// account's site table.
+func (bc *Blockchain) hookModule() exec.HostModule {
+	emit := func(vm *exec.VM, kind trace.HookKind, site uint32, operand uint64) error {
+		if bc.Collector == nil {
+			return nil
+		}
+		ctx := ctxOf(vm)
+		acct := bc.Account(ctx.Receiver)
+		if acct == nil || acct.Sites == nil {
+			return nil
+		}
+		s, ok := acct.Sites.Lookup(site)
+		if !ok {
+			return fmt.Errorf("chain: unknown hook site %d in %s", site, ctx.Receiver)
+		}
+		bc.Collector.Emit(trace.Event{
+			Kind: kind, Func: s.Func, PC: int(s.PC), Op: s.Op, Operand: operand,
+		})
+		return nil
+	}
+	emitLabel := func(vm *exec.VM, kind trace.HookKind, fn uint32) {
+		if bc.Collector == nil {
+			return
+		}
+		ctx := ctxOf(vm)
+		acct := bc.Account(ctx.Receiver)
+		if acct == nil || acct.Sites == nil {
+			return
+		}
+		bc.Collector.Emit(trace.Event{Kind: kind, Func: fn})
+	}
+	return exec.HostModule{
+		instrument.HookLogSite: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, emit(vm, trace.HookInstr, uint32(args[0]), 0)
+		},
+		instrument.HookLogCond: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, emit(vm, trace.HookCond, uint32(args[0]), uint64(uint32(args[1])))
+		},
+		instrument.HookLogTable: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, emit(vm, trace.HookBrTable, uint32(args[0]), uint64(uint32(args[1])))
+		},
+		instrument.HookLogMem: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, emit(vm, trace.HookMem, uint32(args[0]), uint64(uint32(args[1])))
+		},
+		instrument.HookLogCmp: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			// Two operands: encode as two events (a then b) at the same site.
+			if err := emit(vm, trace.HookCmp, uint32(args[0]), args[1]); err != nil {
+				return nil, err
+			}
+			return nil, emit(vm, trace.HookCmp, uint32(args[0]), args[2])
+		},
+		instrument.HookLogCall: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			site, callee := uint32(args[0]), uint64(uint32(args[1]))
+			if err := emit(vm, trace.HookCallPre, site, callee); err != nil {
+				return nil, err
+			}
+			return nil, emit(vm, trace.HookCall, site, callee)
+		},
+		instrument.HookLogCallI: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			site, tblIdx := uint32(args[0]), uint32(args[1])
+			if err := emit(vm, trace.HookCallPre, site, uint64(tblIdx)); err != nil {
+				return nil, err
+			}
+			ctx := ctxOf(vm)
+			acct := bc.Account(ctx.Receiver)
+			if acct == nil || acct.Sites == nil {
+				return nil, nil
+			}
+			instrumented, ok := vm.Instance().TableGet(tblIdx)
+			if !ok {
+				return nil, nil // the call_indirect itself will trap
+			}
+			orig, ok := acct.Sites.OrigFunc(instrumented)
+			if !ok {
+				return nil, nil
+			}
+			return nil, emit(vm, trace.HookCall, site, uint64(orig))
+		},
+		instrument.HookLogRetV: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, emit(vm, trace.HookCallPost, uint32(args[0]), 0)
+		},
+		instrument.HookLogRetI: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, emit(vm, trace.HookCallPost, uint32(args[0]), uint64(uint32(args[1])))
+		},
+		instrument.HookLogRetL: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, emit(vm, trace.HookCallPost, uint32(args[0]), args[1])
+		},
+		instrument.HookLogRetF: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, emit(vm, trace.HookCallPost, uint32(args[0]), args[1])
+		},
+		instrument.HookLogRetD: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			return nil, emit(vm, trace.HookCallPost, uint32(args[0]), args[1])
+		},
+		instrument.HookLogBegin: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			emitLabel(vm, trace.HookFuncBegin, uint32(args[0]))
+			return nil, nil
+		},
+		instrument.HookLogEnd: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			emitLabel(vm, trace.HookFuncEnd, uint32(args[0]))
+			return nil, nil
+		},
+		instrument.HookLogParmI: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			emitParam(bc, vm, uint32(args[0]), uint64(uint32(args[1])))
+			return nil, nil
+		},
+		instrument.HookLogParmL: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			emitParam(bc, vm, uint32(args[0]), args[1])
+			return nil, nil
+		},
+		instrument.HookLogParmF: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			emitParam(bc, vm, uint32(args[0]), args[1])
+			return nil, nil
+		},
+		instrument.HookLogParmD: func(vm *exec.VM, args []uint64) ([]uint64, error) {
+			emitParam(bc, vm, uint32(args[0]), args[1])
+			return nil, nil
+		},
+	}
+}
+
+func emitParam(bc *Blockchain, vm *exec.VM, fn uint32, v uint64) {
+	if bc.Collector == nil {
+		return
+	}
+	ctx := ctxOf(vm)
+	acct := bc.Account(ctx.Receiver)
+	if acct == nil || acct.Sites == nil {
+		return
+	}
+	bc.Collector.Emit(trace.Event{Kind: trace.HookParam, Func: fn, Operand: v})
+}
+
+// PackAction serializes an action for send_inline / send_deferred. The
+// layout is fixed-width little-endian: account(8) name(8) nauth(4)
+// {actor(8) permission(8)}* dlen(4) data. (The real chain uses varuint
+// framing; the fixed layout keeps generated contracts simple while
+// exercising the same code paths.)
+func PackAction(act Action) []byte {
+	buf := make([]byte, 0, 24+16*len(act.Authorization)+len(act.Data))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(act.Account))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(act.Name))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(act.Authorization)))
+	for _, pl := range act.Authorization {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(pl.Actor))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(pl.Permission))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(act.Data)))
+	return append(buf, act.Data...)
+}
+
+// UnpackAction parses the PackAction layout.
+func UnpackAction(p []byte) (Action, error) {
+	if len(p) < 20 {
+		return Action{}, fmt.Errorf("chain: packed action too short (%d bytes)", len(p))
+	}
+	act := Action{
+		Account: eos.Name(binary.LittleEndian.Uint64(p[0:])),
+		Name:    eos.Name(binary.LittleEndian.Uint64(p[8:])),
+	}
+	nauth := binary.LittleEndian.Uint32(p[16:])
+	off := 20
+	if nauth > 16 || len(p) < off+int(nauth)*16+4 {
+		return Action{}, fmt.Errorf("chain: packed action truncated")
+	}
+	for i := uint32(0); i < nauth; i++ {
+		act.Authorization = append(act.Authorization, PermissionLevel{
+			Actor:      eos.Name(binary.LittleEndian.Uint64(p[off:])),
+			Permission: eos.Name(binary.LittleEndian.Uint64(p[off+8:])),
+		})
+		off += 16
+	}
+	dlen := binary.LittleEndian.Uint32(p[off:])
+	off += 4
+	if len(p) < off+int(dlen) {
+		return Action{}, fmt.Errorf("chain: packed action data truncated")
+	}
+	act.Data = append([]byte(nil), p[off:off+int(dlen)]...)
+	return act, nil
+}

@@ -1,0 +1,226 @@
+// Package contractgen synthesizes EOSIO Wasm smart contracts in bytecode
+// form: the benchmark substrate of the paper's evaluation (§4.2-§4.4).
+//
+// The generator emits genuine Wasm modules through internal/wasm's encoder,
+// following the EOSIO C++ SDK's compilation shape: a void apply(receiver,
+// code, action) dispatcher that deserializes the action payload from
+// read_action_data into linear memory and enters the action function through
+// an indirect call (the pattern EOSAFE's heuristics key on), action
+// functions receiving (self, args...) with oversized arguments passed as
+// i32 pointers (Table 2's layout), and the five §2.3 vulnerability classes
+// with toggleable guard code. It also implements the paper's benchmark
+// transformations: guard-code removal (§4.2), popcount/opaque-recursion
+// obfuscation (§4.3), complicated-verification injection (§4.3), and a
+// seeded "wild population" generator matching RQ4's prevalence mix.
+package contractgen
+
+import (
+	"fmt"
+
+	"repro/internal/eos"
+	"repro/internal/wasm"
+)
+
+// Host import indices in generated modules (import order is fixed).
+const (
+	impRequireAuth = iota
+	impHasAuth
+	impRequireRecipient
+	impEosioAssert
+	impReadActionData
+	impActionDataSize
+	impSendInline
+	impSendDeferred
+	impTaposBlockNum
+	impTaposBlockPrefix
+	impCurrentTime
+	impDBStore
+	impDBFind
+	impDBGet
+	impDBUpdate
+	impDBRemove
+	impDBNext
+	impDBLowerbound
+	impDBEnd
+	impPrints
+	impPrintI
+	impMemcpy
+	impMemset
+	impCurrentReceiver
+	impIsAccount
+	numImports
+)
+
+var importDefs = []struct {
+	name string
+	typ  wasm.FuncType
+}{
+	{"require_auth", ft(p(wasm.I64), nil)},
+	{"has_auth", ft(p(wasm.I64), p(wasm.I32))},
+	{"require_recipient", ft(p(wasm.I64), nil)},
+	{"eosio_assert", ft(p(wasm.I32, wasm.I32), nil)},
+	{"read_action_data", ft(p(wasm.I32, wasm.I32), p(wasm.I32))},
+	{"action_data_size", ft(nil, p(wasm.I32))},
+	{"send_inline", ft(p(wasm.I32, wasm.I32), nil)},
+	{"send_deferred", ft(p(wasm.I64, wasm.I32, wasm.I32), nil)},
+	{"tapos_block_num", ft(nil, p(wasm.I32))},
+	{"tapos_block_prefix", ft(nil, p(wasm.I32))},
+	{"current_time", ft(nil, p(wasm.I64))},
+	{"db_store_i64", ft(p(wasm.I64, wasm.I64, wasm.I64, wasm.I64, wasm.I32, wasm.I32), p(wasm.I32))},
+	{"db_find_i64", ft(p(wasm.I64, wasm.I64, wasm.I64, wasm.I64), p(wasm.I32))},
+	{"db_get_i64", ft(p(wasm.I32, wasm.I32, wasm.I32), p(wasm.I32))},
+	{"db_update_i64", ft(p(wasm.I32, wasm.I64, wasm.I32, wasm.I32), nil)},
+	{"db_remove_i64", ft(p(wasm.I32), nil)},
+	{"db_next_i64", ft(p(wasm.I32, wasm.I32), p(wasm.I32))},
+	{"db_lowerbound_i64", ft(p(wasm.I64, wasm.I64, wasm.I64, wasm.I64), p(wasm.I32))},
+	{"db_end_i64", ft(p(wasm.I64, wasm.I64, wasm.I64), p(wasm.I32))},
+	{"prints", ft(p(wasm.I32), nil)},
+	{"printi", ft(p(wasm.I64), nil)},
+	{"memcpy", ft(p(wasm.I32, wasm.I32, wasm.I32), p(wasm.I32))},
+	{"memset", ft(p(wasm.I32, wasm.I32, wasm.I32), p(wasm.I32))},
+	{"current_receiver", ft(nil, p(wasm.I64))},
+	{"is_account", ft(p(wasm.I64), p(wasm.I32))},
+}
+
+func p(ts ...wasm.ValType) []wasm.ValType { return ts }
+func ft(params, results []wasm.ValType) wasm.FuncType {
+	return wasm.FuncType{Params: params, Results: results}
+}
+
+// Memory layout of generated contracts.
+const (
+	memScratch   = 128  // 8-byte scratch used for DB rows
+	memInlineBuf = 256  // packed inline/deferred action buffer
+	memMsg       = 64   // assert message (NUL byte -> empty string)
+	memActionBuf = 1024 // raw action payload written by read_action_data
+
+	// Transfer payload layout within memActionBuf.
+	offFrom  = memActionBuf      // i64
+	offTo    = memActionBuf + 8  // i64
+	offQty   = memActionBuf + 16 // asset: amount i64 + symbol i64
+	offMemo  = memActionBuf + 32 // length byte + content
+	selfGlob = 0                 // global index holding _self
+)
+
+// modBuilder assembles a generated contract module.
+type modBuilder struct {
+	m *wasm.Module
+	// actionSig is the shared indirect-call signature of action functions:
+	// (self i64, from i64, to i64, qty_ptr i32, memo_ptr i32).
+	actionSig uint32
+}
+
+func newModBuilder() *modBuilder {
+	m := &wasm.Module{FuncNames: map[uint32]string{}}
+	for _, d := range importDefs {
+		ti := m.AddType(d.typ)
+		m.Imports = append(m.Imports, wasm.Import{
+			Module: "env", Name: d.name, Kind: wasm.ExternalFunc, TypeIndex: ti,
+		})
+	}
+	m.Memories = []wasm.MemType{{Limits: wasm.Limits{Min: 1}}}
+	m.Globals = []wasm.Global{{
+		Type: wasm.GlobalType{Type: wasm.I64, Mutable: true},
+		Init: []wasm.Instr{wasm.I64Const(0)},
+	}}
+	b := &modBuilder{m: m}
+	b.actionSig = m.AddType(ft(p(wasm.I64, wasm.I64, wasm.I64, wasm.I32, wasm.I32), nil))
+	return b
+}
+
+// addFunc appends a local function and returns its function-space index.
+func (b *modBuilder) addFunc(name string, typeIdx uint32, locals []wasm.LocalDecl, body []wasm.Instr) uint32 {
+	idx := uint32(numImports + len(b.m.Funcs))
+	b.m.Funcs = append(b.m.Funcs, typeIdx)
+	b.m.Code = append(b.m.Code, wasm.Code{Locals: locals, Body: append(body, wasm.End())})
+	b.m.FuncNames[idx] = name
+	return idx
+}
+
+// setActionTable installs the funcref table holding the action functions.
+func (b *modBuilder) setActionTable(funcs []uint32) {
+	b.m.Tables = []wasm.TableType{{Limits: wasm.Limits{Min: uint32(len(funcs))}}}
+	b.m.Elems = []wasm.ElemSegment{{
+		Offset: []wasm.Instr{wasm.I32Const(0)},
+		Funcs:  funcs,
+	}}
+}
+
+// export exposes apply and the memory.
+func (b *modBuilder) export(applyIdx uint32) {
+	b.m.Exports = []wasm.Export{
+		{Name: "apply", Kind: wasm.ExternalFunc, Index: applyIdx},
+		{Name: "memory", Kind: wasm.ExternalMemory, Index: 0},
+	}
+}
+
+// --- instruction-sequence helpers -------------------------------------------
+
+// i64Name pushes a name constant.
+func i64Name(n eos.Name) wasm.Instr { return wasm.I64Const(int64(uint64(n))) }
+
+// callAssert emits eosio_assert(cond-on-stack, "").
+func callAssert() []wasm.Instr {
+	return []wasm.Instr{wasm.I32Const(memMsg), wasm.Call(impEosioAssert)}
+}
+
+// storeConstI64 emits *(i64*)addr = v.
+func storeConstI64(addr uint32, v int64) []wasm.Instr {
+	return []wasm.Instr{wasm.I32Const(int32(addr)), wasm.I64Const(v), wasm.Store(wasm.OpI64Store, 0)}
+}
+
+// storeConstI32 emits *(i32*)addr = v.
+func storeConstI32(addr uint32, v int32) []wasm.Instr {
+	return []wasm.Instr{wasm.I32Const(int32(addr)), wasm.I32Const(v), wasm.Store(wasm.OpI32Store, 0)}
+}
+
+// packTransferPayout emits code that packs an inline/deferred transfer
+// action (self -> `toLocal`, quantity copied from qptrLocal) into
+// memInlineBuf and returns the (ptr, len) constants used.
+//
+// Packed layout (see chain.PackAction): account(8) name(8) nauth(4)
+// {actor(8) perm(8)} dlen(4) payload(33: from 8, to 8, asset 16, memo-len 1).
+func packTransferPayout(toLocal, qptrLocal uint32) ([]wasm.Instr, int32, int32) {
+	const base = memInlineBuf
+	var ins []wasm.Instr
+	ins = append(ins, storeConstI64(base, int64(uint64(eos.TokenContract)))...)
+	ins = append(ins, storeConstI64(base+8, int64(uint64(eos.ActionTransfer)))...)
+	ins = append(ins, storeConstI32(base+16, 1)...) // one authorization
+	// actor = _self
+	ins = append(ins,
+		wasm.I32Const(base+20), wasm.GlobalGet(selfGlob), wasm.Store(wasm.OpI64Store, 0))
+	ins = append(ins, storeConstI64(base+28, int64(uint64(eos.ActiveAuth)))...)
+	ins = append(ins, storeConstI32(base+36, 33)...) // payload length
+	// payload: from = _self
+	ins = append(ins,
+		wasm.I32Const(base+40), wasm.GlobalGet(selfGlob), wasm.Store(wasm.OpI64Store, 0),
+		// to
+		wasm.I32Const(base+48), wasm.LocalGet(toLocal), wasm.Store(wasm.OpI64Store, 0),
+		// amount copied from the quantity pointer
+		wasm.I32Const(base+56), wasm.LocalGet(qptrLocal), wasm.Load(wasm.OpI64Load, 0), wasm.Store(wasm.OpI64Store, 0),
+		// symbol
+		wasm.I32Const(base+64), wasm.LocalGet(qptrLocal), wasm.Load(wasm.OpI64Load, 8), wasm.Store(wasm.OpI64Store, 0),
+		// empty memo
+		wasm.I32Const(base+72), wasm.I32Const(0), wasm.Store(wasm.OpI32Store8, 0),
+	)
+	return ins, base, 73
+}
+
+// sendInline emits the packed payout followed by send_inline.
+func sendInline(toLocal, qptrLocal uint32) []wasm.Instr {
+	ins, ptr, n := packTransferPayout(toLocal, qptrLocal)
+	return append(ins, wasm.I32Const(ptr), wasm.I32Const(n), wasm.Call(impSendInline))
+}
+
+// sendDeferred emits the packed payout followed by send_deferred — the
+// Rollback-safe defer scheme of Listing 4.
+func sendDeferred(toLocal, qptrLocal uint32) []wasm.Instr {
+	ins, ptr, n := packTransferPayout(toLocal, qptrLocal)
+	return append(ins,
+		wasm.GlobalGet(selfGlob), // payer
+		wasm.I32Const(ptr), wasm.I32Const(n), wasm.Call(impSendDeferred))
+}
+
+// debugName attaches a "name" custom section is skipped: FuncNames are kept
+// in-memory; the chain consumes modules directly.
+var _ = fmt.Sprintf

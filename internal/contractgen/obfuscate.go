@@ -1,0 +1,112 @@
+package contractgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/wasm"
+)
+
+// ObfuscateOptions tunes the §4.3 bytecode obfuscator.
+type ObfuscateOptions struct {
+	// Popcount enables the data-flow pass: equality comparisons against
+	// constants are re-encoded through the popcount algorithm
+	// (x == c  becomes  popcnt(x ^ c) == 0), hiding the compared constant
+	// from pattern-matching analyzers.
+	Popcount bool
+	// GuardObfProb is the probability that a non-constant i64 comparison
+	// (e.g. the Fake Notification to==self guard) is popcount-encoded too.
+	// Encoded guards become invisible to trace-level guard detection, which
+	// is the source of WASAI's small FP rate on the obfuscated benchmark
+	// (Table 5: Fake Notif precision 92.4%).
+	GuardObfProb float64
+	// OpaqueRecursion enables the control-flow pass: a self-recursive
+	// function guarded by an unsatisfiable condition is inserted and called
+	// from every function entry. Static analyzers exploring both branch
+	// arms diverge; concrete execution never enters the recursion.
+	OpaqueRecursion bool
+	// Rng drives the probabilistic choices; required when GuardObfProb > 0.
+	Rng *rand.Rand
+}
+
+// DefaultObfuscation mirrors the paper's obfuscator configuration.
+func DefaultObfuscation(rng *rand.Rand) ObfuscateOptions {
+	return ObfuscateOptions{
+		Popcount:        true,
+		GuardObfProb:    0.08,
+		OpaqueRecursion: true,
+		Rng:             rng,
+	}
+}
+
+// Obfuscate rewrites m in place (m must be a generator-produced module that
+// has not been instrumented yet) and returns it for chaining.
+func Obfuscate(m *wasm.Module, opts ObfuscateOptions) (*wasm.Module, error) {
+	if opts.GuardObfProb > 0 && opts.Rng == nil {
+		return nil, fmt.Errorf("contractgen: GuardObfProb requires Rng")
+	}
+	if opts.Popcount {
+		for i := range m.Code {
+			m.Code[i].Body = popcountPass(m.Code[i].Body, opts)
+		}
+	}
+	if opts.OpaqueRecursion {
+		insertOpaqueRecursion(m)
+	}
+	if err := wasm.Validate(m); err != nil {
+		return nil, fmt.Errorf("contractgen: obfuscated module invalid: %w", err)
+	}
+	return m, nil
+}
+
+// popcountPass re-encodes i64 equality comparisons.
+func popcountPass(body []wasm.Instr, opts ObfuscateOptions) []wasm.Instr {
+	out := make([]wasm.Instr, 0, len(body)+8)
+	for i, in := range body {
+		isEq := in.Op == wasm.OpI64Eq
+		isNe := in.Op == wasm.OpI64Ne
+		if !isEq && !isNe {
+			out = append(out, in)
+			continue
+		}
+		constOperand := i > 0 && body[i-1].Op == wasm.OpI64Const
+		if !constOperand && (opts.GuardObfProb <= 0 || opts.Rng.Float64() >= opts.GuardObfProb) {
+			out = append(out, in)
+			continue
+		}
+		// x == y  ->  popcnt(x ^ y) == 0 ; x != y -> !(popcnt(x ^ y) == 0)
+		out = append(out,
+			wasm.Op0(wasm.OpI64Xor),
+			wasm.Op0(wasm.OpI64Popcnt),
+			wasm.Op0(wasm.OpI64Eqz),
+		)
+		if isNe {
+			out = append(out, wasm.Op0(wasm.OpI32Eqz))
+		}
+	}
+	return out
+}
+
+// insertOpaqueRecursion adds the unsatisfiable self-recursive function and
+// calls it at the entry of every pre-existing local function.
+func insertOpaqueRecursion(m *wasm.Module) {
+	numImports := uint32(m.NumImportedFuncs())
+	recIdx := numImports + uint32(len(m.Funcs))
+	ti := m.AddType(wasm.FuncType{})
+	// if (0x5eed == 0x5eee) { obf_rec() }  — never satisfiable, but a
+	// static explorer that follows both arms recurses forever.
+	m.Funcs = append(m.Funcs, ti)
+	m.Code = append(m.Code, wasm.Code{Body: []wasm.Instr{
+		wasm.I64Const(0x5eed), wasm.I64Const(0x5eee), wasm.Op0(wasm.OpI64Eq),
+		wasm.If(),
+		wasm.Call(recIdx),
+		wasm.End(),
+		wasm.End(),
+	}})
+	if m.FuncNames != nil {
+		m.FuncNames[recIdx] = "obf_rec"
+	}
+	for i := range m.Code[:len(m.Code)-1] {
+		m.Code[i].Body = append([]wasm.Instr{wasm.Call(recIdx)}, m.Code[i].Body...)
+	}
+}

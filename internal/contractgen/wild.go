@@ -1,0 +1,129 @@
+package contractgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/eos"
+)
+
+// WildContract is one member of the RQ4 "in the wild" population: a
+// profitable contract with per-class ground truth and a deployment
+// lifecycle (still operating / abandoned / patched in a later version).
+type WildContract struct {
+	Name     eos.Name
+	Contract *Contract
+	// Truth records the per-class ground truth.
+	Truth map[Class]bool
+	// Abandoned: the latest on-chain version was replaced with an empty file.
+	Abandoned bool
+	// Patched: a later version with guards restored was deployed.
+	Patched bool
+	// PatchedContract is the fixed version when Patched.
+	PatchedContract *Contract
+}
+
+// WildOptions tunes the population generator. The defaults reproduce the
+// prevalence mix the paper reports for the 991 profitable Mainnet
+// contracts (§4.4): 241 Fake EOS, 264 Fake Notif, 470 MissAuth,
+// 22 BlockinfoDep, 122 Rollback; 71.3% vulnerable overall; of the flagged
+// contracts 41.6% abandoned and 72 of the 413 live ones patched.
+type WildOptions struct {
+	N int
+	// Per-class vulnerability probability.
+	PVuln map[Class]float64
+	// Feature-presence probability for optional features (sweep, reveal).
+	PSweep, PReveal float64
+	// Lifecycle probabilities.
+	PAbandoned float64 // among flagged contracts
+	PPatched   float64 // among flagged, still-operating contracts
+}
+
+// DefaultWildOptions returns the RQ4-calibrated options for n contracts.
+func DefaultWildOptions(n int) WildOptions {
+	return WildOptions{
+		N: n,
+		PVuln: map[Class]float64{
+			ClassFakeEOS:      241.0 / 991,
+			ClassFakeNotif:    264.0 / 991,
+			ClassMissAuth:     470.0 / 991,
+			ClassBlockinfoDep: 22.0 / 991,
+			ClassRollback:     122.0 / 991,
+		},
+		PSweep:     0.60,
+		PReveal:    0.22,
+		PAbandoned: 0.416,
+		PPatched:   72.0 / 413,
+	}
+}
+
+// GenerateWild draws a wild population.
+func GenerateWild(opts WildOptions, rng *rand.Rand) ([]WildContract, error) {
+	out := make([]WildContract, 0, opts.N)
+	for i := 0; i < opts.N; i++ {
+		vulnSet := map[Class]bool{
+			// Every profitable contract has an eosponser, so the Fake EOS
+			// and Fake Notif features are always present.
+			ClassFakeEOS:   rng.Float64() < opts.PVuln[ClassFakeEOS],
+			ClassFakeNotif: rng.Float64() < opts.PVuln[ClassFakeNotif],
+		}
+		if rng.Float64() < opts.PSweep {
+			vulnSet[ClassMissAuth] = rng.Float64() < opts.PVuln[ClassMissAuth]/opts.PSweep
+		}
+		if rng.Float64() < opts.PReveal {
+			vulnSet[ClassBlockinfoDep] = rng.Float64() < opts.PVuln[ClassBlockinfoDep]/opts.PReveal
+			vulnSet[ClassRollback] = rng.Float64() < opts.PVuln[ClassRollback]/opts.PReveal
+		}
+		spec := Spec{VulnSet: vulnSet, Seed: rng.Int63(), DBDependent: rng.Intn(4) == 0}
+		c, err := Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("contractgen: wild %d: %w", i, err)
+		}
+		name, err := eos.NewName(fmt.Sprintf("wild%s", suffix(i)))
+		if err != nil {
+			return nil, err
+		}
+		wc := WildContract{
+			Name:     name,
+			Contract: c,
+			Truth:    map[Class]bool{},
+		}
+		anyVul := false
+		for cl, v := range vulnSet {
+			wc.Truth[cl] = v
+			anyVul = anyVul || v
+		}
+		if anyVul {
+			if rng.Float64() < opts.PAbandoned {
+				wc.Abandoned = true
+			} else if rng.Float64() < opts.PPatched {
+				wc.Patched = true
+				patchedSet := map[Class]bool{}
+				for cl := range vulnSet {
+					patchedSet[cl] = false
+				}
+				pc, err := Generate(Spec{VulnSet: patchedSet, Seed: spec.Seed, DBDependent: spec.DBDependent})
+				if err != nil {
+					return nil, fmt.Errorf("contractgen: wild %d patched: %w", i, err)
+				}
+				wc.PatchedContract = pc
+			}
+		}
+		out = append(out, wc)
+	}
+	return out, nil
+}
+
+// suffix encodes i in the EOSIO name alphabet (a-z only for simplicity).
+func suffix(i int) string {
+	const alpha = "abcdefghijklmnopqrstuvwxyz"
+	s := []byte{}
+	for {
+		s = append(s, alpha[i%26])
+		i /= 26
+		if i == 0 {
+			break
+		}
+	}
+	return string(s)
+}

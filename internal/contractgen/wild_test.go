@@ -1,0 +1,106 @@
+package contractgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGenerateWildPrevalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(991))
+	opts := DefaultWildOptions(600)
+	pop, err := GenerateWild(opts, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 600 {
+		t.Fatalf("population = %d", len(pop))
+	}
+	counts := map[Class]int{}
+	flagged := 0
+	names := map[string]bool{}
+	for _, wc := range pop {
+		if names[wc.Name.String()] {
+			t.Fatalf("duplicate account name %s", wc.Name)
+		}
+		names[wc.Name.String()] = true
+		any := false
+		for cl, v := range wc.Truth {
+			if v {
+				counts[cl]++
+				any = true
+			}
+		}
+		if any {
+			flagged++
+		}
+		if wc.Abandoned && wc.Patched {
+			t.Error("a contract cannot be both abandoned and patched")
+		}
+		if wc.Patched && wc.PatchedContract == nil {
+			t.Error("patched contract missing its fixed version")
+		}
+	}
+	// The per-class prevalence should land near the paper's mix
+	// (tolerance ±40% relative at this sample size).
+	expect := map[Class]float64{
+		ClassFakeEOS:      241.0 / 991,
+		ClassFakeNotif:    264.0 / 991,
+		ClassMissAuth:     470.0 / 991,
+		ClassBlockinfoDep: 22.0 / 991,
+		ClassRollback:     122.0 / 991,
+	}
+	for cl, want := range expect {
+		got := float64(counts[cl]) / 600
+		if got < want*0.6 || got > want*1.5 {
+			t.Errorf("%s prevalence = %.3f, want ≈ %.3f", cl, got, want)
+		}
+	}
+	frac := float64(flagged) / 600
+	if frac < 0.60 || frac > 0.85 {
+		t.Errorf("flagged fraction = %.2f, want ≈ 0.71", frac)
+	}
+}
+
+func TestGenerateWildDeterministic(t *testing.T) {
+	a, err := GenerateWild(DefaultWildOptions(30), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWild(DefaultWildOptions(30), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Abandoned != b[i].Abandoned {
+			t.Fatalf("population differs at %d", i)
+		}
+		for cl, v := range a[i].Truth {
+			if b[i].Truth[cl] != v {
+				t.Fatalf("truth differs at %d/%s", i, cl)
+			}
+		}
+	}
+}
+
+func TestPatchedContractsAreSafeByConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	pop, err := GenerateWild(DefaultWildOptions(120), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, wc := range pop {
+		if !wc.Patched {
+			continue
+		}
+		checked++
+		for cl, v := range wc.PatchedContract.Spec.VulnSet {
+			if v {
+				t.Errorf("%s: patched version still vulnerable to %s", wc.Name, cl)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no patched contracts drawn at this size/seed")
+	}
+}

@@ -1,0 +1,163 @@
+package eos
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Symbol is an EOSIO token symbol: precision in the low byte and up to 7
+// upper-case ASCII letters in the higher bytes.
+type Symbol uint64
+
+// ErrInvalidSymbol reports a malformed symbol literal.
+var ErrInvalidSymbol = errors.New("eos: invalid symbol")
+
+// NewSymbol builds a symbol from a precision and a ticker code such as "EOS".
+func NewSymbol(precision uint8, code string) (Symbol, error) {
+	if len(code) == 0 || len(code) > 7 {
+		return 0, fmt.Errorf("%w: code %q must be 1-7 characters", ErrInvalidSymbol, code)
+	}
+	v := uint64(precision)
+	for i := 0; i < len(code); i++ {
+		c := code[i]
+		if c < 'A' || c > 'Z' {
+			return 0, fmt.Errorf("%w: code %q must be upper-case A-Z", ErrInvalidSymbol, code)
+		}
+		v |= uint64(c) << uint(8*(i+1))
+	}
+	return Symbol(v), nil
+}
+
+// MustSymbol is NewSymbol for trusted literals; it panics on invalid input.
+func MustSymbol(precision uint8, code string) Symbol {
+	s, err := NewSymbol(precision, code)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Precision returns the number of decimal places.
+func (s Symbol) Precision() uint8 { return uint8(s) }
+
+// Code returns the ticker string.
+func (s Symbol) Code() string {
+	var sb strings.Builder
+	v := uint64(s) >> 8
+	for v != 0 {
+		sb.WriteByte(byte(v & 0xff))
+		v >>= 8
+	}
+	return sb.String()
+}
+
+// String renders e.g. "4,EOS".
+func (s Symbol) String() string { return fmt.Sprintf("%d,%s", s.Precision(), s.Code()) }
+
+// EOSSymbol is the official EOS token symbol ("4,EOS").
+var EOSSymbol = MustSymbol(4, "EOS")
+
+// Asset is a token quantity: a signed amount scaled by the symbol precision.
+type Asset struct {
+	Amount int64
+	Symbol Symbol
+}
+
+// NewAsset builds an asset from a raw (already scaled) amount.
+func NewAsset(amount int64, sym Symbol) Asset { return Asset{Amount: amount, Symbol: sym} }
+
+// EOS builds an EOS asset from a raw amount in 1e-4 EOS units.
+func EOS(amount int64) Asset { return Asset{Amount: amount, Symbol: EOSSymbol} }
+
+// ParseAsset parses the canonical textual form, e.g. "10.0000 EOS".
+func ParseAsset(s string) (Asset, error) {
+	parts := strings.SplitN(strings.TrimSpace(s), " ", 2)
+	if len(parts) != 2 {
+		return Asset{}, fmt.Errorf("eos: asset %q: want \"<amount> <CODE>\"", s)
+	}
+	numPart, code := parts[0], parts[1]
+	var precision uint8
+	intPart := numPart
+	fracPart := ""
+	if dot := strings.IndexByte(numPart, '.'); dot >= 0 {
+		intPart, fracPart = numPart[:dot], numPart[dot+1:]
+		if len(fracPart) > 18 {
+			return Asset{}, fmt.Errorf("eos: asset %q: precision too large", s)
+		}
+		precision = uint8(len(fracPart))
+	}
+	neg := false
+	if strings.HasPrefix(intPart, "-") {
+		neg = true
+		intPart = intPart[1:]
+	}
+	whole, err := strconv.ParseInt(intPart, 10, 64)
+	if err != nil {
+		return Asset{}, fmt.Errorf("eos: asset %q: %w", s, err)
+	}
+	var frac int64
+	if fracPart != "" {
+		frac, err = strconv.ParseInt(fracPart, 10, 64)
+		if err != nil {
+			return Asset{}, fmt.Errorf("eos: asset %q: %w", s, err)
+		}
+	}
+	scale := int64(1)
+	for i := uint8(0); i < precision; i++ {
+		scale *= 10
+	}
+	amount := whole*scale + frac
+	if neg {
+		amount = -amount
+	}
+	sym, err := NewSymbol(precision, code)
+	if err != nil {
+		return Asset{}, err
+	}
+	return Asset{Amount: amount, Symbol: sym}, nil
+}
+
+// MustAsset is ParseAsset for trusted literals; it panics on invalid input.
+func MustAsset(s string) Asset {
+	a, err := ParseAsset(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the canonical textual form, e.g. "10.0000 EOS".
+func (a Asset) String() string {
+	p := int64(1)
+	for i := uint8(0); i < a.Symbol.Precision(); i++ {
+		p *= 10
+	}
+	amt := a.Amount
+	sign := ""
+	if amt < 0 {
+		sign = "-"
+		amt = -amt
+	}
+	if p == 1 {
+		return fmt.Sprintf("%s%d %s", sign, amt, a.Symbol.Code())
+	}
+	return fmt.Sprintf("%s%d.%0*d %s", sign, amt/p, int(a.Symbol.Precision()), amt%p, a.Symbol.Code())
+}
+
+// Add returns a+b; the symbols must match.
+func (a Asset) Add(b Asset) (Asset, error) {
+	if a.Symbol != b.Symbol {
+		return Asset{}, fmt.Errorf("eos: symbol mismatch: %s vs %s", a.Symbol, b.Symbol)
+	}
+	return Asset{Amount: a.Amount + b.Amount, Symbol: a.Symbol}, nil
+}
+
+// Sub returns a-b; the symbols must match.
+func (a Asset) Sub(b Asset) (Asset, error) {
+	if a.Symbol != b.Symbol {
+		return Asset{}, fmt.Errorf("eos: symbol mismatch: %s vs %s", a.Symbol, b.Symbol)
+	}
+	return Asset{Amount: a.Amount - b.Amount, Symbol: a.Symbol}, nil
+}

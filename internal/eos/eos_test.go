@@ -1,0 +1,179 @@
+package eos
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNameRoundTrip(t *testing.T) {
+	cases := []string{
+		"a", "z", "eosio", "eosio.token", "fake.notif", "batdappboomx",
+		"abcdefghijkl", "a1b2c3", "5name", "zzzzzzzzzzzz",
+	}
+	for _, s := range cases {
+		n, err := NewName(s)
+		if err != nil {
+			t.Fatalf("NewName(%q): %v", s, err)
+		}
+		if got := n.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestNameKnownValue(t *testing.T) {
+	// Cross-checked against the EOSIO implementation.
+	n := MustName("eosio.token")
+	if uint64(n) != 0x5530ea033482a600 {
+		t.Errorf("eosio.token = %#x, want 0x5530ea033482a600", uint64(n))
+	}
+}
+
+func TestNameInvalid(t *testing.T) {
+	for _, s := range []string{"UPPER", "has space", "0zero", "toolongname444", "x_y"} {
+		if _, err := NewName(s); !errors.Is(err, ErrInvalidName) {
+			t.Errorf("NewName(%q): want ErrInvalidName, got %v", s, err)
+		}
+	}
+}
+
+func TestNameEmpty(t *testing.T) {
+	n, err := NewName("")
+	if err != nil {
+		t.Fatalf("empty name: %v", err)
+	}
+	if !n.Empty() || n.String() != "" {
+		t.Errorf("empty name: %v %q", n.Empty(), n.String())
+	}
+}
+
+func TestNameOrderingMatchesString(t *testing.T) {
+	// EOSIO name ordering is lexicographic in the custom alphabet; just
+	// verify the packing is big-endian-first so prefixes sort early.
+	a, b := MustName("aaa"), MustName("aab")
+	if a >= b {
+		t.Errorf("aaa (%d) should sort before aab (%d)", a, b)
+	}
+}
+
+func TestNameJSON(t *testing.T) {
+	n := MustName("eosio.token")
+	p, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p) != `"eosio.token"` {
+		t.Errorf("marshal = %s", p)
+	}
+	var back Name
+	if err := json.Unmarshal(p, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != n {
+		t.Errorf("unmarshal = %v, want %v", back, n)
+	}
+	if err := json.Unmarshal([]byte(`"INVALID"`), &back); err == nil {
+		t.Error("want error for invalid name")
+	}
+}
+
+func TestNameRoundTripQuick(t *testing.T) {
+	const alpha = "12345abcdefghijklmnopqrstuvwxyz"
+	f := func(seed uint64, lenSeed uint8) bool {
+		n := int(lenSeed%12) + 1
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = alpha[(seed>>uint(i*5))%uint64(len(alpha))]
+		}
+		s := string(buf)
+		name, err := NewName(s)
+		return err == nil && name.String() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbol(t *testing.T) {
+	s := MustSymbol(4, "EOS")
+	if s.Precision() != 4 || s.Code() != "EOS" {
+		t.Errorf("symbol: precision=%d code=%q", s.Precision(), s.Code())
+	}
+	if s.String() != "4,EOS" {
+		t.Errorf("String = %q", s.String())
+	}
+	// The constant the paper's verification snippet uses.
+	if uint64(s) != 1397703940 {
+		t.Errorf("4,EOS = %d, want 1397703940", uint64(s))
+	}
+}
+
+func TestSymbolInvalid(t *testing.T) {
+	for _, code := range []string{"", "eos", "TOOLONGX", "E S"} {
+		if _, err := NewSymbol(4, code); !errors.Is(err, ErrInvalidSymbol) {
+			t.Errorf("NewSymbol(%q): want error, got %v", code, err)
+		}
+	}
+}
+
+func TestAssetParseFormat(t *testing.T) {
+	cases := []struct {
+		in     string
+		amount int64
+	}{
+		{"10.0000 EOS", 100000},
+		{"0.0001 EOS", 1},
+		{"-2.5000 EOS", -25000},
+		{"100 RAM", 100},
+	}
+	for _, tt := range cases {
+		a, err := ParseAsset(tt.in)
+		if err != nil {
+			t.Fatalf("ParseAsset(%q): %v", tt.in, err)
+		}
+		if a.Amount != tt.amount {
+			t.Errorf("%q amount = %d, want %d", tt.in, a.Amount, tt.amount)
+		}
+		if got := a.String(); got != tt.in {
+			t.Errorf("format %q -> %q", tt.in, got)
+		}
+	}
+}
+
+func TestAssetParseErrors(t *testing.T) {
+	for _, s := range []string{"", "10.0000", "x EOS", "10.0000EOS"} {
+		if _, err := ParseAsset(s); err == nil {
+			t.Errorf("ParseAsset(%q): want error", s)
+		}
+	}
+}
+
+func TestAssetArithmetic(t *testing.T) {
+	a := MustAsset("1.0000 EOS")
+	b := MustAsset("0.2500 EOS")
+	sum, err := a.Add(b)
+	if err != nil || sum.String() != "1.2500 EOS" {
+		t.Errorf("add: %v %v", sum, err)
+	}
+	diff, err := a.Sub(b)
+	if err != nil || diff.String() != "0.7500 EOS" {
+		t.Errorf("sub: %v %v", diff, err)
+	}
+	other := MustAsset("1.0000 ABC")
+	if _, err := a.Add(other); err == nil {
+		t.Error("want symbol mismatch error")
+	}
+}
+
+func TestAssetRoundTripQuick(t *testing.T) {
+	f := func(amount int64) bool {
+		a := EOS(amount % 1_000_000_000_000)
+		back, err := ParseAsset(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

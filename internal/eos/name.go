@@ -1,0 +1,121 @@
+// Package eos implements the EOSIO primitive value types used throughout
+// the chain simulator and the fuzzer: account/action names (base-32 packed
+// uint64), token symbols, and assets, together with their canonical binary
+// serialization.
+package eos
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name is an EOSIO name: up to 12 characters from ".12345abcdefghijklmnopqrstuvwxyz"
+// packed big-endian into a uint64, 5 bits per character (the 13th character,
+// when present, uses the remaining 4 bits).
+type Name uint64
+
+// ErrInvalidName reports a string that cannot be encoded as an EOSIO name.
+var ErrInvalidName = errors.New("eos: invalid name")
+
+const nameAlphabet = ".12345abcdefghijklmnopqrstuvwxyz"
+
+func charToSymbol(c byte) (uint64, bool) {
+	switch {
+	case c >= 'a' && c <= 'z':
+		return uint64(c-'a') + 6, true
+	case c >= '1' && c <= '5':
+		return uint64(c-'1') + 1, true
+	case c == '.':
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// NewName encodes s as an EOSIO name. The string may contain at most 13
+// characters; the 13th must encode in 4 bits (".12345abcdefghij").
+func NewName(s string) (Name, error) {
+	if len(s) > 13 {
+		return 0, fmt.Errorf("%w: %q is longer than 13 characters", ErrInvalidName, s)
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c, ok := charToSymbol(s[i])
+		if !ok {
+			return 0, fmt.Errorf("%w: %q contains invalid character %q", ErrInvalidName, s, s[i])
+		}
+		if i < 12 {
+			v |= (c & 0x1f) << uint(64-5*(i+1))
+		} else {
+			if c > 0x0f {
+				return 0, fmt.Errorf("%w: %q 13th character out of range", ErrInvalidName, s)
+			}
+			v |= c
+		}
+	}
+	return Name(v), nil
+}
+
+// MustName is NewName for trusted literals; it panics on invalid input.
+// Use only with compile-time constant strings.
+func MustName(s string) Name {
+	n, err := NewName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// String decodes the packed representation back to text, trimming trailing
+// dots as EOSIO does.
+func (n Name) String() string {
+	if n == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	v := uint64(n)
+	for i := 0; i < 13; i++ {
+		var c uint64
+		if i < 12 {
+			c = (v >> uint(64-5*(i+1))) & 0x1f
+		} else {
+			c = v & 0x0f
+		}
+		sb.WriteByte(nameAlphabet[c])
+	}
+	return strings.TrimRight(sb.String(), ".")
+}
+
+// Empty reports whether the name is the zero name.
+func (n Name) Empty() bool { return n == 0 }
+
+// MarshalJSON renders the name as its textual form.
+func (n Name) MarshalJSON() ([]byte, error) {
+	return json.Marshal(n.String())
+}
+
+// UnmarshalJSON parses the textual form.
+func (n *Name) UnmarshalJSON(p []byte) error {
+	var s string
+	if err := json.Unmarshal(p, &s); err != nil {
+		return err
+	}
+	v, err := NewName(s)
+	if err != nil {
+		return err
+	}
+	*n = v
+	return nil
+}
+
+// Well-known account and action names.
+var (
+	// TokenContract is the official EOS token issuer account.
+	TokenContract = MustName("eosio.token")
+	// ActionTransfer is the "transfer" action name.
+	ActionTransfer = MustName("transfer")
+	// ActiveAuth is the standard "active" permission name.
+	ActiveAuth = MustName("active")
+)

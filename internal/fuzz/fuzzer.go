@@ -1,0 +1,470 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/abi"
+	"repro/internal/chain"
+	"repro/internal/eos"
+	"repro/internal/instrument"
+	"repro/internal/scanner"
+	"repro/internal/symbolic"
+	"repro/internal/symexec"
+	"repro/internal/trace"
+	"repro/internal/wasm"
+)
+
+// Well-known campaign accounts.
+var (
+	attackerName  = eos.MustName("attacker")
+	fakeTokenName = eos.MustName("fake.token")
+	agentName     = eos.MustName("fake.notif")
+	victimName    = eos.MustName("victim")
+)
+
+// Config tunes a fuzzing campaign.
+type Config struct {
+	// Iterations is the transaction budget (the deterministic analogue of
+	// the paper's 5-minute timeout).
+	Iterations int
+	// SolverConflicts bounds each SMT query (analogue of the 3,000 ms cap).
+	SolverConflicts int64
+	// DisableFeedback turns off the Symback loop (ablation: pure black-box).
+	DisableFeedback bool
+	// DisableDBG turns off transaction-dependency seed selection (ablation).
+	DisableDBG bool
+	// OpaqueInputs disables §3.4.2 input inference in the replay (ablation:
+	// path constraints lose their mapping to the transaction payload).
+	OpaqueInputs bool
+	// Seed drives all randomness.
+	Seed int64
+	// CustomDetectors registers extension oracles (paper §5): each observes
+	// every target trace and contributes a named verdict to the result.
+	CustomDetectors []scanner.CustomDetector
+	// KeepTraces retains every target trace in the result, for export to
+	// the paper's offline trace files (trace.Write).
+	KeepTraces bool
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config {
+	return Config{Iterations: 240, SolverConflicts: 50_000, Seed: 1}
+}
+
+// CoveragePoint samples cumulative distinct-branch coverage (RQ1's unit).
+type CoveragePoint struct {
+	Iteration int
+	Branches  int
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Report           *scanner.Report
+	Coverage         int
+	CoverageOverTime []CoveragePoint
+	Iterations       int
+	// AdaptiveSeeds counts seeds produced by constraint solving.
+	AdaptiveSeeds int
+	// ReplayErrors counts traces Symback could not replay.
+	ReplayErrors int
+	SolverStats  symbolic.SolverStats
+	// Custom holds the verdicts of registered extension detectors.
+	Custom map[string]bool
+	// Traces holds the target's traces when Config.KeepTraces is set.
+	Traces []trace.Trace
+}
+
+// Fuzzer is the WASAI engine bound to one target contract.
+type Fuzzer struct {
+	cfg     Config
+	mod     *wasm.Module // original (pre-instrumentation) module
+	abi     *abi.ABI
+	bc      *chain.Blockchain
+	scan    *scanner.Scanner
+	rng     *rand.Rand
+	solver  *symbolic.Solver
+	dbg     *DBG
+	seeds   *pool
+	actions []eos.Name
+
+	coverage  map[trace.BranchKey]struct{}
+	attempted map[symexec.BranchTarget]bool
+	covSeries []CoveragePoint
+	adaptive  int
+	replayErr int
+	iter      int
+
+	lastRevertRead map[eos.Name]chain.DBOp // action -> the failing read (table + key)
+	kept           []trace.Trace
+}
+
+// New prepares a campaign against the contract `mod` with its ABI: it
+// instruments the bytecode (§3.3.1), initiates a local blockchain with the
+// auxiliary contracts of Algorithm 1 line 2 (eosio.token, the counterfeit
+// token, the notification-forwarding agent), and funds the accounts.
+func New(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Fuzzer, error) {
+	res, err := instrument.Instrument(mod, instrument.ModeSparse)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: instrument: %w", err)
+	}
+	bc := chain.New()
+	bc.Collector = trace.NewCollector()
+	if err := bc.DeployModule(victimName, res.Module, contractABI, res.Sites); err != nil {
+		return nil, fmt.Errorf("fuzz: deploy target: %w", err)
+	}
+	bc.DeployNative(fakeTokenName, &chain.TokenContract{Issuer: fakeTokenName, Sym: eos.EOSSymbol}, abi.TransferABI())
+	bc.DeployNative(agentName, &chain.ForwarderAgent{Victim: victimName}, nil)
+	bc.CreateAccount(attackerName)
+	if err := bc.Issue(eos.TokenContract, attackerName, eos.EOS(1_000_000_000_000)); err != nil {
+		return nil, fmt.Errorf("fuzz: fund attacker: %w", err)
+	}
+	// "We allocate some EOS tokens to the fuzzing target" (§4.4).
+	if err := bc.Issue(eos.TokenContract, victimName, eos.EOS(1_000_000_000_000)); err != nil {
+		return nil, fmt.Errorf("fuzz: fund target: %w", err)
+	}
+	if err := bc.Issue(fakeTokenName, attackerName, eos.EOS(1_000_000_000_000)); err != nil {
+		return nil, fmt.Errorf("fuzz: fund attacker with counterfeit EOS: %w", err)
+	}
+
+	f := &Fuzzer{
+		cfg:            cfg,
+		mod:            mod,
+		abi:            contractABI,
+		bc:             bc,
+		scan:           scanner.New(mod, victimName),
+		rng:            rand.New(rand.NewSource(cfg.Seed)),
+		solver:         &symbolic.Solver{MaxConflicts: cfg.SolverConflicts},
+		dbg:            NewDBG(),
+		seeds:          newPool(),
+		coverage:       map[trace.BranchKey]struct{}{},
+		attempted:      map[symexec.BranchTarget]bool{},
+		lastRevertRead: map[eos.Name]chain.DBOp{},
+	}
+	for _, act := range contractABI.Actions {
+		f.actions = append(f.actions, act.Name)
+	}
+	for _, d := range cfg.CustomDetectors {
+		f.scan.AddCustom(d)
+	}
+	// Algorithm 1 line 2: fill seeds with random data.
+	wellKnown := []eos.Name{attackerName, victimName, agentName, eos.MustName("bob")}
+	for _, act := range f.actions {
+		for i := 0; i < 4; i++ {
+			f.seeds.queue(act).push(Seed{Action: act, Params: randomParams(f.rng, wellKnown)})
+		}
+	}
+	return f, nil
+}
+
+// Chain exposes the campaign blockchain (examples inspect balances).
+func (f *Fuzzer) Chain() *chain.Blockchain { return f.bc }
+
+// payloadKind enumerates the transaction shapes Engine schedules: the
+// adversary-oracle payloads of §2.3 plus direct action fuzzing.
+type payloadKind int
+
+const (
+	payloadValidTransfer  payloadKind = iota + 1 // genuine EOS to the target
+	payloadDirectFake                            // invoke eosponser directly
+	payloadFakeToken                             // counterfeit EOS via fake.token
+	payloadForwardedNotif                        // real EOS through fake.notif
+	payloadDirectAction                          // invoke a non-transfer action
+)
+
+// Run executes the Algorithm 1 fuzzing loop for the configured budget and
+// returns the campaign result.
+func (f *Fuzzer) Run() (*Result, error) {
+	schedule := f.buildSchedule()
+	for f.iter = 0; f.iter < f.cfg.Iterations; f.iter++ {
+		entry := schedule[f.iter%len(schedule)]
+		if err := f.step(entry.kind, entry.action); err != nil {
+			return nil, err
+		}
+		f.covSeries = append(f.covSeries, CoveragePoint{Iteration: f.iter + 1, Branches: len(f.coverage)})
+	}
+	return &Result{
+		Report:           f.scan.Report(),
+		Coverage:         len(f.coverage),
+		CoverageOverTime: f.covSeries,
+		Iterations:       f.iter,
+		AdaptiveSeeds:    f.adaptive,
+		ReplayErrors:     f.replayErr,
+		SolverStats:      f.solver.Stats,
+		Custom:           f.scan.CustomResults(),
+		Traces:           f.kept,
+	}, nil
+}
+
+type scheduleEntry struct {
+	kind   payloadKind
+	action eos.Name
+}
+
+func (f *Fuzzer) buildSchedule() []scheduleEntry {
+	sched := []scheduleEntry{
+		{kind: payloadValidTransfer},
+		{kind: payloadDirectFake},
+		{kind: payloadFakeToken},
+		{kind: payloadForwardedNotif},
+	}
+	for _, act := range f.actions {
+		if act != eos.ActionTransfer {
+			sched = append(sched, scheduleEntry{kind: payloadDirectAction, action: act})
+		}
+	}
+	return sched
+}
+
+// step runs one fuzzing iteration: select a seed, execute, scan, feed back.
+func (f *Fuzzer) step(kind payloadKind, action eos.Name) error {
+	if kind != payloadDirectAction {
+		action = eos.ActionTransfer
+	}
+	seed, ok := f.seeds.queue(action).next()
+	if !ok {
+		seed = Seed{Action: action, Params: randomParams(f.rng, []eos.Name{attackerName, victimName})}
+	}
+
+	rcpt, err := f.execute(kind, seed)
+	if err != nil {
+		return err
+	}
+	f.observe(kind, seed, rcpt)
+
+	// Transaction-dependency resolution (§3.3.2): when a direct action
+	// reverts after reading a table, run a writer of that table with the
+	// same parameters (so the row keys match) and retry the seed in the
+	// same round.
+	if !f.cfg.DisableDBG && kind == payloadDirectAction && rcpt.Reverted() {
+		if readOp, failed := f.lastRevertRead[action]; failed {
+			tb := readOp.Table
+			if writer, ok := f.dbg.WriterFor(tb, action); ok {
+				dep := seed.clone()
+				dep.Action = writer
+				// Fine-grained mode: steer the writer's key parameter to
+				// the exact key the reader needed.
+				if pi, ok := f.dbg.KeyParam(tb, writer); ok && pi < len(dep.Params) {
+					dep.Params[pi].U64 = readOp.Key
+				}
+				depRcpt, err := f.execute(payloadDirectAction, dep)
+				if err != nil {
+					return err
+				}
+				f.observe(payloadDirectAction, dep, depRcpt)
+				delete(f.lastRevertRead, action)
+				retry, err := f.execute(kind, seed)
+				if err != nil {
+					return err
+				}
+				f.observe(kind, seed, retry)
+			}
+		}
+	}
+	return nil
+}
+
+// execute materializes the payload transaction for the seed and pushes it.
+func (f *Fuzzer) execute(kind payloadKind, seed Seed) (*chain.Receipt, error) {
+	params := f.effectiveParams(kind, seed)
+	data := chain.EncodeTransfer(chain.TransferArgs{
+		From:     eos.Name(params[0].U64),
+		To:       eos.Name(params[1].U64),
+		Quantity: eos.Asset{Amount: int64(params[2].Amount), Symbol: eos.Symbol(params[2].Symbol)},
+		Memo:     string(params[3].Str),
+	})
+	var act chain.Action
+	switch kind {
+	case payloadValidTransfer, payloadForwardedNotif:
+		act = chain.Action{Account: eos.TokenContract, Name: eos.ActionTransfer, Data: data}
+	case payloadFakeToken:
+		act = chain.Action{Account: fakeTokenName, Name: eos.ActionTransfer, Data: data}
+	case payloadDirectFake:
+		act = chain.Action{Account: victimName, Name: eos.ActionTransfer, Data: data}
+	case payloadDirectAction:
+		act = chain.Action{Account: victimName, Name: seed.Action, Data: data}
+	}
+	signer := eos.Name(params[0].U64)
+	// The fuzzer holds the keys of accounts it invents: ensure the signer
+	// exists so authorization can be granted.
+	f.bc.CreateAccount(signer)
+	act.Authorization = []chain.PermissionLevel{{Actor: signer, Permission: eos.ActiveAuth}}
+	rcpt := f.bc.PushTransaction(chain.Transaction{Actions: []chain.Action{act}})
+	return rcpt, nil
+}
+
+// effectiveParams constrains the seed to what the payload shape fixes: real
+// token transfers are always attacker -> target/agent with a positive
+// amount; direct invocations are fully seed-controlled.
+func (f *Fuzzer) effectiveParams(kind payloadKind, seed Seed) []symexec.Param {
+	params := seed.clone().Params
+	switch kind {
+	case payloadValidTransfer, payloadFakeToken:
+		params[0].U64 = uint64(attackerName)
+		params[1].U64 = uint64(victimName)
+		params[2].Symbol = uint64(eos.EOSSymbol)
+		params[2].Amount = clampAmount(params[2].Amount)
+	case payloadForwardedNotif:
+		params[0].U64 = uint64(attackerName)
+		params[1].U64 = uint64(agentName)
+		params[2].Symbol = uint64(eos.EOSSymbol)
+		params[2].Amount = clampAmount(params[2].Amount)
+	}
+	return params
+}
+
+func clampAmount(a uint64) uint64 {
+	if a == 0 || int64(a) <= 0 {
+		return 1
+	}
+	if a > 1_000_000_000 {
+		return 1_000_000_000
+	}
+	return a
+}
+
+// observe updates the scanner, the coverage map, the DBG and the feedback
+// loop from one receipt.
+func (f *Fuzzer) observe(kind payloadKind, seed Seed, rcpt *chain.Receipt) {
+	victimTraces := make([]trace.Trace, 0, len(rcpt.Traces))
+	for _, tr := range rcpt.Traces {
+		if tr.Contract == victimName {
+			victimTraces = append(victimTraces, tr)
+		}
+	}
+
+	// Oracles (§3.5).
+	switch kind {
+	case payloadValidTransfer:
+		for i := range victimTraces {
+			f.scan.RecordEosponser(&victimTraces[i])
+		}
+	case payloadDirectFake, payloadFakeToken:
+		for i := range victimTraces {
+			f.scan.RecordEosponser(&victimTraces[i])
+		}
+		f.scan.ObserveFakeEOS(victimTraces)
+	case payloadForwardedNotif:
+		f.scan.ObserveFakeNotif(victimTraces, agentName)
+	case payloadDirectAction:
+		// Scope the MissAuth oracle to the invoked action's own trace:
+		// inline/deferred payouts can notify the contract's eosponser in
+		// the same receipt, and its bookkeeping writes are authorized by
+		// the token transfer itself, not by permission APIs.
+		var own []trace.Trace
+		for i := range victimTraces {
+			if victimTraces[i].Action == seed.Action {
+				own = append(own, victimTraces[i])
+			}
+		}
+		f.scan.ObserveDirectAction(own)
+	}
+	f.scan.Observe(victimTraces)
+	f.scan.ObserveCustom(victimTraces)
+	if f.cfg.KeepTraces {
+		f.kept = append(f.kept, victimTraces...)
+	}
+
+	// Coverage (RQ1 unit: distinct branches of the fuzzing target only).
+	before := len(f.coverage)
+	for i := range victimTraces {
+		for bk := range victimTraces[i].Branches() {
+			f.coverage[bk] = struct{}{}
+		}
+	}
+	if len(f.coverage) > before {
+		// New territory invalidates earlier flip failures: the same target
+		// may now be reachable under a feasible prefix.
+		f.attempted = map[symexec.BranchTarget]bool{}
+		// Elitism: a seed that discovered coverage is re-queued at the
+		// front so deeper, state-dependent behaviour behind its path (for
+		// example the tapos lottery outcome) gets retried across blocks.
+		f.seeds.queue(seed.Action).pushFront(seed.clone())
+	}
+
+	// DBG update + transaction-dependency bookkeeping. Writes also teach
+	// the key-level index (paper §5 future work): which seed parameter the
+	// written primary key tracks.
+	params0 := f.effectiveParams(kind, seed)
+	var reads []chain.DBOp
+	for _, op := range rcpt.DBOps {
+		if op.Contract != victimName {
+			continue
+		}
+		if op.Kind == chain.DBWrite {
+			f.dbg.AddWrite(op.Table, op.Action)
+			if op.Action == seed.Action {
+				f.dbg.LearnKeyParam(op.Table, op.Action, op.Key, params0)
+			}
+		} else {
+			f.dbg.AddRead(op.Table, op.Action)
+			reads = append(reads, op)
+		}
+	}
+	if kind == payloadDirectAction {
+		if rcpt.Reverted() && len(reads) > 0 {
+			f.lastRevertRead[seed.Action] = reads[len(reads)-1]
+		} else if !rcpt.Reverted() {
+			delete(f.lastRevertRead, seed.Action)
+		}
+	}
+
+	// Symbolic feedback (§3.4): replay, flip, solve, mutate.
+	if f.cfg.DisableFeedback {
+		return
+	}
+	params := f.effectiveParams(kind, seed)
+	for i := range victimTraces {
+		f.feedback(kind, seed, params, &victimTraces[i])
+	}
+}
+
+// feedback replays one trace and turns unexplored flipped branches into
+// adaptive seeds.
+func (f *Fuzzer) feedback(kind payloadKind, seed Seed, params []symexec.Param, tr *trace.Trace) {
+	res, err := symexec.Run(f.mod, tr, params, symexec.Options{
+		Globals:      map[uint32]uint64{0: uint64(victimName)},
+		OpaqueInputs: f.cfg.OpaqueInputs,
+	})
+	if err != nil {
+		// Traces that revert inside the dispatcher (e.g. the Fake EOS guard
+		// firing) never reach an action function: nothing to flip there.
+		if !errors.Is(err, symexec.ErrNoActionCall) {
+			f.replayErr++
+		}
+		return
+	}
+	// Collect the flip queries for unexplored, unattempted targets and
+	// solve them in parallel (§3.4.4: "we collect the target constraints
+	// together and solve them in parallel").
+	var pool []symbolic.Query
+	for _, q := range symexec.FlipQueries(res) {
+		key := trace.BranchKey{Func: q.Target.Func, PC: q.Target.PC, Dir: q.Target.Dir}
+		if _, covered := f.coverage[key]; covered {
+			continue
+		}
+		if f.attempted[q.Target] {
+			continue
+		}
+		f.attempted[q.Target] = true
+		pool = append(pool, symbolic.Query{ID: len(pool), Constraints: q.Constraints})
+	}
+	if len(pool) == 0 {
+		return
+	}
+	answers, stats := symbolic.SolvePoolStats(pool, 0, f.cfg.SolverConflicts)
+	f.solver.Stats.Queries += stats.Queries
+	f.solver.Stats.FastPathHits += stats.FastPathHits
+	f.solver.Stats.SATCalls += stats.SATCalls
+	f.solver.Stats.SATConflicts += stats.SATConflicts
+	f.solver.Stats.Unknowns += stats.Unknowns
+	for _, a := range answers {
+		if a.Result != symbolic.Sat {
+			continue
+		}
+		mutated := symexec.ApplyModel(params, a.Model)
+		f.adaptive++
+		f.seeds.queue(seed.Action).pushFront(Seed{Action: seed.Action, Params: mutated})
+	}
+}

@@ -1,0 +1,237 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/eos"
+	"repro/internal/scanner"
+	"repro/internal/symexec"
+)
+
+func runCampaign(t *testing.T, spec contractgen.Spec, cfg Config) *Result {
+	t.Helper()
+	c, err := contractgen.Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	f, err := New(c.Module, c.ABI, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestDetectsEachClass runs a campaign against a vulnerable and a safe
+// sample of every class and checks the per-class verdict.
+func TestDetectsEachClass(t *testing.T) {
+	for _, class := range contractgen.Classes {
+		for _, vul := range []bool{true, false} {
+			spec := contractgen.Spec{Class: class, Vulnerable: vul, Seed: 42}
+			res := runCampaign(t, spec, DefaultConfig())
+			got := res.Report.Vulnerable[class]
+			if got != vul {
+				t.Errorf("%s vulnerable=%v: detector said %v", class, vul, got)
+			}
+		}
+	}
+}
+
+// TestDetectsGuardedTemplate: the vulnerability sits behind a nested
+// branch with a random 64-bit constant — only the concolic feedback can
+// reach it.
+func TestDetectsGuardedTemplate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	spec := contractgen.RandomSpec(contractgen.ClassRollback, true, rng)
+	spec.DBDependent = false
+	res := runCampaign(t, spec, DefaultConfig())
+	if !res.Report.Vulnerable[contractgen.ClassRollback] {
+		t.Errorf("guarded Rollback template missed (branches: %+v, adaptive seeds: %d)",
+			spec.Branches, res.AdaptiveSeeds)
+	}
+	if res.AdaptiveSeeds == 0 {
+		t.Error("no adaptive seeds generated")
+	}
+}
+
+// TestFeedbackBeatsRandomCoverage: with the symbolic feedback enabled the
+// fuzzer explores strictly more branches on branch-heavy contracts.
+func TestFeedbackBeatsRandomCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	spec := contractgen.RandomSpec(contractgen.ClassBlockinfoDep, true, rng)
+	cfg := DefaultConfig()
+	with := runCampaign(t, spec, cfg)
+	cfg.DisableFeedback = true
+	without := runCampaign(t, spec, cfg)
+	if with.Coverage <= without.Coverage {
+		t.Errorf("feedback coverage %d <= blackbox coverage %d", with.Coverage, without.Coverage)
+	}
+}
+
+// TestDBGResolvesTransactionDependency: reveal requires a prior deposit;
+// the DBG schedules the writer automatically.
+func TestDBGResolvesTransactionDependency(t *testing.T) {
+	spec := contractgen.Spec{Class: contractgen.ClassRollback, Vulnerable: true, DBDependent: true, Seed: 5}
+	res := runCampaign(t, spec, DefaultConfig())
+	if !res.Report.Vulnerable[contractgen.ClassRollback] {
+		t.Error("DB-dependent Rollback missed")
+	}
+	// Note: the pure-random ablation can still stumble into the dependency
+	// when the reveal seed's `from` collides with an earlier deposit's, so
+	// the only hard property is that the DBG-guided run succeeds; the
+	// iterations-to-trigger gap is measured by the ablation bench instead.
+}
+
+// TestComplicatedVerificationPenetrated: the §4.3 scenario end to end.
+func TestComplicatedVerificationPenetrated(t *testing.T) {
+	spec := contractgen.Spec{
+		Class:      contractgen.ClassFakeEOS,
+		Vulnerable: true,
+		Verification: []contractgen.VerCheck{
+			{Field: "amount", Value: 123_4567},
+			{Field: "symbol", Value: uint64(eos.EOSSymbol)},
+		},
+		Seed: 6,
+	}
+	res := runCampaign(t, spec, DefaultConfig())
+	if !res.Report.Vulnerable[contractgen.ClassFakeEOS] {
+		t.Error("Fake EOS behind complicated verification missed")
+	}
+}
+
+// TestObfuscatedContractDetected: popcount + opaque recursion applied.
+func TestObfuscatedContractDetected(t *testing.T) {
+	for _, vul := range []bool{true, false} {
+		spec := contractgen.Spec{Class: contractgen.ClassFakeEOS, Vulnerable: vul, Seed: 8}
+		c, err := contractgen.Generate(spec)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		rng := rand.New(rand.NewSource(8))
+		if _, err := contractgen.Obfuscate(c.Module, contractgen.ObfuscateOptions{
+			Popcount: true, OpaqueRecursion: true, Rng: rng,
+		}); err != nil {
+			t.Fatalf("Obfuscate: %v", err)
+		}
+		f, err := New(c.Module, c.ABI, DefaultConfig())
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := f.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if got := res.Report.Vulnerable[contractgen.ClassFakeEOS]; got != vul {
+			t.Errorf("obfuscated FakeEOS vulnerable=%v: detector said %v", vul, got)
+		}
+	}
+}
+
+func TestSeedQueueRotation(t *testing.T) {
+	q := &seedQueue{}
+	q.push(Seed{Action: eos.MustName("a")})
+	q.push(Seed{Action: eos.MustName("b")})
+	s1, _ := q.next()
+	s2, _ := q.next()
+	s3, _ := q.next()
+	if s1.Action != eos.MustName("a") || s2.Action != eos.MustName("b") || s3.Action != eos.MustName("a") {
+		t.Errorf("rotation broken: %v %v %v", s1.Action, s2.Action, s3.Action)
+	}
+	q.pushFront(Seed{Action: eos.MustName("c")})
+	s4, _ := q.next()
+	if s4.Action != eos.MustName("c") {
+		t.Errorf("pushFront not served first: %v", s4.Action)
+	}
+}
+
+func TestDBGWriterLookup(t *testing.T) {
+	g := NewDBG()
+	tb := eos.MustName("bets")
+	g.AddWrite(tb, eos.MustName("deposit"))
+	g.AddRead(tb, eos.MustName("reveal"))
+	w, ok := g.WriterFor(tb, eos.MustName("reveal"))
+	if !ok || w != eos.MustName("deposit") {
+		t.Errorf("WriterFor = %v %v", w, ok)
+	}
+	if _, ok := g.WriterFor(eos.MustName("other"), 0); ok {
+		t.Error("found writer for unknown table")
+	}
+}
+
+// TestCustomDetectorExtension exercises the paper's §5 extension interface:
+// a new oracle flagging deferred-transaction use, registered without
+// touching the engine.
+func TestCustomDetectorExtension(t *testing.T) {
+	// Safe Rollback contracts pay out via send_deferred: the builtin
+	// Rollback oracle stays quiet, the custom detector fires.
+	spec := contractgen.Spec{Class: contractgen.ClassRollback, Vulnerable: false, Seed: 3}
+	c, err := contractgen.Generate(spec)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.CustomDetectors = []scanner.CustomDetector{
+		scanner.NewAPICallDetector("DeferredUse", c.Module, "send_deferred"),
+		scanner.NewAPICallDetector("TimeSource", c.Module, "current_time"),
+	}
+	f, err := New(c.Module, c.ABI, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Report.Vulnerable[contractgen.ClassRollback] {
+		t.Error("builtin Rollback oracle fired on the deferred payout")
+	}
+	if !res.Custom["DeferredUse"] {
+		t.Error("custom DeferredUse detector missed the send_deferred call")
+	}
+	if res.Custom["TimeSource"] {
+		t.Error("TimeSource fired though current_time is never called")
+	}
+}
+
+// TestKeyLevelDBGResolvesCrossKeyDependency: reveal requires a deposit row
+// keyed by its `to` argument while deposit writes rows keyed by `from` —
+// only the learned key-parameter mapping (the §5 fine-grained DBG) can
+// construct the right writer seed.
+func TestKeyLevelDBGResolvesCrossKeyDependency(t *testing.T) {
+	spec := contractgen.Spec{
+		Class: contractgen.ClassRollback, Vulnerable: true,
+		CrossKeyDep: true, Seed: 17,
+	}
+	res := runCampaign(t, spec, DefaultConfig())
+	if !res.Report.Vulnerable[contractgen.ClassRollback] {
+		t.Error("cross-key DB dependency not resolved")
+	}
+}
+
+func TestDBGKeyParamLearning(t *testing.T) {
+	g := NewDBG()
+	tb := eos.MustName("deposits")
+	act := eos.MustName("deposit")
+	params := []symexec.Param{
+		{Type: "name", U64: 111},
+		{Type: "name", U64: 222},
+		{Type: "asset", Amount: 222}, // pointer types never key rows
+	}
+	g.AddWrite(tb, act)
+	g.LearnKeyParam(tb, act, 222, params)
+	pi, ok := g.KeyParam(tb, act)
+	if !ok || pi != 1 {
+		t.Errorf("KeyParam = %d %v, want 1", pi, ok)
+	}
+	// Uncorrelated keys record the absence.
+	g2 := NewDBG()
+	g2.LearnKeyParam(tb, act, 999, params)
+	if _, ok := g2.KeyParam(tb, act); ok {
+		t.Error("uncorrelated key should not map to a parameter")
+	}
+}

@@ -1,0 +1,184 @@
+// Package fuzz implements Engine, WASAI's fuzzing skeleton (paper §3.3 and
+// Algorithm 1): seed scheduling with transaction-dependency tracking through
+// a database dependency graph (DBG), the §2.3 adversary-oracle payloads, and
+// the symbolic-execution feedback loop that turns flipped path constraints
+// into adaptive seeds.
+package fuzz
+
+import (
+	"math/rand"
+
+	"repro/internal/eos"
+	"repro/internal/symexec"
+)
+
+// Seed is Γ⟨φ, ρ⃗⟩: an action name and its parameters (§3.1). All generated
+// contracts share the transfer-shaped signature (from, to, quantity, memo).
+type Seed struct {
+	Action eos.Name
+	Params []symexec.Param
+}
+
+// clone deep-copies a seed.
+func (s Seed) clone() Seed {
+	params := make([]symexec.Param, len(s.Params))
+	copy(params, s.Params)
+	for i := range params {
+		if params[i].Str != nil {
+			params[i].Str = append([]byte(nil), params[i].Str...)
+		}
+	}
+	return Seed{Action: s.Action, Params: params}
+}
+
+// seedQueue is the circular per-action queue of §3.3.2: Engine pops the
+// head and pushes it back to the tail.
+type seedQueue struct {
+	items []Seed
+}
+
+// maxQueue caps a per-action queue; the oldest tail entries are evicted.
+const maxQueue = 32
+
+func (q *seedQueue) push(s Seed) {
+	q.items = append(q.items, s)
+	if len(q.items) > maxQueue {
+		q.items = q.items[:maxQueue]
+	}
+}
+
+// pushFront queues an adaptive or coverage-increasing seed for immediate
+// (and repeated) use.
+func (q *seedQueue) pushFront(s Seed) {
+	q.items = append([]Seed{s}, q.items...)
+	if len(q.items) > maxQueue {
+		q.items = q.items[:maxQueue]
+	}
+}
+
+func (q *seedQueue) next() (Seed, bool) {
+	if len(q.items) == 0 {
+		return Seed{}, false
+	}
+	s := q.items[0]
+	q.items = append(q.items[1:], s)
+	return s, true
+}
+
+// Len returns the queue length.
+func (q *seedQueue) len() int { return len(q.items) }
+
+// pool is the seed pool: a mapping from action name to its queue.
+type pool struct {
+	queues map[eos.Name]*seedQueue
+}
+
+func newPool() *pool { return &pool{queues: map[eos.Name]*seedQueue{}} }
+
+func (p *pool) queue(action eos.Name) *seedQueue {
+	q, ok := p.queues[action]
+	if !ok {
+		q = &seedQueue{}
+		p.queues[action] = q
+	}
+	return q
+}
+
+// randomParams draws an initial random seed ρ⃗ (Algorithm 1 line 2).
+func randomParams(rng *rand.Rand, accounts []eos.Name) []symexec.Param {
+	pick := func() uint64 {
+		if rng.Intn(3) == 0 {
+			return rng.Uint64()
+		}
+		return uint64(accounts[rng.Intn(len(accounts))])
+	}
+	amount := uint64(rng.Intn(2_000_000))
+	if rng.Intn(4) == 0 {
+		amount = uint64(rng.Uint32())
+	}
+	memoLen := rng.Intn(12)
+	memo := make([]byte, memoLen)
+	for i := range memo {
+		memo[i] = byte('a' + rng.Intn(26))
+	}
+	return []symexec.Param{
+		{Type: "name", U64: pick()},
+		{Type: "name", U64: pick()},
+		{Type: "asset", Amount: amount, Symbol: uint64(eos.EOSSymbol)},
+		{Type: "string", Str: memo},
+	}
+}
+
+// DBG is the database dependency graph of §3.3.2: per-table reader and
+// writer action sets, representing transaction dependency implicitly.
+// Beyond the paper's table-level graph it learns, per writer, which seed
+// parameter the written primary key correlates with — the fine-grained
+// "parse the database index" mode §5 lists as future work. With that
+// mapping, Engine can synthesize a writer seed for any required key, not
+// just replay the reader's parameters.
+type DBG struct {
+	writers map[eos.Name]map[eos.Name]bool // table -> actions that write it
+	readers map[eos.Name]map[eos.Name]bool
+	// keyParam[tb][action] is the index of the seed parameter observed to
+	// equal the written primary key (-1 = no correlation found).
+	keyParam map[eos.Name]map[eos.Name]int
+}
+
+// NewDBG returns an empty graph.
+func NewDBG() *DBG {
+	return &DBG{
+		writers:  map[eos.Name]map[eos.Name]bool{},
+		readers:  map[eos.Name]map[eos.Name]bool{},
+		keyParam: map[eos.Name]map[eos.Name]int{},
+	}
+}
+
+// AddWrite records ⟨write, tb⟩ by action.
+func (g *DBG) AddWrite(tb, action eos.Name) {
+	if g.writers[tb] == nil {
+		g.writers[tb] = map[eos.Name]bool{}
+	}
+	g.writers[tb][action] = true
+}
+
+// LearnKeyParam correlates a written key with the writer's seed parameters
+// (scalar parameters only — pointers cannot key rows in our archetypes).
+func (g *DBG) LearnKeyParam(tb, action eos.Name, key uint64, params []symexec.Param) {
+	if g.keyParam[tb] == nil {
+		g.keyParam[tb] = map[eos.Name]int{}
+	}
+	if _, known := g.keyParam[tb][action]; known {
+		return
+	}
+	for i, p := range params {
+		if (p.Type == "name" || p.Type == "uint64" || p.Type == "int64") && p.U64 == key {
+			g.keyParam[tb][action] = i
+			return
+		}
+	}
+	g.keyParam[tb][action] = -1
+}
+
+// KeyParam returns the learned key-parameter index for a writer.
+func (g *DBG) KeyParam(tb, action eos.Name) (int, bool) {
+	i, ok := g.keyParam[tb][action]
+	return i, ok && i >= 0
+}
+
+// AddRead records ⟨read, tb⟩ by action.
+func (g *DBG) AddRead(tb, action eos.Name) {
+	if g.readers[tb] == nil {
+		g.readers[tb] = map[eos.Name]bool{}
+	}
+	g.readers[tb][action] = true
+}
+
+// WriterFor returns an action that writes tb, excluding `not`.
+func (g *DBG) WriterFor(tb, not eos.Name) (eos.Name, bool) {
+	for a := range g.writers[tb] {
+		if a != not {
+			return a, true
+		}
+	}
+	return 0, false
+}

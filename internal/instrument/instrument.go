@@ -1,0 +1,522 @@
+// Package instrument performs the contract-level instrumentation of paper
+// §3.3.1: it rewrites Wasm bytecode so that executing the contract emits a
+// runtime trace through host "library API" calls, without modifying the VM.
+//
+// The rewriter injects low-level hooks — short Wasm instruction sequences
+// that duplicate the runtime operands WASAI's symbolic backend cannot derive
+// statically (branch conditions, concrete memory addresses, indirect-call
+// table indices, i64 comparison operands, call returns) and forward them to
+// imported logging functions, the analogue of the logi()/logsf()/logdf()
+// APIs the paper adds to Nodeos. The five function-invocation hooks of
+// Table 1 (call_pre, call, function_begin, function_end, call_post) are all
+// represented.
+//
+// Trace events reference ORIGINAL module coordinates (function index and
+// instruction pc before rewriting), so the symbolic backend replays the
+// original bytecode. The site table mapping hook site IDs back to original
+// coordinates is embedded in the instrumented binary as a custom section,
+// making the artifact self-contained.
+package instrument
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/wasm"
+)
+
+// HookModule is the import-module name of the logging hooks.
+const HookModule = "wasai"
+
+// SitesSection is the name of the custom section carrying the site table.
+const SitesSection = "wasai.sites"
+
+// Hook import names, in index order.
+const (
+	HookLogSite  = "log_site"   // (site i32)
+	HookLogCond  = "log_cond"   // (site i32, cond i32)
+	HookLogTable = "log_table"  // (site i32, index i32)
+	HookLogMem   = "log_mem"    // (site i32, addr i32)
+	HookLogCmp   = "log_cmp"    // (site i32, a i64, b i64)
+	HookLogCall  = "log_call"   // (site i32, origCallee i32)
+	HookLogCallI = "log_calli"  // (site i32, tableIndex i32)
+	HookLogRetV  = "log_ret_v"  // (site i32)
+	HookLogRetI  = "log_ret_i"  // (site i32, v i32)
+	HookLogRetL  = "log_ret_l"  // (site i32, v i64)
+	HookLogRetF  = "log_ret_f"  // (site i32, v f32)
+	HookLogRetD  = "log_ret_d"  // (site i32, v f64)
+	HookLogBegin = "log_begin"  // (origFunc i32)
+	HookLogEnd   = "log_end"    // (origFunc i32)
+	HookLogParmI = "log_parm_i" // (origFunc i32, v i32) — call_pre parameter duplication
+	HookLogParmL = "log_parm_l" // (origFunc i32, v i64)
+	HookLogParmF = "log_parm_f" // (origFunc i32, v f32)
+	HookLogParmD = "log_parm_d" // (origFunc i32, v f64)
+)
+
+var hookDefs = []struct {
+	name string
+	typ  wasm.FuncType
+}{
+	{HookLogSite, sig(wasm.I32)},
+	{HookLogCond, sig(wasm.I32, wasm.I32)},
+	{HookLogTable, sig(wasm.I32, wasm.I32)},
+	{HookLogMem, sig(wasm.I32, wasm.I32)},
+	{HookLogCmp, sig(wasm.I32, wasm.I64, wasm.I64)},
+	{HookLogCall, sig(wasm.I32, wasm.I32)},
+	{HookLogCallI, sig(wasm.I32, wasm.I32)},
+	{HookLogRetV, sig(wasm.I32)},
+	{HookLogRetI, sig(wasm.I32, wasm.I32)},
+	{HookLogRetL, sig(wasm.I32, wasm.I64)},
+	{HookLogRetF, sig(wasm.I32, wasm.F32)},
+	{HookLogRetD, sig(wasm.I32, wasm.F64)},
+	{HookLogBegin, sig(wasm.I32)},
+	{HookLogEnd, sig(wasm.I32)},
+	{HookLogParmI, sig(wasm.I32, wasm.I32)},
+	{HookLogParmL, sig(wasm.I32, wasm.I64)},
+	{HookLogParmF, sig(wasm.I32, wasm.F32)},
+	{HookLogParmD, sig(wasm.I32, wasm.F64)},
+}
+
+func sig(params ...wasm.ValType) wasm.FuncType { return wasm.FuncType{Params: params} }
+
+// NumHooks is the number of hook functions imported by instrumentation.
+var NumHooks = uint32(len(hookDefs))
+
+// Mode selects how densely the rewriter hooks instructions.
+type Mode int
+
+// Instrumentation modes.
+const (
+	// ModeSparse hooks exactly the sites whose runtime operands the
+	// symbolic backend consumes: conditional branches, br_table, memory
+	// accesses, i64 equality comparisons, calls, and function boundaries.
+	// Straight-line instructions are replayed from the static bytecode.
+	ModeSparse Mode = iota + 1
+	// ModeFull additionally hooks every executable instruction with a
+	// generic site event, matching the paper's per-instruction hooks.
+	ModeFull
+)
+
+// Site locates one hooked instruction in the ORIGINAL module.
+type Site struct {
+	Func uint32
+	PC   uint32
+	Op   wasm.Opcode
+}
+
+// SiteTable maps hook site IDs back to original-module coordinates and
+// records the index-space layout needed to translate instrumented function
+// indices back to original ones.
+type SiteTable struct {
+	Sites      []Site
+	NumImports uint32 // imports of the original module
+	NumHooks   uint32 // hook imports inserted after them
+	Mode       Mode
+}
+
+// Lookup returns the site with the given ID.
+func (st *SiteTable) Lookup(id uint32) (Site, bool) {
+	if int(id) >= len(st.Sites) {
+		return Site{}, false
+	}
+	return st.Sites[id], true
+}
+
+// OrigFunc translates an instrumented-module function index to the original
+// module's index space. Hook imports have no original counterpart; the
+// second result is false for them.
+func (st *SiteTable) OrigFunc(instrumented uint32) (uint32, bool) {
+	switch {
+	case instrumented < st.NumImports:
+		return instrumented, true
+	case instrumented < st.NumImports+st.NumHooks:
+		return 0, false
+	default:
+		return instrumented - st.NumHooks, true
+	}
+}
+
+// InstrumentedFunc translates an original function index into the
+// instrumented module's index space.
+func (st *SiteTable) InstrumentedFunc(orig uint32) uint32 {
+	if orig < st.NumImports {
+		return orig
+	}
+	return orig + st.NumHooks
+}
+
+// Result bundles the rewriting outputs.
+type Result struct {
+	Module *wasm.Module
+	Sites  *SiteTable
+}
+
+// Instrument rewrites m (which is not modified) into an instrumented copy.
+func Instrument(m *wasm.Module, mode Mode) (*Result, error) {
+	if mode != ModeSparse && mode != ModeFull {
+		return nil, fmt.Errorf("instrument: invalid mode %d", mode)
+	}
+	for _, imp := range m.Imports {
+		if imp.Module == HookModule {
+			return nil, fmt.Errorf("instrument: module already imports from %q", HookModule)
+		}
+	}
+
+	out := cloneShallow(m)
+	numImports := uint32(m.NumImportedFuncs())
+	k := NumHooks
+
+	// Intern hook signatures and append hook imports after existing ones.
+	hookIdx := make(map[string]uint32, len(hookDefs))
+	for i, h := range hookDefs {
+		ti := out.AddType(h.typ)
+		out.Imports = append(out.Imports, wasm.Import{
+			Module: HookModule, Name: h.name, Kind: wasm.ExternalFunc, TypeIndex: ti,
+		})
+		hookIdx[h.name] = numImports + uint32(i)
+	}
+
+	remap := func(f uint32) uint32 {
+		if f < numImports {
+			return f
+		}
+		return f + k
+	}
+
+	// Remap references outside code bodies.
+	for i := range out.Exports {
+		if out.Exports[i].Kind == wasm.ExternalFunc {
+			out.Exports[i].Index = remap(out.Exports[i].Index)
+		}
+	}
+	if out.Start != nil {
+		s := remap(*out.Start)
+		out.Start = &s
+	}
+	for i := range out.Elems {
+		funcs := make([]uint32, len(out.Elems[i].Funcs))
+		for j, f := range out.Elems[i].Funcs {
+			funcs[j] = remap(f)
+		}
+		out.Elems[i].Funcs = funcs
+	}
+	names := make(map[uint32]string, len(m.FuncNames))
+	for idx, n := range m.FuncNames {
+		names[remap(idx)] = n
+	}
+	out.FuncNames = names
+
+	st := &SiteTable{NumImports: numImports, NumHooks: k, Mode: mode}
+	rw := &rewriter{mod: m, out: out, sites: st, hookIdx: hookIdx, remap: remap, mode: mode}
+
+	out.Code = make([]wasm.Code, len(m.Code))
+	for i := range m.Code {
+		origFunc := numImports + uint32(i)
+		code, err := rw.rewriteFunc(origFunc, &m.Code[i])
+		if err != nil {
+			return nil, fmt.Errorf("instrument: func %d: %w", origFunc, err)
+		}
+		out.Code[i] = code
+	}
+
+	// Embed the site table.
+	out.Customs = append(out.Customs, wasm.CustomSection{
+		Name: SitesSection, Data: EncodeSiteTable(st),
+	})
+	return &Result{Module: out, Sites: st}, nil
+}
+
+func cloneShallow(m *wasm.Module) *wasm.Module {
+	out := &wasm.Module{
+		Types:    append([]wasm.FuncType(nil), m.Types...),
+		Imports:  append([]wasm.Import(nil), m.Imports...),
+		Funcs:    append([]uint32(nil), m.Funcs...),
+		Tables:   append([]wasm.TableType(nil), m.Tables...),
+		Memories: append([]wasm.MemType(nil), m.Memories...),
+		Globals:  append([]wasm.Global(nil), m.Globals...),
+		Exports:  append([]wasm.Export(nil), m.Exports...),
+		Elems:    append([]wasm.ElemSegment(nil), m.Elems...),
+		Data:     append([]wasm.DataSegment(nil), m.Data...),
+		Customs:  append([]wasm.CustomSection(nil), m.Customs...),
+	}
+	if m.Start != nil {
+		s := *m.Start
+		out.Start = &s
+	}
+	return out
+}
+
+type rewriter struct {
+	mod     *wasm.Module
+	out     *wasm.Module
+	sites   *SiteTable
+	hookIdx map[string]uint32
+	remap   func(uint32) uint32
+	mode    Mode
+}
+
+func (rw *rewriter) newSite(fn uint32, pc int, op wasm.Opcode) uint32 {
+	id := uint32(len(rw.sites.Sites))
+	rw.sites.Sites = append(rw.sites.Sites, Site{Func: fn, PC: uint32(pc), Op: op})
+	return id
+}
+
+func (rw *rewriter) callHook(name string) wasm.Instr {
+	return wasm.Call(rw.hookIdx[name])
+}
+
+// scratch local layout appended to every rewritten function.
+type scratch struct {
+	addr, i32, i64a, i64b, f32, f64 uint32
+}
+
+func (rw *rewriter) rewriteFunc(origFunc uint32, c *wasm.Code) (wasm.Code, error) {
+	ft, err := rw.mod.FuncTypeAt(origFunc)
+	if err != nil {
+		return wasm.Code{}, err
+	}
+	base := uint32(len(ft.Params)) + c.NumLocals()
+	s := scratch{addr: base, i32: base + 1, i64a: base + 2, i64b: base + 3, f32: base + 4, f64: base + 5}
+
+	locals := append([]wasm.LocalDecl(nil), c.Locals...)
+	locals = append(locals,
+		wasm.LocalDecl{Count: 2, Type: wasm.I32},
+		wasm.LocalDecl{Count: 2, Type: wasm.I64},
+		wasm.LocalDecl{Count: 1, Type: wasm.F32},
+		wasm.LocalDecl{Count: 1, Type: wasm.F64},
+	)
+
+	var body []wasm.Instr
+	emit := func(ins ...wasm.Instr) { body = append(body, ins...) }
+
+	// function_begin hook, followed by parameter duplication (the paper's
+	// call_pre "duplicate the invocation parameters"; logging them at the
+	// callee side covers both direct and indirect invocation).
+	emit(wasm.I32Const(int32(origFunc)), rw.callHook(HookLogBegin))
+	for i, p := range ft.Params {
+		var hook string
+		switch p {
+		case wasm.I32:
+			hook = HookLogParmI
+		case wasm.I64:
+			hook = HookLogParmL
+		case wasm.F32:
+			hook = HookLogParmF
+		default:
+			hook = HookLogParmD
+		}
+		emit(wasm.I32Const(int32(origFunc)), wasm.LocalGet(uint32(i)), rw.callHook(hook))
+	}
+
+	endHook := []wasm.Instr{wasm.I32Const(int32(origFunc)), rw.callHook(HookLogEnd)}
+
+	for pc, in := range c.Body {
+		isLast := pc == len(c.Body)-1
+		switch {
+		case in.Op == wasm.OpBrIf || in.Op == wasm.OpIf:
+			site := rw.newSite(origFunc, pc, in.Op)
+			emit(
+				wasm.LocalSet(s.i32),
+				wasm.I32Const(int32(site)),
+				wasm.LocalGet(s.i32),
+				rw.callHook(HookLogCond),
+				wasm.LocalGet(s.i32),
+				in,
+			)
+		case in.Op == wasm.OpBrTable:
+			site := rw.newSite(origFunc, pc, in.Op)
+			emit(
+				wasm.LocalSet(s.i32),
+				wasm.I32Const(int32(site)),
+				wasm.LocalGet(s.i32),
+				rw.callHook(HookLogTable),
+				wasm.LocalGet(s.i32),
+				in,
+			)
+		case in.Op.IsLoad():
+			site := rw.newSite(origFunc, pc, in.Op)
+			emit(
+				wasm.LocalSet(s.addr),
+				wasm.I32Const(int32(site)),
+				wasm.LocalGet(s.addr),
+				rw.callHook(HookLogMem),
+				wasm.LocalGet(s.addr),
+				in,
+			)
+		case in.Op.IsStore():
+			site := rw.newSite(origFunc, pc, in.Op)
+			val := rw.storeScratch(in.Op, s)
+			emit(
+				wasm.LocalSet(val),
+				wasm.LocalSet(s.addr),
+				wasm.I32Const(int32(site)),
+				wasm.LocalGet(s.addr),
+				rw.callHook(HookLogMem),
+				wasm.LocalGet(s.addr),
+				wasm.LocalGet(val),
+				in,
+			)
+		case in.Op == wasm.OpI64Eq || in.Op == wasm.OpI64Ne:
+			// Duplicate both operands: the Fake Notification guard-code
+			// detector inspects them (paper §3.5).
+			site := rw.newSite(origFunc, pc, in.Op)
+			emit(
+				wasm.LocalSet(s.i64b), // top = b
+				wasm.LocalSet(s.i64a), // below = a
+				wasm.I32Const(int32(site)),
+				wasm.LocalGet(s.i64a),
+				wasm.LocalGet(s.i64b),
+				rw.callHook(HookLogCmp),
+				wasm.LocalGet(s.i64a),
+				wasm.LocalGet(s.i64b),
+				in,
+			)
+		case in.Op == wasm.OpCall:
+			site := rw.newSite(origFunc, pc, in.Op)
+			emit(
+				wasm.I32Const(int32(site)),
+				wasm.I32Const(int32(in.A)), // original callee index
+				rw.callHook(HookLogCall),
+				wasm.Call(rw.remap(in.A)),
+			)
+			rw.emitRet(&body, site, rw.calleeResult(in.A), s)
+		case in.Op == wasm.OpCallIndirect:
+			site := rw.newSite(origFunc, pc, in.Op)
+			emit(
+				wasm.LocalSet(s.addr), // table index
+				wasm.I32Const(int32(site)),
+				wasm.LocalGet(s.addr),
+				rw.callHook(HookLogCallI),
+				wasm.LocalGet(s.addr),
+				in, // type index unchanged: type section only grows
+			)
+			var res []wasm.ValType
+			if int(in.A) < len(rw.mod.Types) {
+				res = rw.mod.Types[in.A].Results
+			}
+			rw.emitRet(&body, site, res, s)
+		case in.Op == wasm.OpReturn:
+			emit(endHook...)
+			emit(in)
+		case in.Op == wasm.OpEnd && isLast:
+			emit(endHook...)
+			emit(in)
+		case in.Op == wasm.OpEnd || in.Op == wasm.OpElse ||
+			in.Op == wasm.OpBlock || in.Op == wasm.OpLoop:
+			// Structural opcodes carry no runtime operands; hooking them
+			// would perturb the control nesting.
+			emit(in)
+		default:
+			if rw.mode == ModeFull {
+				site := rw.newSite(origFunc, pc, in.Op)
+				emit(wasm.I32Const(int32(site)), rw.callHook(HookLogSite))
+			}
+			emit(in)
+		}
+	}
+	return wasm.Code{Locals: locals, Body: body}, nil
+}
+
+func (rw *rewriter) storeScratch(op wasm.Opcode, s scratch) uint32 {
+	switch op {
+	case wasm.OpI64Store, wasm.OpI64Store8, wasm.OpI64Store16, wasm.OpI64Store32:
+		return s.i64a
+	case wasm.OpF32Store:
+		return s.f32
+	case wasm.OpF64Store:
+		return s.f64
+	default:
+		return s.i32
+	}
+}
+
+func (rw *rewriter) calleeResult(origCallee uint32) []wasm.ValType {
+	ft, err := rw.mod.FuncTypeAt(origCallee)
+	if err != nil {
+		return nil
+	}
+	return ft.Results
+}
+
+// emitRet appends the call_post hook, duplicating the callee's return value.
+func (rw *rewriter) emitRet(body *[]wasm.Instr, site uint32, results []wasm.ValType, s scratch) {
+	emit := func(ins ...wasm.Instr) { *body = append(*body, ins...) }
+	if len(results) == 0 {
+		emit(wasm.I32Const(int32(site)), rw.callHook(HookLogRetV))
+		return
+	}
+	var local uint32
+	var hook string
+	switch results[0] {
+	case wasm.I32:
+		local, hook = s.i32, HookLogRetI
+	case wasm.I64:
+		local, hook = s.i64a, HookLogRetL
+	case wasm.F32:
+		local, hook = s.f32, HookLogRetF
+	default:
+		local, hook = s.f64, HookLogRetD
+	}
+	emit(
+		wasm.LocalSet(local),
+		wasm.I32Const(int32(site)),
+		wasm.LocalGet(local),
+		rw.callHook(hook),
+		wasm.LocalGet(local),
+	)
+}
+
+// EncodeSiteTable serializes a site table for the custom section.
+func EncodeSiteTable(st *SiteTable) []byte {
+	buf := make([]byte, 16, 16+9*len(st.Sites))
+	binary.LittleEndian.PutUint32(buf[0:], st.NumImports)
+	binary.LittleEndian.PutUint32(buf[4:], st.NumHooks)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(st.Mode))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(len(st.Sites)))
+	var rec [9]byte
+	for _, s := range st.Sites {
+		binary.LittleEndian.PutUint32(rec[0:], s.Func)
+		binary.LittleEndian.PutUint32(rec[4:], s.PC)
+		rec[8] = byte(s.Op)
+		buf = append(buf, rec[:]...)
+	}
+	return buf
+}
+
+// DecodeSiteTable parses a site table from custom-section bytes.
+func DecodeSiteTable(data []byte) (*SiteTable, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("instrument: site table too short (%d bytes)", len(data))
+	}
+	st := &SiteTable{
+		NumImports: binary.LittleEndian.Uint32(data[0:]),
+		NumHooks:   binary.LittleEndian.Uint32(data[4:]),
+		Mode:       Mode(binary.LittleEndian.Uint32(data[8:])),
+	}
+	n := binary.LittleEndian.Uint32(data[12:])
+	rest := data[16:]
+	if len(rest) != int(n)*9 {
+		return nil, fmt.Errorf("instrument: site table size mismatch: %d records, %d bytes", n, len(rest))
+	}
+	st.Sites = make([]Site, n)
+	for i := range st.Sites {
+		rec := rest[i*9:]
+		st.Sites[i] = Site{
+			Func: binary.LittleEndian.Uint32(rec[0:]),
+			PC:   binary.LittleEndian.Uint32(rec[4:]),
+			Op:   wasm.Opcode(rec[8]),
+		}
+	}
+	return st, nil
+}
+
+// SitesFromModule extracts the embedded site table from an instrumented
+// module, or returns nil when the module is not instrumented.
+func SitesFromModule(m *wasm.Module) (*SiteTable, error) {
+	for _, cs := range m.Customs {
+		if cs.Name == SitesSection {
+			return DecodeSiteTable(cs.Data)
+		}
+	}
+	return nil, nil
+}

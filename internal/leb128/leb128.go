@@ -1,0 +1,160 @@
+// Package leb128 implements the variable-length integer encoding used by the
+// WebAssembly binary format (unsigned and signed LEB128, up to 64 bits).
+//
+// The decoder is strict about the limits imposed by the Wasm specification:
+// a 32-bit value may occupy at most 5 bytes and a 64-bit value at most 10,
+// and unused bits in the final byte must be a proper sign/zero extension.
+package leb128
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Errors returned by the decoding functions.
+var (
+	// ErrOverflow reports a varint that does not fit the requested width.
+	ErrOverflow = errors.New("leb128: value overflows integer width")
+	// ErrTooLong reports a varint that uses more bytes than the Wasm spec
+	// allows for the requested width.
+	ErrTooLong = errors.New("leb128: encoding exceeds maximum byte length")
+)
+
+// maxBytes returns the maximum encoded length for an n-bit integer.
+func maxBytes(bits uint) int { return int((bits + 6) / 7) }
+
+// AppendUint appends the unsigned LEB128 encoding of v to dst and returns
+// the extended slice.
+func AppendUint(dst []byte, v uint64) []byte {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			dst = append(dst, b|0x80)
+			continue
+		}
+		return append(dst, b)
+	}
+}
+
+// AppendInt appends the signed LEB128 encoding of v to dst and returns the
+// extended slice.
+func AppendInt(dst []byte, v int64) []byte {
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7 // arithmetic shift
+		if (v == 0 && b&0x40 == 0) || (v == -1 && b&0x40 != 0) {
+			return append(dst, b)
+		}
+		dst = append(dst, b|0x80)
+	}
+}
+
+// Uint decodes an unsigned LEB128 integer of at most bits width from p.
+// It returns the value and the number of bytes consumed.
+func Uint(p []byte, bits uint) (uint64, int, error) {
+	var (
+		result uint64
+		shift  uint
+	)
+	limit := maxBytes(bits)
+	for i := 0; i < len(p); i++ {
+		if i >= limit {
+			return 0, 0, ErrTooLong
+		}
+		b := p[i]
+		if shift+7 >= bits {
+			// Final byte: the bits beyond the width must be zero.
+			extra := b &^ byte(1<<(bits-shift)-1) &^ 0x80
+			if extra != 0 {
+				return 0, 0, ErrOverflow
+			}
+		}
+		result |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return result, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, io.ErrUnexpectedEOF
+}
+
+// Int decodes a signed LEB128 integer of at most bits width from p.
+// It returns the value and the number of bytes consumed.
+func Int(p []byte, bits uint) (int64, int, error) {
+	var (
+		result int64
+		shift  uint
+	)
+	limit := maxBytes(bits)
+	for i := 0; i < len(p); i++ {
+		if i >= limit {
+			return 0, 0, ErrTooLong
+		}
+		b := p[i]
+		result |= int64(b&0x7f) << shift
+		shift += 7
+		if b&0x80 == 0 {
+			if shift < 64 && b&0x40 != 0 {
+				result |= -1 << shift
+			}
+			return result, i + 1, nil
+		}
+	}
+	return 0, 0, io.ErrUnexpectedEOF
+}
+
+// Uint32 decodes a 32-bit unsigned varint from p.
+func Uint32(p []byte) (uint32, int, error) {
+	v, n, err := Uint(p, 32)
+	return uint32(v), n, err
+}
+
+// Uint64 decodes a 64-bit unsigned varint from p.
+func Uint64(p []byte) (uint64, int, error) { return Uint(p, 64) }
+
+// Int32 decodes a 32-bit signed varint from p.
+func Int32(p []byte) (int32, int, error) {
+	v, n, err := Int(p, 32)
+	return int32(v), n, err
+}
+
+// Int64 decodes a 64-bit signed varint from p.
+func Int64(p []byte) (int64, int, error) { return Int(p, 64) }
+
+// Reader decodes LEB128 values from an io.ByteReader.
+type Reader struct {
+	r io.ByteReader
+}
+
+// NewReader returns a Reader that consumes bytes from r.
+func NewReader(r io.ByteReader) *Reader { return &Reader{r: r} }
+
+// Uint reads an unsigned varint of at most bits width.
+func (r *Reader) Uint(bits uint) (uint64, error) {
+	var (
+		result uint64
+		shift  uint
+		count  int
+	)
+	limit := maxBytes(bits)
+	for {
+		if count >= limit {
+			return 0, ErrTooLong
+		}
+		b, err := r.r.ReadByte()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, fmt.Errorf("leb128: read byte %d: %w", count, err)
+		}
+		count++
+		result |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return result, nil
+		}
+		shift += 7
+	}
+}

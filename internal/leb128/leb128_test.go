@@ -1,0 +1,134 @@
+package leb128
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUintRoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 255, 624485, math.MaxUint32, math.MaxUint64}
+	for _, v := range cases {
+		buf := AppendUint(nil, v)
+		got, n, err := Uint64(buf)
+		if err != nil {
+			t.Fatalf("decode %d: %v", v, err)
+		}
+		if got != v || n != len(buf) {
+			t.Errorf("round trip %d: got %d (consumed %d of %d)", v, got, n, len(buf))
+		}
+	}
+}
+
+func TestIntRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 63, 64, -64, -65, 127, -128, math.MaxInt32, math.MinInt32, math.MaxInt64, math.MinInt64}
+	for _, v := range cases {
+		buf := AppendInt(nil, v)
+		got, n, err := Int64(buf)
+		if err != nil {
+			t.Fatalf("decode %d: %v", v, err)
+		}
+		if got != v || n != len(buf) {
+			t.Errorf("round trip %d: got %d (consumed %d of %d)", v, got, n, len(buf))
+		}
+	}
+}
+
+func TestUintRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		got, _, err := Uint64(AppendUint(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntRoundTripQuick(t *testing.T) {
+	f := func(v int64) bool {
+		got, _, err := Int64(AppendInt(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt32RoundTripQuick(t *testing.T) {
+	f := func(v int32) bool {
+		got, _, err := Int32(AppendInt(nil, int64(v)))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintTruncated(t *testing.T) {
+	if _, _, err := Uint64([]byte{0x80}); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("want unexpected EOF, got %v", err)
+	}
+	if _, _, err := Uint64(nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("want unexpected EOF on empty, got %v", err)
+	}
+}
+
+func TestUintTooLong(t *testing.T) {
+	// 6 continuation bytes overflow a 32-bit varint.
+	_, _, err := Uint32([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	if !errors.Is(err, ErrTooLong) {
+		t.Errorf("want ErrTooLong, got %v", err)
+	}
+}
+
+func TestUint32OverflowBits(t *testing.T) {
+	// Fifth byte carries bits beyond 32.
+	_, _, err := Uint32([]byte{0xff, 0xff, 0xff, 0xff, 0x7f})
+	if !errors.Is(err, ErrOverflow) {
+		t.Errorf("want ErrOverflow, got %v", err)
+	}
+	// Canonical max u32 is fine.
+	v, _, err := Uint32([]byte{0xff, 0xff, 0xff, 0xff, 0x0f})
+	if err != nil || v != math.MaxUint32 {
+		t.Errorf("max u32: %d, %v", v, err)
+	}
+}
+
+func TestEncodingLength(t *testing.T) {
+	// Spot-check canonical lengths.
+	tests := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 1}, {127, 1}, {128, 2}, {16383, 2}, {16384, 3},
+	}
+	for _, tt := range tests {
+		if got := len(AppendUint(nil, tt.v)); got != tt.want {
+			t.Errorf("len(encode %d) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestReader(t *testing.T) {
+	var buf []byte
+	values := []uint64{0, 1, 300, 1 << 40}
+	for _, v := range values {
+		buf = AppendUint(buf, v)
+	}
+	r := NewReader(bytes.NewReader(buf))
+	for _, want := range values {
+		got, err := r.Uint(64)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if got != want {
+			t.Errorf("got %d, want %d", got, want)
+		}
+	}
+	if _, err := r.Uint(64); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("want EOF error at end, got %v", err)
+	}
+}

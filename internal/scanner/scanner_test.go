@@ -1,0 +1,199 @@
+package scanner
+
+import (
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/eos"
+	"repro/internal/trace"
+	"repro/internal/wasm"
+)
+
+var (
+	self  = eos.MustName("victim")
+	agent = eos.MustName("fake.notif")
+)
+
+// scanModule builds a module whose imports cover the oracle API sets.
+func scanModule() *wasm.Module {
+	m := &wasm.Module{FuncNames: map[uint32]string{}}
+	void := m.AddType(wasm.FuncType{})
+	names := []string{
+		"require_auth", "eosio_assert", "send_inline", "send_deferred",
+		"db_store_i64", "tapos_block_num", "tapos_block_prefix", "prints",
+	}
+	for _, n := range names {
+		m.Imports = append(m.Imports, wasm.Import{Module: "env", Name: n, Kind: wasm.ExternalFunc, TypeIndex: void})
+	}
+	// Two local functions: apply (8) and eosponser (9).
+	m.Funcs = []uint32{void, void}
+	m.Code = []wasm.Code{{Body: []wasm.Instr{wasm.End()}}, {Body: []wasm.Instr{wasm.End()}}}
+	return m
+}
+
+func callEvent(callee uint32) trace.Event {
+	return trace.Event{Kind: trace.HookCall, Operand: uint64(callee)}
+}
+
+func dispatchTrace(eosponserID uint32) trace.Trace {
+	return trace.Trace{
+		Contract: self,
+		Action:   eos.ActionTransfer,
+		Events: []trace.Event{
+			{Kind: trace.HookCall, Op: wasm.OpCallIndirect, Operand: uint64(eosponserID)},
+			{Kind: trace.HookFuncBegin, Func: eosponserID},
+		},
+	}
+}
+
+func TestRecordEosponser(t *testing.T) {
+	s := New(scanModule(), self)
+	if _, ok := s.EosponserID(); ok {
+		t.Fatal("eosponser known before any trace")
+	}
+	tr := dispatchTrace(9)
+	s.RecordEosponser(&tr)
+	id, ok := s.EosponserID()
+	if !ok || id != 9 {
+		t.Fatalf("eosponser = %d %v", id, ok)
+	}
+}
+
+func TestFakeEOSOracle(t *testing.T) {
+	s := New(scanModule(), self)
+	tr := dispatchTrace(9)
+	s.RecordEosponser(&tr)
+
+	// Eosponser not entered -> safe.
+	s.ObserveFakeEOS([]trace.Trace{{Contract: self, Events: []trace.Event{callEvent(0)}}})
+	if s.Report().Vulnerable[contractgen.ClassFakeEOS] {
+		t.Error("flagged without eosponser entry")
+	}
+	// Entered -> vulnerable.
+	s.ObserveFakeEOS([]trace.Trace{tr})
+	if !s.Report().Vulnerable[contractgen.ClassFakeEOS] {
+		t.Error("missed eosponser entry under fake EOS")
+	}
+}
+
+func TestFakeNotifOracleGuard(t *testing.T) {
+	guarded := dispatchTrace(9)
+	guarded.Events = append(guarded.Events,
+		trace.Event{Kind: trace.HookCmp, Op: wasm.OpI64Ne, Operand: uint64(agent)},
+		trace.Event{Kind: trace.HookCmp, Op: wasm.OpI64Ne, Operand: uint64(self)},
+	)
+	s := New(scanModule(), self)
+	s.RecordEosponser(&guarded)
+	s.ObserveFakeNotif([]trace.Trace{guarded}, agent)
+	if s.Report().Vulnerable[contractgen.ClassFakeNotif] {
+		t.Error("guard comparison not recognized")
+	}
+
+	// Without the guard comparison: vulnerable.
+	bare := dispatchTrace(9)
+	s2 := New(scanModule(), self)
+	s2.RecordEosponser(&bare)
+	s2.ObserveFakeNotif([]trace.Trace{bare}, agent)
+	if !s2.Report().Vulnerable[contractgen.ClassFakeNotif] {
+		t.Error("missing guard not flagged")
+	}
+
+	// A comparison against something other than the agent/self pair does
+	// not count as the guard.
+	other := dispatchTrace(9)
+	other.Events = append(other.Events,
+		trace.Event{Kind: trace.HookCmp, Op: wasm.OpI64Eq, Operand: 123},
+		trace.Event{Kind: trace.HookCmp, Op: wasm.OpI64Eq, Operand: 456},
+	)
+	s3 := New(scanModule(), self)
+	s3.RecordEosponser(&other)
+	s3.ObserveFakeNotif([]trace.Trace{other}, agent)
+	if !s3.Report().Vulnerable[contractgen.ClassFakeNotif] {
+		t.Error("unrelated comparison mistaken for the guard")
+	}
+}
+
+func TestMissAuthOracle(t *testing.T) {
+	m := scanModule()
+	apis := APISetsFor(m)
+	if !apis.Auths[0] || !apis.Effects[2] || !apis.Blockinfo[5] {
+		t.Fatalf("APISetsFor misclassified: %+v", apis)
+	}
+
+	// Effect (send_inline=2) without prior auth -> vulnerable.
+	s := New(m, self)
+	s.ObserveDirectAction([]trace.Trace{{Contract: self, Events: []trace.Event{callEvent(2)}}})
+	if !s.Report().Vulnerable[contractgen.ClassMissAuth] {
+		t.Error("unauthorized effect not flagged")
+	}
+
+	// require_auth (0) before the effect -> safe.
+	s2 := New(m, self)
+	s2.ObserveDirectAction([]trace.Trace{{Contract: self, Events: []trace.Event{callEvent(0), callEvent(2)}}})
+	if s2.Report().Vulnerable[contractgen.ClassMissAuth] {
+		t.Error("authorized effect flagged")
+	}
+
+	// Auth AFTER the effect does not sanitize it.
+	s3 := New(m, self)
+	s3.ObserveDirectAction([]trace.Trace{{Contract: self, Events: []trace.Event{callEvent(2), callEvent(0)}}})
+	if !s3.Report().Vulnerable[contractgen.ClassMissAuth] {
+		t.Error("late auth accepted")
+	}
+}
+
+func TestBlockinfoAndRollbackOracles(t *testing.T) {
+	m := scanModule()
+	s := New(m, self)
+	s.Observe([]trace.Trace{{Contract: self, Events: []trace.Event{callEvent(6)}}}) // tapos_block_prefix
+	r := s.Report()
+	if !r.Vulnerable[contractgen.ClassBlockinfoDep] {
+		t.Error("tapos call not flagged")
+	}
+	if r.Vulnerable[contractgen.ClassRollback] {
+		t.Error("rollback flagged without send_inline")
+	}
+
+	s2 := New(m, self)
+	s2.Observe([]trace.Trace{{Contract: self, Events: []trace.Event{callEvent(2)}}}) // send_inline
+	if !s2.Report().Vulnerable[contractgen.ClassRollback] {
+		t.Error("send_inline not flagged")
+	}
+	// send_deferred (3) alone must NOT trip the Rollback oracle.
+	s3 := New(m, self)
+	s3.Observe([]trace.Trace{{Contract: self, Events: []trace.Event{callEvent(3)}}})
+	if s3.Report().Vulnerable[contractgen.ClassRollback] {
+		t.Error("send_deferred mistaken for rollback")
+	}
+}
+
+func TestAPICallDetector(t *testing.T) {
+	m := scanModule()
+	d := NewAPICallDetector("TaposUse", m, "tapos_block_num", "tapos_block_prefix")
+	if d.Name() != "TaposUse" || d.Vulnerable() {
+		t.Fatalf("fresh detector: %s %v", d.Name(), d.Vulnerable())
+	}
+	apis := APISetsFor(m)
+	// A call to prints (7) does not trip it.
+	d.Observe(&trace.Trace{Events: []trace.Event{callEvent(7)}}, apis)
+	if d.Vulnerable() {
+		t.Error("unrelated call tripped the detector")
+	}
+	// tapos_block_num is import index 5 in scanModule.
+	d.Observe(&trace.Trace{Events: []trace.Event{callEvent(5)}}, apis)
+	if !d.Vulnerable() {
+		t.Error("tapos call not detected")
+	}
+}
+
+func TestScannerCustomPlumbing(t *testing.T) {
+	m := scanModule()
+	s := New(m, self)
+	d := NewAPICallDetector("InlineUse", m, "send_inline")
+	s.AddCustom(d)
+	s.ObserveCustom([]trace.Trace{{Events: []trace.Event{callEvent(2)}}})
+	res := s.CustomResults()
+	if !res["InlineUse"] {
+		t.Errorf("custom results: %v", res)
+	}
+}

@@ -1,0 +1,135 @@
+package symbolic
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Model is an assignment of concrete values to variables (by name).
+type Model map[string]uint64
+
+// Eval computes the concrete value of e under m. Unassigned variables
+// evaluate to zero. Division by zero follows the SMT-LIB total semantics
+// (udiv by 0 = all-ones, urem by 0 = dividend), which the bit-blaster
+// encodes identically.
+func Eval(e *Expr, m Model) uint64 {
+	cache := map[*Expr]uint64{}
+	return eval(e, m, cache)
+}
+
+func eval(e *Expr, m Model, cache map[*Expr]uint64) uint64 {
+	if v, ok := cache[e]; ok {
+		return v
+	}
+	var v uint64
+	w := e.Width
+	msk := mask(w)
+	switch e.Kind {
+	case KConst:
+		v = e.Val
+	case KVar:
+		v = m[e.Name] & msk
+	case KNot:
+		v = ^eval(e.A, m, cache) & msk
+	case KConcat:
+		v = (eval(e.A, m, cache)<<e.B.Width | eval(e.B, m, cache)) & msk
+	case KExtract:
+		v = (eval(e.A, m, cache) >> e.Lo) & msk
+	case KZext:
+		v = eval(e.A, m, cache)
+	case KSext:
+		v = uint64(signExtend(eval(e.A, m, cache), e.A.Width)) & msk
+	case KEq:
+		if eval(e.A, m, cache) == eval(e.B, m, cache) {
+			v = 1
+		}
+	case KUlt:
+		if eval(e.A, m, cache) < eval(e.B, m, cache) {
+			v = 1
+		}
+	case KSlt:
+		if signExtend(eval(e.A, m, cache), e.A.Width) < signExtend(eval(e.B, m, cache), e.B.Width) {
+			v = 1
+		}
+	case KIte:
+		if eval(e.A, m, cache) != 0 {
+			v = eval(e.B, m, cache)
+		} else {
+			v = eval(e.C, m, cache)
+		}
+	case KUDiv:
+		a, b := eval(e.A, m, cache), eval(e.B, m, cache)
+		if b == 0 {
+			v = msk // SMT-LIB bvudiv total semantics
+		} else {
+			v = (a / b) & msk
+		}
+	case KURem:
+		a, b := eval(e.A, m, cache), eval(e.B, m, cache)
+		if b == 0 {
+			v = a
+		} else {
+			v = (a % b) & msk
+		}
+	case KSDiv:
+		a := signExtend(eval(e.A, m, cache), e.A.Width)
+		b := signExtend(eval(e.B, m, cache), e.B.Width)
+		switch {
+		case b == 0 && a >= 0:
+			v = msk
+		case b == 0:
+			v = 1
+		case a == -1<<63 && b == -1:
+			v = uint64(a) & msk
+		default:
+			v = uint64(a/b) & msk
+		}
+	case KSRem:
+		a := signExtend(eval(e.A, m, cache), e.A.Width)
+		b := signExtend(eval(e.B, m, cache), e.B.Width)
+		switch {
+		case b == 0:
+			v = uint64(a) & msk
+		case a == -1<<63 && b == -1:
+			v = 0
+		default:
+			v = uint64(a%b) & msk
+		}
+	case KPopcnt:
+		v = uint64(bits.OnesCount64(eval(e.A, m, cache)))
+	case KRotl, KRotr:
+		a, b := eval(e.A, m, cache), eval(e.B, m, cache)
+		v, _ = foldBin(e.Kind, a, b, w)
+	default:
+		a, b := eval(e.A, m, cache), eval(e.B, m, cache)
+		var ok bool
+		v, ok = foldBin(e.Kind, a, b, w)
+		if !ok {
+			panic(fmt.Sprintf("symbolic: eval: unhandled kind %s", e.Kind))
+		}
+	}
+	v &= msk
+	cache[e] = v
+	return v
+}
+
+// EvalBool evaluates a 1-bit constraint under m.
+func EvalBool(e *Expr, m Model) bool { return Eval(e, m)&1 == 1 }
+
+// SatisfiesAll reports whether m satisfies every constraint.
+func SatisfiesAll(constraints []*Expr, m Model) bool {
+	for _, c := range constraints {
+		if !EvalBool(c, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// nextPow2 is a small helper used by candidate generation.
+func nextPow2(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	return 1 << (64 - bits.LeadingZeros64(v))
+}

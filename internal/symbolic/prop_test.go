@@ -1,0 +1,267 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refNode is a reference expression tree built WITHOUT the simplifying
+// constructors; refEval computes its value by the raw operator semantics.
+// The property: building the same tree through Ctx's simplifying
+// constructors and evaluating with Eval gives the same value — i.e. every
+// rewrite rule is semantics-preserving.
+type refNode struct {
+	kind   Kind
+	width  uint8
+	val    uint64
+	name   string
+	hi, lo uint8
+	kids   []*refNode
+}
+
+func refEval(n *refNode, m Model) uint64 {
+	msk := mask(n.width)
+	switch n.kind {
+	case KConst:
+		return n.val & msk
+	case KVar:
+		return m[n.name] & msk
+	case KNot:
+		return ^refEval(n.kids[0], m) & msk
+	case KConcat:
+		return (refEval(n.kids[0], m)<<n.kids[1].width | refEval(n.kids[1], m)) & msk
+	case KExtract:
+		return (refEval(n.kids[0], m) >> n.lo) & msk
+	case KZext:
+		return refEval(n.kids[0], m) & msk
+	case KSext:
+		return uint64(signExtend(refEval(n.kids[0], m), n.kids[0].width)) & msk
+	case KEq:
+		if refEval(n.kids[0], m) == refEval(n.kids[1], m) {
+			return 1
+		}
+		return 0
+	case KUlt:
+		if refEval(n.kids[0], m) < refEval(n.kids[1], m) {
+			return 1
+		}
+		return 0
+	case KSlt:
+		if signExtend(refEval(n.kids[0], m), n.kids[0].width) < signExtend(refEval(n.kids[1], m), n.kids[1].width) {
+			return 1
+		}
+		return 0
+	case KIte:
+		if refEval(n.kids[0], m) != 0 {
+			return refEval(n.kids[1], m) & msk
+		}
+		return refEval(n.kids[2], m) & msk
+	case KPopcnt:
+		v := refEval(n.kids[0], m)
+		var c uint64
+		for v != 0 {
+			c += v & 1
+			v >>= 1
+		}
+		return c & msk
+	default:
+		a := refEval(n.kids[0], m)
+		b := refEval(n.kids[1], m)
+		v, ok := foldBin(n.kind, a, b, n.width)
+		if !ok {
+			// Division by zero in the reference: use the SMT-LIB totals,
+			// matching Eval.
+			switch n.kind {
+			case KUDiv:
+				return msk
+			case KURem:
+				return a & msk
+			case KSDiv:
+				if signExtend(a, n.width) >= 0 {
+					return msk
+				}
+				return 1
+			case KSRem:
+				return a & msk
+			}
+		}
+		return v
+	}
+}
+
+// build converts the reference tree through the simplifying constructors.
+func build(c *Ctx, n *refNode) *Expr {
+	switch n.kind {
+	case KConst:
+		return c.Const(n.val, n.width)
+	case KVar:
+		return c.Var(n.name, n.width)
+	case KNot:
+		return c.Not(build(c, n.kids[0]))
+	case KConcat:
+		return c.Concat(build(c, n.kids[0]), build(c, n.kids[1]))
+	case KExtract:
+		return c.Extract(build(c, n.kids[0]), n.hi, n.lo)
+	case KZext:
+		return c.ZExt(build(c, n.kids[0]), n.width)
+	case KSext:
+		return c.SExt(build(c, n.kids[0]), n.width)
+	case KEq:
+		return c.Eq(build(c, n.kids[0]), build(c, n.kids[1]))
+	case KUlt:
+		return c.Ult(build(c, n.kids[0]), build(c, n.kids[1]))
+	case KSlt:
+		return c.Slt(build(c, n.kids[0]), build(c, n.kids[1]))
+	case KIte:
+		return c.Ite(build(c, n.kids[0]), build(c, n.kids[1]), build(c, n.kids[2]))
+	case KPopcnt:
+		return c.Popcount(build(c, n.kids[0]))
+	default:
+		a, b := build(c, n.kids[0]), build(c, n.kids[1])
+		switch n.kind {
+		case KAdd:
+			return c.Add(a, b)
+		case KSub:
+			return c.Sub(a, b)
+		case KMul:
+			return c.Mul(a, b)
+		case KUDiv:
+			return c.UDiv(a, b)
+		case KSDiv:
+			return c.SDiv(a, b)
+		case KURem:
+			return c.URem(a, b)
+		case KSRem:
+			return c.SRem(a, b)
+		case KAnd:
+			return c.And(a, b)
+		case KOr:
+			return c.Or(a, b)
+		case KXor:
+			return c.Xor(a, b)
+		case KShl:
+			return c.Shl(a, b)
+		case KLshr:
+			return c.Lshr(a, b)
+		case KAshr:
+			return c.Ashr(a, b)
+		case KRotl:
+			return c.Rotl(a, b)
+		default:
+			return c.Rotr(a, b)
+		}
+	}
+}
+
+// randTree draws a random reference tree of the given width.
+func randTree(rng *rand.Rand, width uint8, depth int) *refNode {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		if rng.Intn(2) == 0 {
+			return &refNode{kind: KConst, width: width, val: randVal(rng)}
+		}
+		names := []string{"x", "y", "z"}
+		return &refNode{kind: KVar, width: width, name: names[rng.Intn(len(names))]}
+	}
+	binKinds := []Kind{
+		KAdd, KSub, KMul, KUDiv, KSDiv, KURem, KSRem, KAnd, KOr, KXor,
+		KShl, KLshr, KAshr, KRotl, KRotr,
+	}
+	switch rng.Intn(8) {
+	case 0: // unary not
+		return &refNode{kind: KNot, width: width, kids: []*refNode{randTree(rng, width, depth-1)}}
+	case 1: // popcount
+		return &refNode{kind: KPopcnt, width: width, kids: []*refNode{randTree(rng, width, depth-1)}}
+	case 2: // comparison widened back via ite
+		cmpKinds := []Kind{KEq, KUlt, KSlt}
+		k := cmpKinds[rng.Intn(len(cmpKinds))]
+		cmp := &refNode{kind: k, width: 1, kids: []*refNode{
+			randTree(rng, width, depth-1), randTree(rng, width, depth-1),
+		}}
+		return &refNode{kind: KIte, width: width, kids: []*refNode{
+			cmp, randTree(rng, width, depth-1), randTree(rng, width, depth-1),
+		}}
+	case 3: // extract of a wider expression
+		if width < 64 {
+			wider := uint8(64)
+			lo := uint8(rng.Intn(int(wider - width + 1)))
+			return &refNode{kind: KExtract, width: width, hi: lo + width - 1, lo: lo,
+				kids: []*refNode{randTree(rng, wider, depth-1)}}
+		}
+		fallthrough
+	case 4: // zext/sext of a narrower expression
+		if width > 8 {
+			narrower := uint8(8)
+			k := KZext
+			if rng.Intn(2) == 0 {
+				k = KSext
+			}
+			return &refNode{kind: k, width: width, kids: []*refNode{randTree(rng, narrower, depth-1)}}
+		}
+		fallthrough
+	default:
+		k := binKinds[rng.Intn(len(binKinds))]
+		return &refNode{kind: k, width: width, kids: []*refNode{
+			randTree(rng, width, depth-1), randTree(rng, width, depth-1),
+		}}
+	}
+}
+
+func randVal(rng *rand.Rand) uint64 {
+	switch rng.Intn(4) {
+	case 0:
+		return 0
+	case 1:
+		return uint64(rng.Intn(4)) // small constants hit identity rules
+	default:
+		return rng.Uint64()
+	}
+}
+
+// TestSimplifierSoundness: for thousands of random trees and models, the
+// simplified DAG evaluates exactly like the unsimplified reference.
+func TestSimplifierSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for round := 0; round < 3000; round++ {
+		width := []uint8{8, 16, 32, 64}[rng.Intn(4)]
+		tree := randTree(rng, width, 4)
+		c := NewCtx()
+		expr := build(c, tree)
+		for trial := 0; trial < 4; trial++ {
+			m := Model{"x": rng.Uint64(), "y": rng.Uint64(), "z": uint64(rng.Intn(8))}
+			want := refEval(tree, m)
+			got := Eval(expr, m)
+			if got != want {
+				t.Fatalf("round %d: simplified %#x != reference %#x\nmodel %v\nexpr %s",
+					round, got, want, m, expr)
+			}
+		}
+	}
+}
+
+// TestSimplifiedSatAgreement: if the reference says a random equation holds
+// under a hidden model, the solver must find SOME model for the simplified
+// constraint (completeness on satisfiable instances).
+func TestSimplifiedSatAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(555))
+	for round := 0; round < 120; round++ {
+		width := []uint8{8, 16}[rng.Intn(2)]
+		tree := randTree(rng, width, 3)
+		hidden := Model{"x": rng.Uint64(), "y": rng.Uint64(), "z": uint64(rng.Intn(8))}
+		target := refEval(tree, hidden)
+
+		c := NewCtx()
+		constraint := c.Eq(build(c, tree), c.Const(target, width))
+		s := &Solver{MaxConflicts: 100_000}
+		m, r := s.Solve([]*Expr{constraint})
+		if r == Unknown {
+			continue // budget-bound instances are acceptable
+		}
+		if r != Sat {
+			t.Fatalf("round %d: satisfiable-by-construction constraint reported %s\n%s",
+				round, r, constraint)
+		}
+		if !EvalBool(constraint, m) {
+			t.Fatalf("round %d: returned model does not satisfy", round)
+		}
+	}
+}

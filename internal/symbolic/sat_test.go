@@ -1,0 +1,171 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSATTrivial(t *testing.T) {
+	s := NewSAT(2)
+	s.AddClause(MkLit(0, false))                 // x0
+	s.AddClause(MkLit(0, true), MkLit(1, false)) // !x0 | x1
+	sat, ok := s.Solve()
+	if !ok || !sat {
+		t.Fatalf("solve: sat=%v ok=%v", sat, ok)
+	}
+	if !s.ValueOf(0) || !s.ValueOf(1) {
+		t.Errorf("model: x0=%v x1=%v", s.ValueOf(0), s.ValueOf(1))
+	}
+}
+
+func TestSATUnsatPair(t *testing.T) {
+	s := NewSAT(1)
+	s.AddClause(MkLit(0, false))
+	s.AddClause(MkLit(0, true))
+	sat, ok := s.Solve()
+	if !ok || sat {
+		t.Fatalf("want unsat, got sat=%v ok=%v", sat, ok)
+	}
+}
+
+func TestSATEmptyClauseUnsat(t *testing.T) {
+	s := NewSAT(1)
+	if s.AddClause() {
+		t.Error("empty clause should report false")
+	}
+	sat, _ := s.Solve()
+	if sat {
+		t.Error("formula with empty clause is unsat")
+	}
+}
+
+func TestSATTautologyDropped(t *testing.T) {
+	s := NewSAT(1)
+	s.AddClause(MkLit(0, false), MkLit(0, true)) // x | !x
+	sat, ok := s.Solve()
+	if !ok || !sat {
+		t.Fatalf("tautology-only formula should be sat")
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons in n holes — a classically
+// hard UNSAT family that requires real conflict-driven search.
+func pigeonhole(n int) *SAT {
+	// var(p, h) = p*n + h
+	s := NewSAT((n + 1) * n)
+	v := func(p, h int) int { return p*n + h }
+	for p := 0; p <= n; p++ {
+		lits := make([]Lit, n)
+		for h := 0; h < n; h++ {
+			lits[h] = MkLit(v(p, h), false)
+		}
+		s.AddClause(lits...) // every pigeon sits somewhere
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+			}
+		}
+	}
+	return s
+}
+
+func TestSATPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		s := pigeonhole(n)
+		sat, ok := s.Solve()
+		if !ok {
+			t.Fatalf("PHP(%d): budget exhausted", n)
+		}
+		if sat {
+			t.Fatalf("PHP(%d) must be unsat", n)
+		}
+	}
+}
+
+func TestSATConflictBudget(t *testing.T) {
+	s := pigeonhole(8)
+	s.MaxConflicts = 5
+	_, ok := s.Solve()
+	if ok {
+		t.Skip("solver finished PHP(8) within 5 conflicts — unexpected but not wrong")
+	}
+}
+
+// TestSATRandom3SAT cross-checks against brute force on small instances.
+func TestSATRandom3SAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 200; round++ {
+		nVars := 4 + rng.Intn(6)
+		nClauses := 3 + rng.Intn(20)
+		type clause [3]Lit
+		clauses := make([]clause, nClauses)
+		for i := range clauses {
+			for j := 0; j < 3; j++ {
+				clauses[i][j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+		}
+		// Brute force.
+		bruteSat := false
+		for m := 0; m < 1<<nVars && !bruteSat; m++ {
+			all := true
+			for _, c := range clauses {
+				cSat := false
+				for _, l := range c {
+					val := m>>l.Var()&1 == 1
+					if l.Neg() {
+						val = !val
+					}
+					cSat = cSat || val
+				}
+				if !cSat {
+					all = false
+					break
+				}
+			}
+			bruteSat = all
+		}
+		// CDCL.
+		s := NewSAT(nVars)
+		for _, c := range clauses {
+			s.AddClause(c[0], c[1], c[2])
+		}
+		sat, ok := s.Solve()
+		if !ok {
+			t.Fatalf("round %d: budget exhausted on tiny instance", round)
+		}
+		if sat != bruteSat {
+			t.Fatalf("round %d: CDCL=%v brute=%v (%d vars, %d clauses)", round, sat, bruteSat, nVars, nClauses)
+		}
+		if sat {
+			// Model must satisfy every clause.
+			for ci, c := range clauses {
+				ok := false
+				for _, l := range c {
+					val := s.ValueOf(l.Var())
+					if l.Neg() {
+						val = !val
+					}
+					ok = ok || val
+				}
+				if !ok {
+					t.Fatalf("round %d: clause %d unsatisfied by model", round, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MkLit(7, true)
+	if l.Var() != 7 || !l.Neg() {
+		t.Errorf("lit: var=%d neg=%v", l.Var(), l.Neg())
+	}
+	if l.Flip().Neg() || l.Flip().Var() != 7 {
+		t.Errorf("flip broken")
+	}
+	if luby(1) != 1 || luby(2) != 1 || luby(3) != 2 || luby(7) != 4 {
+		t.Errorf("luby sequence wrong: %d %d %d %d", luby(1), luby(2), luby(3), luby(7))
+	}
+}

@@ -1,0 +1,409 @@
+package symbolic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveAll(t *testing.T, constraints []*Expr) (Model, Result) {
+	t.Helper()
+	s := &Solver{}
+	return s.Solve(constraints)
+}
+
+func mustSat(t *testing.T, constraints []*Expr) Model {
+	t.Helper()
+	m, r := solveAll(t, constraints)
+	if r != Sat {
+		t.Fatalf("want sat, got %s", r)
+	}
+	if !SatisfiesAll(constraints, m) {
+		t.Fatalf("model %v does not satisfy constraints", m)
+	}
+	return m
+}
+
+func mustUnsat(t *testing.T, constraints []*Expr) {
+	t.Helper()
+	_, r := solveAll(t, constraints)
+	if r != Unsat {
+		t.Fatalf("want unsat, got %s", r)
+	}
+}
+
+func TestSolveSimpleEquality(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 64)
+	m := mustSat(t, []*Expr{c.Eq(x, c.Const(0xdeadbeef, 64))})
+	if m["x"] != 0xdeadbeef {
+		t.Errorf("x = %#x", m["x"])
+	}
+}
+
+func TestSolveInvertedChain(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	// (x + 100) ^ 0xff == 0x1234
+	lhs := c.Xor(c.Add(x, c.Const(100, 32)), c.Const(0xff, 32))
+	m := mustSat(t, []*Expr{c.Eq(lhs, c.Const(0x1234, 32))})
+	if got := Eval(lhs, m); got != 0x1234 {
+		t.Errorf("lhs = %#x", got)
+	}
+}
+
+func TestSolveConjunction(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 64)
+	y := c.Var("y", 64)
+	m := mustSat(t, []*Expr{
+		c.Eq(x, c.Const(7, 64)),
+		c.Eq(c.Add(x, y), c.Const(100, 64)),
+	})
+	if m["x"] != 7 || m["x"]+m["y"] != 100 {
+		t.Errorf("model %v", m)
+	}
+}
+
+func TestSolveUnsatEquality(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	mustUnsat(t, []*Expr{
+		c.Eq(x, c.Const(1, 32)),
+		c.Eq(x, c.Const(2, 32)),
+	})
+}
+
+func TestSolveRangeConstraints(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	m := mustSat(t, []*Expr{
+		c.Ult(c.Const(100, 32), x),
+		c.Ult(x, c.Const(103, 32)),
+	})
+	if m["x"] != 101 && m["x"] != 102 {
+		t.Errorf("x = %d, want 101 or 102", m["x"])
+	}
+}
+
+func TestSolveSignedComparison(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	// x < 0 (signed) and x > -3 (signed): x in {-2, -1}
+	m := mustSat(t, []*Expr{
+		c.Slt(x, c.Const(0, 32)),
+		c.Slt(c.Const(uint64(0xfffffffd), 32), x), // -3 < x
+	})
+	sx := signExtend(m["x"], 32)
+	if sx != -1 && sx != -2 {
+		t.Errorf("x = %d, want -1 or -2", sx)
+	}
+}
+
+func TestSolveBitwiseMask(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 16)
+	// x & 0xf0 == 0x50  and  x & 0x0f == 0x3
+	m := mustSat(t, []*Expr{
+		c.Eq(c.And(x, c.Const(0xf0, 16)), c.Const(0x50, 16)),
+		c.Eq(c.And(x, c.Const(0x0f, 16)), c.Const(0x03, 16)),
+	})
+	if m["x"]&0xff != 0x53 {
+		t.Errorf("x = %#x, want low byte 0x53", m["x"])
+	}
+}
+
+func TestSolveUnsatBitwise(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 8)
+	mustUnsat(t, []*Expr{
+		c.Eq(c.And(x, c.Const(1, 8)), c.Const(1, 8)),
+		c.Eq(c.And(x, c.Const(1, 8)), c.Const(0, 8)),
+	})
+}
+
+func TestSolveMultiplication(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 16)
+	m := mustSat(t, []*Expr{c.Eq(c.Mul(x, c.Const(3, 16)), c.Const(21, 16))})
+	if got := (m["x"] * 3) & 0xffff; got != 21 {
+		t.Errorf("3x = %d, want 21", got)
+	}
+}
+
+func TestSolveShift(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	m := mustSat(t, []*Expr{c.Eq(c.Shl(x, c.Const(4, 32)), c.Const(0x120, 32))})
+	if got := (m["x"] << 4) & 0xffffffff; got != 0x120 {
+		t.Errorf("x<<4 = %#x", got)
+	}
+}
+
+func TestSolveVariableShift(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	s := c.Var("s", 32)
+	m := mustSat(t, []*Expr{
+		c.Eq(c.Shl(x, s), c.Const(0x100, 32)),
+		c.Eq(x, c.Const(1, 32)),
+	})
+	if m["s"]%32 != 8 {
+		t.Errorf("s = %d, want 8 mod 32", m["s"])
+	}
+}
+
+func TestSolveConcatExtract(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 8)
+	y := c.Var("y", 8)
+	m := mustSat(t, []*Expr{c.Eq(c.Concat(x, y), c.Const(0xab12, 16))})
+	if m["x"] != 0xab || m["y"] != 0x12 {
+		t.Errorf("x=%#x y=%#x", m["x"], m["y"])
+	}
+}
+
+func TestSolveIte(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	cond := c.Ult(x, c.Const(10, 32))
+	val := c.Ite(cond, c.Const(1, 32), c.Const(2, 32))
+	m := mustSat(t, []*Expr{
+		c.Eq(val, c.Const(2, 32)),
+	})
+	if m["x"] < 10 {
+		t.Errorf("x = %d should be >= 10", m["x"])
+	}
+}
+
+func TestSolveDivisionByConstant(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 16)
+	// x / 7 == 5 (unsigned): x in [35, 41]
+	m := mustSat(t, []*Expr{c.Eq(c.UDiv(x, c.Const(7, 16)), c.Const(5, 16))})
+	if m["x"]/7 != 5 {
+		t.Errorf("x = %d", m["x"])
+	}
+}
+
+func TestSolveRemainder(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 16)
+	m := mustSat(t, []*Expr{
+		c.Eq(c.URem(x, c.Const(10, 16)), c.Const(3, 16)),
+		c.Ult(x, c.Const(20, 16)),
+	})
+	if m["x"]%10 != 3 || m["x"] >= 20 {
+		t.Errorf("x = %d", m["x"])
+	}
+}
+
+func TestSolvePopcountObfuscation(t *testing.T) {
+	// The RQ3 obfuscator encodes arguments with popcount; make sure the
+	// solver penetrates it: popcount(x) == 3 with x < 8 -> x == 7.
+	c := NewCtx()
+	x := c.Var("x", 8)
+	m := mustSat(t, []*Expr{
+		c.Eq(c.Popcount(x), c.Const(3, 8)),
+		c.Ult(x, c.Const(8, 8)),
+	})
+	if m["x"] != 7 {
+		t.Errorf("x = %d, want 7", m["x"])
+	}
+}
+
+func TestSolveUnsatPigeonhole(t *testing.T) {
+	// Forces the CDCL core to do real work: x != all 4 values of width 2.
+	c := NewCtx()
+	x := c.Var("x", 2)
+	var cs []*Expr
+	for v := uint64(0); v < 4; v++ {
+		cs = append(cs, c.Ne(x, c.Const(v, 2)))
+	}
+	mustUnsat(t, cs)
+}
+
+func TestSolverFastPathDisabled(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	s := &Solver{DisableFastPath: true}
+	m, r := s.Solve([]*Expr{c.Eq(c.Add(x, c.Const(5, 32)), c.Const(12, 32))})
+	if r != Sat || m["x"] != 7 {
+		t.Fatalf("r=%s m=%v", r, m)
+	}
+	if s.Stats.SATCalls != 1 {
+		t.Errorf("SATCalls = %d, want 1", s.Stats.SATCalls)
+	}
+}
+
+// TestEvalMatchesGo cross-checks the evaluator against Go semantics on
+// random 64-bit operations.
+func TestEvalMatchesGo(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 64)
+	y := c.Var("y", 64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		m := Model{"x": a, "y": b}
+		checks := []struct {
+			name string
+			expr *Expr
+			want uint64
+		}{
+			{"add", c.Add(x, y), a + b},
+			{"sub", c.Sub(x, y), a - b},
+			{"mul", c.Mul(x, y), a * b},
+			{"and", c.And(x, y), a & b},
+			{"or", c.Or(x, y), a | b},
+			{"xor", c.Xor(x, y), a ^ b},
+			{"shl", c.Shl(x, c.Const(b%64, 64)), a << (b % 64)},
+			{"lshr", c.Lshr(x, c.Const(b%64, 64)), a >> (b % 64)},
+			{"ashr", c.Ashr(x, c.Const(b%64, 64)), uint64(int64(a) >> (b % 64))},
+		}
+		for _, ch := range checks {
+			if got := Eval(ch.expr, m); got != ch.want {
+				t.Fatalf("%s(%#x,%#x) = %#x, want %#x", ch.name, a, b, got, ch.want)
+			}
+		}
+		ult := uint64(0)
+		if a < b {
+			ult = 1
+		}
+		if got := Eval(c.Ult(x, y), m); got != ult {
+			t.Fatalf("ult(%#x,%#x) = %d, want %d", a, b, got, ult)
+		}
+		slt := uint64(0)
+		if int64(a) < int64(b) {
+			slt = 1
+		}
+		if got := Eval(c.Slt(x, y), m); got != slt {
+			t.Fatalf("slt(%#x,%#x) = %d, want %d", a, b, got, slt)
+		}
+	}
+}
+
+// TestBitblastSoundness property-checks: for random small constraint
+// systems that are satisfiable by construction, the solver must find a
+// model (completeness on sat instances) and the model must check.
+func TestBitblastSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCtx()
+		x := c.Var("x", 16)
+		y := c.Var("y", 16)
+		// Pick a hidden solution, generate constraints true under it.
+		hx, hy := uint64(rng.Intn(1<<16)), uint64(rng.Intn(1<<16))
+		hidden := Model{"x": hx, "y": hy}
+		exprs := []*Expr{
+			c.Add(x, y), c.Sub(x, y), c.Xor(x, y), c.And(x, y), c.Or(x, y),
+			c.Mul(x, c.Const(uint64(rng.Intn(100)), 16)),
+		}
+		var cs []*Expr
+		for i := 0; i < 3; i++ {
+			e := exprs[rng.Intn(len(exprs))]
+			cs = append(cs, c.Eq(e, c.Const(Eval(e, hidden), 16)))
+		}
+		s := &Solver{DisableFastPath: seed%2 == 0}
+		m, r := s.Solve(cs)
+		return r == Sat && SatisfiesAll(cs, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifierIdentities(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	zero := c.Const(0, 32)
+	tests := []struct {
+		name string
+		got  *Expr
+		want *Expr
+	}{
+		{"x+0", c.Add(x, zero), x},
+		{"x-x", c.Sub(x, x), zero},
+		{"x^x", c.Xor(x, x), zero},
+		{"x&x", c.And(x, x), x},
+		{"x|0", c.Or(x, zero), x},
+		{"x*1", c.Mul(x, c.Const(1, 32)), x},
+		{"x*0", c.Mul(x, zero), zero},
+		{"not not x", c.Not(c.Not(x)), x},
+		{"eq same", c.Eq(x, x), c.True()},
+		{"extract full", c.Extract(x, 31, 0), x},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("%s: got %s, want %s", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	c := NewCtx()
+	x := c.Var("x", 32)
+	a := c.Add(x, c.Const(5, 32))
+	b := c.Add(x, c.Const(5, 32))
+	if a != b {
+		t.Error("identical expressions not interned to same node")
+	}
+}
+
+func TestSolvePoolParallel(t *testing.T) {
+	c := NewCtx()
+	var queries []Query
+	for i := 0; i < 20; i++ {
+		x := c.Var("x", 32)
+		queries = append(queries, Query{
+			ID:          i,
+			Constraints: []*Expr{c.Eq(x, c.Const(uint64(i), 32))},
+		})
+	}
+	answers := SolvePool(queries, 4, 0)
+	if len(answers) != 20 {
+		t.Fatalf("got %d answers", len(answers))
+	}
+	for _, a := range answers {
+		if a.Result != Sat {
+			t.Errorf("query %d: %s", a.ID, a.Result)
+		}
+		if a.Model["x"] != uint64(a.ID) {
+			t.Errorf("query %d: x = %d", a.ID, a.Model["x"])
+		}
+	}
+}
+
+func TestSolverUnknownOnBudget(t *testing.T) {
+	c := NewCtx()
+	// A multiplication inversion the fast path cannot do, with a 1-conflict
+	// budget: the solver must answer Unknown, never a wrong verdict.
+	x := c.Var("x", 32)
+	y := c.Var("y", 32)
+	cs := []*Expr{
+		c.Eq(c.Mul(x, y), c.Const(0x12345679, 32)),
+		c.Ugt(x, c.Const(3, 32)),
+		c.Ugt(y, c.Const(3, 32)),
+	}
+	s := &Solver{MaxConflicts: 1, DisableFastPath: true}
+	if _, r := s.Solve(cs); r != Unknown && r != Sat {
+		t.Errorf("tiny budget gave %s; only sat-with-model or unknown are sound", r)
+	}
+	if s.Stats.Queries != 1 {
+		t.Errorf("stats.Queries = %d", s.Stats.Queries)
+	}
+}
+
+func TestSolveEmptyAndTrivial(t *testing.T) {
+	c := NewCtx()
+	s := &Solver{}
+	if m, r := s.Solve(nil); r != Sat || m == nil {
+		t.Errorf("empty conjunction: %v %v", m, r)
+	}
+	if _, r := s.Solve([]*Expr{c.True()}); r != Sat {
+		t.Errorf("trivially true: %v", r)
+	}
+	if _, r := s.Solve([]*Expr{c.False()}); r != Unsat {
+		t.Errorf("trivially false: %v", r)
+	}
+}

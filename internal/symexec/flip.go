@@ -1,0 +1,136 @@
+package symexec
+
+import (
+	"strings"
+
+	"repro/internal/symbolic"
+)
+
+// BranchTarget identifies one (site, direction) the fuzzer wants to reach.
+type BranchTarget struct {
+	Func uint32
+	PC   int
+	Dir  uint8
+}
+
+// FlipQuery is one constraint system whose solution is an adaptive seed
+// steering execution to Target (§3.4.4).
+type FlipQuery struct {
+	Target      BranchTarget
+	Constraints []*symbolic.Expr
+}
+
+// FlipQueries builds the §3.4.4 constraint systems from a replay result:
+// for each input-dependent conditional state, the path constraints up to it
+// conjoined with the flipped condition. Assertions along the prefix are
+// required to hold; a failed assertion is itself "flipped" by requiring it
+// to be satisfied.
+func FlipQueries(res *Result) []FlipQuery {
+	ctx := res.Ctx
+	var queries []FlipQuery
+	var prefix []*symbolic.Expr
+
+	for i := range res.Conds {
+		cs := &res.Conds[i]
+		switch cs.Kind {
+		case CondBranch:
+			if inputDependent(cs.Cond) {
+				dir := uint8(0)
+				if !cs.Taken { // flipping to the untaken direction
+					dir = 1
+				}
+				flipped := ctx.Bool(cs.Cond)
+				if cs.Taken {
+					flipped = ctx.BoolNot(flipped)
+				}
+				queries = append(queries, FlipQuery{
+					Target:      BranchTarget{Func: cs.Func, PC: cs.PC, Dir: dir},
+					Constraints: appendCopy(prefix, flipped),
+				})
+			}
+		case CondAssert:
+			if !cs.Taken && inputDependent(cs.Cond) {
+				// The assert failed: require it (paper: μ̂s[0] == 1).
+				queries = append(queries, FlipQuery{
+					Target:      BranchTarget{Func: cs.Func, PC: cs.PC, Dir: 1},
+					Constraints: appendCopy(prefix, ctx.Bool(cs.Cond)),
+				})
+			}
+		case CondBrTable:
+			if inputDependent(cs.Cond) {
+				for alt := 0; alt < cs.NumTargets; alt++ {
+					if uint64(alt) == cs.Index {
+						continue
+					}
+					queries = append(queries, FlipQuery{
+						Target:      BranchTarget{Func: cs.Func, PC: cs.PC, Dir: uint8(alt % 251)},
+						Constraints: appendCopy(prefix, ctx.Eq(cs.Cond, ctx.Const(uint64(alt), cs.Cond.Width))),
+					})
+				}
+			}
+		}
+		// Extend the path prefix with the as-taken constraint, keeping the
+		// feasibility of subsequent flips (§3.4.4: "the path to the
+		// conditional state must be feasible").
+		pcExpr := cs.PathConstraint(ctx)
+		if !pcExpr.IsTrue() {
+			prefix = append(prefix, pcExpr)
+		}
+	}
+	return queries
+}
+
+func appendCopy(prefix []*symbolic.Expr, last *symbolic.Expr) []*symbolic.Expr {
+	out := make([]*symbolic.Expr, 0, len(prefix)+1)
+	out = append(out, prefix...)
+	return append(out, last)
+}
+
+// inputDependent reports whether the expression mentions at least one
+// transaction-input variable (p0, p1, p2.amount, p3[0], ...). Symbolic
+// load objects (mem[...]) and opaque float/clz temporaries alone do not
+// make a branch steerable by seed mutation.
+func inputDependent(e *symbolic.Expr) bool {
+	vars := map[string]*symbolic.Expr{}
+	e.Vars(vars)
+	for name := range vars {
+		if strings.HasPrefix(name, "p") {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyModel produces a mutated copy of params with the model's solution
+// substituted; variables absent from the model keep the original seed value
+// (the paper mutates one parameter per seed round, leaving the rest).
+func ApplyModel(params []Param, m symbolic.Model) []Param {
+	out := make([]Param, len(params))
+	copy(out, params)
+	for i := range out {
+		switch out[i].Type {
+		case "asset":
+			if v, ok := m[VarAmount(i)]; ok {
+				out[i].Amount = v
+			}
+			if v, ok := m[VarSymbol(i)]; ok {
+				out[i].Symbol = v
+			}
+		case "string":
+			if len(out[i].Str) > 0 {
+				str := append([]byte(nil), out[i].Str...)
+				for j := range str {
+					if v, ok := m[VarStrByte(i, j)]; ok {
+						str[j] = byte(v)
+					}
+				}
+				out[i].Str = str
+			}
+		default:
+			if v, ok := m[VarName(i)]; ok {
+				out[i].U64 = v
+			}
+		}
+	}
+	return out
+}

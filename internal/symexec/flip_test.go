@@ -1,0 +1,146 @@
+package symexec
+
+import (
+	"testing"
+
+	"repro/internal/symbolic"
+)
+
+// synthetic result construction helpers.
+func mkResult(ctx *symbolic.Ctx, conds ...CondState) *Result {
+	return &Result{Ctx: ctx, Conds: conds}
+}
+
+func TestFlipQueriesBranchDirections(t *testing.T) {
+	ctx := symbolic.NewCtx()
+	x := ctx.Var(VarName(0), 64)
+	cond := ctx.FromBool(ctx.Eq(x, ctx.Const(5, 64)), 32)
+
+	// A taken input-dependent branch flips to the untaken direction.
+	res := mkResult(ctx, CondState{Kind: CondBranch, Cond: cond, Taken: true, Func: 7, PC: 3})
+	qs := FlipQueries(res)
+	if len(qs) != 1 {
+		t.Fatalf("queries = %d, want 1", len(qs))
+	}
+	if qs[0].Target != (BranchTarget{Func: 7, PC: 3, Dir: 0}) {
+		t.Errorf("target = %+v", qs[0].Target)
+	}
+	m, r := (&symbolic.Solver{}).Solve(qs[0].Constraints)
+	if r != symbolic.Sat || m[VarName(0)] == 5 {
+		t.Errorf("flip of taken x==5 should give x != 5: %v %v", m, r)
+	}
+
+	// The untaken direction flips to taken.
+	res = mkResult(ctx, CondState{Kind: CondBranch, Cond: cond, Taken: false, Func: 7, PC: 3})
+	qs = FlipQueries(res)
+	if qs[0].Target.Dir != 1 {
+		t.Errorf("dir = %d, want 1", qs[0].Target.Dir)
+	}
+	m, r = (&symbolic.Solver{}).Solve(qs[0].Constraints)
+	if r != symbolic.Sat || m[VarName(0)] != 5 {
+		t.Errorf("flip of untaken x==5 should give x == 5: %v %v", m, r)
+	}
+}
+
+func TestFlipQueriesRespectPathPrefix(t *testing.T) {
+	ctx := symbolic.NewCtx()
+	x := ctx.Var(VarName(0), 64)
+	first := ctx.FromBool(ctx.Ult(x, ctx.Const(100, 64)), 32) // taken: x < 100
+	second := ctx.FromBool(ctx.Ult(x, ctx.Const(50, 64)), 32) // untaken: !(x < 50)
+	res := mkResult(ctx,
+		CondState{Kind: CondBranch, Cond: first, Taken: true, Func: 1, PC: 1},
+		CondState{Kind: CondBranch, Cond: second, Taken: false, Func: 1, PC: 2},
+	)
+	qs := FlipQueries(res)
+	if len(qs) != 2 {
+		t.Fatalf("queries = %d, want 2", len(qs))
+	}
+	// Flipping the second keeps the first as a prefix: x < 100 AND x < 50.
+	m, r := (&symbolic.Solver{}).Solve(qs[1].Constraints)
+	if r != symbolic.Sat {
+		t.Fatalf("second flip unsat")
+	}
+	if m[VarName(0)] >= 50 {
+		t.Errorf("x = %d violates the flipped second branch", m[VarName(0)])
+	}
+}
+
+func TestFlipQueriesFailedAssertRequired(t *testing.T) {
+	ctx := symbolic.NewCtx()
+	x := ctx.Var(VarName(0), 64)
+	assertCond := ctx.FromBool(ctx.Uge(x, ctx.Const(100000, 64)), 32)
+	res := mkResult(ctx, CondState{Kind: CondAssert, Cond: assertCond, Taken: false, Func: 2, PC: 9})
+	qs := FlipQueries(res)
+	if len(qs) != 1 {
+		t.Fatalf("queries = %d, want 1", len(qs))
+	}
+	m, r := (&symbolic.Solver{}).Solve(qs[0].Constraints)
+	if r != symbolic.Sat || m[VarName(0)] < 100000 {
+		t.Errorf("assert flip should satisfy x >= 100000: %v", m)
+	}
+
+	// A PASSED assert is a requirement, not a flip target.
+	res = mkResult(ctx, CondState{Kind: CondAssert, Cond: assertCond, Taken: true, Func: 2, PC: 9})
+	if qs := FlipQueries(res); len(qs) != 0 {
+		t.Errorf("passed assert produced %d queries", len(qs))
+	}
+}
+
+func TestFlipQueriesSkipNonInputConds(t *testing.T) {
+	ctx := symbolic.NewCtx()
+	memObj := ctx.Var("mem[100]", 8) // a symbolic load object, not an input
+	cond := ctx.FromBool(ctx.Eq(memObj, ctx.Const(1, 8)), 32)
+	res := mkResult(ctx, CondState{Kind: CondBranch, Cond: cond, Taken: true, Func: 1, PC: 1})
+	if qs := FlipQueries(res); len(qs) != 0 {
+		t.Errorf("non-steerable branch produced %d queries", len(qs))
+	}
+	// Constant conditions are equally non-steerable.
+	constCond := ctx.Const(1, 32)
+	res = mkResult(ctx, CondState{Kind: CondBranch, Cond: constCond, Taken: true, Func: 1, PC: 1})
+	if qs := FlipQueries(res); len(qs) != 0 {
+		t.Errorf("constant branch produced %d queries", len(qs))
+	}
+}
+
+func TestFlipQueriesBrTableAlternatives(t *testing.T) {
+	ctx := symbolic.NewCtx()
+	x := ctx.Var(VarName(0), 64)
+	idx := ctx.Truncate(ctx.And(x, ctx.Const(3, 64)), 32)
+	res := mkResult(ctx, CondState{
+		Kind: CondBrTable, Cond: idx, Index: 1, NumTargets: 4, Func: 4, PC: 8,
+	})
+	qs := FlipQueries(res)
+	if len(qs) != 3 {
+		t.Fatalf("queries = %d, want 3 (every arm but the taken one)", len(qs))
+	}
+	seen := map[uint64]bool{}
+	for _, q := range qs {
+		m, r := (&symbolic.Solver{}).Solve(q.Constraints)
+		if r != symbolic.Sat {
+			t.Fatalf("arm query unsat")
+		}
+		seen[m[VarName(0)]&3] = true
+	}
+	if len(seen) != 3 || seen[1] {
+		t.Errorf("arm selection values: %v", seen)
+	}
+}
+
+func TestPathConstraintForms(t *testing.T) {
+	ctx := symbolic.NewCtx()
+	x := ctx.Var("p0", 64)
+	cond := ctx.FromBool(ctx.Eq(x, ctx.Const(9, 64)), 32)
+
+	taken := CondState{Kind: CondBranch, Cond: cond, Taken: true}
+	if !symbolic.EvalBool(taken.PathConstraint(ctx), symbolic.Model{"p0": 9}) {
+		t.Error("taken constraint should hold at x=9")
+	}
+	untaken := CondState{Kind: CondBranch, Cond: cond, Taken: false}
+	if symbolic.EvalBool(untaken.PathConstraint(ctx), symbolic.Model{"p0": 9}) {
+		t.Error("untaken constraint should fail at x=9")
+	}
+	table := CondState{Kind: CondBrTable, Cond: ctx.Truncate(x, 32), Index: 3}
+	if !symbolic.EvalBool(table.PathConstraint(ctx), symbolic.Model{"p0": 3}) {
+		t.Error("br_table constraint should hold at index 3")
+	}
+}

@@ -1,0 +1,114 @@
+// Package symexec implements Symback, WASAI's symbolic backend (paper §3.4):
+// an EOSVM simulator that replays runtime traces to build symbolic machine
+// states, a memory model keyed on the concrete addresses captured in the
+// trace (§3.4.1), direct symbolic initialization of action-function inputs
+// following the EOSIO calling convention (§3.4.2, Table 2), the operational
+// semantics of Table 3 (§3.4.3), and constraint flipping for adaptive seed
+// generation (§3.4.4).
+package symexec
+
+import (
+	"fmt"
+
+	"repro/internal/symbolic"
+	"repro/internal/wasm"
+)
+
+// Memory is the §3.4.1 memory model: a byte-granular array (the Z3
+// Store/Select analogue) addressed by the *concrete* addresses read from
+// runtime traces. Loads of bytes never stored resolve to symbolic load
+// objects ⟨a, s⟩ — fresh variables registered so that repeated loads of the
+// same unknown cell agree.
+type Memory struct {
+	ctx   *symbolic.Ctx
+	bytes map[uint32]*symbolic.Expr
+	// loadObjects counts the symbolic load objects created (evaluation stat).
+	loadObjects int
+}
+
+// NewMemory returns an empty memory model over ctx.
+func NewMemory(ctx *symbolic.Ctx) *Memory {
+	return &Memory{ctx: ctx, bytes: map[uint32]*symbolic.Expr{}}
+}
+
+// Store writes the low size bytes of val at addr (little-endian), splitting
+// the expression into byte vectors as §3.4.1 describes.
+func (m *Memory) Store(addr uint32, size int, val *symbolic.Expr) {
+	for i := 0; i < size; i++ {
+		lo := uint8(8 * i)
+		m.bytes[addr+uint32(i)] = m.ctx.Extract(val, lo+7, lo)
+	}
+}
+
+// StoreByte writes one 8-bit expression.
+func (m *Memory) StoreByte(addr uint32, b *symbolic.Expr) {
+	m.bytes[addr] = b
+}
+
+// Load reads size bytes at addr and concatenates them into one expression
+// of width 8*size. Unknown bytes become symbolic load objects.
+func (m *Memory) Load(addr uint32, size int) *symbolic.Expr {
+	var out *symbolic.Expr
+	for i := size - 1; i >= 0; i-- {
+		a := addr + uint32(i)
+		b, ok := m.bytes[a]
+		if !ok {
+			// Symbolic load object ⟨a, 1⟩.
+			b = m.ctx.Var(fmt.Sprintf("mem[%d]", a), 8)
+			m.bytes[a] = b
+			m.loadObjects++
+		}
+		if out == nil {
+			out = b
+		} else {
+			out = m.ctx.Concat(out, b)
+		}
+	}
+	return out
+}
+
+// LoadObjects returns how many symbolic load objects were materialized.
+func (m *Memory) LoadObjects() int { return m.loadObjects }
+
+// LoadOp applies the full semantics of a Wasm load opcode at the concrete
+// address: read MemBytes bytes, then zero/sign-extend to the result width.
+func (m *Memory) LoadOp(op wasm.Opcode, addr uint32) (*symbolic.Expr, error) {
+	n := op.MemBytes()
+	if n == 0 {
+		return nil, fmt.Errorf("symexec: %s is not a load", op.Name())
+	}
+	raw := m.Load(addr, n)
+	switch op {
+	case wasm.OpI32Load, wasm.OpF32Load:
+		return raw, nil
+	case wasm.OpI64Load, wasm.OpF64Load:
+		return raw, nil
+	case wasm.OpI32Load8U, wasm.OpI32Load16U:
+		return m.ctx.ZExt(raw, 32), nil
+	case wasm.OpI32Load8S, wasm.OpI32Load16S:
+		return m.ctx.SExt(raw, 32), nil
+	case wasm.OpI64Load8U, wasm.OpI64Load16U, wasm.OpI64Load32U:
+		return m.ctx.ZExt(raw, 64), nil
+	case wasm.OpI64Load8S, wasm.OpI64Load16S, wasm.OpI64Load32S:
+		return m.ctx.SExt(raw, 64), nil
+	default:
+		return nil, fmt.Errorf("symexec: unhandled load %s", op.Name())
+	}
+}
+
+// StoreOp applies the full semantics of a Wasm store opcode at the concrete
+// address: truncate val to the store width and write the bytes.
+func (m *Memory) StoreOp(op wasm.Opcode, addr uint32, val *symbolic.Expr) error {
+	n := op.MemBytes()
+	if n == 0 {
+		return fmt.Errorf("symexec: %s is not a store", op.Name())
+	}
+	w := uint8(8 * n)
+	if val.Width > w {
+		val = m.ctx.Truncate(val, w)
+	} else if val.Width < w {
+		val = m.ctx.ZExt(val, w)
+	}
+	m.Store(addr, n, val)
+	return nil
+}

@@ -1,0 +1,70 @@
+package symexec
+
+import (
+	"fmt"
+
+	"repro/internal/symbolic"
+)
+
+// NaiveMemory is the EOSAFE-style memory model the paper contrasts with
+// (§3.2 C2): an append-only mapping of (address, content) writes where
+// every load "needs to search all items in its memory model to merge the
+// overlapped contents". It exists for the ablation benchmark comparing
+// symbolic-memory throughput; Symback itself uses Memory.
+type NaiveMemory struct {
+	ctx    *symbolic.Ctx
+	writes []naiveWrite
+	fresh  map[uint32]*symbolic.Expr
+}
+
+type naiveWrite struct {
+	addr uint32
+	size int
+	val  *symbolic.Expr
+}
+
+// NewNaiveMemory returns an empty naive model over ctx.
+func NewNaiveMemory(ctx *symbolic.Ctx) *NaiveMemory {
+	return &NaiveMemory{ctx: ctx, fresh: map[uint32]*symbolic.Expr{}}
+}
+
+// Store appends a write record without any indexing.
+func (m *NaiveMemory) Store(addr uint32, size int, val *symbolic.Expr) {
+	m.writes = append(m.writes, naiveWrite{addr: addr, size: size, val: val})
+}
+
+// Load scans every write (newest last wins) for each requested byte and
+// concatenates the result — the O(n·size) behaviour that throttles EOSAFE
+// on deep code.
+func (m *NaiveMemory) Load(addr uint32, size int) *symbolic.Expr {
+	var out *symbolic.Expr
+	for i := size - 1; i >= 0; i-- {
+		b := m.loadByte(addr + uint32(i))
+		if out == nil {
+			out = b
+		} else {
+			out = m.ctx.Concat(out, b)
+		}
+	}
+	return out
+}
+
+func (m *NaiveMemory) loadByte(a uint32) *symbolic.Expr {
+	// Scan all items, newest overriding: a full pass per byte.
+	var found *symbolic.Expr
+	for _, w := range m.writes {
+		if a >= w.addr && a < w.addr+uint32(w.size) {
+			lo := uint8(8 * (a - w.addr))
+			found = m.ctx.Extract(w.val, lo+7, lo)
+		}
+	}
+	if found != nil {
+		return found
+	}
+	if f, ok := m.fresh[a]; ok {
+		return f
+	}
+	f := m.ctx.Var(fmt.Sprintf("mem[%d]", a), 8)
+	m.fresh[a] = f
+	return f
+}

@@ -1,0 +1,255 @@
+// Package trace defines the runtime-trace event model of WASAI.
+//
+// A trace is the sequence of Wasm instructions a contract actually executed,
+// together with the concrete operands the symbolic backend cannot derive
+// statically: memory addresses, branch conditions, indirect-call table
+// indices, and host/library-call returns (paper §3.1, §3.3.1). Events are
+// emitted by the instrumentation hooks injected into contract bytecode and
+// collected per contract, so traces from auxiliary contracts (for example
+// eosio.token) never pollute the analysis of the fuzzing target.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/eos"
+	"repro/internal/wasm"
+)
+
+// HookKind identifies which low-level hook produced an event. The five
+// function-invocation hooks follow Table 1 of the paper.
+type HookKind byte
+
+// Hook kinds.
+const (
+	HookInstr     HookKind = iota + 1 // generic instruction site
+	HookCond                          // br_if / if: condition operand
+	HookBrTable                       // br_table: index operand
+	HookMem                           // load/store: concrete address operand
+	HookCallPre                       // before an invocation: callee (or table index)
+	HookCall                          // the invocation itself (resolved callee)
+	HookCallPost                      // after the invocation: returned value
+	HookFuncBegin                     // begin of the invoked function's body
+	HookFuncEnd                       // end of the invoked function's body
+	HookCmp                           // i64.eq / i64.ne: one event per operand (a then b)
+	HookParam                         // function parameter value at function_begin
+)
+
+// String names the hook kind.
+func (k HookKind) String() string {
+	switch k {
+	case HookInstr:
+		return "instr"
+	case HookCond:
+		return "cond"
+	case HookBrTable:
+		return "br_table"
+	case HookMem:
+		return "mem"
+	case HookCallPre:
+		return "call_pre"
+	case HookCall:
+		return "call"
+	case HookCallPost:
+		return "call_post"
+	case HookFuncBegin:
+		return "function_begin"
+	case HookFuncEnd:
+		return "function_end"
+	case HookCmp:
+		return "cmp"
+	case HookParam:
+		return "param"
+	default:
+		return fmt.Sprintf("hook(%d)", byte(k))
+	}
+}
+
+// Event is one trace record τ(i, p⃗): the executed instruction i (located by
+// function index and pc in the instrumented module) and the captured
+// operands p⃗.
+type Event struct {
+	Kind HookKind
+	Func uint32      // function index in the instrumented module
+	PC   int         // instruction index within the function body
+	Op   wasm.Opcode // static opcode at the site (zero for begin/end labels)
+	// Operand carries the captured runtime value: branch condition,
+	// concrete memory address, table index, callee function index, or a
+	// returned value, depending on Kind.
+	Operand uint64
+}
+
+// Trace is the per-action event sequence of one contract.
+type Trace struct {
+	Contract eos.Name
+	Action   eos.Name
+	Events   []Event
+}
+
+// Collector accumulates traces during transaction execution and exports
+// them when an action finishes (the paper's finalize_trace point).
+type Collector struct {
+	current  []Event
+	finished []Trace
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Emit appends an event to the in-flight action trace.
+func (c *Collector) Emit(ev Event) { c.current = append(c.current, ev) }
+
+// Finalize closes the in-flight trace, tagging it with the contract and
+// action, and makes it available via Traces. Mirrors
+// apply_context::finalize_trace in Nodeos.
+func (c *Collector) Finalize(contract, action eos.Name) {
+	if len(c.current) == 0 {
+		return
+	}
+	c.finished = append(c.finished, Trace{Contract: contract, Action: action, Events: c.current})
+	c.current = nil
+}
+
+// Discard drops the in-flight trace (used when an action reverts before
+// producing a complete trace is NOT desired — WASAI analyzes reverted
+// executions too, so Discard is only for collector reuse).
+func (c *Collector) Discard() { c.current = nil }
+
+// Traces returns the finished traces collected so far.
+func (c *Collector) Traces() []Trace { return c.finished }
+
+// Reset clears all state.
+func (c *Collector) Reset() {
+	c.current = nil
+	c.finished = nil
+}
+
+// TakeTraces returns the finished traces and clears them.
+func (c *Collector) TakeTraces() []Trace {
+	t := c.finished
+	c.finished = nil
+	return t
+}
+
+// --- Offline files ----------------------------------------------------------
+//
+// The paper redirects traces to offline files once an EOSVM thread finishes.
+// The binary layout is a simple length-prefixed record stream.
+
+const fileMagic = uint32(0x57415341) // "WASA"
+
+// Write serializes traces to w in the offline-file format.
+func Write(w io.Writer, traces []Trace) error {
+	bw := bufio.NewWriter(w)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(traces)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, tr := range traces {
+		var th [20]byte
+		binary.LittleEndian.PutUint64(th[0:], uint64(tr.Contract))
+		binary.LittleEndian.PutUint64(th[8:], uint64(tr.Action))
+		binary.LittleEndian.PutUint32(th[16:], uint32(len(tr.Events)))
+		if _, err := bw.Write(th[:]); err != nil {
+			return fmt.Errorf("trace: write trace header: %w", err)
+		}
+		var rec [22]byte
+		for _, ev := range tr.Events {
+			rec[0] = byte(ev.Kind)
+			rec[1] = byte(ev.Op)
+			binary.LittleEndian.PutUint32(rec[2:], ev.Func)
+			binary.LittleEndian.PutUint32(rec[6:], uint32(ev.PC))
+			binary.LittleEndian.PutUint64(rec[10:], ev.Operand)
+			binary.LittleEndian.PutUint32(rec[18:], 0) // reserved
+			if _, err := bw.Write(rec[:]); err != nil {
+				return fmt.Errorf("trace: write event: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes traces from the offline-file format.
+func Read(r io.Reader) ([]Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[:4]) != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic")
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	traces := make([]Trace, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var th [20]byte
+		if _, err := io.ReadFull(br, th[:]); err != nil {
+			return nil, fmt.Errorf("trace: read trace %d header: %w", i, err)
+		}
+		tr := Trace{
+			Contract: eos.Name(binary.LittleEndian.Uint64(th[0:])),
+			Action:   eos.Name(binary.LittleEndian.Uint64(th[8:])),
+		}
+		ne := binary.LittleEndian.Uint32(th[16:])
+		tr.Events = make([]Event, 0, ne)
+		var rec [22]byte
+		for j := uint32(0); j < ne; j++ {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("trace: read event %d/%d: %w", i, j, err)
+			}
+			tr.Events = append(tr.Events, Event{
+				Kind:    HookKind(rec[0]),
+				Op:      wasm.Opcode(rec[1]),
+				Func:    binary.LittleEndian.Uint32(rec[2:]),
+				PC:      int(binary.LittleEndian.Uint32(rec[6:])),
+				Operand: binary.LittleEndian.Uint64(rec[10:]),
+			})
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+// CalledFuncs returns the ordered list of resolved callee function indices
+// (the paper's id⃗ function-call chain) observed in the trace.
+func (t *Trace) CalledFuncs() []uint32 {
+	var ids []uint32
+	for _, ev := range t.Events {
+		if ev.Kind == HookCall {
+			ids = append(ids, uint32(ev.Operand))
+		}
+	}
+	return ids
+}
+
+// Branches returns the distinct (site, direction) pairs exercised — the
+// branch-coverage unit of RQ1.
+func (t *Trace) Branches() map[BranchKey]struct{} {
+	out := make(map[BranchKey]struct{})
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case HookCond:
+			dir := uint8(0)
+			if ev.Operand != 0 {
+				dir = 1
+			}
+			out[BranchKey{Func: ev.Func, PC: ev.PC, Dir: dir}] = struct{}{}
+		case HookBrTable:
+			// Each distinct selected arm counts as a distinct branch.
+			out[BranchKey{Func: ev.Func, PC: ev.PC, Dir: uint8(ev.Operand % 251)}] = struct{}{}
+		}
+	}
+	return out
+}
+
+// BranchKey identifies one conditional-branch direction at one site.
+type BranchKey struct {
+	Func uint32
+	PC   int
+	Dir  uint8
+}

@@ -1,0 +1,95 @@
+package wasm
+
+// Instruction constructors used by the instrumenter and the synthetic
+// contract builder. They keep call sites readable and centralize the
+// immediate-field conventions documented on Instr.
+
+// I32Const builds an i32.const instruction.
+func I32Const(v int32) Instr { return Instr{Op: OpI32Const, Imm: uint64(int64(v))} }
+
+// I64Const builds an i64.const instruction.
+func I64Const(v int64) Instr { return Instr{Op: OpI64Const, Imm: uint64(v)} }
+
+// LocalGet builds a local.get instruction.
+func LocalGet(idx uint32) Instr { return Instr{Op: OpLocalGet, A: idx} }
+
+// LocalSet builds a local.set instruction.
+func LocalSet(idx uint32) Instr { return Instr{Op: OpLocalSet, A: idx} }
+
+// LocalTee builds a local.tee instruction.
+func LocalTee(idx uint32) Instr { return Instr{Op: OpLocalTee, A: idx} }
+
+// GlobalGet builds a global.get instruction.
+func GlobalGet(idx uint32) Instr { return Instr{Op: OpGlobalGet, A: idx} }
+
+// GlobalSet builds a global.set instruction.
+func GlobalSet(idx uint32) Instr { return Instr{Op: OpGlobalSet, A: idx} }
+
+// Call builds a call instruction.
+func Call(funcIdx uint32) Instr { return Instr{Op: OpCall, A: funcIdx} }
+
+// CallIndirect builds a call_indirect instruction for the given type index.
+func CallIndirect(typeIdx uint32) Instr { return Instr{Op: OpCallIndirect, A: typeIdx} }
+
+// Br builds a br instruction.
+func Br(depth uint32) Instr { return Instr{Op: OpBr, A: depth} }
+
+// BrIf builds a br_if instruction.
+func BrIf(depth uint32) Instr { return Instr{Op: OpBrIf, A: depth} }
+
+// Block opens a block with no result.
+func Block() Instr { return Instr{Op: OpBlock, A: BlockTypeEmpty} }
+
+// BlockTyped opens a block yielding one value of type t.
+func BlockTyped(t ValType) Instr { return Instr{Op: OpBlock, A: uint32(t)} }
+
+// Loop opens a loop with no result.
+func Loop() Instr { return Instr{Op: OpLoop, A: BlockTypeEmpty} }
+
+// If opens an if with no result.
+func If() Instr { return Instr{Op: OpIf, A: BlockTypeEmpty} }
+
+// IfTyped opens an if yielding one value of type t.
+func IfTyped(t ValType) Instr { return Instr{Op: OpIf, A: uint32(t)} }
+
+// Else builds an else instruction.
+func Else() Instr { return Instr{Op: OpElse} }
+
+// End builds an end instruction.
+func End() Instr { return Instr{Op: OpEnd} }
+
+// Return builds a return instruction.
+func Return() Instr { return Instr{Op: OpReturn} }
+
+// Unreachable builds an unreachable instruction.
+func Unreachable() Instr { return Instr{Op: OpUnreachable} }
+
+// Drop builds a drop instruction.
+func Drop() Instr { return Instr{Op: OpDrop} }
+
+// Op0 builds an instruction with no immediates (arithmetic, comparison...).
+func Op0(op Opcode) Instr { return Instr{Op: op} }
+
+// Load builds a load instruction with the given static offset. The align
+// hint is set to the natural alignment of the access width.
+func Load(op Opcode, offset uint32) Instr {
+	return Instr{Op: op, A: naturalAlign(op), B: offset}
+}
+
+// Store builds a store instruction with the given static offset.
+func Store(op Opcode, offset uint32) Instr {
+	return Instr{Op: op, A: naturalAlign(op), B: offset}
+}
+
+func naturalAlign(op Opcode) uint32 {
+	switch op.MemBytes() {
+	case 2:
+		return 1
+	case 4:
+		return 2
+	case 8:
+		return 3
+	default:
+		return 0
+	}
+}

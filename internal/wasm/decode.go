@@ -1,0 +1,645 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/leb128"
+)
+
+// Binary-format framing constants.
+var (
+	magic   = []byte{0x00, 0x61, 0x73, 0x6d}
+	version = []byte{0x01, 0x00, 0x00, 0x00}
+)
+
+// Section IDs.
+const (
+	secCustom = 0
+	secType   = 1
+	secImport = 2
+	secFunc   = 3
+	secTable  = 4
+	secMemory = 5
+	secGlobal = 6
+	secExport = 7
+	secStart  = 8
+	secElem   = 9
+	secCode   = 10
+	secData   = 11
+)
+
+// ErrBadMagic reports a module that does not begin with the Wasm preamble.
+var ErrBadMagic = errors.New("wasm: bad magic or version")
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) remaining() int { return len(d.buf) - d.pos }
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) bytes(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	p := d.buf[d.pos : d.pos+n]
+	d.pos += n
+	return p, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	v, n, err := leb128.Uint32(d.buf[d.pos:])
+	if err != nil {
+		return 0, err
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) s32() (int32, error) {
+	v, n, err := leb128.Int32(d.buf[d.pos:])
+	if err != nil {
+		return 0, err
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) s64() (int64, error) {
+	v, n, err := leb128.Int64(d.buf[d.pos:])
+	if err != nil {
+		return 0, err
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *decoder) name() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	p, err := d.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+func (d *decoder) valType() (ValType, error) {
+	b, err := d.byte()
+	if err != nil {
+		return 0, err
+	}
+	t := ValType(b)
+	if !t.Valid() {
+		return 0, fmt.Errorf("wasm: invalid value type 0x%02x at offset %d", b, d.pos-1)
+	}
+	return t, nil
+}
+
+func (d *decoder) limits() (Limits, error) {
+	flag, err := d.byte()
+	if err != nil {
+		return Limits{}, err
+	}
+	min, err := d.u32()
+	if err != nil {
+		return Limits{}, err
+	}
+	l := Limits{Min: min}
+	if flag == 1 {
+		max, err := d.u32()
+		if err != nil {
+			return Limits{}, err
+		}
+		l.Max, l.HasMax = max, true
+	} else if flag != 0 {
+		return Limits{}, fmt.Errorf("wasm: invalid limits flag 0x%02x", flag)
+	}
+	return l, nil
+}
+
+// Decode parses a binary module. It performs structural validation (index
+// bounds, section ordering, body/declaration count agreement) but not full
+// type checking; see Validate for the latter.
+func Decode(bin []byte) (*Module, error) {
+	d := &decoder{buf: bin}
+	m := &Module{FuncNames: map[uint32]string{}}
+
+	head, err := d.bytes(8)
+	if err != nil {
+		return nil, fmt.Errorf("wasm: truncated preamble: %w", err)
+	}
+	if string(head[:4]) != string(magic) || string(head[4:]) != string(version) {
+		return nil, ErrBadMagic
+	}
+
+	lastSection := -1
+	for d.remaining() > 0 {
+		id, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := d.u32()
+		if err != nil {
+			return nil, fmt.Errorf("wasm: section %d size: %w", id, err)
+		}
+		body, err := d.bytes(int(size))
+		if err != nil {
+			return nil, fmt.Errorf("wasm: section %d truncated: %w", id, err)
+		}
+		if id != secCustom {
+			if int(id) <= lastSection {
+				return nil, fmt.Errorf("wasm: section %d out of order", id)
+			}
+			lastSection = int(id)
+		}
+		sd := &decoder{buf: body}
+		if err := decodeSection(m, id, sd); err != nil {
+			return nil, fmt.Errorf("wasm: section %d: %w", id, err)
+		}
+		if sd.remaining() != 0 {
+			return nil, fmt.Errorf("wasm: section %d has %d trailing bytes", id, sd.remaining())
+		}
+	}
+	if len(m.Code) != len(m.Funcs) {
+		return nil, fmt.Errorf("wasm: %d function declarations but %d bodies", len(m.Funcs), len(m.Code))
+	}
+	return m, nil
+}
+
+func decodeSection(m *Module, id byte, d *decoder) error {
+	switch id {
+	case secCustom:
+		name, err := d.name()
+		if err != nil {
+			return err
+		}
+		rest, err := d.bytes(d.remaining())
+		if err != nil {
+			return err
+		}
+		m.Customs = append(m.Customs, CustomSection{Name: name, Data: append([]byte(nil), rest...)})
+		if name == "name" {
+			// Best effort: ignore malformed name sections.
+			_ = decodeNameSection(m, rest)
+		}
+		return nil
+	case secType:
+		return decodeVec(d, func() error {
+			form, err := d.byte()
+			if err != nil {
+				return err
+			}
+			if form != 0x60 {
+				return fmt.Errorf("invalid functype form 0x%02x", form)
+			}
+			var ft FuncType
+			np, err := d.u32()
+			if err != nil {
+				return err
+			}
+			for i := uint32(0); i < np; i++ {
+				t, err := d.valType()
+				if err != nil {
+					return err
+				}
+				ft.Params = append(ft.Params, t)
+			}
+			nr, err := d.u32()
+			if err != nil {
+				return err
+			}
+			for i := uint32(0); i < nr; i++ {
+				t, err := d.valType()
+				if err != nil {
+					return err
+				}
+				ft.Results = append(ft.Results, t)
+			}
+			m.Types = append(m.Types, ft)
+			return nil
+		})
+	case secImport:
+		return decodeVec(d, func() error {
+			mod, err := d.name()
+			if err != nil {
+				return err
+			}
+			name, err := d.name()
+			if err != nil {
+				return err
+			}
+			kind, err := d.byte()
+			if err != nil {
+				return err
+			}
+			imp := Import{Module: mod, Name: name, Kind: ExternalKind(kind)}
+			switch imp.Kind {
+			case ExternalFunc:
+				ti, err := d.u32()
+				if err != nil {
+					return err
+				}
+				imp.TypeIndex = ti
+			case ExternalTable:
+				et, err := d.byte()
+				if err != nil {
+					return err
+				}
+				if et != 0x70 {
+					return fmt.Errorf("invalid elem type 0x%02x", et)
+				}
+				l, err := d.limits()
+				if err != nil {
+					return err
+				}
+				imp.Table = TableType{Limits: l}
+			case ExternalMemory:
+				l, err := d.limits()
+				if err != nil {
+					return err
+				}
+				imp.Memory = MemType{Limits: l}
+			case ExternalGlobal:
+				t, err := d.valType()
+				if err != nil {
+					return err
+				}
+				mut, err := d.byte()
+				if err != nil {
+					return err
+				}
+				imp.Global = GlobalType{Type: t, Mutable: mut == 1}
+			default:
+				return fmt.Errorf("invalid import kind %d", kind)
+			}
+			m.Imports = append(m.Imports, imp)
+			return nil
+		})
+	case secFunc:
+		return decodeVec(d, func() error {
+			ti, err := d.u32()
+			if err != nil {
+				return err
+			}
+			m.Funcs = append(m.Funcs, ti)
+			return nil
+		})
+	case secTable:
+		return decodeVec(d, func() error {
+			et, err := d.byte()
+			if err != nil {
+				return err
+			}
+			if et != 0x70 {
+				return fmt.Errorf("invalid elem type 0x%02x", et)
+			}
+			l, err := d.limits()
+			if err != nil {
+				return err
+			}
+			m.Tables = append(m.Tables, TableType{Limits: l})
+			return nil
+		})
+	case secMemory:
+		return decodeVec(d, func() error {
+			l, err := d.limits()
+			if err != nil {
+				return err
+			}
+			m.Memories = append(m.Memories, MemType{Limits: l})
+			return nil
+		})
+	case secGlobal:
+		return decodeVec(d, func() error {
+			t, err := d.valType()
+			if err != nil {
+				return err
+			}
+			mut, err := d.byte()
+			if err != nil {
+				return err
+			}
+			init, err := decodeConstExpr(d)
+			if err != nil {
+				return err
+			}
+			m.Globals = append(m.Globals, Global{Type: GlobalType{Type: t, Mutable: mut == 1}, Init: init})
+			return nil
+		})
+	case secExport:
+		return decodeVec(d, func() error {
+			name, err := d.name()
+			if err != nil {
+				return err
+			}
+			kind, err := d.byte()
+			if err != nil {
+				return err
+			}
+			idx, err := d.u32()
+			if err != nil {
+				return err
+			}
+			m.Exports = append(m.Exports, Export{Name: name, Kind: ExternalKind(kind), Index: idx})
+			return nil
+		})
+	case secStart:
+		idx, err := d.u32()
+		if err != nil {
+			return err
+		}
+		m.Start = &idx
+		return nil
+	case secElem:
+		return decodeVec(d, func() error {
+			ti, err := d.u32()
+			if err != nil {
+				return err
+			}
+			off, err := decodeConstExpr(d)
+			if err != nil {
+				return err
+			}
+			var funcs []uint32
+			if err := decodeVec(d, func() error {
+				fi, err := d.u32()
+				if err != nil {
+					return err
+				}
+				funcs = append(funcs, fi)
+				return nil
+			}); err != nil {
+				return err
+			}
+			m.Elems = append(m.Elems, ElemSegment{TableIndex: ti, Offset: off, Funcs: funcs})
+			return nil
+		})
+	case secCode:
+		return decodeVec(d, func() error {
+			size, err := d.u32()
+			if err != nil {
+				return err
+			}
+			body, err := d.bytes(int(size))
+			if err != nil {
+				return err
+			}
+			code, err := decodeCode(body)
+			if err != nil {
+				return fmt.Errorf("function body %d: %w", len(m.Code), err)
+			}
+			m.Code = append(m.Code, code)
+			return nil
+		})
+	case secData:
+		return decodeVec(d, func() error {
+			mi, err := d.u32()
+			if err != nil {
+				return err
+			}
+			off, err := decodeConstExpr(d)
+			if err != nil {
+				return err
+			}
+			n, err := d.u32()
+			if err != nil {
+				return err
+			}
+			data, err := d.bytes(int(n))
+			if err != nil {
+				return err
+			}
+			m.Data = append(m.Data, DataSegment{MemIndex: mi, Offset: off, Data: append([]byte(nil), data...)})
+			return nil
+		})
+	default:
+		return fmt.Errorf("unknown section id %d", id)
+	}
+}
+
+func decodeVec(d *decoder, f func() error) error {
+	n, err := d.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		if err := f(); err != nil {
+			return fmt.Errorf("entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// decodeConstExpr reads a constant initializer expression terminated by end.
+// The terminating end is consumed but not included in the result.
+func decodeConstExpr(d *decoder) ([]Instr, error) {
+	var out []Instr
+	for {
+		in, err := decodeInstr(d)
+		if err != nil {
+			return nil, err
+		}
+		if in.Op == OpEnd {
+			return out, nil
+		}
+		switch in.Op {
+		case OpI32Const, OpI64Const, OpF32Const, OpF64Const, OpGlobalGet:
+		default:
+			return nil, fmt.Errorf("non-constant opcode %s in initializer", in.Op.Name())
+		}
+		out = append(out, in)
+	}
+}
+
+// decodeCode parses one code-section entry payload (locals + expression).
+func decodeCode(body []byte) (Code, error) {
+	d := &decoder{buf: body}
+	var c Code
+	if err := decodeVec(d, func() error {
+		count, err := d.u32()
+		if err != nil {
+			return err
+		}
+		t, err := d.valType()
+		if err != nil {
+			return err
+		}
+		c.Locals = append(c.Locals, LocalDecl{Count: count, Type: t})
+		return nil
+	}); err != nil {
+		return Code{}, fmt.Errorf("locals: %w", err)
+	}
+	depth := 1 // implicit function block
+	for {
+		in, err := decodeInstr(d)
+		if err != nil {
+			return Code{}, err
+		}
+		c.Body = append(c.Body, in)
+		switch in.Op {
+		case OpBlock, OpLoop, OpIf:
+			depth++
+		case OpEnd:
+			depth--
+			if depth == 0 {
+				if d.remaining() != 0 {
+					return Code{}, fmt.Errorf("%d trailing bytes after function end", d.remaining())
+				}
+				return c, nil
+			}
+		}
+	}
+}
+
+// decodeInstr reads one instruction.
+func decodeInstr(d *decoder) (Instr, error) {
+	b, err := d.byte()
+	if err != nil {
+		return Instr{}, err
+	}
+	op := Opcode(b)
+	imm, ok := op.Imm()
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown opcode 0x%02x at offset %d", b, d.pos-1)
+	}
+	in := Instr{Op: op}
+	switch imm {
+	case ImmNone:
+	case ImmBlockType:
+		bt, err := d.byte()
+		if err != nil {
+			return Instr{}, err
+		}
+		if bt != BlockTypeEmpty && !ValType(bt).Valid() {
+			return Instr{}, fmt.Errorf("invalid block type 0x%02x", bt)
+		}
+		in.A = uint32(bt)
+	case ImmLabel, ImmFunc, ImmLocal, ImmGlobal:
+		v, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.A = v
+	case ImmCallInd:
+		ti, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.A = ti
+		if _, err := d.byte(); err != nil { // reserved table index
+			return Instr{}, err
+		}
+	case ImmBrTable:
+		n, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Table = make([]uint32, n)
+		for i := range in.Table {
+			t, err := d.u32()
+			if err != nil {
+				return Instr{}, err
+			}
+			in.Table[i] = t
+		}
+		def, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.A = def
+	case ImmMem:
+		align, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		offset, err := d.u32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.A, in.B = align, offset
+	case ImmMemSize:
+		if _, err := d.byte(); err != nil { // reserved memory index
+			return Instr{}, err
+		}
+	case ImmI32:
+		v, err := d.s32()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(int64(v)) // stored sign-extended
+	case ImmI64:
+		v, err := d.s64()
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(v)
+	case ImmF32:
+		p, err := d.bytes(4)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = uint64(binary.LittleEndian.Uint32(p))
+	case ImmF64:
+		p, err := d.bytes(8)
+		if err != nil {
+			return Instr{}, err
+		}
+		in.Imm = binary.LittleEndian.Uint64(p)
+	}
+	return in, nil
+}
+
+// decodeNameSection extracts the function-name subsection (id 1).
+func decodeNameSection(m *Module, data []byte) error {
+	d := &decoder{buf: data}
+	for d.remaining() > 0 {
+		id, err := d.byte()
+		if err != nil {
+			return err
+		}
+		size, err := d.u32()
+		if err != nil {
+			return err
+		}
+		body, err := d.bytes(int(size))
+		if err != nil {
+			return err
+		}
+		if id != 1 {
+			continue
+		}
+		sd := &decoder{buf: body}
+		return decodeVec(sd, func() error {
+			idx, err := sd.u32()
+			if err != nil {
+				return err
+			}
+			name, err := sd.name()
+			if err != nil {
+				return err
+			}
+			m.FuncNames[idx] = name
+			return nil
+		})
+	}
+	return nil
+}
+
+// F32FromBits converts stored f32 immediate bits to a float64 value.
+func F32FromBits(bits uint64) float64 { return float64(math.Float32frombits(uint32(bits))) }

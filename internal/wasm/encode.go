@@ -1,0 +1,265 @@
+package wasm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/leb128"
+)
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) byte(b byte)   { e.buf = append(e.buf, b) }
+func (e *encoder) raw(p []byte)  { e.buf = append(e.buf, p...) }
+func (e *encoder) u32(v uint32)  { e.buf = leb128.AppendUint(e.buf, uint64(v)) }
+func (e *encoder) s32(v int32)   { e.buf = leb128.AppendInt(e.buf, int64(v)) }
+func (e *encoder) s64(v int64)   { e.buf = leb128.AppendInt(e.buf, v) }
+func (e *encoder) name(s string) { e.u32(uint32(len(s))); e.raw([]byte(s)) }
+
+func (e *encoder) limits(l Limits) {
+	if l.HasMax {
+		e.byte(1)
+		e.u32(l.Min)
+		e.u32(l.Max)
+		return
+	}
+	e.byte(0)
+	e.u32(l.Min)
+}
+
+func (e *encoder) section(id byte, body []byte) {
+	if body == nil {
+		return
+	}
+	e.byte(id)
+	e.u32(uint32(len(body)))
+	e.raw(body)
+}
+
+// Encode serializes the module to the binary format. Encode(Decode(b)) is
+// semantically equivalent to b (custom sections other than "name" are
+// preserved verbatim; section sizes may differ due to varint canonicalization).
+func Encode(m *Module) ([]byte, error) {
+	e := &encoder{}
+	e.raw(magic)
+	e.raw(version)
+
+	if len(m.Types) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Types)))
+		for _, ft := range m.Types {
+			s.byte(0x60)
+			s.u32(uint32(len(ft.Params)))
+			for _, p := range ft.Params {
+				s.byte(byte(p))
+			}
+			s.u32(uint32(len(ft.Results)))
+			for _, r := range ft.Results {
+				s.byte(byte(r))
+			}
+		}
+		e.section(secType, s.buf)
+	}
+	if len(m.Imports) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Imports)))
+		for _, imp := range m.Imports {
+			s.name(imp.Module)
+			s.name(imp.Name)
+			s.byte(byte(imp.Kind))
+			switch imp.Kind {
+			case ExternalFunc:
+				s.u32(imp.TypeIndex)
+			case ExternalTable:
+				s.byte(0x70)
+				s.limits(imp.Table.Limits)
+			case ExternalMemory:
+				s.limits(imp.Memory.Limits)
+			case ExternalGlobal:
+				s.byte(byte(imp.Global.Type))
+				if imp.Global.Mutable {
+					s.byte(1)
+				} else {
+					s.byte(0)
+				}
+			default:
+				return nil, fmt.Errorf("wasm: encode: invalid import kind %d", imp.Kind)
+			}
+		}
+		e.section(secImport, s.buf)
+	}
+	if len(m.Funcs) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Funcs)))
+		for _, ti := range m.Funcs {
+			s.u32(ti)
+		}
+		e.section(secFunc, s.buf)
+	}
+	if len(m.Tables) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Tables)))
+		for _, t := range m.Tables {
+			s.byte(0x70)
+			s.limits(t.Limits)
+		}
+		e.section(secTable, s.buf)
+	}
+	if len(m.Memories) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Memories)))
+		for _, mem := range m.Memories {
+			s.limits(mem.Limits)
+		}
+		e.section(secMemory, s.buf)
+	}
+	if len(m.Globals) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Globals)))
+		for _, g := range m.Globals {
+			s.byte(byte(g.Type.Type))
+			if g.Type.Mutable {
+				s.byte(1)
+			} else {
+				s.byte(0)
+			}
+			if err := encodeExpr(s, g.Init); err != nil {
+				return nil, err
+			}
+		}
+		e.section(secGlobal, s.buf)
+	}
+	if len(m.Exports) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Exports)))
+		for _, ex := range m.Exports {
+			s.name(ex.Name)
+			s.byte(byte(ex.Kind))
+			s.u32(ex.Index)
+		}
+		e.section(secExport, s.buf)
+	}
+	if m.Start != nil {
+		s := &encoder{}
+		s.u32(*m.Start)
+		e.section(secStart, s.buf)
+	}
+	if len(m.Elems) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Elems)))
+		for _, el := range m.Elems {
+			s.u32(el.TableIndex)
+			if err := encodeExpr(s, el.Offset); err != nil {
+				return nil, err
+			}
+			s.u32(uint32(len(el.Funcs)))
+			for _, fi := range el.Funcs {
+				s.u32(fi)
+			}
+		}
+		e.section(secElem, s.buf)
+	}
+	if len(m.Code) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Code)))
+		for i := range m.Code {
+			body, err := encodeCode(&m.Code[i])
+			if err != nil {
+				return nil, fmt.Errorf("wasm: encode body %d: %w", i, err)
+			}
+			s.u32(uint32(len(body)))
+			s.raw(body)
+		}
+		e.section(secCode, s.buf)
+	}
+	if len(m.Data) > 0 {
+		s := &encoder{}
+		s.u32(uint32(len(m.Data)))
+		for _, seg := range m.Data {
+			s.u32(seg.MemIndex)
+			if err := encodeExpr(s, seg.Offset); err != nil {
+				return nil, err
+			}
+			s.u32(uint32(len(seg.Data)))
+			s.raw(seg.Data)
+		}
+		e.section(secData, s.buf)
+	}
+	for _, cs := range m.Customs {
+		s := &encoder{}
+		s.name(cs.Name)
+		s.raw(cs.Data)
+		e.section(secCustom, s.buf)
+	}
+	return e.buf, nil
+}
+
+// encodeExpr writes a constant expression followed by end.
+func encodeExpr(e *encoder, expr []Instr) error {
+	for _, in := range expr {
+		if err := encodeInstr(e, in); err != nil {
+			return err
+		}
+	}
+	e.byte(byte(OpEnd))
+	return nil
+}
+
+func encodeCode(c *Code) ([]byte, error) {
+	e := &encoder{}
+	e.u32(uint32(len(c.Locals)))
+	for _, d := range c.Locals {
+		e.u32(d.Count)
+		e.byte(byte(d.Type))
+	}
+	for _, in := range c.Body {
+		if err := encodeInstr(e, in); err != nil {
+			return nil, err
+		}
+	}
+	return e.buf, nil
+}
+
+func encodeInstr(e *encoder, in Instr) error {
+	imm, ok := in.Op.Imm()
+	if !ok {
+		return fmt.Errorf("wasm: encode: unknown opcode 0x%02x", byte(in.Op))
+	}
+	e.byte(byte(in.Op))
+	switch imm {
+	case ImmNone:
+	case ImmBlockType:
+		e.byte(byte(in.A))
+	case ImmLabel, ImmFunc, ImmLocal, ImmGlobal:
+		e.u32(in.A)
+	case ImmCallInd:
+		e.u32(in.A)
+		e.byte(0)
+	case ImmBrTable:
+		e.u32(uint32(len(in.Table)))
+		for _, t := range in.Table {
+			e.u32(t)
+		}
+		e.u32(in.A)
+	case ImmMem:
+		e.u32(in.A)
+		e.u32(in.B)
+	case ImmMemSize:
+		e.byte(0)
+	case ImmI32:
+		e.s32(int32(in.Imm))
+	case ImmI64:
+		e.s64(int64(in.Imm))
+	case ImmF32:
+		var p [4]byte
+		binary.LittleEndian.PutUint32(p[:], uint32(in.Imm))
+		e.raw(p[:])
+	case ImmF64:
+		var p [8]byte
+		binary.LittleEndian.PutUint64(p[:], in.Imm)
+		e.raw(p[:])
+	}
+	return nil
+}

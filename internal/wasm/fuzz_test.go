@@ -1,0 +1,38 @@
+package wasm
+
+import "testing"
+
+// FuzzDecode drives the decoder with mutated inputs: it must never panic,
+// and anything it accepts must survive validation + re-encoding + a second
+// decode (idempotence of the canonical form).
+func FuzzDecode(f *testing.F) {
+	if bin, err := Encode(sampleModule()); err == nil {
+		f.Add(bin)
+	}
+	f.Add([]byte{0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := Validate(m); err != nil {
+			return
+		}
+		bin, err := Encode(m)
+		if err != nil {
+			t.Fatalf("decoded+validated module failed to encode: %v", err)
+		}
+		m2, err := Decode(bin)
+		if err != nil {
+			t.Fatalf("canonical re-encode failed to decode: %v", err)
+		}
+		bin2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second encode: %v", err)
+		}
+		if string(bin) != string(bin2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,319 @@
+// Package wasm models the WebAssembly (MVP) binary format: modules, types,
+// the full instruction set, and strict decoding plus round-trip encoding.
+//
+// The package is the foundation for three consumers in this repository:
+// the EOSVM-style interpreter (internal/wasm/exec), the contract-level
+// instrumenter (internal/instrument), and the synthetic contract builder
+// (internal/contractgen). Decoding therefore preserves enough structure to
+// re-encode a semantically identical module.
+package wasm
+
+import "fmt"
+
+// ValType is a WebAssembly value type.
+type ValType byte
+
+// Value types defined by the Wasm MVP.
+const (
+	I32 ValType = 0x7f
+	I64 ValType = 0x7e
+	F32 ValType = 0x7d
+	F64 ValType = 0x7c
+)
+
+// String returns the textual-format name of the value type.
+func (t ValType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	default:
+		return fmt.Sprintf("valtype(0x%02x)", byte(t))
+	}
+}
+
+// Valid reports whether t is one of the four MVP value types.
+func (t ValType) Valid() bool {
+	switch t {
+	case I32, I64, F32, F64:
+		return true
+	default:
+		return false
+	}
+}
+
+// BlockTypeEmpty is the encoding of a block with no result value.
+const BlockTypeEmpty = 0x40
+
+// FuncType is a function signature.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType
+}
+
+// Equal reports whether two signatures are identical.
+func (ft FuncType) Equal(other FuncType) bool {
+	if len(ft.Params) != len(other.Params) || len(ft.Results) != len(other.Results) {
+		return false
+	}
+	for i, p := range ft.Params {
+		if other.Params[i] != p {
+			return false
+		}
+	}
+	for i, r := range ft.Results {
+		if other.Results[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the signature in a wat-like form.
+func (ft FuncType) String() string {
+	s := "("
+	for i, p := range ft.Params {
+		if i > 0 {
+			s += " "
+		}
+		s += p.String()
+	}
+	s += ") -> ("
+	for i, r := range ft.Results {
+		if i > 0 {
+			s += " "
+		}
+		s += r.String()
+	}
+	return s + ")"
+}
+
+// Limits bound the size of a table or memory.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// TableType describes a table (MVP: funcref only).
+type TableType struct {
+	Limits Limits
+}
+
+// MemType describes a linear memory in 64KiB pages.
+type MemType struct {
+	Limits Limits
+}
+
+// GlobalType describes a global variable.
+type GlobalType struct {
+	Type    ValType
+	Mutable bool
+}
+
+// ExternalKind discriminates import/export targets.
+type ExternalKind byte
+
+// Import/export kinds.
+const (
+	ExternalFunc   ExternalKind = 0
+	ExternalTable  ExternalKind = 1
+	ExternalMemory ExternalKind = 2
+	ExternalGlobal ExternalKind = 3
+)
+
+// String returns the section-name of the kind.
+func (k ExternalKind) String() string {
+	switch k {
+	case ExternalFunc:
+		return "func"
+	case ExternalTable:
+		return "table"
+	case ExternalMemory:
+		return "memory"
+	case ExternalGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// Import is one entry of the import section.
+type Import struct {
+	Module string
+	Name   string
+	Kind   ExternalKind
+
+	// Exactly one of the following is meaningful, per Kind.
+	TypeIndex uint32 // ExternalFunc: index into Types
+	Table     TableType
+	Memory    MemType
+	Global    GlobalType
+}
+
+// Export is one entry of the export section.
+type Export struct {
+	Name  string
+	Kind  ExternalKind
+	Index uint32
+}
+
+// Global is one entry of the global section.
+type Global struct {
+	Type GlobalType
+	Init []Instr // constant initializer expression (without the final end)
+}
+
+// ElemSegment initializes a table region with function indices.
+type ElemSegment struct {
+	TableIndex uint32
+	Offset     []Instr // constant expression
+	Funcs      []uint32
+}
+
+// DataSegment initializes a memory region with bytes.
+type DataSegment struct {
+	MemIndex uint32
+	Offset   []Instr // constant expression
+	Data     []byte
+}
+
+// Code is one entry of the code section: a function body.
+type Code struct {
+	Locals []LocalDecl
+	Body   []Instr // flat instruction stream, terminated by OpEnd
+}
+
+// LocalDecl declares Count locals of the same type.
+type LocalDecl struct {
+	Count uint32
+	Type  ValType
+}
+
+// NumLocals returns the total local count declared (excluding parameters).
+func (c *Code) NumLocals() uint32 {
+	var n uint32
+	for _, d := range c.Locals {
+		n += d.Count
+	}
+	return n
+}
+
+// CustomSection preserves a custom section verbatim (e.g. "name").
+type CustomSection struct {
+	Name string
+	Data []byte
+}
+
+// Module is a decoded WebAssembly module.
+type Module struct {
+	Types    []FuncType
+	Imports  []Import
+	Funcs    []uint32 // type indices of locally defined functions
+	Tables   []TableType
+	Memories []MemType
+	Globals  []Global
+	Exports  []Export
+	Start    *uint32
+	Elems    []ElemSegment
+	Code     []Code
+	Data     []DataSegment
+	Customs  []CustomSection
+
+	// FuncNames optionally maps function index to a debug name,
+	// populated from a "name" custom section when present.
+	FuncNames map[uint32]string
+}
+
+// NumImportedFuncs returns how many imports are functions. Function index
+// space places imported functions before locally defined ones.
+func (m *Module) NumImportedFuncs() int {
+	n := 0
+	for _, imp := range m.Imports {
+		if imp.Kind == ExternalFunc {
+			n++
+		}
+	}
+	return n
+}
+
+// NumFuncs returns the total size of the function index space.
+func (m *Module) NumFuncs() int { return m.NumImportedFuncs() + len(m.Funcs) }
+
+// FuncTypeAt returns the signature of the function at index idx in the
+// function index space (imports first).
+func (m *Module) FuncTypeAt(idx uint32) (FuncType, error) {
+	imported := 0
+	for _, imp := range m.Imports {
+		if imp.Kind != ExternalFunc {
+			continue
+		}
+		if uint32(imported) == idx {
+			if int(imp.TypeIndex) >= len(m.Types) {
+				return FuncType{}, fmt.Errorf("wasm: import %q.%q has type index %d out of range", imp.Module, imp.Name, imp.TypeIndex)
+			}
+			return m.Types[imp.TypeIndex], nil
+		}
+		imported++
+	}
+	local := int(idx) - imported
+	if local < 0 || local >= len(m.Funcs) {
+		return FuncType{}, fmt.Errorf("wasm: function index %d out of range (have %d)", idx, m.NumFuncs())
+	}
+	ti := m.Funcs[local]
+	if int(ti) >= len(m.Types) {
+		return FuncType{}, fmt.Errorf("wasm: function %d has type index %d out of range", idx, ti)
+	}
+	return m.Types[ti], nil
+}
+
+// ImportedFunc returns the i'th imported function (module, name, type index).
+func (m *Module) ImportedFunc(i int) (Import, bool) {
+	n := 0
+	for _, imp := range m.Imports {
+		if imp.Kind != ExternalFunc {
+			continue
+		}
+		if n == i {
+			return imp, true
+		}
+		n++
+	}
+	return Import{}, false
+}
+
+// ExportedFunc returns the function index exported under name.
+func (m *Module) ExportedFunc(name string) (uint32, bool) {
+	for _, e := range m.Exports {
+		if e.Kind == ExternalFunc && e.Name == name {
+			return e.Index, true
+		}
+	}
+	return 0, false
+}
+
+// CodeFor returns the body of the locally defined function with the given
+// function-space index, or nil if idx refers to an import.
+func (m *Module) CodeFor(idx uint32) *Code {
+	local := int(idx) - m.NumImportedFuncs()
+	if local < 0 || local >= len(m.Code) {
+		return nil
+	}
+	return &m.Code[local]
+}
+
+// AddType interns a signature, returning its type index.
+func (m *Module) AddType(ft FuncType) uint32 {
+	for i, t := range m.Types {
+		if t.Equal(ft) {
+			return uint32(i)
+		}
+	}
+	m.Types = append(m.Types, ft)
+	return uint32(len(m.Types) - 1)
+}

@@ -1,0 +1,145 @@
+package wasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Wat renders the module in a WebAssembly-text-like form. The output is
+// meant for humans (diffing generated contracts, inspecting instrumented
+// bytecode); it is not guaranteed to re-parse with external wat tooling.
+func Wat(m *Module) string {
+	var sb strings.Builder
+	sb.WriteString("(module\n")
+
+	for i, t := range m.Types {
+		fmt.Fprintf(&sb, "  (type (;%d;) (func%s))\n", i, watSig(t))
+	}
+	for _, imp := range m.Imports {
+		switch imp.Kind {
+		case ExternalFunc:
+			sig := ""
+			if int(imp.TypeIndex) < len(m.Types) {
+				sig = watSig(m.Types[imp.TypeIndex])
+			}
+			fmt.Fprintf(&sb, "  (import %q %q (func%s))\n", imp.Module, imp.Name, sig)
+		case ExternalGlobal:
+			fmt.Fprintf(&sb, "  (import %q %q (global %s))\n", imp.Module, imp.Name, watGlobalType(imp.Global))
+		case ExternalMemory:
+			fmt.Fprintf(&sb, "  (import %q %q (memory %s))\n", imp.Module, imp.Name, watLimits(imp.Memory.Limits))
+		case ExternalTable:
+			fmt.Fprintf(&sb, "  (import %q %q (table %s funcref))\n", imp.Module, imp.Name, watLimits(imp.Table.Limits))
+		}
+	}
+	for _, t := range m.Tables {
+		fmt.Fprintf(&sb, "  (table %s funcref)\n", watLimits(t.Limits))
+	}
+	for _, mem := range m.Memories {
+		fmt.Fprintf(&sb, "  (memory %s)\n", watLimits(mem.Limits))
+	}
+	for i, g := range m.Globals {
+		init := ""
+		if len(g.Init) == 1 {
+			init = " (" + g.Init[0].String() + ")"
+		}
+		fmt.Fprintf(&sb, "  (global (;%d;) %s%s)\n", i, watGlobalType(g.Type), init)
+	}
+
+	imported := m.NumImportedFuncs()
+	for i := range m.Code {
+		idx := uint32(imported + i)
+		name := m.FuncNames[idx]
+		if name != "" {
+			name = " $" + name
+		}
+		ft, _ := m.FuncTypeAt(idx)
+		fmt.Fprintf(&sb, "  (func (;%d;)%s%s\n", idx, name, watSig(ft))
+		c := &m.Code[i]
+		if len(c.Locals) > 0 {
+			sb.WriteString("    (local")
+			for _, d := range c.Locals {
+				for j := uint32(0); j < d.Count; j++ {
+					sb.WriteString(" " + d.Type.String())
+				}
+			}
+			sb.WriteString(")\n")
+		}
+		depth := 2
+		for _, in := range c.Body {
+			switch in.Op {
+			case OpEnd, OpElse:
+				depth--
+			}
+			if depth < 1 {
+				depth = 1
+			}
+			fmt.Fprintf(&sb, "%s%s\n", strings.Repeat("  ", depth), in)
+			switch in.Op {
+			case OpBlock, OpLoop, OpIf, OpElse:
+				depth++
+			}
+		}
+		sb.WriteString("  )\n")
+	}
+
+	for _, ex := range m.Exports {
+		fmt.Fprintf(&sb, "  (export %q (%s %d))\n", ex.Name, ex.Kind, ex.Index)
+	}
+	for _, el := range m.Elems {
+		off := ""
+		if len(el.Offset) == 1 {
+			off = "(" + el.Offset[0].String() + ") "
+		}
+		fmt.Fprintf(&sb, "  (elem %sfunc %s)\n", off, joinU32(el.Funcs))
+	}
+	for _, seg := range m.Data {
+		off := ""
+		if len(seg.Offset) == 1 {
+			off = "(" + seg.Offset[0].String() + ") "
+		}
+		fmt.Fprintf(&sb, "  (data %s%q)\n", off, string(seg.Data))
+	}
+	sb.WriteString(")\n")
+	return sb.String()
+}
+
+func watSig(t FuncType) string {
+	var sb strings.Builder
+	if len(t.Params) > 0 {
+		sb.WriteString(" (param")
+		for _, p := range t.Params {
+			sb.WriteString(" " + p.String())
+		}
+		sb.WriteString(")")
+	}
+	if len(t.Results) > 0 {
+		sb.WriteString(" (result")
+		for _, r := range t.Results {
+			sb.WriteString(" " + r.String())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+func watGlobalType(g GlobalType) string {
+	if g.Mutable {
+		return "(mut " + g.Type.String() + ")"
+	}
+	return g.Type.String()
+}
+
+func watLimits(l Limits) string {
+	if l.HasMax {
+		return fmt.Sprintf("%d %d", l.Min, l.Max)
+	}
+	return fmt.Sprintf("%d", l.Min)
+}
+
+func joinU32(xs []uint32) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, " ")
+}

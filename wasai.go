@@ -1,0 +1,185 @@
+// Package wasai is the public API of this repository: a concolic fuzzer
+// that uncovers vulnerabilities in WebAssembly (EOSIO) smart contracts,
+// reproducing "WASAI: Uncovering Vulnerabilities in Wasm Smart Contracts"
+// (ISSTA 2022 / ICDCS 2023 poster).
+//
+// # Overview
+//
+// Given a contract's Wasm binary and its ABI, Analyze instruments the
+// bytecode with trace hooks, spins up a local EOSIO chain with the
+// adversary-oracle agent contracts (a counterfeit EOS token and a
+// notification forwarder), and runs a concolic fuzzing campaign: concrete
+// executions produce traces, a symbolic backend replays them to build path
+// constraints over the transaction inputs, and flipped constraints are
+// solved into adaptive seeds that steer execution into unexplored branches.
+// Five trace oracles flag the EOSIO vulnerability classes: Fake EOS, Fake
+// Notification, Missing Authorization, Blockinfo Dependency, and Rollback.
+//
+// # Quick start
+//
+//	report, err := wasai.Analyze(wasmBytes, abiJSON, wasai.DefaultConfig())
+//	if err != nil { ... }
+//	for _, f := range report.Findings {
+//	    fmt.Printf("%-14s vulnerable=%v\n", f.Class, f.Vulnerable)
+//	}
+//
+// See examples/ for runnable end-to-end scenarios and cmd/wasai for the
+// command-line interface.
+package wasai
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"os"
+
+	"repro/internal/abi"
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+	"repro/internal/scanner"
+	"repro/internal/trace"
+	"repro/internal/wasm"
+)
+
+// Config tunes an analysis campaign.
+type Config struct {
+	// Iterations is the fuzzing transaction budget — the deterministic
+	// analogue of the paper's five-minute wall-clock timeout.
+	Iterations int
+	// SolverConflicts caps each SMT query's search effort — the analogue of
+	// the paper's 3,000 ms per-query limit.
+	SolverConflicts int64
+	// DisableFeedback turns off the symbolic-execution feedback loop,
+	// degrading WASAI into a black-box fuzzer (used by the ablation bench).
+	DisableFeedback bool
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// TraceFile, when non-empty, receives every captured target trace in
+	// the offline-file format of internal/trace (the paper's §3.3.1
+	// "redirect the traces to offline files").
+	TraceFile string
+	// CustomAPIDetectors registers extension oracles (paper §5): each
+	// flags the contract when any of its named host APIs is executed.
+	CustomAPIDetectors []APIDetector
+}
+
+// APIDetector declares a custom oracle over host-API usage: the detector
+// fires when the fuzzed contract executes a call to any of the APIs.
+type APIDetector struct {
+	// Name labels the detector in Report.Custom.
+	Name string
+	// APIs are EOSIO host-function names, e.g. "current_time".
+	APIs []string
+}
+
+// DefaultConfig returns the evaluation configuration of the paper's setup.
+func DefaultConfig() Config {
+	return Config{Iterations: 240, SolverConflicts: 50_000, Seed: 1}
+}
+
+// Finding is one vulnerability-class verdict.
+type Finding struct {
+	// Class is the vulnerability class name ("Fake EOS", "Fake Notif",
+	// "MissAuth", "BlockinfoDep", "Rollback").
+	Class string
+	// Vulnerable reports whether the campaign's oracle flagged the class.
+	Vulnerable bool
+}
+
+// Report is the outcome of one analysis campaign.
+type Report struct {
+	// Findings holds one entry per vulnerability class, in the paper's
+	// table order.
+	Findings []Finding
+	// Coverage is the number of distinct branches explored in the target.
+	Coverage int
+	// AdaptiveSeeds counts fuzzing inputs produced by constraint solving.
+	AdaptiveSeeds int
+	// Iterations is the number of transactions executed.
+	Iterations int
+	// Custom maps each registered APIDetector name to its verdict.
+	Custom map[string]bool
+}
+
+// Vulnerable reports whether any class was flagged.
+func (r *Report) Vulnerable() bool {
+	for _, f := range r.Findings {
+		if f.Vulnerable {
+			return true
+		}
+	}
+	return false
+}
+
+// Class returns the finding for the named class.
+func (r *Report) Class(name string) (Finding, bool) {
+	for _, f := range r.Findings {
+		if f.Class == name {
+			return f, true
+		}
+	}
+	return Finding{}, false
+}
+
+// Analyze runs a WASAI campaign against the contract binary with its ABI
+// (in the simplified EOSIO ABI JSON form; see the abi package).
+func Analyze(wasmBin []byte, abiJSON []byte, cfg Config) (*Report, error) {
+	mod, err := wasm.Decode(wasmBin)
+	if err != nil {
+		return nil, fmt.Errorf("wasai: decode contract: %w", err)
+	}
+	if err := wasm.Validate(mod); err != nil {
+		return nil, fmt.Errorf("wasai: validate contract: %w", err)
+	}
+	var contractABI abi.ABI
+	if err := json.Unmarshal(abiJSON, &contractABI); err != nil {
+		return nil, fmt.Errorf("wasai: parse abi: %w", err)
+	}
+	return AnalyzeModule(mod, &contractABI, cfg)
+}
+
+// AnalyzeModule is Analyze for an already-decoded module and ABI.
+func AnalyzeModule(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Report, error) {
+	var customs []scanner.CustomDetector
+	for _, d := range cfg.CustomAPIDetectors {
+		customs = append(customs, scanner.NewAPICallDetector(d.Name, mod, d.APIs...))
+	}
+	f, err := fuzz.New(mod, contractABI, fuzz.Config{
+		Iterations:      cfg.Iterations,
+		SolverConflicts: cfg.SolverConflicts,
+		DisableFeedback: cfg.DisableFeedback,
+		Seed:            cfg.Seed,
+		KeepTraces:      cfg.TraceFile != "",
+		CustomDetectors: customs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wasai: %w", err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		return nil, fmt.Errorf("wasai: campaign: %w", err)
+	}
+	if cfg.TraceFile != "" {
+		out, err := os.Create(cfg.TraceFile)
+		if err != nil {
+			return nil, fmt.Errorf("wasai: trace file: %w", err)
+		}
+		defer out.Close()
+		if err := trace.Write(out, res.Traces); err != nil {
+			return nil, fmt.Errorf("wasai: write traces: %w", err)
+		}
+	}
+	report := &Report{
+		Coverage:      res.Coverage,
+		AdaptiveSeeds: res.AdaptiveSeeds,
+		Iterations:    res.Iterations,
+		Custom:        res.Custom,
+	}
+	for _, class := range contractgen.Classes {
+		report.Findings = append(report.Findings, Finding{
+			Class:      class.String(),
+			Vulnerable: res.Report.Vulnerable[class],
+		})
+	}
+	return report, nil
+}
