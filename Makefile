@@ -1,0 +1,30 @@
+# Developer entry points. `make verify` is the full pre-merge gate: the
+# campaign engine is concurrent, so the race detector is part of the
+# baseline, not an optional extra.
+
+GO ?= go
+
+.PHONY: build test race fuzz verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short smoke runs of the native fuzz targets (decoders + ABI codec).
+# Seed corpora live under */testdata/fuzz and always run as part of `test`.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzUint   -fuzztime=$(FUZZTIME) ./internal/leb128/
+	$(GO) test -run=NONE -fuzz=FuzzInt    -fuzztime=$(FUZZTIME) ./internal/leb128/
+	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wasm/
+	$(GO) test -run=NONE -fuzz=FuzzDecodeTransfer -fuzztime=$(FUZZTIME) ./internal/abi/
+
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./...

@@ -1,0 +1,298 @@
+package wasai
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/campaign"
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+	"repro/internal/scanner"
+	"repro/internal/wasm"
+)
+
+// BatchJob is one contract in a batch analysis. Provide either the raw
+// binary + ABI JSON (Wasm/ABIJSON) or the decoded forms (Module/ABI); the
+// decoded forms win when both are set.
+type BatchJob struct {
+	// Name labels the contract in the campaign report.
+	Name string
+	// Wasm and ABIJSON are the contract binary and its ABI, as Analyze
+	// takes them.
+	Wasm    []byte
+	ABIJSON []byte
+	// Module and ABI are the pre-decoded forms, as AnalyzeModule takes
+	// them (used when scanning populations already in memory).
+	Module *wasm.Module
+	ABI    *abi.ABI
+	// Config, when non-nil, overrides the batch-level analysis Config for
+	// this job (its Seed is honoured verbatim; zero derives base+index).
+	Config *Config
+}
+
+// BatchConfig tunes AnalyzeBatch and Campaign.
+type BatchConfig struct {
+	// Config is the per-contract analysis configuration. Its Seed is the
+	// batch base seed: job i fuzzes with Seed+i, so findings are identical
+	// regardless of worker count. TraceFile is ignored in batch mode.
+	Config
+	// Workers is the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// JobTimeout is the per-contract deadline (0 = none). A contract that
+	// exceeds it fails its own job; the rest of the batch proceeds.
+	JobTimeout time.Duration
+	// QueueDepth bounds Campaign.Submit backpressure (0 = 2×Workers).
+	QueueDepth int
+}
+
+// DefaultBatchConfig returns the paper's per-contract configuration with
+// one worker per core.
+func DefaultBatchConfig() BatchConfig {
+	return BatchConfig{Config: DefaultConfig()}
+}
+
+// BatchResult is one contract's outcome within a campaign.
+type BatchResult struct {
+	// Index is the job's position in the batch (its seed derivation).
+	Index int
+	// Name echoes BatchJob.Name.
+	Name string
+	// Report is the analysis outcome; nil when Err is non-nil.
+	Report *Report
+	// Err is the job's failure: decode/setup errors, the per-job deadline
+	// (context.DeadlineExceeded), or a recovered panic.
+	Err error
+	// Duration is the job's wall-clock time.
+	Duration time.Duration
+}
+
+// CampaignReport aggregates a batch analysis.
+type CampaignReport struct {
+	// Jobs holds one entry per submitted contract, in submission order.
+	Jobs []BatchResult
+	// Completed and Failed partition the jobs; Flagged counts completed
+	// jobs with at least one vulnerable class.
+	Completed, Failed, Flagged int
+	// PerClass counts flagged contracts per vulnerability class name.
+	PerClass map[string]int
+	// Wall is the batch wall-clock time; JobsPerSecond the throughput.
+	Wall          time.Duration
+	JobsPerSecond float64
+}
+
+// AnalyzeBatch fuzzes every contract of the batch on a worker pool and
+// returns the aggregated campaign report. Each job runs in an isolated
+// chain + fuzzer with seed cfg.Seed+index, so the findings equal a serial
+// loop of Analyze over the same contracts (the engine's differential tests
+// assert exactly that). Per-job failures land in the report; AnalyzeBatch
+// itself fails only on a cancelled context or a malformed submission.
+func AnalyzeBatch(ctx context.Context, jobs []BatchJob, cfg BatchConfig) (*CampaignReport, error) {
+	c := NewCampaign(ctx, cfg)
+	for i := range jobs {
+		if err := c.Submit(jobs[i]); err != nil {
+			c.Wait()
+			return nil, err
+		}
+	}
+	return c.Wait(), nil
+}
+
+// Campaign is the streaming form of AnalyzeBatch: submit contracts as a
+// producer discovers them (Submit blocks on backpressure once QueueDepth
+// jobs are queued with the workers), consume Results incrementally if
+// desired, then Wait for the aggregate.
+type Campaign struct {
+	cfg     BatchConfig
+	eng     *campaign.Engine
+	start   time.Time
+	submits int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	all    []BatchResult // every collected result (completion order)
+	buf    []BatchResult // pending delivery to the streaming channel
+	closed bool          // the collector has seen the last result
+
+	out chan BatchResult
+}
+
+// NewCampaign starts a worker pool for a streaming batch analysis. Cancel
+// ctx to abort queued and in-flight jobs.
+func NewCampaign(ctx context.Context, cfg BatchConfig) *Campaign {
+	c := &Campaign{
+		cfg: cfg,
+		eng: campaign.Start(ctx, campaign.Config{
+			Workers:    cfg.Workers,
+			QueueDepth: cfg.QueueDepth,
+			JobTimeout: cfg.JobTimeout,
+			BaseSeed:   cfg.Seed,
+		}),
+		start: time.Now(),
+		out:   make(chan BatchResult),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	// Collector: drains the engine without ever blocking on the consumer,
+	// so an unconsumed Results channel cannot stall the workers.
+	go func() {
+		for jr := range c.eng.Results() {
+			br := toBatchResult(jr)
+			c.mu.Lock()
+			c.all = append(c.all, br)
+			c.buf = append(c.buf, br)
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		}
+		c.mu.Lock()
+		c.closed = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}()
+	// Forwarder: feeds the streaming channel from the buffer and closes it
+	// once the collector is done and the buffer is drained.
+	go func() {
+		for {
+			c.mu.Lock()
+			for len(c.buf) == 0 && !c.closed {
+				c.cond.Wait()
+			}
+			if len(c.buf) == 0 {
+				c.mu.Unlock()
+				close(c.out)
+				return
+			}
+			br := c.buf[0]
+			c.buf = c.buf[1:]
+			c.mu.Unlock()
+			c.out <- br
+		}
+	}()
+	return c
+}
+
+// Submit enqueues one contract. It decodes eagerly so malformed binaries
+// fail fast (before occupying a worker) and blocks while the bounded queue
+// is full.
+func (c *Campaign) Submit(job BatchJob) error {
+	index := c.submits
+	mod := job.Module
+	contractABI := job.ABI
+	if mod == nil {
+		var err error
+		if mod, err = wasm.Decode(job.Wasm); err != nil {
+			return fmt.Errorf("wasai: batch job %d (%s): decode: %w", index, job.Name, err)
+		}
+		if err := wasm.Validate(mod); err != nil {
+			return fmt.Errorf("wasai: batch job %d (%s): validate: %w", index, job.Name, err)
+		}
+	}
+	if contractABI == nil {
+		contractABI = new(abi.ABI)
+		if err := json.Unmarshal(job.ABIJSON, contractABI); err != nil {
+			return fmt.Errorf("wasai: batch job %d (%s): parse abi: %w", index, job.Name, err)
+		}
+	}
+	jcfg := c.cfg.Config
+	seed := int64(0) // zero: the engine derives base seed + index
+	if job.Config != nil {
+		jcfg = *job.Config
+		seed = jcfg.Seed
+	}
+	var customs []scanner.CustomDetector
+	for _, d := range jcfg.CustomAPIDetectors {
+		customs = append(customs, scanner.NewAPICallDetector(d.Name, mod, d.APIs...))
+	}
+	err := c.eng.Submit(campaign.Job{
+		ID:     index,
+		Name:   job.Name,
+		Module: mod,
+		ABI:    contractABI,
+		Config: fuzz.Config{
+			Iterations:      jcfg.Iterations,
+			SolverConflicts: jcfg.SolverConflicts,
+			DisableFeedback: jcfg.DisableFeedback,
+			Seed:            seed,
+			CustomDetectors: customs,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	c.submits++
+	return nil
+}
+
+// Results streams per-contract outcomes in completion order. The channel
+// closes once Wait has been called (or the context cancelled) and every
+// submitted job has been delivered. Consuming it is optional.
+func (c *Campaign) Results() <-chan BatchResult { return c.out }
+
+// Wait ends submission, waits for every job, and returns the aggregate
+// with Jobs in submission order. Unconsumed streaming results are drained.
+func (c *Campaign) Wait() *CampaignReport {
+	c.eng.Close()
+	for range c.out { // returns once the forwarder closes the channel
+	}
+	c.mu.Lock()
+	all := c.all
+	c.mu.Unlock()
+
+	report := &CampaignReport{
+		Jobs:     make([]BatchResult, c.submits),
+		PerClass: map[string]int{},
+	}
+	for _, br := range all {
+		report.Jobs[br.Index] = br
+	}
+	for _, br := range report.Jobs {
+		if br.Err != nil {
+			report.Failed++
+			continue
+		}
+		report.Completed++
+		if br.Report.Vulnerable() {
+			report.Flagged++
+		}
+		for _, f := range br.Report.Findings {
+			if f.Vulnerable {
+				report.PerClass[f.Class]++
+			}
+		}
+	}
+	report.Wall = time.Since(c.start)
+	if secs := report.Wall.Seconds(); secs > 0 {
+		report.JobsPerSecond = float64(len(report.Jobs)) / secs
+	}
+	return report
+}
+
+// toBatchResult converts an engine result to the public form.
+func toBatchResult(jr campaign.JobResult) BatchResult {
+	br := BatchResult{
+		Index:    jr.Job.ID,
+		Name:     jr.Job.Name,
+		Err:      jr.Err,
+		Duration: jr.Duration,
+	}
+	if jr.Err != nil {
+		return br
+	}
+	res := jr.Result
+	report := &Report{
+		Coverage:      res.Coverage,
+		AdaptiveSeeds: res.AdaptiveSeeds,
+		Iterations:    res.Iterations,
+		Custom:        res.Custom,
+	}
+	for _, class := range contractgen.Classes {
+		report.Findings = append(report.Findings, Finding{
+			Class:      class.String(),
+			Vulnerable: res.Report.Vulnerable[class],
+		})
+	}
+	br.Report = report
+	return br
+}

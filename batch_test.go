@@ -1,0 +1,215 @@
+package wasai
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/contractgen"
+	wasmpkg "repro/internal/wasm"
+)
+
+// batchContracts generates a deterministic mixed batch; even-indexed jobs
+// are submitted as raw bytes (the Analyze form), odd-indexed ones as
+// decoded modules (the AnalyzeModule form), so both intake paths are
+// differentially tested.
+func batchContracts(tb testing.TB, n int) ([]*contractgen.Contract, []BatchJob) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(77))
+	contracts := make([]*contractgen.Contract, n)
+	jobs := make([]BatchJob, n)
+	for i := 0; i < n; i++ {
+		class := contractgen.Classes[i%len(contractgen.Classes)]
+		c, err := contractgen.Generate(contractgen.RandomSpec(class, i%2 == 0, rng))
+		if err != nil {
+			tb.Fatalf("generate %d: %v", i, err)
+		}
+		contracts[i] = c
+		jobs[i] = BatchJob{Name: fmt.Sprintf("c%02d", i)}
+		if i%2 == 0 {
+			bin, err := wasmpkg.Encode(c.Module)
+			if err != nil {
+				tb.Fatalf("encode %d: %v", i, err)
+			}
+			abiJSON, err := json.Marshal(c.ABI)
+			if err != nil {
+				tb.Fatalf("marshal abi %d: %v", i, err)
+			}
+			jobs[i].Wasm, jobs[i].ABIJSON = bin, abiJSON
+		} else {
+			jobs[i].Module, jobs[i].ABI = c.Module, c.ABI
+		}
+	}
+	return contracts, jobs
+}
+
+// TestAnalyzeBatchMatchesSerial is the facade's differential test: the
+// batch findings must equal a serial loop of Analyze over the same
+// contracts with the documented seed derivation (base + index) — for every
+// contract and every vulnerability class.
+func TestAnalyzeBatchMatchesSerial(t *testing.T) {
+	const n = 12
+	contracts, jobs := batchContracts(t, n)
+
+	cfg := DefaultBatchConfig()
+	cfg.Iterations = 40
+	cfg.Seed = 5
+	cfg.Workers = 4
+	report, err := AnalyzeBatch(context.Background(), jobs, cfg)
+	if err != nil {
+		t.Fatalf("AnalyzeBatch: %v", err)
+	}
+	if len(report.Jobs) != n || report.Completed != n || report.Failed != 0 {
+		t.Fatalf("jobs=%d completed=%d failed=%d, want %d/%d/0",
+			len(report.Jobs), report.Completed, report.Failed, n, n)
+	}
+
+	serialPerClass := map[string]int{}
+	for i, c := range contracts {
+		scfg := cfg.Config
+		scfg.Seed = cfg.Seed + int64(i)
+		serial, err := AnalyzeModule(c.Module, c.ABI, scfg)
+		if err != nil {
+			t.Fatalf("serial %d: %v", i, err)
+		}
+		batch := report.Jobs[i]
+		if batch.Err != nil {
+			t.Fatalf("batch job %d: %v", i, batch.Err)
+		}
+		if !reflect.DeepEqual(batch.Report.Findings, serial.Findings) {
+			t.Errorf("contract %d findings diverge:\nbatch:  %+v\nserial: %+v",
+				i, batch.Report.Findings, serial.Findings)
+		}
+		if batch.Report.Coverage != serial.Coverage {
+			t.Errorf("contract %d coverage: batch %d, serial %d", i, batch.Report.Coverage, serial.Coverage)
+		}
+		if batch.Report.AdaptiveSeeds != serial.AdaptiveSeeds {
+			t.Errorf("contract %d adaptive seeds: batch %d, serial %d",
+				i, batch.Report.AdaptiveSeeds, serial.AdaptiveSeeds)
+		}
+		if batch.Report.Iterations != serial.Iterations {
+			t.Errorf("contract %d iterations: batch %d, serial %d",
+				i, batch.Report.Iterations, serial.Iterations)
+		}
+		for _, f := range serial.Findings {
+			if f.Vulnerable {
+				serialPerClass[f.Class]++
+			}
+		}
+	}
+	if !reflect.DeepEqual(report.PerClass, serialPerClass) {
+		t.Errorf("per-class aggregate diverges: batch %v, serial %v", report.PerClass, serialPerClass)
+	}
+}
+
+// TestCampaignStreaming drives the streaming form: results arrive on the
+// channel while jobs are still being submitted, and Wait reassembles
+// submission order regardless of completion order.
+func TestCampaignStreaming(t *testing.T) {
+	const n = 8
+	_, jobs := batchContracts(t, n)
+	cfg := DefaultBatchConfig()
+	cfg.Iterations = 25
+	cfg.Workers = 4
+
+	c := NewCampaign(context.Background(), cfg)
+	go func() {
+		for i := range jobs {
+			if err := c.Submit(jobs[i]); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}
+	}()
+	streamed := 0
+	for range c.Results() {
+		streamed++
+		if streamed == n {
+			break // leave the tail for Wait to drain
+		}
+	}
+	report := c.Wait()
+	if len(report.Jobs) != n {
+		t.Fatalf("got %d jobs, want %d", len(report.Jobs), n)
+	}
+	for i, br := range report.Jobs {
+		if br.Index != i {
+			t.Fatalf("slot %d holds index %d: Wait must restore submission order", i, br.Index)
+		}
+		if br.Name != fmt.Sprintf("c%02d", i) {
+			t.Fatalf("slot %d holds %q", i, br.Name)
+		}
+		if br.Err != nil {
+			t.Fatalf("job %d: %v", i, br.Err)
+		}
+	}
+}
+
+// TestCampaignUnconsumedResults: never reading Results must not deadlock
+// Submit or Wait, even with a batch far larger than the queue.
+func TestCampaignUnconsumedResults(t *testing.T) {
+	const n = 10
+	_, jobs := batchContracts(t, n)
+	cfg := DefaultBatchConfig()
+	cfg.Iterations = 10
+	cfg.Workers = 2
+	cfg.QueueDepth = 1
+
+	c := NewCampaign(context.Background(), cfg)
+	for i := range jobs {
+		if err := c.Submit(jobs[i]); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	report := c.Wait()
+	if report.Completed != n {
+		t.Fatalf("completed=%d, want %d", report.Completed, n)
+	}
+}
+
+// TestAnalyzeBatchRejectsGarbage: a malformed submission fails the whole
+// call eagerly (before occupying a worker), identifying the job.
+func TestAnalyzeBatchRejectsGarbage(t *testing.T) {
+	_, jobs := batchContracts(t, 2)
+	bad := BatchJob{Name: "garbage", Wasm: []byte("not wasm"), ABIJSON: []byte("{}")}
+	_, err := AnalyzeBatch(context.Background(), append(jobs[:1], bad), DefaultBatchConfig())
+	if err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+// TestBatchJobConfigOverride: a job carrying its own Config (including an
+// explicit seed) must reproduce a standalone AnalyzeModule run with that
+// exact configuration, regardless of the batch defaults.
+func TestBatchJobConfigOverride(t *testing.T) {
+	contracts, jobs := batchContracts(t, 3)
+	override := DefaultConfig()
+	override.Iterations = 30
+	override.Seed = 4242
+	jobs[1].Config = &override
+
+	cfg := DefaultBatchConfig()
+	cfg.Iterations = 15
+	cfg.Seed = 9
+	report, err := AnalyzeBatch(context.Background(), jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AnalyzeModule(contracts[1].Module, contracts[1].ABI, override)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := report.Jobs[1]
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	if got.Report.Iterations != 30 {
+		t.Fatalf("override iterations not applied: ran %d", got.Report.Iterations)
+	}
+	if !reflect.DeepEqual(got.Report.Findings, want.Findings) {
+		t.Errorf("override job diverges from standalone run:\nbatch:      %+v\nstandalone: %+v",
+			got.Report.Findings, want.Findings)
+	}
+}

@@ -5,10 +5,13 @@
 //
 //	wasai-bench -exp table4 [-scale 0.1] [-seed 1]
 //	wasai-bench -exp all    -scale 0.05
+//	wasai-bench -exp rq4    -workers 8
 //
 // Experiments: fig3, table4, table5, table6, rq4, all. Scale multiplies
 // the dataset sizes (1.0 reproduces the full paper-sized benchmark; small
-// scales keep the shapes at a fraction of the runtime).
+// scales keep the shapes at a fraction of the runtime). Workers shards the
+// per-contract campaigns across the campaign engine; findings are
+// byte-identical for any worker count.
 package main
 
 import (
@@ -29,11 +32,12 @@ func main() {
 
 func run() error {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|all")
-		scale = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
-		seed  = flag.Int64("seed", 1, "generation seed")
-		iters = flag.Int("iterations", 240, "fuzzing budget per contract")
-		svg   = flag.String("svg", "", "fig3: also write the figure as an SVG to this path")
+		exp     = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|all")
+		scale   = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		iters   = flag.Int("iterations", 240, "fuzzing budget per contract")
+		workers = flag.Int("workers", 0, "campaign-engine worker count (0 = GOMAXPROCS); findings are identical for any value")
+		svg     = flag.String("svg", "", "fig3: also write the figure as an SVG to this path")
 	)
 	flag.Parse()
 
@@ -41,6 +45,7 @@ func run() error {
 	evalCfg := bench.DefaultEvalConfig()
 	evalCfg.FuzzIterations = *iters
 	evalCfg.Seed = *seed
+	evalCfg.Workers = *workers
 	tools := []bench.Tool{bench.ToolWASAI, bench.ToolEOSFuzzer, bench.ToolEOSAFE}
 
 	runExp := func(name string, f func() error) error {
@@ -60,6 +65,7 @@ func run() error {
 			cfg := bench.DefaultCoverageConfig()
 			cfg.Seed = *seed
 			cfg.Iterations = *iters
+			cfg.Workers = *workers
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 5 {
 				cfg.NumContracts = 5
@@ -137,6 +143,7 @@ func run() error {
 			cfg := bench.DefaultWildConfig()
 			cfg.Seed = *seed
 			cfg.FuzzIterations = *iters
+			cfg.Workers = *workers
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 20 {
 				cfg.NumContracts = 20

@@ -1,14 +1,15 @@
 // Wild scan: an RQ4-style sweep over a population of deployed contracts.
 //
 // The example generates a miniature "Mainnet" population with the paper's
-// per-class vulnerability prevalence, fuzzes every contract, and reports
-// the aggregate findings plus the patch/abandon lifecycle — the §4.4
-// analysis at example scale.
+// per-class vulnerability prevalence, fuzzes every contract on the parallel
+// campaign engine (wasai.AnalyzeBatch), and reports the aggregate findings
+// plus the patch/abandon lifecycle — the §4.4 analysis at example scale.
 //
-// Run with: go run ./examples/wild-scan [n]
+// Run with: go run ./examples/wild-scan [n] [workers]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -20,13 +21,20 @@ import (
 )
 
 func main() {
-	n := 40
+	n, workers := 40, 0
 	if len(os.Args) > 1 {
 		v, err := strconv.Atoi(os.Args[1])
 		if err != nil {
 			log.Fatalf("bad population size %q", os.Args[1])
 		}
 		n = v
+	}
+	if len(os.Args) > 2 {
+		v, err := strconv.Atoi(os.Args[2])
+		if err != nil {
+			log.Fatalf("bad worker count %q", os.Args[2])
+		}
+		workers = v
 	}
 
 	rng := rand.New(rand.NewSource(991))
@@ -36,24 +44,31 @@ func main() {
 	}
 	fmt.Printf("scanning %d deployed contracts...\n\n", len(pop))
 
-	perClass := map[string]int{}
+	// One batch job per contract; job i fuzzes with seed base+i (base is
+	// cfg.Seed), reproducing the serial sweep's per-contract seeds exactly.
+	cfg := wasai.DefaultBatchConfig()
+	cfg.Workers = workers
+	jobs := make([]wasai.BatchJob, len(pop))
+	for i := range pop {
+		jobs[i] = wasai.BatchJob{
+			Name:   pop[i].Name.String(),
+			Module: pop[i].Contract.Module,
+			ABI:    pop[i].Contract.ABI,
+		}
+	}
+	report, err := wasai.AnalyzeBatch(context.Background(), jobs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	flagged, stillOperating, patched, exposed := 0, 0, 0, 0
 	for i := range pop {
 		wc := &pop[i]
-		cfg := wasai.DefaultConfig()
-		cfg.Seed = int64(i + 1)
-		report, err := wasai.AnalyzeModule(wc.Contract.Module, wc.Contract.ABI, cfg)
-		if err != nil {
-			log.Fatalf("%s: %v", wc.Name, err)
+		job := report.Jobs[i]
+		if job.Err != nil {
+			log.Fatalf("%s: %v", wc.Name, job.Err)
 		}
-		hit := false
-		for _, f := range report.Findings {
-			if f.Vulnerable {
-				perClass[f.Class]++
-				hit = true
-			}
-		}
-		if !hit {
+		if !job.Report.Vulnerable() {
 			continue
 		}
 		flagged++
@@ -69,9 +84,10 @@ func main() {
 		}
 	}
 
-	fmt.Printf("flagged vulnerable: %d/%d (%.1f%%)\n", flagged, len(pop), 100*float64(flagged)/float64(len(pop)))
+	fmt.Printf("flagged vulnerable: %d/%d (%.1f%%) at %.1f contracts/s\n",
+		flagged, len(pop), 100*float64(flagged)/float64(len(pop)), report.JobsPerSecond)
 	for _, cl := range []string{"Fake EOS", "Fake Notif", "MissAuth", "BlockinfoDep", "Rollback"} {
-		fmt.Printf("  %-14s %d\n", cl, perClass[cl])
+		fmt.Printf("  %-14s %d\n", cl, report.PerClass[cl])
 	}
 	if flagged > 0 {
 		fmt.Printf("\nlifecycle: %d still operating (%.1f%% of flagged), %d patched, %d exposed to attackers\n",

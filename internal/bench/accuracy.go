@@ -1,14 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/baseline/eosafe"
 	"repro/internal/baseline/eosfuzzer"
+	"repro/internal/campaign"
 	"repro/internal/contractgen"
 	"repro/internal/fuzz"
 )
@@ -116,47 +116,33 @@ func DefaultEvalConfig() EvalConfig {
 
 // EvaluateAccuracy runs every tool over the dataset and scores the verdicts
 // against ground truth — each sample is scored only for its own class, as
-// the paper's per-type tables do. Samples are fuzzed in parallel (each
-// campaign owns its chain, so they are independent).
+// the paper's per-type tables do. Samples run in parallel on the campaign
+// engine (each campaign owns its chain, so they are independent); WASAI
+// campaigns shard as engine jobs, the baselines through campaign.Each.
 func EvaluateAccuracy(ds *Dataset, tools []Tool, cfg EvalConfig) ([]AccuracyResult, error) {
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	engCfg := campaign.Config{Workers: cfg.Workers}
 	results := make([]AccuracyResult, 0, len(tools))
 	for _, tool := range tools {
 		verdicts := make([]bool, len(ds.Samples))
-		var (
-			wg       sync.WaitGroup
-			mu       sync.Mutex
-			firstErr error
-		)
-		sem := make(chan struct{}, workers)
-		for i := range ds.Samples {
-			s := ds.Samples[i]
-			if !toolSupports(tool, s.Class) {
-				continue
-			}
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int, s Sample) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				flagged, err := runTool(tool, s, cfg)
+		var err error
+		if tool == ToolWASAI {
+			err = wasaiVerdicts(ds, cfg, engCfg, verdicts)
+		} else {
+			err = campaign.Each(context.Background(), len(ds.Samples), engCfg, func(_ context.Context, i int) error {
+				s := ds.Samples[i]
+				if !toolSupports(tool, s.Class) {
+					return nil
+				}
+				flagged, err := runBaseline(tool, s, cfg)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("bench: %s on sample %d: %w", tool, s.ID, err)
-					}
-					mu.Unlock()
-					return
+					return fmt.Errorf("bench: %s on sample %d: %w", tool, s.ID, err)
 				}
 				verdicts[i] = flagged
-			}(i, s)
+				return nil
+			})
 		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
+		if err != nil {
+			return nil, err
 		}
 		per := map[contractgen.Class]Counts{}
 		for i, s := range ds.Samples {
@@ -172,22 +158,46 @@ func EvaluateAccuracy(ds *Dataset, tools []Tool, cfg EvalConfig) ([]AccuracyResu
 	return results, nil
 }
 
-func runTool(tool Tool, s Sample, cfg EvalConfig) (bool, error) {
-	switch tool {
-	case ToolWASAI:
-		f, err := fuzz.New(s.Contract.Module, s.Contract.ABI, fuzz.Config{
-			Iterations:      cfg.FuzzIterations,
-			SolverConflicts: cfg.SolverConflicts,
-			Seed:            cfg.Seed + int64(s.ID),
+// wasaiVerdicts shards the WASAI campaigns across the engine: one job per
+// supported sample, seeded by sample ID so the verdicts are independent of
+// worker count and scheduling.
+func wasaiVerdicts(ds *Dataset, cfg EvalConfig, engCfg campaign.Config, verdicts []bool) error {
+	var (
+		jobs    []campaign.Job
+		samples []int // job index -> sample index
+	)
+	for i, s := range ds.Samples {
+		if !toolSupports(ToolWASAI, s.Class) {
+			continue
+		}
+		jobs = append(jobs, campaign.Job{
+			Name:   fmt.Sprintf("sample-%d", s.ID),
+			Module: s.Contract.Module,
+			ABI:    s.Contract.ABI,
+			Config: fuzz.Config{
+				Iterations:      cfg.FuzzIterations,
+				SolverConflicts: cfg.SolverConflicts,
+				Seed:            cfg.Seed + int64(s.ID),
+			},
 		})
-		if err != nil {
-			return false, err
+		samples = append(samples, i)
+	}
+	rep, err := campaign.Run(context.Background(), jobs, engCfg)
+	if err != nil {
+		return err
+	}
+	for j, jr := range rep.Results {
+		s := ds.Samples[samples[j]]
+		if jr.Err != nil {
+			return fmt.Errorf("bench: %s on sample %d: %w", ToolWASAI, s.ID, jr.Err)
 		}
-		res, err := f.Run()
-		if err != nil {
-			return false, err
-		}
-		return res.Report.Vulnerable[s.Class], nil
+		verdicts[samples[j]] = jr.Result.Report.Vulnerable[s.Class]
+	}
+	return nil
+}
+
+func runBaseline(tool Tool, s Sample, cfg EvalConfig) (bool, error) {
+	switch tool {
 	case ToolEOSFuzzer:
 		res, err := eosfuzzer.Run(s.Contract.Module, s.Contract.ABI, eosfuzzer.Config{
 			Iterations: cfg.FuzzIterations,

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"repro/internal/baseline/eosfuzzer"
+	"repro/internal/campaign"
 	"repro/internal/contractgen"
 	"repro/internal/fuzz"
 )
@@ -19,6 +21,8 @@ type CoverageConfig struct {
 	Seed         int64
 	// SamplePoints is how many x-axis points the series keeps.
 	SamplePoints int
+	// Workers bounds campaign-engine parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultCoverageConfig mirrors the RQ1 setup at simulator scale.
@@ -50,32 +54,54 @@ func EvaluateCoverage(cfg CoverageConfig) ([]CoverageSeries, error) {
 		contracts = append(contracts, c)
 	}
 
-	wasai := make([]int, cfg.Iterations)
-	eosf := make([]int, cfg.Iterations)
+	// Both tools run on the campaign engine: WASAI campaigns as engine jobs,
+	// the baseline through campaign.Each. Per-contract series are summed
+	// serially afterwards, so the curves are worker-count invariant.
+	engCfg := campaign.Config{Workers: cfg.Workers}
+	jobs := make([]campaign.Job, len(contracts))
 	for i, c := range contracts {
-		f, err := fuzz.New(c.Module, c.ABI, fuzz.Config{
-			Iterations:      cfg.Iterations,
-			SolverConflicts: 50_000,
-			Seed:            cfg.Seed + int64(i),
-		})
-		if err != nil {
-			return nil, err
+		jobs[i] = campaign.Job{
+			Name:   fmt.Sprintf("coverage-%d", i),
+			Module: c.Module,
+			ABI:    c.ABI,
+			Config: fuzz.Config{
+				Iterations:      cfg.Iterations,
+				SolverConflicts: 50_000,
+				Seed:            cfg.Seed + int64(i),
+			},
 		}
-		wres, err := f.Run()
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range wres.CoverageOverTime {
-			wasai[p.Iteration-1] += p.Branches
-		}
-		eres, err := eosfuzzer.Run(c.Module, c.ABI, eosfuzzer.Config{
+	}
+	rep, err := campaign.Run(context.Background(), jobs, engCfg)
+	if err != nil {
+		return nil, err
+	}
+	eresults := make([]*eosfuzzer.Result, len(contracts))
+	err = campaign.Each(context.Background(), len(contracts), engCfg, func(_ context.Context, i int) error {
+		eres, err := eosfuzzer.Run(contracts[i].Module, contracts[i].ABI, eosfuzzer.Config{
 			Iterations: cfg.Iterations,
 			Seed:       cfg.Seed + int64(i),
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, p := range eres.CoverageOverTime {
+		eresults[i] = eres
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	wasai := make([]int, cfg.Iterations)
+	eosf := make([]int, cfg.Iterations)
+	for i := range contracts {
+		jr := rep.Results[i]
+		if jr.Err != nil {
+			return nil, jr.Err
+		}
+		for _, p := range jr.Result.CoverageOverTime {
+			wasai[p.Iteration-1] += p.Branches
+		}
+		for _, p := range eresults[i].CoverageOverTime {
 			eosf[p.Iteration-1] += p.Branches
 		}
 	}

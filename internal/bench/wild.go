@@ -1,12 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
-	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/contractgen"
 	"repro/internal/fuzz"
 )
@@ -16,6 +16,8 @@ type WildConfig struct {
 	NumContracts   int
 	FuzzIterations int
 	Seed           int64
+	// Workers bounds campaign-engine parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultWildConfig mirrors §4.4: 991 profitable contracts.
@@ -40,10 +42,14 @@ type WildResult struct {
 	// Accuracy vs the generator's ground truth (the paper verified 100
 	// samples manually; we can score everything).
 	PerClassAccuracy map[contractgen.Class]Counts
+	// Wall-clock throughput of the scan, from the campaign engine.
+	JobsPerSecond float64
 }
 
-// EvaluateWild generates the wild population, fuzzes every contract, and
-// reproduces the §4.4 analysis including the patch/abandon lifecycle.
+// EvaluateWild generates the wild population, fuzzes every contract on the
+// campaign engine, and reproduces the §4.4 analysis including the
+// patch/abandon lifecycle. The patched-version re-analyses run as a second
+// engine batch.
 func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pop, err := contractgen.GenerateWild(contractgen.DefaultWildOptions(cfg.NumContracts), rng)
@@ -55,45 +61,43 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		PerClass:         map[contractgen.Class]int{},
 		PerClassAccuracy: map[contractgen.Class]Counts{},
 	}
-	// Fuzz the population in parallel; campaigns are independent.
-	runs := make([]*fuzz.Result, len(pop))
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	engCfg := campaign.Config{Workers: cfg.Workers}
+	fuzzCfg := func(i int) fuzz.Config {
+		return fuzz.Config{
+			Iterations:      cfg.FuzzIterations,
+			SolverConflicts: 50_000,
+			Seed:            cfg.Seed + int64(i),
+		}
+	}
+
+	// Sweep the population: one engine job per contract.
+	jobs := make([]campaign.Job, len(pop))
 	for i := range pop {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			wc := &pop[i]
-			f, err := fuzz.New(wc.Contract.Module, wc.Contract.ABI, fuzz.Config{
-				Iterations:      cfg.FuzzIterations,
-				SolverConflicts: 50_000,
-				Seed:            cfg.Seed + int64(i),
-			})
-			if err == nil {
-				runs[i], err = f.Run()
-			}
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("bench: wild %s: %w", wc.Name, err)
-				}
-				mu.Unlock()
-			}
-		}(i)
+		jobs[i] = campaign.Job{
+			Name:   pop[i].Name.String(),
+			Module: pop[i].Contract.Module,
+			ABI:    pop[i].Contract.ABI,
+			Config: fuzzCfg(i),
+		}
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	rep, err := campaign.Run(context.Background(), jobs, engCfg)
+	if err != nil {
+		return nil, err
 	}
+	res.JobsPerSecond = rep.JobsPerSecond
+
+	// Lifecycle analysis; collect the patched versions of flagged contracts
+	// for the re-analysis batch.
+	var (
+		patchedJobs []campaign.Job
+	)
 	for i := range pop {
 		wc := &pop[i]
-		run := runs[i]
+		jr := rep.Results[i]
+		if jr.Err != nil {
+			return nil, fmt.Errorf("bench: wild %s: %w", wc.Name, jr.Err)
+		}
+		run := jr.Result
 		flagged := false
 		for cl, truth := range wc.Truth {
 			verdict := run.Report.Vulnerable[cl]
@@ -115,33 +119,40 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		case wc.Patched:
 			res.StillOperating++
 			res.Patched++
-			// Re-analyze the latest (patched) version.
+			// Queue the latest (patched) version for re-analysis.
 			if wc.PatchedContract != nil {
-				pf, err := fuzz.New(wc.PatchedContract.Module, wc.PatchedContract.ABI, fuzz.Config{
-					Iterations:      cfg.FuzzIterations,
-					SolverConflicts: 50_000,
-					Seed:            cfg.Seed + int64(i),
+				patchedJobs = append(patchedJobs, campaign.Job{
+					Name:   wc.Name.String() + "(patched)",
+					Module: wc.PatchedContract.Module,
+					ABI:    wc.PatchedContract.ABI,
+					Config: fuzzCfg(i),
 				})
-				if err != nil {
-					return nil, fmt.Errorf("bench: wild %s patched: %w", wc.Name, err)
-				}
-				prun, err := pf.Run()
-				if err != nil {
-					return nil, fmt.Errorf("bench: wild %s patched: %w", wc.Name, err)
-				}
-				clean := true
-				for _, cl := range contractgen.Classes {
-					if prun.Report.Vulnerable[cl] {
-						clean = false
-					}
-				}
-				if clean {
-					res.VerifiedPatched++
-				}
 			}
 		default:
 			res.StillOperating++
 			res.Exposed++
+		}
+	}
+
+	// Re-analyze the patched versions (paper footnote 1) as a second batch.
+	if len(patchedJobs) > 0 {
+		prep, err := campaign.Run(context.Background(), patchedJobs, engCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, jr := range prep.Results {
+			if jr.Err != nil {
+				return nil, fmt.Errorf("bench: wild %s: %w", jr.Job.Name, jr.Err)
+			}
+			clean := true
+			for _, cl := range contractgen.Classes {
+				if jr.Result.Report.Vulnerable[cl] {
+					clean = false
+				}
+			}
+			if clean {
+				res.VerifiedPatched++
+			}
 		}
 	}
 	return res, nil
@@ -161,6 +172,9 @@ func RenderWild(r *WildResult) string {
 		fmt.Fprintf(&sb, "lifecycle of flagged contracts: %d still operating (%.1f%%), %d abandoned, %d patched (%d verified clean on re-analysis), %d exposed\n",
 			r.StillOperating, 100*float64(r.StillOperating)/float64(r.Flagged),
 			r.Abandoned, r.Patched, r.VerifiedPatched, r.Exposed)
+	}
+	if r.JobsPerSecond > 0 {
+		fmt.Fprintf(&sb, "throughput: %.1f contracts/s\n", r.JobsPerSecond)
 	}
 	return sb.String()
 }

@@ -1,0 +1,292 @@
+// Package campaign is the parallel campaign engine: it shards independent
+// contract-fuzzing jobs across a pool of workers, each owning an isolated
+// chain + fuzzer instance (campaigns share nothing but the process-wide
+// solver pool), with deterministic per-job RNG seeding so results are
+// identical regardless of worker count. The paper's evaluation (§4, Tables
+// 4–6 and the RQ4 wild study) is embarrassingly parallel — thousands of
+// contracts each fuzzed in isolation — and this engine is what lets the
+// bench harness and the wild sweep use every core.
+//
+// The engine provides:
+//
+//   - bounded-queue backpressure: Submit blocks once QueueDepth jobs are
+//     waiting, so a producer enumerating a huge population cannot outrun
+//     the workers' memory;
+//   - per-job timeout/cancel through context.Context, checked between
+//     fuzzing iterations (each iteration is fuel-bounded, so even a
+//     contract that spins the interpreter is interrupted promptly);
+//   - panic isolation: a crashing contract (or detector) fails its own job
+//     with a *PanicError, not the whole campaign;
+//   - an aggregated Report: per-class flag counts, throughput, merged
+//     solver statistics.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/abi"
+	"repro/internal/fuzz"
+	"repro/internal/wasm"
+)
+
+// Job is one contract-fuzzing campaign in a batch. Module and ABI must be
+// fully decoded; the engine never mutates them (campaigns instrument a
+// copy), so many jobs may share one module.
+type Job struct {
+	// ID orders the job in the batch and derives its RNG seed; Run assigns
+	// IDs by slice index.
+	ID int
+	// Name labels the job in results (optional).
+	Name string
+	// Module and ABI identify the target contract.
+	Module *wasm.Module
+	ABI    *abi.ABI
+	// Config is the per-job fuzzing configuration. A zero Seed is replaced
+	// by the engine's deterministic derivation (BaseSeed + ID).
+	Config fuzz.Config
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Workers is the pool size. 0 uses GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the submit queue (backpressure). 0 uses 2×Workers.
+	QueueDepth int
+	// JobTimeout is the per-job deadline. 0 disables it.
+	JobTimeout time.Duration
+	// BaseSeed derives per-job RNG seeds: a job whose Config.Seed is zero
+	// fuzzes with BaseSeed + ID. Worker scheduling never influences the
+	// seed, which is what makes results worker-count invariant.
+	BaseSeed int64
+}
+
+// workers resolves the pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// queueDepth resolves the bounded-queue capacity.
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 2 * c.workers()
+}
+
+// JobResult is the outcome of one job.
+type JobResult struct {
+	Job Job
+	// Result is the campaign outcome (nil when Err is non-nil).
+	Result *fuzz.Result
+	// Err is the job's failure: a setup/run error, the per-job context
+	// error on timeout, or a *PanicError when the job panicked.
+	Err error
+	// Duration is the job's wall-clock time.
+	Duration time.Duration
+}
+
+// PanicError is a panic recovered from a job, preserving the stack so a
+// crashing contract is diagnosable without taking down the campaign.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("campaign: job panicked: %v", e.Value)
+}
+
+// Engine is a streaming worker pool: submit jobs as they are discovered,
+// read results as they complete. For a known slice of jobs use Run, which
+// also preserves order and aggregates.
+type Engine struct {
+	cfg     Config
+	ctx     context.Context
+	jobs    chan Job
+	results chan JobResult
+	wg      sync.WaitGroup
+	close   sync.Once
+}
+
+// Start launches the worker pool. The context cancels every in-flight and
+// queued job; Close (or Run) must be called to release the workers.
+func Start(ctx context.Context, cfg Config) *Engine {
+	e := &Engine{
+		cfg:     cfg,
+		ctx:     ctx,
+		jobs:    make(chan Job, cfg.queueDepth()),
+		results: make(chan JobResult, cfg.queueDepth()),
+	}
+	workers := cfg.workers()
+	e.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer e.wg.Done()
+			for job := range e.jobs {
+				e.results <- e.runJob(job)
+			}
+		}()
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.results)
+	}()
+	return e
+}
+
+// Submit enqueues one job, blocking when the bounded queue is full. It
+// fails (without enqueueing) once the engine's context is cancelled.
+func (e *Engine) Submit(job Job) error {
+	select {
+	case <-e.ctx.Done():
+		return fmt.Errorf("campaign: submit: %w", e.ctx.Err())
+	case e.jobs <- job:
+		return nil
+	}
+}
+
+// Close ends submission; Results delivers the remaining outcomes and then
+// closes. Close is idempotent.
+func (e *Engine) Close() { e.close.Do(func() { close(e.jobs) }) }
+
+// Results streams job outcomes in completion order. The channel closes
+// after Close once every submitted job has been delivered.
+func (e *Engine) Results() <-chan JobResult { return e.results }
+
+// runJob executes one campaign with seed derivation, per-job deadline and
+// panic isolation.
+func (e *Engine) runJob(job Job) (jr JobResult) {
+	start := time.Now()
+	jr.Job = job
+	defer func() {
+		if r := recover(); r != nil {
+			jr.Result = nil
+			jr.Err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+		jr.Duration = time.Since(start)
+	}()
+
+	ctx := e.ctx
+	if e.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.JobTimeout)
+		defer cancel()
+	}
+	cfg := job.Config
+	if cfg.Seed == 0 {
+		cfg.Seed = e.cfg.BaseSeed + int64(job.ID)
+	}
+	f, err := fuzz.New(job.Module, job.ABI, cfg)
+	if err != nil {
+		jr.Err = fmt.Errorf("campaign: job %d (%s): %w", job.ID, job.Name, err)
+		return jr
+	}
+	res, err := f.RunContext(ctx)
+	if err != nil {
+		jr.Err = fmt.Errorf("campaign: job %d (%s): %w", job.ID, job.Name, err)
+		return jr
+	}
+	jr.Result = res
+	return jr
+}
+
+// Run shards jobs across the pool and blocks until all complete, returning
+// the aggregated report with Results in job order (jobs[i] → Results[i]).
+// Job IDs are assigned from slice indices, overriding any preset ID, so
+// seeds are a pure function of position. Run fails only on a cancelled
+// context; per-job failures are reported in Report.Results[i].Err.
+func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
+	start := time.Now()
+	e := Start(ctx, cfg)
+	results := make([]JobResult, len(jobs))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for jr := range e.Results() {
+			results[jr.Job.ID] = jr
+		}
+	}()
+	var submitErr error
+	for i := range jobs {
+		job := jobs[i]
+		job.ID = i
+		if submitErr = e.Submit(job); submitErr != nil {
+			break
+		}
+	}
+	e.Close()
+	<-done
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return Aggregate(results, time.Since(start)), nil
+}
+
+// Each runs fn for indices 0..n-1 on the worker pool with the same panic
+// isolation and per-item deadline as fuzzing jobs. It is the generic form
+// the bench harness uses for non-WASAI detectors; the first error (in index
+// order) is returned after all items finish.
+func Each(ctx context.Context, n int, cfg Config, fn func(ctx context.Context, i int) error) error {
+	errs := make([]error, n)
+	workers := cfg.workers()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = eachItem(ctx, cfg, i, fn)
+			}
+		}()
+	}
+loop:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			break loop
+		case idx <- i:
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eachItem applies the per-item deadline and panic recovery around one call.
+func eachItem(ctx context.Context, cfg Config, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.JobTimeout)
+		defer cancel()
+	}
+	return fn(ctx, i)
+}

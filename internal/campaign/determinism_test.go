@@ -1,0 +1,77 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+)
+
+// TestDeterminismAcrossWorkerCounts is the engine's core guarantee: the
+// same 50-contract batch produces byte-identical findings with 1, 4, and 8
+// workers. Seeds derive from job IDs (BaseSeed + ID), never from worker
+// identity or scheduling, so sharding is invisible in the results.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-contract batch is slow in -short mode")
+	}
+	jobs := testJobs(t, 50, 30, 42)
+	digests := map[int]string{}
+	for _, workers := range []int{1, 4, 8} {
+		rep, err := Run(context.Background(), jobs, Config{Workers: workers, BaseSeed: 7})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("workers=%d: %d jobs failed", workers, rep.Failed)
+		}
+		digests[workers] = rep.FindingsDigest()
+	}
+	if digests[1] != digests[4] {
+		t.Errorf("findings differ between 1 and 4 workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			digests[1], digests[4])
+	}
+	if digests[1] != digests[8] {
+		t.Errorf("findings differ between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+			digests[1], digests[8])
+	}
+}
+
+// TestDeterminismRepeatedRun guards against hidden global state: two
+// identical runs at the same worker count must also agree.
+func TestDeterminismRepeatedRun(t *testing.T) {
+	jobs := testJobs(t, 12, 25, 99)
+	var first string
+	for run := 0; run < 2; run++ {
+		rep, err := Run(context.Background(), jobs, Config{Workers: 4, BaseSeed: 3})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		d := rep.FindingsDigest()
+		if run == 0 {
+			first = d
+		} else if d != first {
+			t.Errorf("repeated run diverged:\n--- first ---\n%s\n--- second ---\n%s", first, d)
+		}
+	}
+}
+
+// TestExplicitSeedWins checks that a job carrying its own fuzz seed is not
+// re-seeded by the engine, so callers can reproduce one contract's campaign
+// in isolation.
+func TestExplicitSeedWins(t *testing.T) {
+	jobs := testJobs(t, 4, 25, 5)
+	for i := range jobs {
+		jobs[i].Config.Seed = 1000 + int64(i)
+	}
+	rep1, err := Run(context.Background(), jobs, Config{Workers: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different BaseSeed must not matter when every job pins its own seed.
+	rep2, err := Run(context.Background(), jobs, Config{Workers: 4, BaseSeed: 888})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.FindingsDigest() != rep2.FindingsDigest() {
+		t.Error("explicit per-job seeds did not override the base seed")
+	}
+}

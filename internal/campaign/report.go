@@ -1,0 +1,108 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/contractgen"
+	"repro/internal/symbolic"
+)
+
+// Report aggregates a batch campaign.
+type Report struct {
+	// Results holds one entry per job, in job-ID order when produced by
+	// Run (completion order is not observable here — determinism).
+	Results []JobResult
+	// Completed and Failed partition the jobs.
+	Completed int
+	Failed    int
+	// Flagged counts completed jobs with at least one vulnerable class.
+	Flagged int
+	// PerClass counts completed jobs flagged per vulnerability class.
+	PerClass map[contractgen.Class]int
+	// Iterations and AdaptiveSeeds sum across completed jobs.
+	Iterations    int
+	AdaptiveSeeds int
+	// SolverStats merges every job's solver statistics.
+	SolverStats symbolic.SolverStats
+	// Wall is the batch wall-clock time; JobsPerSecond the throughput.
+	Wall          time.Duration
+	JobsPerSecond float64
+}
+
+// Aggregate folds job results into a Report. The slice is retained.
+func Aggregate(results []JobResult, wall time.Duration) *Report {
+	r := &Report{
+		Results:  results,
+		PerClass: map[contractgen.Class]int{},
+		Wall:     wall,
+	}
+	for _, jr := range results {
+		if jr.Err != nil {
+			r.Failed++
+			continue
+		}
+		r.Completed++
+		res := jr.Result
+		r.Iterations += res.Iterations
+		r.AdaptiveSeeds += res.AdaptiveSeeds
+		r.SolverStats.Queries += res.SolverStats.Queries
+		r.SolverStats.FastPathHits += res.SolverStats.FastPathHits
+		r.SolverStats.SATCalls += res.SolverStats.SATCalls
+		r.SolverStats.SATConflicts += res.SolverStats.SATConflicts
+		r.SolverStats.Unknowns += res.SolverStats.Unknowns
+		flagged := false
+		for _, class := range contractgen.Classes {
+			if res.Report.Vulnerable[class] {
+				r.PerClass[class]++
+				flagged = true
+			}
+		}
+		if flagged {
+			r.Flagged++
+		}
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		r.JobsPerSecond = float64(len(results)) / secs
+	}
+	return r
+}
+
+// FindingsDigest renders the campaign's findings as a canonical sorted
+// string: one line per job (name, per-class verdicts, error if any), sorted
+// by job ID. Two campaigns over the same jobs are behaviourally identical
+// iff their digests are byte-identical — the determinism regression tests
+// compare exactly this.
+func (r *Report) FindingsDigest() string {
+	lines := make([]string, 0, len(r.Results))
+	for _, jr := range r.Results {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "job=%d name=%q", jr.Job.ID, jr.Job.Name)
+		if jr.Err != nil {
+			fmt.Fprintf(&sb, " err=%v", jr.Err)
+		} else {
+			for _, class := range contractgen.Classes {
+				fmt.Fprintf(&sb, " %s=%v", class, jr.Result.Report.Vulnerable[class])
+			}
+			fmt.Fprintf(&sb, " coverage=%d adaptive=%d", jr.Result.Coverage, jr.Result.AdaptiveSeeds)
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// String summarizes the report (throughput line + per-class counts).
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "campaign: %d jobs (%d completed, %d failed) in %.1fs (%.1f jobs/s), %d flagged\n",
+		len(r.Results), r.Completed, r.Failed, r.Wall.Seconds(), r.JobsPerSecond, r.Flagged)
+	for _, class := range contractgen.Classes {
+		if n := r.PerClass[class]; n > 0 {
+			fmt.Fprintf(&sb, "  %-14s %d\n", class, n)
+		}
+	}
+	return sb.String()
+}

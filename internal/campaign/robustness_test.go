@@ -1,0 +1,191 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+	"repro/internal/scanner"
+	"repro/internal/trace"
+	"repro/internal/wasm"
+)
+
+// patchApply swaps the generated contract's apply body for the given
+// instruction stream (used to build adversarial interpreter inputs the
+// generator would never emit).
+func patchApply(tb testing.TB, c *contractgen.Contract, body []wasm.Instr) {
+	tb.Helper()
+	idx, ok := c.Module.ExportedFunc("apply")
+	if !ok {
+		tb.Fatal("contract has no apply export")
+	}
+	code := c.Module.CodeFor(idx)
+	if code == nil {
+		tb.Fatal("apply has no body")
+	}
+	code.Locals = nil
+	code.Body = body
+}
+
+// makeContract generates one deterministic contract of the given class.
+func makeContract(tb testing.TB, class contractgen.Class, seed int64) *contractgen.Contract {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c, err := contractgen.Generate(contractgen.RandomSpec(class, true, rng))
+	if err != nil {
+		tb.Fatalf("generate: %v", err)
+	}
+	return c
+}
+
+// importIndex finds the function-index of a named host import.
+func importIndex(tb testing.TB, m *wasm.Module, name string) uint32 {
+	tb.Helper()
+	idx := uint32(0)
+	for _, imp := range m.Imports {
+		if imp.Kind != wasm.ExternalFunc {
+			continue
+		}
+		if imp.Name == name {
+			return idx
+		}
+		idx++
+	}
+	tb.Fatalf("contract does not import %s", name)
+	return 0
+}
+
+// TestInfiniteLoopJobTimesOut plants a contract whose apply spins forever.
+// The per-job deadline must fail that job with context.DeadlineExceeded —
+// promptly, because every transaction is fuel-bounded and the fuzzer checks
+// the context between iterations — while the rest of the batch completes.
+func TestInfiniteLoopJobTimesOut(t *testing.T) {
+	spinner := makeContract(t, contractgen.ClassMissAuth, 1)
+	patchApply(t, spinner, []wasm.Instr{wasm.Loop(), wasm.Br(0), wasm.End(), wasm.End()})
+
+	jobs := testJobs(t, 4, 30, 17)
+	spinJob := Job{
+		Name:   "spinner",
+		Module: spinner.Module,
+		ABI:    spinner.ABI,
+		// Tight fuel keeps each (always-trapping) transaction cheap so the
+		// deadline is noticed within a few iterations; the huge budget would
+		// otherwise run for minutes.
+		Config: fuzz.Config{Iterations: 1 << 20, SolverConflicts: 50_000, Fuel: 200_000},
+	}
+	jobs = append(jobs, spinJob)
+
+	start := time.Now()
+	rep, err := Run(context.Background(), jobs, Config{
+		Workers:    2,
+		BaseSeed:   1,
+		JobTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	spin := rep.Results[len(jobs)-1]
+	if !errors.Is(spin.Err, context.DeadlineExceeded) {
+		t.Fatalf("spinner job: want DeadlineExceeded, got %v", spin.Err)
+	}
+	for _, jr := range rep.Results[:len(jobs)-1] {
+		if jr.Err != nil {
+			t.Errorf("job %d (%s) failed alongside the spinner: %v", jr.Job.ID, jr.Job.Name, jr.Err)
+		}
+	}
+	if rep.Completed != len(jobs)-1 || rep.Failed != 1 {
+		t.Fatalf("completed=%d failed=%d, want %d/1", rep.Completed, rep.Failed, len(jobs)-1)
+	}
+	// "Within the per-job deadline": generous slack for loaded CI machines,
+	// but far below what 2^20 iterations would take.
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("batch took %v; the deadline did not interrupt the spinner", wall)
+	}
+}
+
+// TestHostTrapJobCompletes plants a contract whose apply calls
+// read_action_data with a wild out-of-bounds pointer. Host APIs surface
+// out-of-bounds access as a trap that reverts the transaction (never a
+// panic), so the job completes its full budget and the batch is unharmed.
+func TestHostTrapJobCompletes(t *testing.T) {
+	trapper := makeContract(t, contractgen.ClassMissAuth, 2)
+	read := importIndex(t, trapper.Module, "read_action_data")
+	patchApply(t, trapper, []wasm.Instr{
+		wasm.I32Const(0x7ff0_0000), // far past linear memory
+		wasm.I32Const(64),
+		wasm.Call(read),
+		wasm.Drop(),
+		wasm.End(),
+	})
+
+	jobs := testJobs(t, 3, 30, 23)
+	jobs = append(jobs, Job{
+		Name:   "trapper",
+		Module: trapper.Module,
+		ABI:    trapper.ABI,
+		Config: fuzz.Config{Iterations: 30, SolverConflicts: 50_000},
+	})
+	rep, err := Run(context.Background(), jobs, Config{
+		Workers:    2,
+		BaseSeed:   1,
+		JobTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failed != 0 {
+		for _, jr := range rep.Results {
+			if jr.Err != nil {
+				t.Errorf("job %d (%s): %v", jr.Job.ID, jr.Job.Name, jr.Err)
+			}
+		}
+		t.Fatal("per-transaction traps must not fail the job")
+	}
+	tj := rep.Results[len(jobs)-1]
+	if tj.Result.Iterations != 30 {
+		t.Fatalf("trapper ran %d iterations, want the full 30", tj.Result.Iterations)
+	}
+}
+
+// bombDetector is a custom oracle that panics the first time it observes a
+// trace — the worst-case §5 extension code.
+type bombDetector struct{}
+
+func (bombDetector) Name() string                          { return "bomb" }
+func (bombDetector) Observe(*trace.Trace, scanner.APISets) { panic("detector bomb") }
+func (bombDetector) Vulnerable() bool                      { return false }
+
+// TestPanickingDetectorIsIsolated registers a panicking custom detector on
+// one job: that job must fail with a *PanicError carrying the stack, and
+// every other job must complete.
+func TestPanickingDetectorIsIsolated(t *testing.T) {
+	jobs := testJobs(t, 5, 30, 31)
+	jobs[2].Config.CustomDetectors = []scanner.CustomDetector{bombDetector{}}
+
+	rep, err := Run(context.Background(), jobs, Config{Workers: 3, BaseSeed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(rep.Results[2].Err, &pe) {
+		t.Fatalf("job 2: want *PanicError, got %v", rep.Results[2].Err)
+	}
+	if pe.Value != "detector bomb" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not preserved: value=%v stack=%d bytes", pe.Value, len(pe.Stack))
+	}
+	for i, jr := range rep.Results {
+		if i == 2 {
+			continue
+		}
+		if jr.Err != nil {
+			t.Errorf("job %d failed alongside the bomb: %v", i, jr.Err)
+		}
+	}
+	if rep.Completed != 4 || rep.Failed != 1 {
+		t.Fatalf("completed=%d failed=%d, want 4/1", rep.Completed, rep.Failed)
+	}
+}

@@ -1,0 +1,114 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStressManyProducersManyWorkers hammers the engine under the race
+// detector: several producer goroutines submit through one bounded queue
+// while a full worker pool drains it. Run with -race (the repo's verify
+// target does); the assertions only check conservation — every job in,
+// exactly one result out.
+func TestStressManyProducersManyWorkers(t *testing.T) {
+	const (
+		producers   = 4
+		jobsPerProd = 24
+	)
+	total := producers * jobsPerProd
+	jobs := testJobs(t, total, 8, 123)
+
+	e := Start(context.Background(), Config{Workers: 16, QueueDepth: 2, BaseSeed: 1})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < jobsPerProd; i++ {
+				id := p*jobsPerProd + i
+				jobs[id].ID = id
+				if err := e.Submit(jobs[id]); err != nil {
+					t.Errorf("producer %d: submit %d: %v", p, id, err)
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		e.Close()
+	}()
+
+	got := make([]bool, total)
+	n := 0
+	for jr := range e.Results() {
+		if jr.Err != nil {
+			t.Fatalf("job %d: %v", jr.Job.ID, jr.Err)
+		}
+		if got[jr.Job.ID] {
+			t.Fatalf("job %d delivered twice", jr.Job.ID)
+		}
+		got[jr.Job.ID] = true
+		n++
+	}
+	if n != total {
+		t.Fatalf("got %d results, want %d", n, total)
+	}
+}
+
+// TestStressCancelMidBatch cancels the campaign context while workers are
+// busy: the engine must unblock producers, fail the remaining jobs with the
+// context error, and still close the results channel.
+func TestStressCancelMidBatch(t *testing.T) {
+	jobs := testJobs(t, 40, 200, 321)
+	ctx, cancel := context.WithCancel(context.Background())
+	e := Start(ctx, Config{Workers: 4, QueueDepth: 1, BaseSeed: 1})
+	go func() {
+		for i := range jobs {
+			jobs[i].ID = i
+			if err := e.Submit(jobs[i]); err != nil {
+				break // expected once cancelled
+			}
+		}
+		e.Close()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for jr := range e.Results() {
+			if jr.Err != nil && !errors.Is(jr.Err, context.Canceled) {
+				t.Errorf("job %d: unexpected error %v", jr.Job.ID, jr.Err)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("results channel did not close after cancellation")
+	}
+}
+
+// TestStressEach runs the generic parallel for-each at high fan-out under
+// the race detector, with every item touching shared state through the
+// documented pattern (indexed slice slots).
+func TestStressEach(t *testing.T) {
+	const n = 500
+	out := make([]int, n)
+	err := Each(context.Background(), n, Config{Workers: 32}, func(_ context.Context, i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d: got %d", i, v)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -46,6 +47,9 @@ type Config struct {
 	// KeepTraces retains every target trace in the result, for export to
 	// the paper's offline trace files (trace.Write).
 	KeepTraces bool
+	// Fuel overrides the per-action instruction budget of the campaign
+	// chain (0 keeps the chain default).
+	Fuel int64
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -111,6 +115,9 @@ func New(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Fuzzer, error) {
 	}
 	bc := chain.New()
 	bc.Collector = trace.NewCollector()
+	if cfg.Fuel > 0 {
+		bc.Fuel = cfg.Fuel
+	}
 	if err := bc.DeployModule(victimName, res.Module, contractABI, res.Sites); err != nil {
 		return nil, fmt.Errorf("fuzz: deploy target: %w", err)
 	}
@@ -176,8 +183,20 @@ const (
 // Run executes the Algorithm 1 fuzzing loop for the configured budget and
 // returns the campaign result.
 func (f *Fuzzer) Run() (*Result, error) {
+	return f.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// between iterations (each iteration is already bounded by the chain's fuel
+// budget), so a per-job deadline interrupts even a contract that spins the
+// interpreter on every transaction. On cancellation the context's error is
+// returned and the partial campaign is discarded.
+func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 	schedule := f.buildSchedule()
 	for f.iter = 0; f.iter < f.cfg.Iterations; f.iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		entry := schedule[f.iter%len(schedule)]
 		if err := f.step(entry.kind, entry.action); err != nil {
 			return nil, err

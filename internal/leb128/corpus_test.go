@@ -1,0 +1,79 @@
+package leb128_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/wasm"
+)
+
+// varintCorpus builds the checked-in seed corpora for FuzzUint and FuzzInt:
+// windows cut from a deterministic contractgen binary, which is dense in
+// real varints (section sizes, indices, i32/i64 immediates) at every
+// alignment the decoder sees in practice.
+func varintCorpus(tb testing.TB) map[string]map[string][]byte {
+	tb.Helper()
+	c, err := contractgen.Generate(contractgen.Spec{
+		Class: contractgen.ClassFakeEOS, Vulnerable: true, Seed: 42,
+	})
+	if err != nil {
+		tb.Fatalf("generate: %v", err)
+	}
+	bin, err := wasm.Encode(c.Module)
+	if err != nil {
+		tb.Fatalf("encode: %v", err)
+	}
+	window := func(off, n int) []byte {
+		if off+n > len(bin) {
+			off = len(bin) - n
+		}
+		return bin[off : off+n]
+	}
+	return map[string]map[string][]byte{
+		"FuzzUint": {
+			"contractgen-sections": window(8, 32),          // section ids + sizes
+			"contractgen-mid":      window(len(bin)/2, 32), // code section interior
+			"contractgen-tail":     window(len(bin)-32, 32),
+		},
+		"FuzzInt": {
+			"contractgen-code": window(len(bin)/3, 32), // const immediates
+			"contractgen-mid":  window(2*len(bin)/3, 32),
+		},
+	}
+}
+
+// TestVarintSeedCorpus keeps the checked-in corpora in sync with the
+// generator. Regenerate with:
+//
+//	UPDATE_FUZZ_CORPUS=1 go test -run TestVarintSeedCorpus ./internal/leb128/
+func TestVarintSeedCorpus(t *testing.T) {
+	update := os.Getenv("UPDATE_FUZZ_CORPUS") != ""
+	for target, entries := range varintCorpus(t) {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if update {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, data := range entries {
+			path := filepath.Join(dir, name)
+			want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+			if update {
+				if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				continue
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("seed corpus entry missing (regenerate with UPDATE_FUZZ_CORPUS=1): %v", err)
+			}
+			if string(got) != want {
+				t.Errorf("seed corpus entry %s/%s is stale (regenerate with UPDATE_FUZZ_CORPUS=1)", target, name)
+			}
+		}
+	}
+}

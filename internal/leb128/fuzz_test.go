@@ -1,0 +1,89 @@
+package leb128_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/leb128"
+)
+
+// FuzzUint cross-checks the two unsigned decoders (slice and Reader) and
+// the encode/decode round trip at both Wasm widths. Seed corpus: edge
+// encodings inline plus contractgen-built contract binaries checked in
+// under testdata/fuzz (varint-dense real input).
+func FuzzUint(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xe5, 0x8e, 0x26})                                           // 624485, the spec's example
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x10})                               // 2^32, overflows 32-bit
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // max uint64
+	f.Add([]byte{0x80, 0x00})                                                 // non-canonical zero
+	f.Add([]byte{0x80})                                                       // truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, bits := range []uint{32, 64} {
+			v, n, err := leb128.Uint(data, bits)
+			rv, rerr := leb128.NewReader(bytes.NewReader(data)).Uint(bits)
+			if err != nil {
+				if rerr == nil {
+					t.Fatalf("bits=%d: slice rejected (%v) but Reader accepted %d", bits, err, rv)
+				}
+				continue
+			}
+			if rerr != nil {
+				t.Fatalf("bits=%d: slice accepted %d but Reader rejected: %v", bits, v, rerr)
+			}
+			if rv != v {
+				t.Fatalf("bits=%d: slice decoded %d, Reader decoded %d", bits, v, rv)
+			}
+			if bits < 64 && v>>bits != 0 {
+				t.Fatalf("bits=%d: decoded %d does not fit the width", bits, v)
+			}
+			// Round trip: the canonical re-encoding decodes to the same
+			// value and is never longer than what was consumed.
+			enc := leb128.AppendUint(nil, v)
+			v2, n2, err := leb128.Uint(enc, bits)
+			if err != nil || v2 != v {
+				t.Fatalf("bits=%d: canonical %x of %d re-decodes to %d, %v", bits, enc, v, v2, err)
+			}
+			if n2 != len(enc) || n2 > n {
+				t.Fatalf("bits=%d: canonical length %d vs consumed %d", bits, n2, n)
+			}
+		}
+	})
+}
+
+// FuzzInt is FuzzUint for the signed decoder: accepted values must fit the
+// width (strict sign extension) and survive the round trip.
+func FuzzInt(f *testing.F) {
+	f.Add([]byte{0x7f})                                                       // -1
+	f.Add([]byte{0xc0, 0xbb, 0x78})                                           // -123456, the spec's example
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x78})                               // min int32
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x08})                               // bad sign extension
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x00}) // max int64
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, bits := range []uint{32, 64} {
+			v, n, err := leb128.Int(data, bits)
+			if err != nil {
+				if !errors.Is(err, leb128.ErrOverflow) && !errors.Is(err, leb128.ErrTooLong) &&
+					!errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("bits=%d: unexpected error class: %v", bits, err)
+				}
+				continue
+			}
+			if bits < 64 {
+				if min, max := -(int64(1) << (bits - 1)), int64(1)<<(bits-1)-1; v < min || v > max {
+					t.Fatalf("bits=%d: decoded %d does not fit the width", bits, v)
+				}
+			}
+			enc := leb128.AppendInt(nil, v)
+			v2, n2, err := leb128.Int(enc, bits)
+			if err != nil || v2 != v {
+				t.Fatalf("bits=%d: canonical %x of %d re-decodes to %d, %v", bits, enc, v, v2, err)
+			}
+			if n2 != len(enc) || n2 > n {
+				t.Fatalf("bits=%d: canonical length %d vs consumed %d", bits, n2, n)
+			}
+		}
+	})
+}

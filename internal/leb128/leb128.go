@@ -93,6 +93,16 @@ func Int(p []byte, bits uint) (int64, int, error) {
 			return 0, 0, ErrTooLong
 		}
 		b := p[i]
+		if b&0x80 == 0 && shift+7 > bits {
+			// Final byte with fewer than 7 significant bits left: the
+			// unused bits must be a proper sign extension.
+			k := bits - shift // 1..6 value bits in this byte
+			sign := (b >> (k - 1)) & 1
+			upper := b &^ byte(1<<k-1) & 0x7f
+			if (sign == 0 && upper != 0) || (sign == 1 && upper != byte(0x7f)&^byte(1<<k-1)) {
+				return 0, 0, ErrOverflow
+			}
+		}
 		result |= int64(b&0x7f) << shift
 		shift += 7
 		if b&0x80 == 0 {
@@ -151,6 +161,13 @@ func (r *Reader) Uint(bits uint) (uint64, error) {
 			return 0, fmt.Errorf("leb128: read byte %d: %w", count, err)
 		}
 		count++
+		if shift+7 >= bits {
+			// Mirror Uint's strictness: unused bits of the final byte
+			// must be zero.
+			if extra := b &^ byte(1<<(bits-shift)-1) &^ 0x80; extra != 0 {
+				return 0, ErrOverflow
+			}
+		}
 		result |= uint64(b&0x7f) << shift
 		if b&0x80 == 0 {
 			return result, nil

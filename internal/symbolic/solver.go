@@ -403,6 +403,9 @@ func SolvePool(queries []Query, workers int, maxConflicts int64) []Answer {
 }
 
 // SolvePoolStats is SolvePool returning the merged solver statistics.
+// Answers are returned in submission order — NOT completion order — so
+// callers that act on models in sequence (the fuzzer turns them into
+// adaptive seeds) behave identically regardless of worker scheduling.
 func SolvePoolStats(queries []Query, workers int, maxConflicts int64) ([]Answer, SolverStats) {
 	if workers <= 0 {
 		workers = len(queries)
@@ -413,24 +416,26 @@ func SolvePoolStats(queries []Query, workers int, maxConflicts int64) ([]Answer,
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	in := make(chan Query)
+	type task struct {
+		pos int
+		q   Query
+	}
+	in := make(chan task)
 	answers := make([]Answer, len(queries))
 	var (
 		mu    sync.Mutex
 		wg    sync.WaitGroup
-		i     int
 		stats SolverStats
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for q := range in {
+			for t := range in {
 				s := &Solver{MaxConflicts: maxConflicts}
-				m, r := s.Solve(q.Constraints)
+				m, r := s.Solve(t.q.Constraints)
+				answers[t.pos] = Answer{ID: t.q.ID, Model: m, Result: r}
 				mu.Lock()
-				answers[i] = Answer{ID: q.ID, Model: m, Result: r}
-				i++
 				stats.Queries += s.Stats.Queries
 				stats.FastPathHits += s.Stats.FastPathHits
 				stats.SATCalls += s.Stats.SATCalls
@@ -440,8 +445,8 @@ func SolvePoolStats(queries []Query, workers int, maxConflicts int64) ([]Answer,
 			}
 		}()
 	}
-	for _, q := range queries {
-		in <- q
+	for i, q := range queries {
+		in <- task{pos: i, q: q}
 	}
 	close(in)
 	wg.Wait()
