@@ -4,10 +4,16 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz verify
+.PHONY: build test race fuzz lint verify
 
 build:
 	$(GO) build ./...
+
+# Repo-specific lint gate: go vet plus wasai-lint (nondeterminism sources in
+# the deterministic core packages, scanner/static oracle parity).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/wasai-lint
 
 test:
 	$(GO) test ./...
@@ -23,8 +29,8 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzInt    -fuzztime=$(FUZZTIME) ./internal/leb128/
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wasm/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeTransfer -fuzztime=$(FUZZTIME) ./internal/abi/
+	$(GO) test -run=NONE -fuzz=FuzzCFG    -fuzztime=$(FUZZTIME) ./internal/static/
 
-verify: build
-	$(GO) vet ./...
+verify: build lint
 	$(GO) test ./...
 	$(GO) test -race ./...

@@ -47,6 +47,11 @@ type BatchConfig struct {
 	JobTimeout time.Duration
 	// QueueDepth bounds Campaign.Submit backpressure (0 = 2×Workers).
 	QueueDepth int
+	// StaticTriage pre-analyzes each contract's bytecode and answers
+	// provably-clean jobs without fuzzing them (BatchResult.Skipped).
+	// Findings are unchanged — only statically-impossible work is skipped —
+	// and jobs with custom detectors or trace capture are never skipped.
+	StaticTriage bool
 }
 
 // DefaultBatchConfig returns the paper's per-contract configuration with
@@ -66,6 +71,9 @@ type BatchResult struct {
 	// Err is the job's failure: decode/setup errors, the per-job deadline
 	// (context.DeadlineExceeded), or a recovered panic.
 	Err error
+	// Skipped marks a contract answered by static triage without fuzzing
+	// (the Report carries the all-clean verdict a campaign would produce).
+	Skipped bool
 	// Duration is the job's wall-clock time.
 	Duration time.Duration
 }
@@ -75,8 +83,9 @@ type CampaignReport struct {
 	// Jobs holds one entry per submitted contract, in submission order.
 	Jobs []BatchResult
 	// Completed and Failed partition the jobs; Flagged counts completed
-	// jobs with at least one vulnerable class.
-	Completed, Failed, Flagged int
+	// jobs with at least one vulnerable class; Skipped counts the completed
+	// jobs answered by static triage without fuzzing.
+	Completed, Failed, Flagged, Skipped int
 	// PerClass counts flagged contracts per vulnerability class name.
 	PerClass map[string]int
 	// Wall is the batch wall-clock time; JobsPerSecond the throughput.
@@ -126,10 +135,11 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) *Campaign {
 	c := &Campaign{
 		cfg: cfg,
 		eng: campaign.Start(ctx, campaign.Config{
-			Workers:    cfg.Workers,
-			QueueDepth: cfg.QueueDepth,
-			JobTimeout: cfg.JobTimeout,
-			BaseSeed:   cfg.Seed,
+			Workers:      cfg.Workers,
+			QueueDepth:   cfg.QueueDepth,
+			JobTimeout:   cfg.JobTimeout,
+			BaseSeed:     cfg.Seed,
+			StaticTriage: cfg.StaticTriage,
 		}),
 		start: time.Now(),
 		out:   make(chan BatchResult),
@@ -253,6 +263,9 @@ func (c *Campaign) Wait() *CampaignReport {
 			continue
 		}
 		report.Completed++
+		if br.Skipped {
+			report.Skipped++
+		}
 		if br.Report.Vulnerable() {
 			report.Flagged++
 		}
@@ -275,6 +288,7 @@ func toBatchResult(jr campaign.JobResult) BatchResult {
 		Index:    jr.Job.ID,
 		Name:     jr.Job.Name,
 		Err:      jr.Err,
+		Skipped:  jr.Skipped,
 		Duration: jr.Duration,
 	}
 	if jr.Err != nil {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,14 +33,18 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|all")
+		exp     = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|all")
 		scale   = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		iters   = flag.Int("iterations", 240, "fuzzing budget per contract")
 		workers = flag.Int("workers", 0, "campaign-engine worker count (0 = GOMAXPROCS); findings are identical for any value")
 		svg     = flag.String("svg", "", "fig3: also write the figure as an SVG to this path")
+		triage  = flag.Bool("static-triage", false, "run only the static-triage agreement experiment (shorthand for -exp triage)")
 	)
 	flag.Parse()
+	if *triage {
+		*exp = "triage"
+	}
 
 	opts := bench.Options{Scale: *scale, Seed: *seed}
 	evalCfg := bench.DefaultEvalConfig()
@@ -133,6 +138,26 @@ func run() error {
 				return err
 			}
 			fmt.Print(bench.RenderAccuracyTable("Table 6", ds, res))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("triage") {
+		if err := runExp("Static triage (static-vs-dynamic agreement)", func() error {
+			ds, err := bench.BuildGroundTruth(bench.Table4Counts, opts)
+			if err != nil {
+				return err
+			}
+			tcfg := bench.DefaultTriageConfig()
+			tcfg.FuzzIterations = *iters
+			tcfg.Seed = *seed
+			tcfg.Workers = *workers
+			res, err := bench.EvaluateTriage(context.Background(), ds, tcfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.String())
 			return nil
 		}); err != nil {
 			return err

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// nondetDirective marks an audited, intentionally nondeterministic call
+// (wall-clock metrics, timeouts). The reason after the directive is for the
+// reader; the linter only requires the marker's presence on the call's line
+// or the line above.
+const nondetDirective = "//wasai:nondet"
+
+// wallClockFuncs are the time package's nondeterminism sources. The rest of
+// the package (Duration arithmetic, timers driven by caller-supplied
+// deadlines) is deterministic enough to pass.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandFuncs are the only math/rand selectors allowed in core packages:
+// constructing an explicitly seeded generator. Everything else — the global
+// process-seeded functions (rand.Intn, rand.Shuffle, …) — is forbidden;
+// calls on a *rand.Rand value don't select from the package and pass.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "Rand": true, "Source": true}
+
+// checkNondeterminism lints one package directory (non-test files only:
+// tests measure wall clocks legitimately and never feed results back).
+func checkNondeterminism(dir string) ([]string, error) {
+	files, err := packageFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var diags []string
+	for _, path := range files {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		timeAliases, randAliases := importAliases(f)
+		if len(timeAliases) == 0 && len(randAliases) == 0 {
+			continue
+		}
+		allowed := directiveLines(fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Obj != nil { // Obj != nil: a local variable, not an import
+				return true
+			}
+			pos := fset.Position(sel.Pos())
+			switch {
+			case timeAliases[pkg.Name] && wallClockFuncs[sel.Sel.Name]:
+				if !allowed[pos.Line] && !allowed[pos.Line-1] {
+					diags = append(diags, fmt.Sprintf(
+						"%s: wall clock (%s.%s) in deterministic core package; annotate with %q if reporting-only",
+						pos, pkg.Name, sel.Sel.Name, nondetDirective+" <reason>"))
+				}
+			case randAliases[pkg.Name] && !seededRandFuncs[sel.Sel.Name]:
+				diags = append(diags, fmt.Sprintf(
+					"%s: process-seeded randomness (%s.%s) in deterministic core package; use rand.New(rand.NewSource(seed))",
+					pos, pkg.Name, sel.Sel.Name))
+			}
+			return true
+		})
+	}
+	sort.Strings(diags)
+	return diags, nil
+}
+
+// importAliases returns the local names under which the file imports "time"
+// and "math/rand" (empty maps when it doesn't).
+func importAliases(f *ast.File) (timeAliases, randAliases map[string]bool) {
+	timeAliases, randAliases = map[string]bool{}, map[string]bool{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch path {
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			timeAliases[name] = true
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			randAliases[name] = true
+		}
+	}
+	return timeAliases, randAliases
+}
+
+// directiveLines collects the line numbers carrying a //wasai:nondet marker.
+func directiveLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, nondetDirective) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// packageFiles lists the non-test .go files of one directory, sorted.
+func packageFiles(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, m := range matches {
+		if !strings.HasSuffix(m, "_test.go") {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// checkOracleParity enforces the triage soundness precondition across
+// packages: every contractgen.Class* constant the scanner's detectors
+// reference (the dynamic oracles) must also be referenced by
+// internal/static (which computes one candidate flag per oracle class). A
+// class detected dynamically but unknown to the static layer would get no
+// candidate flag, and a triage skip could then suppress a real finding.
+func checkOracleParity(root string) ([]string, error) {
+	scannerClasses, err := classRefs(filepath.Join(root, "internal/scanner"))
+	if err != nil {
+		return nil, err
+	}
+	staticClasses, err := classRefs(filepath.Join(root, "internal/static"))
+	if err != nil {
+		return nil, err
+	}
+	var diags []string
+	for _, class := range sortedClassNames(scannerClasses) {
+		if _, ok := staticClasses[class]; !ok {
+			diags = append(diags, fmt.Sprintf(
+				"%s: scanner oracle references contractgen.%s but internal/static has no matching candidate flag",
+				scannerClasses[class], class))
+		}
+	}
+	return diags, nil
+}
+
+// classRefs scans a package's non-test files for contractgen.Class*
+// selector references (excluding the Classes slice itself) and returns each
+// class name with the position of its first use.
+func classRefs(dir string) (map[string]string, error) {
+	files, err := packageFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	refs := map[string]string{}
+	for _, path := range files {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		aliases := contractgenAliases(f)
+		if len(aliases) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Obj != nil || !aliases[pkg.Name] {
+				return true
+			}
+			name := sel.Sel.Name
+			if strings.HasPrefix(name, "Class") && name != "Class" && name != "Classes" {
+				if _, seen := refs[name]; !seen {
+					refs[name] = fset.Position(sel.Pos()).String()
+				}
+			}
+			return true
+		})
+	}
+	return refs, nil
+}
+
+// contractgenAliases returns the local names under which the file imports
+// repro/internal/contractgen.
+func contractgenAliases(f *ast.File) map[string]bool {
+	aliases := map[string]bool{}
+	for _, imp := range f.Imports {
+		if imp.Path.Value != `"repro/internal/contractgen"` {
+			continue
+		}
+		name := "contractgen"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		aliases[name] = true
+	}
+	return aliases
+}
+
+// sortedClassNames orders the diagnostics deterministically.
+func sortedClassNames(refs map[string]string) []string {
+	out := make([]string, 0, len(refs))
+	for name := range refs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEvaluateTriage smoke-runs the static-vs-dynamic agreement experiment
+// at a small scale and asserts the two load-bearing properties: triage does
+// not change findings, and the candidate flags are sound (zero false
+// negatives against the dynamic verdicts — a dynamic finding whose class
+// had no candidate flag would mean triage could have skipped a real bug).
+func TestEvaluateTriage(t *testing.T) {
+	ds, err := BuildGroundTruth(Table4Counts, Options{Scale: 0.002, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTriageConfig()
+	cfg.FuzzIterations = 30
+	cfg.Workers = 4
+	cfg.Seed = 5
+	cfg.TrivialContracts = 5
+	res, err := EvaluateTriage(context.Background(), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DigestMatch {
+		t.Error("triage changed the findings digest")
+	}
+	if res.Skipped != cfg.TrivialContracts {
+		t.Errorf("skipped %d, want the %d trivial contracts", res.Skipped, cfg.TrivialContracts)
+	}
+	if res.Samples != len(ds.Samples)+cfg.TrivialContracts {
+		t.Errorf("samples = %d, want %d", res.Samples, len(ds.Samples)+cfg.TrivialContracts)
+	}
+	for class, c := range res.PerClass {
+		if c.FN > 0 {
+			t.Errorf("%s: %d dynamic findings lacked the static candidate flag (unsound)", class, c.FN)
+		}
+	}
+	if s := res.String(); s == "" {
+		t.Error("empty render")
+	}
+}

@@ -63,6 +63,13 @@ type Config struct {
 	// fuzzes with BaseSeed + ID. Worker scheduling never influences the
 	// seed, which is what makes results worker-count invariant.
 	BaseSeed int64
+	// StaticTriage runs internal/static over each job's module before
+	// fuzzing: jobs whose module provably cannot trip any oracle are
+	// answered with a synthesized all-clean result (JobResult.Skipped), and
+	// Run schedules the rest highest-static-score first. Triage never
+	// changes findings — skips are provably-negative only, and reordering
+	// is invisible because seeds derive from job IDs.
+	StaticTriage bool
 }
 
 // workers resolves the pool size.
@@ -89,6 +96,10 @@ type JobResult struct {
 	// Err is the job's failure: a setup/run error, the per-job context
 	// error on timeout, or a *PanicError when the job panicked.
 	Err error
+	// Skipped marks a job answered by static triage without execution:
+	// Result is the synthesized all-clean verdict the fuzzer would have
+	// produced (and its coverage/iteration counters are zero).
+	Skipped bool
 	// Duration is the job's wall-clock time.
 	Duration time.Duration
 }
@@ -115,6 +126,7 @@ type Engine struct {
 	results chan JobResult
 	wg      sync.WaitGroup
 	close   sync.Once
+	triage  *triageCache // non-nil when cfg.StaticTriage
 }
 
 // Start launches the worker pool. The context cancels every in-flight and
@@ -125,6 +137,9 @@ func Start(ctx context.Context, cfg Config) *Engine {
 		ctx:     ctx,
 		jobs:    make(chan Job, cfg.queueDepth()),
 		results: make(chan JobResult, cfg.queueDepth()),
+	}
+	if cfg.StaticTriage {
+		e.triage = newTriageCache()
 	}
 	workers := cfg.workers()
 	e.wg.Add(workers)
@@ -146,6 +161,11 @@ func Start(ctx context.Context, cfg Config) *Engine {
 // Submit enqueues one job, blocking when the bounded queue is full. It
 // fails (without enqueueing) once the engine's context is cancelled.
 func (e *Engine) Submit(job Job) error {
+	// Check cancellation first: the jobs channel is buffered, so a bare
+	// select could accept a job even after the context is already done.
+	if err := e.ctx.Err(); err != nil {
+		return fmt.Errorf("campaign: submit: %w", err)
+	}
 	select {
 	case <-e.ctx.Done():
 		return fmt.Errorf("campaign: submit: %w", e.ctx.Err())
@@ -165,15 +185,20 @@ func (e *Engine) Results() <-chan JobResult { return e.results }
 // runJob executes one campaign with seed derivation, per-job deadline and
 // panic isolation.
 func (e *Engine) runJob(job Job) (jr JobResult) {
-	start := time.Now()
+	start := time.Now() //wasai:nondet JobResult.Duration is reporting-only, never fed back
 	jr.Job = job
 	defer func() {
 		if r := recover(); r != nil {
 			jr.Result = nil
 			jr.Err = &PanicError{Value: r, Stack: debug.Stack()}
 		}
-		jr.Duration = time.Since(start)
+		jr.Duration = time.Since(start) //wasai:nondet reporting-only duration metric
 	}()
+
+	if e.triage != nil && skippable(job, e.triage.report(job.Module)) {
+		jr = skipResult(job)
+		return jr
+	}
 
 	ctx := e.ctx
 	if e.cfg.JobTimeout > 0 {
@@ -205,7 +230,7 @@ func (e *Engine) runJob(job Job) (jr JobResult) {
 // seeds are a pure function of position. Run fails only on a cancelled
 // context; per-job failures are reported in Report.Results[i].Err.
 func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
-	start := time.Now()
+	start := time.Now() //wasai:nondet Report.Wall is reporting-only, never fed back
 	e := Start(ctx, cfg)
 	results := make([]JobResult, len(jobs))
 	done := make(chan struct{})
@@ -215,10 +240,19 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 			results[jr.Job.ID] = jr
 		}
 	}()
-	var submitErr error
+	order := make([]Job, len(jobs))
 	for i := range jobs {
-		job := jobs[i]
-		job.ID = i
+		order[i] = jobs[i]
+		order[i].ID = i
+	}
+	if e.triage != nil {
+		// Highest static score first (longest-job-first packing). IDs were
+		// assigned above from slice positions, so the reorder is invisible
+		// to seeds and to the results slice.
+		order = orderByScore(order, e.triage)
+	}
+	var submitErr error
+	for _, job := range order {
 		if submitErr = e.Submit(job); submitErr != nil {
 			break
 		}
@@ -231,6 +265,7 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
+	//wasai:nondet reporting-only wall-clock aggregate
 	return Aggregate(results, time.Since(start)), nil
 }
 

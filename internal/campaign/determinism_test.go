@@ -23,7 +23,7 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		if rep.Failed != 0 {
 			t.Fatalf("workers=%d: %d jobs failed", workers, rep.Failed)
 		}
-		digests[workers] = rep.FindingsDigest()
+		digests[workers] = rep.StateDigest()
 	}
 	if digests[1] != digests[4] {
 		t.Errorf("findings differ between 1 and 4 workers:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
@@ -45,7 +45,7 @@ func TestDeterminismRepeatedRun(t *testing.T) {
 		if err != nil {
 			t.Fatalf("run %d: %v", run, err)
 		}
-		d := rep.FindingsDigest()
+		d := rep.StateDigest()
 		if run == 0 {
 			first = d
 		} else if d != first {
@@ -71,7 +71,7 @@ func TestExplicitSeedWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep1.FindingsDigest() != rep2.FindingsDigest() {
+	if rep1.StateDigest() != rep2.StateDigest() {
 		t.Error("explicit per-job seeds did not override the base seed")
 	}
 }

@@ -15,9 +15,11 @@ type Report struct {
 	// Results holds one entry per job, in job-ID order when produced by
 	// Run (completion order is not observable here — determinism).
 	Results []JobResult
-	// Completed and Failed partition the jobs.
+	// Completed and Failed partition the jobs. Skipped counts the subset of
+	// Completed answered by static triage without execution.
 	Completed int
 	Failed    int
+	Skipped   int
 	// Flagged counts completed jobs with at least one vulnerable class.
 	Flagged int
 	// PerClass counts completed jobs flagged per vulnerability class.
@@ -45,6 +47,9 @@ func Aggregate(results []JobResult, wall time.Duration) *Report {
 			continue
 		}
 		r.Completed++
+		if jr.Skipped {
+			r.Skipped++
+		}
 		res := jr.Result
 		r.Iterations += res.Iterations
 		r.AdaptiveSeeds += res.AdaptiveSeeds
@@ -72,10 +77,24 @@ func Aggregate(results []JobResult, wall time.Duration) *Report {
 
 // FindingsDigest renders the campaign's findings as a canonical sorted
 // string: one line per job (name, per-class verdicts, error if any), sorted
-// by job ID. Two campaigns over the same jobs are behaviourally identical
-// iff their digests are byte-identical — the determinism regression tests
-// compare exactly this.
+// by job ID. Two campaigns over the same jobs found the same vulnerabilities
+// iff their digests are byte-identical — the triage differential tests
+// compare exactly this (a triage skip reports the all-clean verdict the
+// dynamic run would have, but does no work, so execution counters are
+// deliberately excluded; see StateDigest).
 func (r *Report) FindingsDigest() string {
+	return r.digest(false)
+}
+
+// StateDigest is FindingsDigest plus the per-job execution counters
+// (coverage, adaptive seeds). It is the stronger equivalence the
+// worker-count determinism tests compare: identical state digests mean the
+// runs were behaviourally identical, not merely same-verdict.
+func (r *Report) StateDigest() string {
+	return r.digest(true)
+}
+
+func (r *Report) digest(withState bool) string {
 	lines := make([]string, 0, len(r.Results))
 	for _, jr := range r.Results {
 		var sb strings.Builder
@@ -86,7 +105,9 @@ func (r *Report) FindingsDigest() string {
 			for _, class := range contractgen.Classes {
 				fmt.Fprintf(&sb, " %s=%v", class, jr.Result.Report.Vulnerable[class])
 			}
-			fmt.Fprintf(&sb, " coverage=%d adaptive=%d", jr.Result.Coverage, jr.Result.AdaptiveSeeds)
+			if withState {
+				fmt.Fprintf(&sb, " coverage=%d adaptive=%d", jr.Result.Coverage, jr.Result.AdaptiveSeeds)
+			}
 		}
 		lines = append(lines, sb.String())
 	}
@@ -97,8 +118,8 @@ func (r *Report) FindingsDigest() string {
 // String summarizes the report (throughput line + per-class counts).
 func (r *Report) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "campaign: %d jobs (%d completed, %d failed) in %.1fs (%.1f jobs/s), %d flagged\n",
-		len(r.Results), r.Completed, r.Failed, r.Wall.Seconds(), r.JobsPerSecond, r.Flagged)
+	fmt.Fprintf(&sb, "campaign: %d jobs (%d completed, %d skipped, %d failed) in %.1fs (%.1f jobs/s), %d flagged\n",
+		len(r.Results), r.Completed, r.Skipped, r.Failed, r.Wall.Seconds(), r.JobsPerSecond, r.Flagged)
 	for _, class := range contractgen.Classes {
 		if n := r.PerClass[class]; n > 0 {
 			fmt.Fprintf(&sb, "  %-14s %d\n", class, n)

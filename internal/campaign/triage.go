@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/fuzz"
+	"repro/internal/scanner"
+	"repro/internal/static"
+	"repro/internal/wasm"
+)
+
+// triageCache memoizes static pre-analysis per module, so a batch where many
+// jobs share one module (ablations, seed sweeps) pays for the analysis once.
+// A module that fails to analyze is cached as nil: the job then runs
+// dynamically — triage must never hide a contract it cannot model.
+type triageCache struct {
+	mu      sync.Mutex
+	reports map[*wasm.Module]*static.Report
+}
+
+func newTriageCache() *triageCache {
+	return &triageCache{reports: map[*wasm.Module]*static.Report{}}
+}
+
+// report returns the module's static report, analyzing on first use. nil
+// means the module is un-analyzable (or the module itself is nil).
+func (t *triageCache) report(m *wasm.Module) *static.Report {
+	if m == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rep, ok := t.reports[m]; ok {
+		return rep
+	}
+	rep, err := static.Analyze(m)
+	if err != nil {
+		rep = nil
+	}
+	t.reports[m] = rep
+	return rep
+}
+
+// skippable reports whether the job can be answered without execution. The
+// proof obligation: the synthesized all-negative verdict must equal what the
+// fuzzer's scanner would report. That holds exactly when (a) the static
+// report exists and every oracle-class candidate flag is false — each flag
+// is a necessary condition for its trace oracle — and (b) the job carries no
+// custom detectors and keeps no traces, since those observe behaviour the
+// candidate flags say nothing about.
+func skippable(job Job, rep *static.Report) bool {
+	if rep == nil || rep.AnyCandidate() {
+		return false
+	}
+	return len(job.Config.CustomDetectors) == 0 && !job.Config.KeepTraces
+}
+
+// skipResult synthesizes the outcome of a provably-negative job: the verdict
+// the dynamic run would have produced (all classes clean), zero work done.
+func skipResult(job Job) JobResult {
+	return JobResult{
+		Job:     job,
+		Skipped: true,
+		Result: &fuzz.Result{
+			Report: scanner.NewReport(),
+			Custom: map[string]bool{},
+		},
+	}
+}
+
+// orderByScore sorts jobs by descending static triage score (ties broken by
+// ascending ID). High-score contracts — more candidate classes, more tainted
+// sinks, more branches — are both the likeliest to be vulnerable and the
+// most expensive to fuzz, so scheduling them first surfaces findings earlier
+// and packs the worker pool longest-job-first. Reordering cannot change
+// findings: seeds derive from job IDs (which are preserved), results are
+// indexed by ID, and jobs share no state.
+func orderByScore(jobs []Job, t *triageCache) []Job {
+	type scored struct {
+		job   Job
+		score int
+	}
+	out := make([]scored, len(jobs))
+	for i, job := range jobs {
+		s := 0
+		if rep := t.report(job.Module); rep != nil {
+			s = rep.Score()
+		}
+		out[i] = scored{job: job, score: s}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].job.ID < out[j].job.ID
+	})
+	ordered := make([]Job, len(out))
+	for i := range out {
+		ordered[i] = out[i].job
+	}
+	return ordered
+}

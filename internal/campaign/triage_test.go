@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+	"repro/internal/scanner"
+	"repro/internal/static"
+)
+
+// triageTestJobs is testJobs plus trivial (provably-negative) contracts
+// interleaved, so the triage path has something to skip.
+func triageTestJobs(tb testing.TB, n, iterations int, seed int64) []Job {
+	tb.Helper()
+	jobs := testJobs(tb, n, iterations, seed)
+	for i := 0; i < 4; i++ {
+		c := contractgen.Trivial()
+		jobs = append(jobs, Job{
+			Name:   "trivial",
+			Module: c.Module,
+			ABI:    c.ABI,
+			Config: fuzz.Config{Iterations: iterations, SolverConflicts: 50_000},
+		})
+	}
+	return jobs
+}
+
+// TestTriageFindingsIdentical is the acceptance gate of the static layer:
+// the same batch, triage off vs. on, must report byte-identical findings.
+// Triage may only skip provably-negative jobs, so every verdict — including
+// those of the skipped jobs — matches the dynamic run's.
+func TestTriageFindingsIdentical(t *testing.T) {
+	jobs := triageTestJobs(t, 10, 25, 17)
+	base, err := Run(context.Background(), jobs, Config{Workers: 4, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	triaged, err := Run(context.Background(), jobs, Config{Workers: 4, BaseSeed: 7, StaticTriage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triaged.Skipped == 0 {
+		t.Error("triage skipped nothing; the trivial contracts should be provably negative")
+	}
+	if base.Skipped != 0 {
+		t.Errorf("baseline skipped %d jobs with triage disabled", base.Skipped)
+	}
+	if b, tr := base.FindingsDigest(), triaged.FindingsDigest(); b != tr {
+		t.Errorf("triage changed findings:\n--- baseline ---\n%s\n--- triage ---\n%s", b, tr)
+	}
+	// Triage runs must also be self-deterministic (the reorder is by static
+	// score, which is a pure function of the modules).
+	again, err := Run(context.Background(), jobs, Config{Workers: 2, BaseSeed: 7, StaticTriage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if triaged.StateDigest() != again.StateDigest() {
+		t.Error("triage run not deterministic across worker counts")
+	}
+}
+
+// TestTriageNeverSkipsCandidates pins the skip condition: generated
+// benchmark contracts all dispatch through call_indirect, so they are Fake
+// EOS/Notif candidates and must run dynamically even under triage.
+func TestTriageNeverSkipsCandidates(t *testing.T) {
+	jobs := testJobs(t, 5, 20, 23)
+	rep, err := Run(context.Background(), jobs, Config{Workers: 2, BaseSeed: 3, StaticTriage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != 0 {
+		t.Errorf("triage skipped %d candidate-bearing contracts", rep.Skipped)
+	}
+}
+
+// TestTriageRespectsCustomDetectors pins the other skip guard: a job with a
+// custom detector observes behaviour the candidate flags say nothing about,
+// so even a provably-oracle-negative contract must run.
+func TestTriageRespectsCustomDetectors(t *testing.T) {
+	c := contractgen.Trivial()
+	rep, err := static.Analyze(c.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{Module: c.Module, ABI: c.ABI}
+	if !skippable(job, rep) {
+		t.Fatal("trivial job without detectors should be skippable")
+	}
+	job.Config.CustomDetectors = []scanner.CustomDetector{
+		scanner.NewAPICallDetector("probe", c.Module, "current_time"),
+	}
+	if skippable(job, rep) {
+		t.Error("job with a custom detector must not be skippable")
+	}
+	job.Config.CustomDetectors = nil
+	job.Config.KeepTraces = true
+	if skippable(job, rep) {
+		t.Error("job keeping traces must not be skippable")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/eos"
 	"repro/internal/instrument"
 	"repro/internal/scanner"
+	"repro/internal/static"
 	"repro/internal/symbolic"
 	"repro/internal/symexec"
 	"repro/internal/trace"
@@ -50,6 +51,12 @@ type Config struct {
 	// Fuel overrides the per-action instruction budget of the campaign
 	// chain (0 keeps the chain default).
 	Fuel int64
+	// Static, when non-nil, budgets the campaign from the module's static
+	// pre-analysis: branchy contracts get their fuel and solver conflict
+	// caps raised (never lowered — the budgets are monotone over the
+	// defaults), so deep paths are not starved. An explicit Fuel wins over
+	// the static fuel budget.
+	Static *static.Report
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -117,6 +124,11 @@ func New(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Fuzzer, error) {
 	bc.Collector = trace.NewCollector()
 	if cfg.Fuel > 0 {
 		bc.Fuel = cfg.Fuel
+	} else if cfg.Static != nil {
+		bc.Fuel = cfg.Static.FuelBudget(bc.Fuel)
+	}
+	if cfg.Static != nil && cfg.SolverConflicts > 0 {
+		cfg.SolverConflicts = cfg.Static.SolverBudget(cfg.SolverConflicts)
 	}
 	if err := bc.DeployModule(victimName, res.Module, contractABI, res.Sites); err != nil {
 		return nil, fmt.Errorf("fuzz: deploy target: %w", err)

@@ -1,0 +1,209 @@
+package static
+
+import (
+	"sort"
+
+	"repro/internal/chain"
+	"repro/internal/wasm"
+)
+
+// Taint is the per-function result of the lightweight intra-procedural
+// taint pass. It is a HEURISTIC: sources are the function's parameters
+// (the EOSIO calling convention passes action inputs as action-function
+// locals, §3.4.2) and everything loaded from memory after a
+// read_action_data call; propagation is a linear abstract interpretation of
+// the operand stack. It over-approximates along the straight-line order of
+// the body rather than the CFG, so it is used only for prioritization —
+// never for skipping work.
+type Taint struct {
+	// TaintedSinks lists host-API import names that were called with at
+	// least one tainted argument, sorted.
+	TaintedSinks []string
+	// SinkCalls counts all calls to interesting sinks (tainted or not).
+	SinkCalls int
+}
+
+// sinkAPIs is the set of host imports the oracles reason about: the taint
+// pass reports which of them can see attacker-controlled data.
+func sinkAPIs() map[string]bool {
+	s := map[string]bool{
+		chain.APISendInline:       true,
+		chain.APISendDeferred:     true,
+		chain.APITaposBlockNum:    true,
+		chain.APITaposBlockPrefix: true,
+		chain.APIEosioAssert:      true,
+	}
+	for name := range chain.PermissionAPIs {
+		s[name] = true
+	}
+	for name := range chain.EffectAPIs {
+		s[name] = true
+	}
+	return s
+}
+
+// analyzeTaint runs the taint pass over one local function. importName maps
+// a function-space index to the host import name (empty for local funcs).
+func analyzeTaint(m *wasm.Module, fidx uint32, code *wasm.Code, importName map[uint32]string) Taint {
+	ft, err := m.FuncTypeAt(fidx)
+	if err != nil {
+		return Taint{}
+	}
+	nLocals := int(uint32(len(ft.Params)) + code.NumLocals())
+	locals := make([]bool, nLocals)
+	for i := range ft.Params {
+		locals[i] = true // action inputs arrive as parameters
+	}
+	sinks := sinkAPIs()
+	hit := map[string]bool{}
+	res := Taint{}
+
+	// Two passes so taint carried through locals across a loop back-edge
+	// still reaches sinks earlier in the body.
+	for pass := 0; pass < 2; pass++ {
+		var stack []bool
+		memTainted := false // set once read_action_data wrote attacker data
+		pop := func() bool {
+			if len(stack) == 0 {
+				return false // join imprecision: treat unknown as clean
+			}
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			return v
+		}
+		popN := func(n int) bool {
+			t := false
+			for i := 0; i < n; i++ {
+				t = pop() || t
+			}
+			return t
+		}
+		push := func(v bool) { stack = append(stack, v) }
+
+		for _, in := range code.Body {
+			switch {
+			case in.Op == wasm.OpCall:
+				callee := in.A
+				ftc, err := m.FuncTypeAt(callee)
+				if err != nil {
+					continue
+				}
+				argTaint := popN(len(ftc.Params))
+				name := importName[callee]
+				if name == chain.APIReadActionData {
+					memTainted = true
+				}
+				if sinks[name] {
+					if pass == 0 {
+						res.SinkCalls++
+					}
+					if argTaint {
+						hit[name] = true
+					}
+				}
+				for range ftc.Results {
+					// Conservatively propagate: a host call fed tainted
+					// arguments returns tainted data (e.g. memcpy).
+					push(argTaint)
+				}
+			case in.Op == wasm.OpCallIndirect:
+				if int(in.A) < len(m.Types) {
+					ftc := m.Types[in.A]
+					t := pop() // table index operand
+					t = popN(len(ftc.Params)) || t
+					for range ftc.Results {
+						push(t)
+					}
+				}
+			case in.Op == wasm.OpLocalGet:
+				if int(in.A) < nLocals {
+					push(locals[in.A])
+				} else {
+					push(false)
+				}
+			case in.Op == wasm.OpLocalSet:
+				v := pop()
+				if int(in.A) < nLocals {
+					locals[in.A] = locals[in.A] || v
+				}
+			case in.Op == wasm.OpLocalTee:
+				v := pop()
+				if int(in.A) < nLocals {
+					locals[in.A] = locals[in.A] || v
+					v = locals[in.A]
+				}
+				push(v)
+			case in.Op == wasm.OpGlobalGet:
+				push(false)
+			case in.Op == wasm.OpGlobalSet:
+				pop()
+			case in.Op.IsLoad():
+				addr := pop()
+				push(memTainted || addr)
+			case in.Op.IsStore():
+				popN(2)
+			case in.Op == wasm.OpSelect:
+				t := popN(3)
+				push(t)
+			case in.Op == wasm.OpDrop:
+				pop()
+			case in.Op == wasm.OpI32Const, in.Op == wasm.OpI64Const,
+				in.Op == wasm.OpF32Const, in.Op == wasm.OpF64Const:
+				push(false)
+			case in.Op == wasm.OpMemorySize:
+				push(false)
+			case in.Op == wasm.OpMemoryGrow:
+				push(pop())
+			case in.Op == wasm.OpIf, in.Op == wasm.OpBrIf, in.Op == wasm.OpBrTable:
+				pop() // condition / table index
+			case in.Op == wasm.OpReturn, in.Op == wasm.OpUnreachable, in.Op == wasm.OpBr:
+				stack = stack[:0]
+			case in.Op == wasm.OpBlock, in.Op == wasm.OpLoop,
+				in.Op == wasm.OpElse, in.Op == wasm.OpEnd, in.Op == wasm.OpNop:
+				// No stack effect in the abstraction.
+			default:
+				pops, pushes := numericEffect(in.Op)
+				t := popN(pops)
+				for i := 0; i < pushes; i++ {
+					push(t)
+				}
+			}
+		}
+	}
+
+	for name := range hit {
+		res.TaintedSinks = append(res.TaintedSinks, name)
+	}
+	sort.Strings(res.TaintedSinks)
+	return res
+}
+
+// numericEffect returns the (pops, pushes) stack effect of the numeric,
+// comparison and conversion opcodes (everything with ImmNone not handled
+// structurally above).
+func numericEffect(op wasm.Opcode) (int, int) {
+	switch {
+	case op == wasm.OpI32Eqz, op == wasm.OpI64Eqz:
+		return 1, 1
+	case op >= wasm.OpI32Eq && op <= wasm.OpI32GeU,
+		op >= wasm.OpI64Eq && op <= wasm.OpI64GeU,
+		op >= wasm.OpF32Eq && op <= wasm.OpF64Ge:
+		return 2, 1
+	case op >= wasm.OpI32Clz && op <= wasm.OpI32Popcnt,
+		op >= wasm.OpI64Clz && op <= wasm.OpI64Popcnt:
+		return 1, 1
+	case op >= wasm.OpI32Add && op <= wasm.OpI32Rotr,
+		op >= wasm.OpI64Add && op <= wasm.OpI64Rotr:
+		return 2, 1
+	case op >= wasm.OpF32Abs && op <= wasm.OpF32Sqrt,
+		op >= wasm.OpF64Abs && op <= wasm.OpF64Sqrt:
+		return 1, 1
+	case op >= wasm.OpF32Add && op <= wasm.OpF32Copysign,
+		op >= wasm.OpF64Add && op <= wasm.OpF64Copysign:
+		return 2, 1
+	case op >= wasm.OpI32WrapI64 && op <= wasm.OpF64ReinterpretI64:
+		return 1, 1
+	default:
+		return 0, 0
+	}
+}

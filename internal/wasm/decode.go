@@ -467,6 +467,11 @@ func decodeConstExpr(d *decoder) ([]Instr, error) {
 	}
 }
 
+// DecodeCode parses one code-section entry payload (the locals vector
+// followed by the expression) in isolation — the unit the static layer's
+// CFG fuzz target feeds with arbitrary bytes.
+func DecodeCode(body []byte) (Code, error) { return decodeCode(body) }
+
 // decodeCode parses one code-section entry payload (locals + expression).
 func decodeCode(body []byte) (Code, error) {
 	d := &decoder{buf: body}

@@ -207,6 +207,10 @@ func encodeExpr(e *encoder, expr []Instr) error {
 	return nil
 }
 
+// EncodeCode renders one code-section entry payload, the inverse of
+// DecodeCode (used to seed the CFG fuzz corpus from generated contracts).
+func EncodeCode(c *Code) ([]byte, error) { return encodeCode(c) }
+
 func encodeCode(c *Code) ([]byte, error) {
 	e := &encoder{}
 	e.u32(uint32(len(c.Locals)))

@@ -1,0 +1,88 @@
+package wasai
+
+import (
+	"fmt"
+
+	"repro/internal/contractgen"
+	"repro/internal/static"
+	"repro/internal/wasm"
+)
+
+// StaticCandidate is one oracle class's static candidate verdict.
+type StaticCandidate struct {
+	// Class is the vulnerability class name (same names as Finding.Class).
+	Class string
+	// Candidate reports whether the class is statically possible. False is
+	// a proof the dynamic oracle cannot fire on this contract; true only
+	// means the contract is worth fuzzing.
+	Candidate bool
+}
+
+// StaticReport is the pre-execution analysis of one contract: candidate
+// flags for the five vulnerability classes, the host APIs reachable from its
+// exported entry points, and cost metrics for scheduling. It is computed
+// from bytecode alone — no chain, no execution — and is what batch triage
+// (BatchConfig.StaticTriage) consults.
+type StaticReport struct {
+	// Candidates holds one entry per vulnerability class, in the paper's
+	// table order.
+	Candidates []StaticCandidate
+	// ReachableHostAPIs lists the host imports reachable from the
+	// contract's exported functions, sorted.
+	ReachableHostAPIs []string
+	// TaintedSinks lists reachable host-API sinks that can observe
+	// action-input data per the heuristic taint pass, sorted.
+	TaintedSinks []string
+	// Branches and Complexity total the reachable conditional branch sites
+	// and cyclomatic complexity — the fuzzing cost estimate.
+	Branches, Complexity int
+	// Score is the triage priority (higher = fuzz first).
+	Score int
+}
+
+// AnyCandidate reports whether any class is statically possible.
+func (r *StaticReport) AnyCandidate() bool {
+	for _, c := range r.Candidates {
+		if c.Candidate {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzeStatic runs the static pre-analysis over a contract binary: decode,
+// validate, then internal/static's CFG + call-graph + reachability + taint
+// pass. No execution happens; use it to triage a population before paying
+// for Analyze, or let AnalyzeBatch do so via BatchConfig.StaticTriage.
+func AnalyzeStatic(wasmBin []byte) (*StaticReport, error) {
+	mod, err := wasm.Decode(wasmBin)
+	if err != nil {
+		return nil, fmt.Errorf("wasai: decode contract: %w", err)
+	}
+	if err := wasm.Validate(mod); err != nil {
+		return nil, fmt.Errorf("wasai: validate contract: %w", err)
+	}
+	return AnalyzeStaticModule(mod)
+}
+
+// AnalyzeStaticModule is AnalyzeStatic for an already-decoded module.
+func AnalyzeStaticModule(mod *wasm.Module) (*StaticReport, error) {
+	rep, err := static.Analyze(mod)
+	if err != nil {
+		return nil, fmt.Errorf("wasai: static: %w", err)
+	}
+	out := &StaticReport{
+		ReachableHostAPIs: rep.ReachableHostAPIs,
+		TaintedSinks:      rep.TaintedSinks,
+		Branches:          rep.Branches,
+		Complexity:        rep.Complexity,
+		Score:             rep.Score(),
+	}
+	for _, class := range contractgen.Classes {
+		out.Candidates = append(out.Candidates, StaticCandidate{
+			Class:     class.String(),
+			Candidate: rep.Candidates[class],
+		})
+	}
+	return out, nil
+}
