@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz lint verify
+.PHONY: build test race fuzz lint chaos verify
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,12 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeTransfer -fuzztime=$(FUZZTIME) ./internal/abi/
 	$(GO) test -run=NONE -fuzz=FuzzCFG    -fuzztime=$(FUZZTIME) ./internal/static/
 
-verify: build lint
+# Resilience smoke: run a small campaign with 20% injected faults and
+# retry-with-degradation, and require zero terminal failures plus unchanged
+# verdicts on the un-faulted jobs (exit status is the assertion).
+chaos:
+	$(GO) run ./cmd/wasai-bench -exp chaos -fault-rate 0.2
+
+verify: build lint chaos
 	$(GO) test ./...
 	$(GO) test -race ./...

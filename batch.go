@@ -10,6 +10,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/campaign"
 	"repro/internal/contractgen"
+	"repro/internal/failure"
 	"repro/internal/fuzz"
 	"repro/internal/scanner"
 	"repro/internal/wasm"
@@ -52,6 +53,18 @@ type BatchConfig struct {
 	// Findings are unchanged — only statically-impossible work is skipped —
 	// and jobs with custom detectors or trace capture are never skipped.
 	StaticTriage bool
+	// Journal, when non-empty, checkpoints every completed contract to an
+	// append-only JSONL file at this path, so a killed batch can be
+	// resumed without repeating finished work.
+	Journal string
+	// Resume replays contracts already recorded in the Journal instead of
+	// re-fuzzing them. The resumed batch must submit the same population
+	// with the same base seed; its report is then byte-identical to an
+	// uninterrupted run's.
+	Resume bool
+	// MaxAttempts retries failed contracts with degraded budgets (reduced
+	// fuel, then concrete-only fuzzing). 0 or 1 disables retries.
+	MaxAttempts int
 }
 
 // DefaultBatchConfig returns the paper's per-contract configuration with
@@ -74,6 +87,15 @@ type BatchResult struct {
 	// Skipped marks a contract answered by static triage without fuzzing
 	// (the Report carries the all-clean verdict a campaign would produce).
 	Skipped bool
+	// FailureClass names the failure taxonomy class of Err ("none" when
+	// the job succeeded; see internal/failure).
+	FailureClass string
+	// Attempts counts the tries the job consumed; DegradedMode labels the
+	// degradation of the accepted attempt ("" = ran as configured).
+	Attempts     int
+	DegradedMode string
+	// Replayed marks a result restored from a resume journal.
+	Replayed bool
 	// Duration is the job's wall-clock time.
 	Duration time.Duration
 }
@@ -86,8 +108,16 @@ type CampaignReport struct {
 	// jobs with at least one vulnerable class; Skipped counts the completed
 	// jobs answered by static triage without fuzzing.
 	Completed, Failed, Flagged, Skipped int
+	// Degraded, Retried and Replayed count the resilience outcomes:
+	// results accepted from a degraded attempt, jobs needing more than one
+	// attempt, and results restored from a resume journal.
+	Degraded, Retried, Replayed int
 	// PerClass counts flagged contracts per vulnerability class name.
 	PerClass map[string]int
+	// PerFailure counts failed jobs per failure-class name (the taxonomy
+	// of internal/failure: decode, trap, timeout, solver-exhausted, panic,
+	// oom-guard).
+	PerFailure map[string]int
 	// Wall is the batch wall-clock time; JobsPerSecond the throughput.
 	Wall          time.Duration
 	JobsPerSecond float64
@@ -100,7 +130,10 @@ type CampaignReport struct {
 // assert exactly that). Per-job failures land in the report; AnalyzeBatch
 // itself fails only on a cancelled context or a malformed submission.
 func AnalyzeBatch(ctx context.Context, jobs []BatchJob, cfg BatchConfig) (*CampaignReport, error) {
-	c := NewCampaign(ctx, cfg)
+	c, err := NewCampaign(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
 	for i := range jobs {
 		if err := c.Submit(jobs[i]); err != nil {
 			c.Wait()
@@ -130,17 +163,26 @@ type Campaign struct {
 }
 
 // NewCampaign starts a worker pool for a streaming batch analysis. Cancel
-// ctx to abort queued and in-flight jobs.
-func NewCampaign(ctx context.Context, cfg BatchConfig) *Campaign {
+// ctx to abort queued and in-flight jobs. It fails on journal problems:
+// an unopenable journal path, or a resume against a journal written under
+// a different base seed.
+func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
+	eng, err := campaign.Start(ctx, campaign.Config{
+		Workers:      cfg.Workers,
+		QueueDepth:   cfg.QueueDepth,
+		JobTimeout:   cfg.JobTimeout,
+		BaseSeed:     cfg.Seed,
+		StaticTriage: cfg.StaticTriage,
+		Journal:      cfg.Journal,
+		Resume:       cfg.Resume,
+		Retry:        campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wasai: %w", err)
+	}
 	c := &Campaign{
-		cfg: cfg,
-		eng: campaign.Start(ctx, campaign.Config{
-			Workers:      cfg.Workers,
-			QueueDepth:   cfg.QueueDepth,
-			JobTimeout:   cfg.JobTimeout,
-			BaseSeed:     cfg.Seed,
-			StaticTriage: cfg.StaticTriage,
-		}),
+		cfg:   cfg,
+		eng:   eng,
 		start: time.Now(),
 		out:   make(chan BatchResult),
 	}
@@ -180,7 +222,7 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) *Campaign {
 			c.out <- br
 		}
 	}()
-	return c
+	return c, nil
 }
 
 // Submit enqueues one contract. It decodes eagerly so malformed binaries
@@ -193,16 +235,16 @@ func (c *Campaign) Submit(job BatchJob) error {
 	if mod == nil {
 		var err error
 		if mod, err = wasm.Decode(job.Wasm); err != nil {
-			return fmt.Errorf("wasai: batch job %d (%s): decode: %w", index, job.Name, err)
+			return failure.Wrap(failure.Decode, fmt.Errorf("wasai: batch job %d (%s): decode: %w", index, job.Name, err))
 		}
 		if err := wasm.Validate(mod); err != nil {
-			return fmt.Errorf("wasai: batch job %d (%s): validate: %w", index, job.Name, err)
+			return failure.Wrap(failure.Decode, fmt.Errorf("wasai: batch job %d (%s): validate: %w", index, job.Name, err))
 		}
 	}
 	if contractABI == nil {
 		contractABI = new(abi.ABI)
 		if err := json.Unmarshal(job.ABIJSON, contractABI); err != nil {
-			return fmt.Errorf("wasai: batch job %d (%s): parse abi: %w", index, job.Name, err)
+			return failure.Wrap(failure.Decode, fmt.Errorf("wasai: batch job %d (%s): parse abi: %w", index, job.Name, err))
 		}
 	}
 	jcfg := c.cfg.Config
@@ -251,20 +293,31 @@ func (c *Campaign) Wait() *CampaignReport {
 	c.mu.Unlock()
 
 	report := &CampaignReport{
-		Jobs:     make([]BatchResult, c.submits),
-		PerClass: map[string]int{},
+		Jobs:       make([]BatchResult, c.submits),
+		PerClass:   map[string]int{},
+		PerFailure: map[string]int{},
 	}
 	for _, br := range all {
 		report.Jobs[br.Index] = br
 	}
 	for _, br := range report.Jobs {
+		if br.Attempts > 1 {
+			report.Retried++
+		}
+		if br.Replayed {
+			report.Replayed++
+		}
 		if br.Err != nil {
 			report.Failed++
+			report.PerFailure[br.FailureClass]++
 			continue
 		}
 		report.Completed++
 		if br.Skipped {
 			report.Skipped++
+		}
+		if br.DegradedMode != "" {
+			report.Degraded++
 		}
 		if br.Report.Vulnerable() {
 			report.Flagged++
@@ -285,11 +338,15 @@ func (c *Campaign) Wait() *CampaignReport {
 // toBatchResult converts an engine result to the public form.
 func toBatchResult(jr campaign.JobResult) BatchResult {
 	br := BatchResult{
-		Index:    jr.Job.ID,
-		Name:     jr.Job.Name,
-		Err:      jr.Err,
-		Skipped:  jr.Skipped,
-		Duration: jr.Duration,
+		Index:        jr.Job.ID,
+		Name:         jr.Job.Name,
+		Err:          jr.Err,
+		Skipped:      jr.Skipped,
+		FailureClass: jr.FailureClass.String(),
+		Attempts:     jr.Attempts,
+		DegradedMode: jr.DegradedMode,
+		Replayed:     jr.Replayed,
+		Duration:     jr.Duration,
 	}
 	if jr.Err != nil {
 		return br

@@ -115,7 +115,10 @@ func TestCampaignStreaming(t *testing.T) {
 	cfg.Iterations = 25
 	cfg.Workers = 4
 
-	c := NewCampaign(context.Background(), cfg)
+	c, err := NewCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	go func() {
 		for i := range jobs {
 			if err := c.Submit(jobs[i]); err != nil {
@@ -157,7 +160,10 @@ func TestCampaignUnconsumedResults(t *testing.T) {
 	cfg.Workers = 2
 	cfg.QueueDepth = 1
 
-	c := NewCampaign(context.Background(), cfg)
+	c, err := NewCampaign(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range jobs {
 		if err := c.Submit(jobs[i]); err != nil {
 			t.Fatalf("submit %d: %v", i, err)

@@ -5,13 +5,22 @@
 //
 //	wasai-bench -exp table4 [-scale 0.1] [-seed 1]
 //	wasai-bench -exp all    -scale 0.05
-//	wasai-bench -exp rq4    -workers 8
+//	wasai-bench -exp rq4    -workers 8 -journal rq4.jsonl
+//	wasai-bench -exp rq4    -journal rq4.jsonl -resume   # pick up a killed run
+//	wasai-bench -exp chaos  -fault-rate 0.2              # resilience smoke
 //
-// Experiments: fig3, table4, table5, table6, rq4, all. Scale multiplies
-// the dataset sizes (1.0 reproduces the full paper-sized benchmark; small
-// scales keep the shapes at a fraction of the runtime). Workers shards the
-// per-contract campaigns across the campaign engine; findings are
-// byte-identical for any worker count.
+// Experiments: fig3, table4, table5, table6, rq4, all, plus chaos (run
+// explicitly; it is not part of "all"). Scale multiplies the dataset sizes
+// (1.0 reproduces the full paper-sized benchmark; small scales keep the
+// shapes at a fraction of the runtime). Workers shards the per-contract
+// campaigns across the campaign engine; findings are byte-identical for
+// any worker count.
+//
+// Resilience: -journal checkpoints the rq4 sweep to an append-only JSONL
+// file and -resume replays completed contracts from it after a crash or
+// kill; -retries re-attempts failed contracts with degraded budgets. Any
+// terminal (post-retry) job failure makes wasai-bench exit non-zero after
+// printing the per-failure-class counts.
 package main
 
 import (
@@ -33,13 +42,17 @@ func main() {
 
 func run() error {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|all")
-		scale   = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		iters   = flag.Int("iterations", 240, "fuzzing budget per contract")
-		workers = flag.Int("workers", 0, "campaign-engine worker count (0 = GOMAXPROCS); findings are identical for any value")
-		svg     = flag.String("svg", "", "fig3: also write the figure as an SVG to this path")
-		triage  = flag.Bool("static-triage", false, "run only the static-triage agreement experiment (shorthand for -exp triage)")
+		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|all (chaos only runs when named)")
+		scale     = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		iters     = flag.Int("iterations", 240, "fuzzing budget per contract")
+		workers   = flag.Int("workers", 0, "campaign-engine worker count (0 = GOMAXPROCS); findings are identical for any value")
+		svg       = flag.String("svg", "", "fig3: also write the figure as an SVG to this path")
+		triage    = flag.Bool("static-triage", false, "run only the static-triage agreement experiment (shorthand for -exp triage)")
+		journal   = flag.String("journal", "", "rq4: checkpoint the sweep to this JSONL journal")
+		resume    = flag.Bool("resume", false, "rq4: replay contracts already recorded in -journal instead of re-running them")
+		retries   = flag.Int("retries", 1, "max attempts per contract; attempts after the first run with degraded budgets")
+		faultRate = flag.Float64("fault-rate", 0.2, "chaos: fraction of jobs whose first attempt is faulted")
 	)
 	flag.Parse()
 	if *triage {
@@ -169,6 +182,9 @@ func run() error {
 			cfg.Seed = *seed
 			cfg.FuzzIterations = *iters
 			cfg.Workers = *workers
+			cfg.Journal = *journal
+			cfg.Resume = *resume
+			cfg.MaxAttempts = *retries
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 20 {
 				cfg.NumContracts = 20
@@ -178,6 +194,32 @@ func run() error {
 				return err
 			}
 			fmt.Print(bench.RenderWild(res))
+			if res.TerminalFailures > 0 {
+				return fmt.Errorf("%d contracts failed terminally (see failure-class counts above)", res.TerminalFailures)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "chaos" {
+		if err := runExp("Chaos (campaign resilience under fault injection)", func() error {
+			cfg := bench.DefaultChaosConfig()
+			cfg.Seed = *seed
+			cfg.Workers = *workers
+			cfg.FaultRate = *faultRate
+			if *retries > 1 {
+				cfg.MaxAttempts = *retries
+			}
+			res, err := bench.EvaluateChaos(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderChaos(res))
+			if !res.Passed() {
+				return fmt.Errorf("chaos experiment failed: %d terminal failures, %d verdict mismatches",
+					res.TerminalFailures, res.VerdictMismatches)
+			}
 			return nil
 		}); err != nil {
 			return err

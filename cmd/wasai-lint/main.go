@@ -17,6 +17,13 @@
 //     newly added oracle (an un-flagged oracle would make triage skips
 //     unsound).
 //
+//   - raw errors: in the analysis-pipeline packages (internal/campaign,
+//     internal/fuzz, internal/symbolic, internal/chain) every constructed
+//     error must carry a failure class — failure.Newf / failure.Wrap, or a
+//     fmt.Errorf with %w forwarding a classified cause. Bare errors.New and
+//     %w-less fmt.Errorf defeat the retry policy and the failure taxonomy;
+//     deliberate exceptions carry a `//wasai:rawerr <reason>` directive.
+//
 // The analyzers are built on the standard library's go/parser and go/ast
 // alone. The usual vehicle for custom analyzers is a
 // golang.org/x/tools/go/analysis multichecker, but this repository builds
@@ -55,6 +62,14 @@ func main() {
 	var diags []string
 	for _, pkg := range corePackages {
 		d, err := checkNondeterminism(filepath.Join(root, pkg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wasai-lint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, d...)
+	}
+	for _, pkg := range rawerrPackages {
+		d, err := checkRawErrors(filepath.Join(root, pkg))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wasai-lint:", err)
 			os.Exit(2)

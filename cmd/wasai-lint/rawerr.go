@@ -1,0 +1,149 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// rawerr.go enforces the failure-taxonomy invariant: in the analysis
+// pipeline packages, errors must carry a failure class. A bare
+// errors.New(...) or a fmt.Errorf(...) without a %w verb constructs an
+// error the campaign's retry and reporting layers can only count as
+// "unclassified" — it neither assigns a class (failure.Newf / failure.Wrap)
+// nor forwards an inner classified error (%w preserves the chain, so
+// failure.ClassOf still resolves it).
+//
+// Sentinel errors and values that are genuinely outside the taxonomy
+// (fuzzing signal such as assertion reverts, programmer-error panics) are
+// exempted with a `//wasai:rawerr <reason>` directive on the same or the
+// preceding line.
+
+// rawerrDirective marks an audited, intentionally class-free error.
+const rawerrDirective = "//wasai:rawerr"
+
+// rawerrPackages are the pipeline packages where every error reaches the
+// campaign's failure classifier, relative to the module root.
+var rawerrPackages = []string{
+	"internal/campaign",
+	"internal/fuzz",
+	"internal/symbolic",
+	"internal/chain",
+}
+
+// checkRawErrors lints one package directory (non-test files only: test
+// helpers construct throwaway errors legitimately).
+func checkRawErrors(dir string) ([]string, error) {
+	files, err := packageFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var diags []string
+	for _, path := range files {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		errorsAliases, fmtAliases := errImportAliases(f)
+		if len(errorsAliases) == 0 && len(fmtAliases) == 0 {
+			continue
+		}
+		allowed := rawerrLines(fset, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || pkg.Obj != nil { // Obj != nil: a local variable, not an import
+				return true
+			}
+			pos := fset.Position(sel.Pos())
+			if allowed[pos.Line] || allowed[pos.Line-1] {
+				return true
+			}
+			switch {
+			case errorsAliases[pkg.Name] && sel.Sel.Name == "New":
+				diags = append(diags, fmt.Sprintf(
+					"%s: bare %s.New in pipeline package; classify with failure.Newf or annotate with %q",
+					pos, pkg.Name, rawerrDirective+" <reason>"))
+			case fmtAliases[pkg.Name] && sel.Sel.Name == "Errorf" && !errorfWraps(call):
+				diags = append(diags, fmt.Sprintf(
+					"%s: %s.Errorf without %%w in pipeline package; classify with failure.Newf, wrap the cause with %%w, or annotate with %q",
+					pos, pkg.Name, rawerrDirective+" <reason>"))
+			}
+			return true
+		})
+	}
+	sort.Strings(diags)
+	return diags, nil
+}
+
+// errorfWraps reports whether the Errorf call's format string carries a %w
+// verb. A non-literal format can't be checked statically and passes (the
+// diagnostic would be unactionable).
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return true
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return true
+	}
+	return strings.Contains(format, "%w")
+}
+
+// errImportAliases returns the local names under which the file imports
+// "errors" and "fmt".
+func errImportAliases(f *ast.File) (errorsAliases, fmtAliases map[string]bool) {
+	errorsAliases, fmtAliases = map[string]bool{}, map[string]bool{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch path {
+		case "errors":
+			if name == "" {
+				name = "errors"
+			}
+			errorsAliases[name] = true
+		case "fmt":
+			if name == "" {
+				name = "fmt"
+			}
+			fmtAliases[name] = true
+		}
+	}
+	return errorsAliases, fmtAliases
+}
+
+// rawerrLines collects the line numbers carrying a //wasai:rawerr marker.
+func rawerrLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, rawerrDirective) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

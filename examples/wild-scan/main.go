@@ -5,15 +5,19 @@
 // campaign engine (wasai.AnalyzeBatch), and reports the aggregate findings
 // plus the patch/abandon lifecycle — the §4.4 analysis at example scale.
 //
-// Run with: go run ./examples/wild-scan [n] [workers]
+// Run with: go run ./examples/wild-scan [-journal scan.jsonl [-resume]] [n] [workers]
+//
+// With -journal, the sweep checkpoints every finished contract to an
+// append-only JSONL file; re-running with -resume picks up where a killed
+// scan left off without redoing completed work.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
-	"os"
 	"strconv"
 
 	wasai "repro"
@@ -21,20 +25,23 @@ import (
 )
 
 func main() {
+	journal := flag.String("journal", "", "checkpoint the scan to this JSONL journal")
+	resume := flag.Bool("resume", false, "replay contracts already recorded in -journal")
+	flag.Parse()
 	n, workers := 40, 0
-	if len(os.Args) > 1 {
-		v, err := strconv.Atoi(os.Args[1])
+	if args := flag.Args(); len(args) > 0 {
+		v, err := strconv.Atoi(args[0])
 		if err != nil {
-			log.Fatalf("bad population size %q", os.Args[1])
+			log.Fatalf("bad population size %q", args[0])
 		}
 		n = v
-	}
-	if len(os.Args) > 2 {
-		v, err := strconv.Atoi(os.Args[2])
-		if err != nil {
-			log.Fatalf("bad worker count %q", os.Args[2])
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil {
+				log.Fatalf("bad worker count %q", args[1])
+			}
+			workers = v
 		}
-		workers = v
 	}
 
 	rng := rand.New(rand.NewSource(991))
@@ -48,6 +55,8 @@ func main() {
 	// cfg.Seed), reproducing the serial sweep's per-contract seeds exactly.
 	cfg := wasai.DefaultBatchConfig()
 	cfg.Workers = workers
+	cfg.Journal = *journal
+	cfg.Resume = *resume
 	jobs := make([]wasai.BatchJob, len(pop))
 	for i := range pop {
 		jobs[i] = wasai.BatchJob{

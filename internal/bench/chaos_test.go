@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEvaluateChaosPasses(t *testing.T) {
+	cfg := DefaultChaosConfig()
+	cfg.NumContracts = 12
+	cfg.FuzzIterations = 40
+	res, err := EvaluateChaos(cfg)
+	if err != nil {
+		t.Fatalf("EvaluateChaos: %v", err)
+	}
+	if res.Faulted == 0 {
+		t.Fatal("plan faulted no jobs; the experiment is vacuous")
+	}
+	if !res.Passed() {
+		t.Fatalf("chaos failed: %d terminal failures, %d verdict mismatches",
+			res.TerminalFailures, res.VerdictMismatches)
+	}
+	out := RenderChaos(res)
+	if !strings.Contains(out, "chaos: PASS") {
+		t.Fatalf("render missing PASS line:\n%s", out)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/contractgen"
+	"repro/internal/failure"
 	"repro/internal/fuzz"
 )
 
@@ -18,6 +19,12 @@ type WildConfig struct {
 	Seed           int64
 	// Workers bounds campaign-engine parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Journal checkpoints the sweep to this JSONL path; Resume replays
+	// contracts already journaled there (see internal/campaign).
+	Journal string
+	Resume  bool
+	// MaxAttempts retries failed contracts with degraded budgets.
+	MaxAttempts int
 }
 
 // DefaultWildConfig mirrors §4.4: 991 profitable contracts.
@@ -44,6 +51,17 @@ type WildResult struct {
 	PerClassAccuracy map[contractgen.Class]Counts
 	// Wall-clock throughput of the scan, from the campaign engine.
 	JobsPerSecond float64
+	// TerminalFailures counts contracts that failed even after retries;
+	// PerFailure breaks them down by failure class. A failed contract is
+	// excluded from the accuracy and lifecycle tallies (it has no verdict),
+	// not silently scored clean.
+	TerminalFailures int
+	PerFailure       map[failure.Class]int
+	// Degraded, Retried and Replayed surface the engine's resilience
+	// counters (results from degraded attempts are real verdicts, but a
+	// reader comparing against the paper should know how many ran with
+	// reduced budgets).
+	Degraded, Retried, Replayed int
 }
 
 // EvaluateWild generates the wild population, fuzzes every contract on the
@@ -60,8 +78,14 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		Total:            len(pop),
 		PerClass:         map[contractgen.Class]int{},
 		PerClassAccuracy: map[contractgen.Class]Counts{},
+		PerFailure:       map[failure.Class]int{},
 	}
-	engCfg := campaign.Config{Workers: cfg.Workers}
+	engCfg := campaign.Config{
+		Workers: cfg.Workers,
+		Journal: cfg.Journal,
+		Resume:  cfg.Resume,
+		Retry:   campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
+	}
 	fuzzCfg := func(i int) fuzz.Config {
 		return fuzz.Config{
 			Iterations:      cfg.FuzzIterations,
@@ -85,6 +109,9 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		return nil, err
 	}
 	res.JobsPerSecond = rep.JobsPerSecond
+	res.Degraded = rep.Degraded
+	res.Retried = rep.Retried
+	res.Replayed = rep.Replayed
 
 	// Lifecycle analysis; collect the patched versions of flagged contracts
 	// for the re-analysis batch.
@@ -95,7 +122,12 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		wc := &pop[i]
 		jr := rep.Results[i]
 		if jr.Err != nil {
-			return nil, fmt.Errorf("bench: wild %s: %w", wc.Name, jr.Err)
+			// A terminal failure is a counted outcome, not a bench abort:
+			// the sweep's job is to report on the whole population, and one
+			// sick contract must not cost the other N-1 results.
+			res.TerminalFailures++
+			res.PerFailure[failureClassOf(jr)]++
+			continue
 		}
 		run := jr.Result
 		flagged := false
@@ -136,13 +168,21 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 
 	// Re-analyze the patched versions (paper footnote 1) as a second batch.
 	if len(patchedJobs) > 0 {
-		prep, err := campaign.Run(context.Background(), patchedJobs, engCfg)
+		// The second batch checkpoints to its own file: sharing the path
+		// would truncate the main sweep's journal.
+		patchedCfg := engCfg
+		if patchedCfg.Journal != "" {
+			patchedCfg.Journal += ".patched"
+		}
+		prep, err := campaign.Run(context.Background(), patchedJobs, patchedCfg)
 		if err != nil {
 			return nil, err
 		}
 		for _, jr := range prep.Results {
 			if jr.Err != nil {
-				return nil, fmt.Errorf("bench: wild %s: %w", jr.Job.Name, jr.Err)
+				res.TerminalFailures++
+				res.PerFailure[failureClassOf(jr)]++
+				continue
 			}
 			clean := true
 			for _, cl := range contractgen.Classes {
@@ -156,6 +196,15 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// failureClassOf resolves a failed job's class, falling back to chain
+// inspection for results that predate classification (replayed journals).
+func failureClassOf(jr campaign.JobResult) failure.Class {
+	if jr.FailureClass != failure.None {
+		return jr.FailureClass
+	}
+	return failure.ClassOf(jr.Err)
 }
 
 // RenderWild prints the §4.4 summary.
@@ -175,6 +224,21 @@ func RenderWild(r *WildResult) string {
 	}
 	if r.JobsPerSecond > 0 {
 		fmt.Fprintf(&sb, "throughput: %.1f contracts/s\n", r.JobsPerSecond)
+	}
+	if r.Retried > 0 || r.Degraded > 0 || r.Replayed > 0 {
+		fmt.Fprintf(&sb, "resilience: %d retried, %d degraded, %d replayed from journal\n",
+			r.Retried, r.Degraded, r.Replayed)
+	}
+	if r.TerminalFailures > 0 {
+		fmt.Fprintf(&sb, "terminal failures: %d\n", r.TerminalFailures)
+		for _, cl := range failure.Classes {
+			if n := r.PerFailure[cl]; n > 0 {
+				fmt.Fprintf(&sb, "  failures[%s] %d\n", cl, n)
+			}
+		}
+		if n := r.PerFailure[failure.Unclassified]; n > 0 {
+			fmt.Fprintf(&sb, "  failures[%s] %d\n", failure.Unclassified, n)
+		}
 	}
 	return sb.String()
 }

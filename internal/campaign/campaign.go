@@ -18,7 +18,12 @@
 //   - panic isolation: a crashing contract (or detector) fails its own job
 //     with a *PanicError, not the whole campaign;
 //   - an aggregated Report: per-class flag counts, throughput, merged
-//     solver statistics.
+//     solver statistics;
+//   - resilience: failed jobs retry with deterministically degraded
+//     budgets (retry.go), completed jobs stream to an append-only
+//     checkpoint journal a killed campaign resumes from (journal.go), and
+//     every failure carries a failure.Class so reports can say *how*
+//     jobs died, not just how many.
 package campaign
 
 import (
@@ -30,6 +35,8 @@ import (
 	"time"
 
 	"repro/internal/abi"
+	"repro/internal/failure"
+	"repro/internal/faultinject"
 	"repro/internal/fuzz"
 	"repro/internal/wasm"
 )
@@ -70,6 +77,20 @@ type Config struct {
 	// changes findings — skips are provably-negative only, and reordering
 	// is invisible because seeds derive from job IDs.
 	StaticTriage bool
+	// Retry re-attempts failed jobs with degraded budgets (see retry.go).
+	// The zero value disables retries.
+	Retry RetryPolicy
+	// Journal, when non-empty, streams every completed job to an
+	// append-only JSONL checkpoint file at this path (see journal.go).
+	Journal string
+	// Resume replays jobs already recorded in the Journal file instead of
+	// re-running them; unrecorded jobs run normally. The journal's base
+	// seed must match BaseSeed — resuming under a different derivation
+	// would silently mix two campaigns.
+	Resume bool
+	// Faults injects the planned fault into each job attempt's chain and
+	// solver (see internal/faultinject). Nil injects nothing.
+	Faults *faultinject.Plan
 }
 
 // workers resolves the pool size.
@@ -100,9 +121,25 @@ type JobResult struct {
 	// Result is the synthesized all-clean verdict the fuzzer would have
 	// produced (and its coverage/iteration counters are zero).
 	Skipped bool
+	// Attempts counts the tries the job consumed (0 for skipped and
+	// replayed jobs, 1 when the first try decided it).
+	Attempts int
+	// DegradedMode labels the degradation the accepted attempt ran under
+	// (retry.go's Degrade* constants); empty when the job ran as
+	// configured.
+	DegradedMode string
+	// FailureClass classifies Err (failure.None when the job succeeded).
+	FailureClass failure.Class
+	// Replayed marks a result restored from a resume journal rather than
+	// executed.
+	Replayed bool
 	// Duration is the job's wall-clock time.
 	Duration time.Duration
 }
+
+// Degraded reports whether the job's accepted result ran with degraded
+// budgets.
+func (jr *JobResult) Degraded() bool { return jr.DegradedMode != "" }
 
 // PanicError is a panic recovered from a job, preserving the stack so a
 // crashing contract is diagnosable without taking down the campaign.
@@ -126,17 +163,27 @@ type Engine struct {
 	results chan JobResult
 	wg      sync.WaitGroup
 	close   sync.Once
-	triage  *triageCache // non-nil when cfg.StaticTriage
+	triage  *triageCache          // non-nil when cfg.StaticTriage
+	done    map[int]*journalRecord // journaled outcomes to replay (resume)
+	jw      *journalWriter         // non-nil when cfg.Journal is set
 }
 
 // Start launches the worker pool. The context cancels every in-flight and
-// queued job; Close (or Run) must be called to release the workers.
-func Start(ctx context.Context, cfg Config) *Engine {
+// queued job; Close (or Run) must be called to release the workers. Start
+// fails only on journal problems: an unopenable journal file, or resuming
+// against a journal written under a different base seed.
+func Start(ctx context.Context, cfg Config) (*Engine, error) {
+	done, jw, err := openJournal(cfg)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		cfg:     cfg,
 		ctx:     ctx,
 		jobs:    make(chan Job, cfg.queueDepth()),
 		results: make(chan JobResult, cfg.queueDepth()),
+		done:    done,
+		jw:      jw,
 	}
 	if cfg.StaticTriage {
 		e.triage = newTriageCache()
@@ -153,9 +200,12 @@ func Start(ctx context.Context, cfg Config) *Engine {
 	}
 	go func() {
 		e.wg.Wait()
+		if e.jw != nil {
+			e.jw.Close()
+		}
 		close(e.results)
 	}()
-	return e
+	return e, nil
 }
 
 // Submit enqueues one job, blocking when the bounded queue is full. It
@@ -182,26 +232,67 @@ func (e *Engine) Close() { e.close.Do(func() { close(e.jobs) }) }
 // after Close once every submitted job has been delivered.
 func (e *Engine) Results() <-chan JobResult { return e.results }
 
-// runJob executes one campaign with seed derivation, per-job deadline and
-// panic isolation.
+// runJob executes one campaign: journal replay, triage, then the
+// retry-with-degradation loop. The whole loop runs inline in the job's
+// worker — retries never reschedule — so results stay a pure function of
+// the job, not of worker count or timing.
 func (e *Engine) runJob(job Job) (jr JobResult) {
 	start := time.Now() //wasai:nondet JobResult.Duration is reporting-only, never fed back
 	jr.Job = job
 	defer func() {
 		if r := recover(); r != nil {
+			// A panic outside an attempt (triage, bookkeeping) is terminal:
+			// attempts carry their own recovery, so this one would repeat.
 			jr.Result = nil
-			jr.Err = &PanicError{Value: r, Stack: debug.Stack()}
+			jr.Err = failure.Wrap(failure.Panic, &PanicError{Value: r, Stack: debug.Stack()})
+			jr.FailureClass = failure.Panic
 		}
 		jr.Duration = time.Since(start) //wasai:nondet reporting-only duration metric
+		e.record(jr)
 	}()
+
+	if rec, ok := e.done[job.ID]; ok {
+		jr = rec.toResult(job)
+		return jr
+	}
 
 	if e.triage != nil && skippable(job, e.triage.report(job.Module)) {
 		jr = skipResult(job)
 		return jr
 	}
 
+	maxAttempts := e.cfg.Retry.maxAttempts()
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		res, mode, err := e.attempt(job, attempt)
+		jr.Attempts = attempt + 1
+		if err == nil {
+			jr.Result, jr.DegradedMode = res, mode
+			jr.Err, jr.FailureClass = nil, failure.None
+			return jr
+		}
+		jr.Result = nil
+		jr.Err = err
+		jr.FailureClass = failure.ClassOf(err)
+		if !jr.FailureClass.Retryable() || e.ctx.Err() != nil {
+			break // deterministic failure, or the campaign itself is dying
+		}
+	}
+	return jr
+}
+
+// attempt runs one try of a job under its own deadline, panic isolation,
+// degradation schedule and fault-injection slice.
+func (e *Engine) attempt(job Job, attempt int) (res *fuzz.Result, mode string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = failure.Wrap(failure.Panic, &PanicError{Value: r, Stack: debug.Stack()})
+		}
+	}()
 	ctx := e.ctx
 	if e.cfg.JobTimeout > 0 {
+		// Each attempt gets the full budget: a degraded retry racing the
+		// remnant of the first attempt's deadline could never catch up.
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.JobTimeout)
 		defer cancel()
@@ -210,18 +301,32 @@ func (e *Engine) runJob(job Job) (jr JobResult) {
 	if cfg.Seed == 0 {
 		cfg.Seed = e.cfg.BaseSeed + int64(job.ID)
 	}
+	cfg, mode = degrade(cfg, attempt)
+	if e.cfg.Faults != nil {
+		cfg.Faults = e.cfg.Faults.For(job.ID, attempt)
+	}
 	f, err := fuzz.New(job.Module, job.ABI, cfg)
 	if err != nil {
-		jr.Err = fmt.Errorf("campaign: job %d (%s): %w", job.ID, job.Name, err)
-		return jr
+		return nil, mode, fmt.Errorf("campaign: job %d (%s): %w", job.ID, job.Name, err)
 	}
-	res, err := f.RunContext(ctx)
+	res, err = f.RunContext(ctx)
 	if err != nil {
-		jr.Err = fmt.Errorf("campaign: job %d (%s): %w", job.ID, job.Name, err)
-		return jr
+		return nil, mode, fmt.Errorf("campaign: job %d (%s): %w", job.ID, job.Name, err)
 	}
-	jr.Result = res
-	return jr
+	return res, mode, nil
+}
+
+// record appends a decided job to the journal. Jobs cancelled by the
+// engine's own context are not outcomes — a resumed run must re-execute
+// them — and replayed jobs are already on disk.
+func (e *Engine) record(jr JobResult) {
+	if e.jw == nil || jr.Replayed {
+		return
+	}
+	if jr.Err != nil && e.ctx.Err() != nil {
+		return
+	}
+	e.jw.append(recordOf(jr))
 }
 
 // Run shards jobs across the pool and blocks until all complete, returning
@@ -231,7 +336,10 @@ func (e *Engine) runJob(job Job) (jr JobResult) {
 // context; per-job failures are reported in Report.Results[i].Err.
 func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	start := time.Now() //wasai:nondet Report.Wall is reporting-only, never fed back
-	e := Start(ctx, cfg)
+	e, err := Start(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]JobResult, len(jobs))
 	done := make(chan struct{})
 	go func() {
@@ -264,6 +372,14 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if e.jw != nil {
+		if err := e.jw.Err(); err != nil {
+			// The campaign finished but its checkpoint is unreliable;
+			// surfacing that beats handing back a journal that resumes
+			// wrong.
+			return nil, err
+		}
 	}
 	//wasai:nondet reporting-only wall-clock aggregate
 	return Aggregate(results, time.Since(start)), nil

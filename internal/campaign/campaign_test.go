@@ -75,7 +75,10 @@ func TestEngineStreaming(t *testing.T) {
 	// Bounded queue of 1 with 2 workers: submission interleaves with
 	// completion, results stream in completion order and close after Close.
 	jobs := testJobs(t, 6, 20, 11)
-	e := Start(context.Background(), Config{Workers: 2, QueueDepth: 1, BaseSeed: 1})
+	e, err := Start(context.Background(), Config{Workers: 2, QueueDepth: 1, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	go func() {
 		for i := range jobs {
 			jobs[i].ID = i
@@ -102,7 +105,10 @@ func TestEngineStreaming(t *testing.T) {
 
 func TestSubmitAfterCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	e := Start(ctx, Config{Workers: 1})
+	e, err := Start(ctx, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cancel()
 	jobs := testJobs(t, 1, 5, 3)
 	if err := e.Submit(jobs[0]); err == nil {

@@ -1,0 +1,305 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+
+	"repro/internal/contractgen"
+	"repro/internal/failure"
+	"repro/internal/fuzz"
+	"repro/internal/scanner"
+	"repro/internal/symbolic"
+)
+
+// journal.go implements the checkpoint/resume layer: an append-only JSONL
+// journal that records one self-checksummed record per completed job. A
+// crashed or killed campaign is resumed by re-running with Config.Resume:
+// journaled jobs are answered by replay (no fuzzing), the rest run
+// normally, and the final report is byte-identical to an uninterrupted
+// run's — replay preserves verdicts, counters, degradation modes and even
+// failure strings exactly.
+//
+// The journal deliberately stores outcomes, not progress: jobs are the
+// unit of checkpointing because they are the unit of determinism (seeds
+// derive from job IDs). Mid-job state (RNG position, seed pools, coverage
+// maps) never touches disk. Trace payloads (fuzz.Config.KeepTraces) and
+// the coverage time series are also not journaled — replayed results
+// carry verdicts and scalar counters only.
+
+// journalKind discriminates journal records.
+const (
+	journalKindHeader = "header"
+	journalKindJob    = "job"
+)
+
+// journalRecord is one JSONL line. The Sum field carries an IEEE CRC32 of
+// the record serialized with Sum=0 (Go's json marshaling is deterministic
+// for a fixed struct, so the checksum round-trips): torn or corrupted
+// tail lines from a killed process are detected and dropped rather than
+// trusted or fatal.
+type journalRecord struct {
+	Kind string `json:"kind"`
+
+	// Header fields. BaseSeed guards against resuming a journal under a
+	// different seed derivation, which would silently mix results from
+	// two different campaigns.
+	BaseSeed int64 `json:"base_seed,omitempty"`
+
+	// Job fields.
+	ID           int                   `json:"id,omitempty"`
+	Name         string                `json:"name,omitempty"`
+	Err          string                `json:"err,omitempty"`
+	Failure      string                `json:"failure,omitempty"`
+	Skipped      bool                  `json:"skipped,omitempty"`
+	Attempts     int                   `json:"attempts,omitempty"`
+	DegradedMode string                `json:"degraded,omitempty"`
+	Flagged      []int                 `json:"flagged,omitempty"`
+	Custom       map[string]bool       `json:"custom,omitempty"`
+	Coverage     int                   `json:"coverage,omitempty"`
+	Adaptive     int                   `json:"adaptive,omitempty"`
+	Iterations   int                   `json:"iterations,omitempty"`
+	ReplayErrors int                   `json:"replay_errors,omitempty"`
+	Solver       *symbolic.SolverStats `json:"solver,omitempty"`
+
+	Sum uint32 `json:"sum"`
+}
+
+// checksum computes the record's CRC over its Sum=0 serialization.
+func (rec *journalRecord) checksum() uint32 {
+	saved := rec.Sum
+	rec.Sum = 0
+	b, err := json.Marshal(rec)
+	rec.Sum = saved
+	if err != nil {
+		return 0
+	}
+	return crc32.ChecksumIEEE(b)
+}
+
+// recordOf flattens a completed JobResult into its journal line.
+func recordOf(jr JobResult) journalRecord {
+	rec := journalRecord{
+		Kind:         journalKindJob,
+		ID:           jr.Job.ID,
+		Name:         jr.Job.Name,
+		Skipped:      jr.Skipped,
+		Attempts:     jr.Attempts,
+		DegradedMode: jr.DegradedMode,
+	}
+	if jr.Err != nil {
+		rec.Err = jr.Err.Error()
+		rec.Failure = jr.FailureClass.String()
+		return rec
+	}
+	res := jr.Result
+	for _, class := range contractgen.Classes {
+		if res.Report.Vulnerable[class] {
+			rec.Flagged = append(rec.Flagged, int(class))
+		}
+	}
+	rec.Custom = res.Custom
+	rec.Coverage = res.Coverage
+	rec.Adaptive = res.AdaptiveSeeds
+	rec.Iterations = res.Iterations
+	rec.ReplayErrors = res.ReplayErrors
+	if res.SolverStats != (symbolic.SolverStats{}) {
+		stats := res.SolverStats
+		rec.Solver = &stats
+	}
+	return rec
+}
+
+// replayedError restores a journaled failure. It reproduces the original
+// message byte-for-byte (digest identity) while the failure class rides
+// alongside in the record, so classification survives the round trip even
+// though the original error chain cannot.
+type replayedError struct{ msg string }
+
+func (e *replayedError) Error() string { return e.msg }
+
+// toResult reconstitutes the JobResult for a journaled job. The caller
+// supplies the Job (modules are not journaled — the resumed run re-submits
+// the same population).
+func (rec *journalRecord) toResult(job Job) JobResult {
+	jr := JobResult{
+		Job:          job,
+		Skipped:      rec.Skipped,
+		Attempts:     rec.Attempts,
+		DegradedMode: rec.DegradedMode,
+		Replayed:     true,
+	}
+	if rec.Err != "" {
+		jr.Err = &replayedError{msg: rec.Err}
+		jr.FailureClass = failure.ParseClass(rec.Failure)
+		return jr
+	}
+	report := scanner.NewReport()
+	for _, c := range rec.Flagged {
+		report.Vulnerable[contractgen.Class(c)] = true
+	}
+	custom := rec.Custom
+	if custom == nil {
+		custom = map[string]bool{}
+	}
+	jr.Result = &fuzz.Result{
+		Report:        report,
+		Coverage:      rec.Coverage,
+		AdaptiveSeeds: rec.Adaptive,
+		Iterations:    rec.Iterations,
+		ReplayErrors:  rec.ReplayErrors,
+		Custom:        custom,
+	}
+	if rec.Solver != nil {
+		jr.Result.SolverStats = *rec.Solver
+	}
+	return jr
+}
+
+// journalWriter appends records to the journal file, serialized across
+// workers. Every record is written line-atomically so a killed process
+// loses at most the line being written — which the CRC then rejects. The
+// first write failure sticks (Err): later appends are dropped rather than
+// interleaving partial lines into a sick file.
+type journalWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+func (w *journalWriter) append(rec journalRecord) error {
+	rec.Sum = rec.checksum()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		err = fmt.Errorf("campaign: journal: %w", err)
+		w.fail(err)
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.f.Write(append(b, '\n')); err != nil {
+		w.err = fmt.Errorf("campaign: journal: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+func (w *journalWriter) fail(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = err
+	}
+}
+
+// Err returns the sticky first write failure, if any.
+func (w *journalWriter) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+func (w *journalWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// loadJournal reads an existing journal, dropping unparseable or
+// checksum-failing lines (a torn tail from a killed run is expected, not
+// fatal). It returns the journaled job records keyed by ID and the header
+// (nil when the file never got one).
+func loadJournal(path string) (map[int]*journalRecord, *journalRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	done := map[int]*journalRecord{}
+	var header *journalRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec := &journalRecord{}
+		if err := json.Unmarshal(line, rec); err != nil {
+			continue // torn or corrupt line
+		}
+		if rec.Sum != rec.checksum() {
+			continue // bit rot or partial write
+		}
+		switch rec.Kind {
+		case journalKindHeader:
+			if header == nil {
+				header = rec
+			}
+		case journalKindJob:
+			done[rec.ID] = rec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("campaign: journal %s: %w", path, err)
+	}
+	return done, header, nil
+}
+
+// openJournal prepares the engine's journal state from the config: the
+// set of already-completed jobs (resume) and the open append handle.
+func openJournal(cfg Config) (map[int]*journalRecord, *journalWriter, error) {
+	if cfg.Journal == "" {
+		if cfg.Resume {
+			// Configuration misuse surfaced to the caller before any job
+			// runs — never classified, never retried.
+			return nil, nil, fmt.Errorf("campaign: Resume requires a Journal path") //wasai:rawerr config validation
+
+		}
+		return nil, nil, nil
+	}
+	var done map[int]*journalRecord
+	if cfg.Resume {
+		var header *journalRecord
+		var err error
+		done, header, err = loadJournal(cfg.Journal)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Nothing to resume: behave like a fresh journaled run.
+				done = nil
+			} else {
+				return nil, nil, err
+			}
+		}
+		if header != nil && header.BaseSeed != cfg.BaseSeed {
+			//wasai:rawerr config validation, surfaced before any job runs
+			return nil, nil, fmt.Errorf("campaign: journal %s was written with base seed %d, refusing to resume with %d",
+				cfg.Journal, header.BaseSeed, cfg.BaseSeed)
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY
+	if cfg.Resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(cfg.Journal, flags, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	w := &journalWriter{f: f}
+	if len(done) == 0 {
+		// Fresh (or effectively fresh) journal: stamp the header.
+		if err := w.append(journalRecord{Kind: journalKindHeader, BaseSeed: cfg.BaseSeed}); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return done, w, nil
+}

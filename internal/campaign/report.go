@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/contractgen"
+	"repro/internal/failure"
 	"repro/internal/symbolic"
 )
 
@@ -20,6 +21,17 @@ type Report struct {
 	Completed int
 	Failed    int
 	Skipped   int
+	// PerFailure counts failed jobs by failure class — the taxonomy makes
+	// "N failed" answerable: how many timed out, how many panicked, how
+	// many starved the solver.
+	PerFailure map[failure.Class]int
+	// Degraded counts completed jobs whose accepted result ran with
+	// degraded budgets; Retried counts jobs that needed more than one
+	// attempt (a retried job may still have failed terminally).
+	Degraded int
+	Retried  int
+	// Replayed counts results restored from a resume journal.
+	Replayed int
 	// Flagged counts completed jobs with at least one vulnerable class.
 	Flagged int
 	// PerClass counts completed jobs flagged per vulnerability class.
@@ -37,18 +49,33 @@ type Report struct {
 // Aggregate folds job results into a Report. The slice is retained.
 func Aggregate(results []JobResult, wall time.Duration) *Report {
 	r := &Report{
-		Results:  results,
-		PerClass: map[contractgen.Class]int{},
-		Wall:     wall,
+		Results:    results,
+		PerClass:   map[contractgen.Class]int{},
+		PerFailure: map[failure.Class]int{},
+		Wall:       wall,
 	}
 	for _, jr := range results {
+		if jr.Attempts > 1 {
+			r.Retried++
+		}
+		if jr.Replayed {
+			r.Replayed++
+		}
 		if jr.Err != nil {
 			r.Failed++
+			class := jr.FailureClass
+			if class == failure.None {
+				class = failure.ClassOf(jr.Err)
+			}
+			r.PerFailure[class]++
 			continue
 		}
 		r.Completed++
 		if jr.Skipped {
 			r.Skipped++
+		}
+		if jr.Degraded() {
+			r.Degraded++
 		}
 		res := jr.Result
 		r.Iterations += res.Iterations
@@ -109,6 +136,12 @@ func (r *Report) digest(withState bool) string {
 				fmt.Fprintf(&sb, " coverage=%d adaptive=%d", jr.Result.Coverage, jr.Result.AdaptiveSeeds)
 			}
 		}
+		// Degradation is part of the finding's provenance: a verdict from a
+		// concrete-only rerun is not the same claim as a full-budget one.
+		// Appended only when set, so undegraded digests are unchanged.
+		if jr.DegradedMode != "" {
+			fmt.Fprintf(&sb, " degraded=%s", jr.DegradedMode)
+		}
 		lines = append(lines, sb.String())
 	}
 	sort.Strings(lines)
@@ -120,6 +153,18 @@ func (r *Report) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "campaign: %d jobs (%d completed, %d skipped, %d failed) in %.1fs (%.1f jobs/s), %d flagged\n",
 		len(r.Results), r.Completed, r.Skipped, r.Failed, r.Wall.Seconds(), r.JobsPerSecond, r.Flagged)
+	if r.Retried > 0 || r.Degraded > 0 || r.Replayed > 0 {
+		fmt.Fprintf(&sb, "  resilience: %d retried, %d degraded, %d replayed from journal\n",
+			r.Retried, r.Degraded, r.Replayed)
+	}
+	for _, class := range failure.Classes {
+		if n := r.PerFailure[class]; n > 0 {
+			fmt.Fprintf(&sb, "  failures[%s] %d\n", class, n)
+		}
+	}
+	if n := r.PerFailure[failure.Unclassified]; n > 0 {
+		fmt.Fprintf(&sb, "  failures[%s] %d\n", failure.Unclassified, n)
+	}
 	for _, class := range contractgen.Classes {
 		if n := r.PerClass[class]; n > 0 {
 			fmt.Fprintf(&sb, "  %-14s %d\n", class, n)

@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"repro/internal/fuzz"
+	"repro/internal/wasm/exec"
+)
+
+// RetryPolicy bounds how often a failed job is re-attempted. Retries are
+// deterministic: whether a job retries depends only on its failure class
+// (failure.Class.Retryable), the attempt's configuration is a pure
+// function of the attempt number (degrade), and the whole loop runs
+// inline in the job's worker — so retried campaigns keep the engine's
+// worker-count-invariant results guarantee. There is no backoff: jobs are
+// CPU-bound and share no contended resource, so waiting would only add
+// wall-clock (and a clock dependency).
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget per job, including the
+	// first try. 0 or 1 disables retries.
+	MaxAttempts int
+}
+
+// maxAttempts resolves the attempt budget.
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Degradation mode labels recorded on results that ran degraded.
+const (
+	// DegradeReducedFuel halves the fuel and solver budgets (attempt 1):
+	// most timeout/solver-exhaustion failures are budget blowups, and a
+	// cheaper run completes inside the same per-attempt deadline.
+	DegradeReducedFuel = "reduced-fuel"
+	// DegradeConcreteOnly additionally disables symbolic feedback
+	// (attempt 2 and later): the campaign falls back to pure black-box
+	// fuzzing, which cannot be hurt by solver pathologies at all.
+	DegradeConcreteOnly = "concrete-only"
+)
+
+// degrade returns the configuration for the given attempt and the
+// degradation mode label ("" for attempt 0, which runs as configured).
+// Each step strictly shrinks the work an attempt can do, trading
+// completeness for the chance to finish: a degraded verdict over no
+// verdict at all.
+func degrade(cfg fuzz.Config, attempt int) (fuzz.Config, string) {
+	if attempt <= 0 {
+		return cfg, ""
+	}
+	fuel := cfg.Fuel
+	if fuel <= 0 {
+		fuel = exec.DefaultFuel
+	}
+	cfg.Fuel = fuel / 2
+	conflicts := cfg.SolverConflicts
+	if conflicts <= 0 {
+		conflicts = 200_000 // the solver's own default budget
+	}
+	cfg.SolverConflicts = conflicts / 2
+	if attempt == 1 {
+		return cfg, DegradeReducedFuel
+	}
+	cfg.DisableFeedback = true
+	return cfg, DegradeConcreteOnly
+}

@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/failure"
+	"repro/internal/faultinject"
+	"repro/internal/fuzz"
+	"repro/internal/wasm/exec"
+)
+
+func TestDegradeSchedule(t *testing.T) {
+	base := fuzz.Config{Iterations: 100, SolverConflicts: 40_000, Fuel: 1_000_000}
+
+	cfg, mode := degrade(base, 0)
+	if mode != "" || cfg.Fuel != base.Fuel || cfg.SolverConflicts != base.SolverConflicts || cfg.DisableFeedback {
+		t.Fatalf("attempt 0 must run the configured budgets unchanged (mode=%q cfg=%+v)", mode, cfg)
+	}
+
+	cfg, mode = degrade(base, 1)
+	if mode != DegradeReducedFuel {
+		t.Fatalf("attempt 1 mode = %q, want %q", mode, DegradeReducedFuel)
+	}
+	if cfg.Fuel != base.Fuel/2 || cfg.SolverConflicts != base.SolverConflicts/2 {
+		t.Fatalf("attempt 1 budgets not halved: fuel=%d conflicts=%d", cfg.Fuel, cfg.SolverConflicts)
+	}
+	if cfg.DisableFeedback {
+		t.Fatal("attempt 1 must keep symbolic feedback")
+	}
+
+	cfg, mode = degrade(base, 2)
+	if mode != DegradeConcreteOnly {
+		t.Fatalf("attempt 2 mode = %q, want %q", mode, DegradeConcreteOnly)
+	}
+	if !cfg.DisableFeedback {
+		t.Fatal("attempt 2 must disable symbolic feedback")
+	}
+
+	// Zero-valued budgets degrade from the defaults, not from zero.
+	cfg, _ = degrade(fuzz.Config{Iterations: 10}, 1)
+	if cfg.Fuel != exec.DefaultFuel/2 {
+		t.Fatalf("unset fuel degrades to %d, want DefaultFuel/2 = %d", cfg.Fuel, exec.DefaultFuel/2)
+	}
+	if cfg.SolverConflicts <= 0 {
+		t.Fatalf("unset solver budget degraded to %d", cfg.SolverConflicts)
+	}
+}
+
+// TestFaultMatrixRecovery runs the campaign with every job's first attempt
+// faulted, once per fault kind. Each kind must escalate to a job failure
+// (proving injection reaches the pipeline) and every job must then recover
+// on an un-faulted degraded retry: zero terminal failures.
+func TestFaultMatrixRecovery(t *testing.T) {
+	for _, kind := range faultinject.AllKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			jobs := testJobs(t, 10, 30, 9)
+			rep, err := Run(context.Background(), jobs, Config{
+				Workers:  4,
+				BaseSeed: 3,
+				Faults:   &faultinject.Plan{Seed: 11, Rate: 1, Kinds: []faultinject.Kind{kind}},
+				Retry:    RetryPolicy{MaxAttempts: 3},
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.Failed != 0 {
+				for _, jr := range rep.Results {
+					if jr.Err != nil {
+						t.Logf("job %d: class=%s err=%v", jr.Job.ID, jr.FailureClass, jr.Err)
+					}
+				}
+				t.Fatalf("%d terminal failures under %s with retries available", rep.Failed, kind)
+			}
+			if rep.Retried == 0 {
+				t.Fatalf("no job retried: %s faults never escalated to a job failure", kind)
+			}
+			if rep.Degraded == 0 {
+				t.Fatalf("no accepted result was degraded: recoveries must come from degraded retries")
+			}
+		})
+	}
+}
+
+// TestFaultEveryAttemptTerminal removes the recovery path: with every
+// attempt faulted and retries exhausted, jobs must fail terminally with a
+// populated failure class and the attempt counter at the retry cap.
+func TestFaultEveryAttemptTerminal(t *testing.T) {
+	jobs := testJobs(t, 6, 30, 9)
+	rep, err := Run(context.Background(), jobs, Config{
+		Workers:  2,
+		BaseSeed: 3,
+		Faults: &faultinject.Plan{
+			Seed: 11, Rate: 1, Attempts: 1 << 20,
+			Kinds: []faultinject.Kind{faultinject.KindHostError},
+		},
+		Retry: RetryPolicy{MaxAttempts: 2},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Failed == 0 {
+		t.Fatal("no terminal failures with every attempt faulted")
+	}
+	if rep.PerFailure[failure.Trap] != rep.Failed {
+		t.Fatalf("PerFailure[trap] = %d, want all %d failures (host-error injects traps)",
+			rep.PerFailure[failure.Trap], rep.Failed)
+	}
+	for _, jr := range rep.Results {
+		if jr.Err == nil {
+			continue
+		}
+		if jr.FailureClass != failure.Trap {
+			t.Errorf("job %d failed with class %s, want %s", jr.Job.ID, jr.FailureClass, failure.Trap)
+		}
+		if jr.Attempts != 2 {
+			t.Errorf("job %d recorded %d attempts, want the full retry budget of 2", jr.Job.ID, jr.Attempts)
+		}
+	}
+}
+
+// TestChaosNonFaultedVerdictsUnchanged is the acceptance criterion run as a
+// unit test: at a 20% fault rate with retries, the campaign completes with
+// zero terminal failures, and the jobs the plan left alone report verdicts
+// identical to a fault-free baseline.
+func TestChaosNonFaultedVerdictsUnchanged(t *testing.T) {
+	const nJobs = 20
+	mk := func() []Job { return testJobs(t, nJobs, 30, 13) }
+	base, err := Run(context.Background(), mk(), Config{Workers: 4, BaseSeed: 7})
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+
+	plan := &faultinject.Plan{Seed: 99, Rate: 0.2}
+	rep, err := Run(context.Background(), mk(), Config{
+		Workers:  4,
+		BaseSeed: 7,
+		Faults:   plan,
+		Retry:    RetryPolicy{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d terminal failures at 20%% fault rate with retries", rep.Failed)
+	}
+	faulted := 0
+	for i := 0; i < nJobs; i++ {
+		if plan.For(i, 0) != nil {
+			faulted++
+			continue // a degraded rerun's verdict may legitimately differ
+		}
+		bjr, fjr := base.Results[i], rep.Results[i]
+		if fjr.DegradedMode != "" || fjr.Attempts != 1 {
+			t.Errorf("un-faulted job %d retried or degraded (attempts=%d mode=%q)",
+				i, fjr.Attempts, fjr.DegradedMode)
+		}
+		for _, class := range contractgen.Classes {
+			if bjr.Result.Report.Vulnerable[class] != fjr.Result.Report.Vulnerable[class] {
+				t.Errorf("un-faulted job %d changed its %s verdict under injection", i, class)
+			}
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("the 20% plan faulted no jobs; the comparison is vacuous")
+	}
+}

@@ -21,7 +21,10 @@ func TestStressManyProducersManyWorkers(t *testing.T) {
 	total := producers * jobsPerProd
 	jobs := testJobs(t, total, 8, 123)
 
-	e := Start(context.Background(), Config{Workers: 16, QueueDepth: 2, BaseSeed: 1})
+	e, err := Start(context.Background(), Config{Workers: 16, QueueDepth: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
@@ -64,7 +67,10 @@ func TestStressManyProducersManyWorkers(t *testing.T) {
 func TestStressCancelMidBatch(t *testing.T) {
 	jobs := testJobs(t, 40, 200, 321)
 	ctx, cancel := context.WithCancel(context.Background())
-	e := Start(ctx, Config{Workers: 4, QueueDepth: 1, BaseSeed: 1})
+	e, err := Start(ctx, Config{Workers: 4, QueueDepth: 1, BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	go func() {
 		for i := range jobs {
 			jobs[i].ID = i

@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/abi"
 	"repro/internal/eos"
+	"repro/internal/failure"
+	"repro/internal/faultinject"
 	"repro/internal/instrument"
 	"repro/internal/trace"
 	"repro/internal/wasm"
@@ -31,8 +33,10 @@ type Transaction struct {
 	Actions []Action
 }
 
-// ErrAssert is the failure produced by eosio_assert.
-var ErrAssert = errors.New("eosio_assert failed")
+// ErrAssert is the failure produced by eosio_assert. It deliberately
+// carries no failure class: assertion failures are fuzzing signal, not
+// infrastructure faults.
+var ErrAssert = errors.New("eosio_assert failed") //wasai:rawerr
 
 // AssertError carries the contract-supplied assertion message.
 type AssertError struct {
@@ -137,6 +141,11 @@ type Blockchain struct {
 	MaxInlineDepth int
 	// Fuel is the per-action instruction budget for Wasm execution.
 	Fuel int64
+	// Faults, when non-nil, injects the planned fault ahead of host-API
+	// dispatch (see internal/faultinject). Chains execute transactions
+	// single-threaded, so the host-call order — and therefore which call
+	// the fault lands on — is deterministic.
+	Faults *faultinject.Injector
 }
 
 // New returns a chain with the eosio.token system contract deployed and
@@ -308,7 +317,7 @@ type txContext struct {
 // matching EOSIO's dispatch order.
 func (bc *Blockchain) applyActionTree(txctx *txContext, act Action, depth int) error {
 	if depth > bc.MaxInlineDepth {
-		return fmt.Errorf("chain: inline action depth %d exceeds limit", depth)
+		return failure.Newf(failure.Trap, "chain: inline action depth %d exceeds limit", depth)
 	}
 	// Primary apply: receiver == code == act.Account.
 	notified, inline, err := bc.applyOne(txctx, act.Account, act.Account, act, depth)
@@ -346,7 +355,7 @@ func (bc *Blockchain) applyOne(txctx *txContext, receiver, code eos.Name, act Ac
 	acct, ok := bc.accounts[receiver]
 	if !ok {
 		if receiver == code {
-			return nil, nil, fmt.Errorf("chain: unknown account %s", receiver)
+			return nil, nil, failure.Newf(failure.Trap, "chain: unknown account %s", receiver)
 		}
 		return nil, nil, nil // notifying a non-existent account is a no-op
 	}

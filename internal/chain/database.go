@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/failure"
+
 	"repro/internal/eos"
 )
 
@@ -231,15 +233,15 @@ func (ic *IterCache) Store(scope eos.Name, tab eos.Name, code eos.Name, id uint6
 func (ic *IterCache) Get(handle int32) ([]byte, error) {
 	r, ok := ic.ref(handle)
 	if !ok {
-		return nil, fmt.Errorf("chain: invalid db iterator %d", handle)
+		return nil, failure.Newf(failure.Trap, "chain: invalid db iterator %d", handle)
 	}
 	t := ic.db.tableFor(r.key, false)
 	if t == nil {
-		return nil, fmt.Errorf("chain: iterator %d references dropped table %s", handle, r.key)
+		return nil, failure.Newf(failure.Trap, "chain: iterator %d references dropped table %s", handle, r.key)
 	}
 	row, ok := t.rows[r.id]
 	if !ok {
-		return nil, fmt.Errorf("chain: iterator %d references erased row %d", handle, r.id)
+		return nil, failure.Newf(failure.Trap, "chain: iterator %d references erased row %d", handle, r.id)
 	}
 	return row, nil
 }
@@ -248,7 +250,7 @@ func (ic *IterCache) Get(handle int32) ([]byte, error) {
 func (ic *IterCache) Update(handle int32, data []byte) error {
 	r, ok := ic.ref(handle)
 	if !ok {
-		return fmt.Errorf("chain: invalid db iterator %d", handle)
+		return failure.Newf(failure.Trap, "chain: invalid db iterator %d", handle)
 	}
 	ic.db.tableFor(r.key, true).store(r.id, data)
 	return nil
@@ -258,7 +260,7 @@ func (ic *IterCache) Update(handle int32, data []byte) error {
 func (ic *IterCache) Remove(handle int32) error {
 	r, ok := ic.ref(handle)
 	if !ok {
-		return fmt.Errorf("chain: invalid db iterator %d", handle)
+		return failure.Newf(failure.Trap, "chain: invalid db iterator %d", handle)
 	}
 	if t := ic.db.tableFor(r.key, false); t != nil {
 		t.remove(r.id)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/eos"
+	"repro/internal/failure"
 	"repro/internal/instrument"
 	"repro/internal/trace"
 	"repro/internal/wasm/exec"
@@ -216,6 +217,21 @@ func (bc *Blockchain) resolverFor(ctx *Context) exec.Resolver {
 		},
 	}
 	bc.addDBAPIs(env)
+	if bc.Faults != nil {
+		// Interpose the fault injector ahead of every env intrinsic. The
+		// wasai.* hook module is left unwrapped: instrumentation callbacks
+		// are bookkeeping, not chain semantics, and faulting them would
+		// perturb coverage rather than model a host failure.
+		for name, fn := range env {
+			name, fn := name, fn
+			env[name] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
+				if err := bc.Faults.HostCall(name); err != nil {
+					return nil, err
+				}
+				return fn(vm, args)
+			}
+		}
+	}
 	return exec.Resolver{
 		"env":                 env,
 		instrument.HookModule: bc.hookModule(),
@@ -326,7 +342,7 @@ func (bc *Blockchain) hookModule() exec.HostModule {
 		}
 		s, ok := acct.Sites.Lookup(site)
 		if !ok {
-			return fmt.Errorf("chain: unknown hook site %d in %s", site, ctx.Receiver)
+			return failure.Newf(failure.Trap, "chain: unknown hook site %d in %s", site, ctx.Receiver)
 		}
 		bc.Collector.Emit(trace.Event{
 			Kind: kind, Func: s.Func, PC: int(s.PC), Op: s.Op, Operand: operand,
@@ -466,7 +482,7 @@ func PackAction(act Action) []byte {
 // UnpackAction parses the PackAction layout.
 func UnpackAction(p []byte) (Action, error) {
 	if len(p) < 20 {
-		return Action{}, fmt.Errorf("chain: packed action too short (%d bytes)", len(p))
+		return Action{}, failure.Newf(failure.Trap, "chain: packed action too short (%d bytes)", len(p))
 	}
 	act := Action{
 		Account: eos.Name(binary.LittleEndian.Uint64(p[0:])),
@@ -475,7 +491,7 @@ func UnpackAction(p []byte) (Action, error) {
 	nauth := binary.LittleEndian.Uint32(p[16:])
 	off := 20
 	if nauth > 16 || len(p) < off+int(nauth)*16+4 {
-		return Action{}, fmt.Errorf("chain: packed action truncated")
+		return Action{}, failure.Newf(failure.Trap, "chain: packed action truncated")
 	}
 	for i := uint32(0); i < nauth; i++ {
 		act.Authorization = append(act.Authorization, PermissionLevel{
@@ -487,7 +503,7 @@ func UnpackAction(p []byte) (Action, error) {
 	dlen := binary.LittleEndian.Uint32(p[off:])
 	off += 4
 	if len(p) < off+int(dlen) {
-		return Action{}, fmt.Errorf("chain: packed action data truncated")
+		return Action{}, failure.Newf(failure.Trap, "chain: packed action data truncated")
 	}
 	act.Data = append([]byte(nil), p[off:off+int(dlen)]...)
 	return act, nil

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/abi"
 	"repro/internal/eos"
+	"repro/internal/failure"
 )
 
 // accountsTable is the balance table name used by eosio.token.
@@ -185,11 +186,11 @@ func EncodeIssue(to eos.Name, quantity eos.Asset, memo string) []byte {
 func (bc *Blockchain) Issue(token, to eos.Name, quantity eos.Asset) error {
 	acct := bc.Account(token)
 	if acct == nil {
-		return fmt.Errorf("chain: no token contract %s", token)
+		return failure.Newf(failure.Trap, "chain: no token contract %s", token)
 	}
 	tc, ok := acct.Native.(*TokenContract)
 	if !ok {
-		return fmt.Errorf("chain: %s is not a native token contract", token)
+		return failure.Newf(failure.Trap, "chain: %s is not a native token contract", token)
 	}
 	rcpt := bc.PushTransaction(Transaction{Actions: []Action{{
 		Account:       token,

@@ -1,0 +1,150 @@
+// Package failure is the campaign engine's failure taxonomy: a small,
+// closed set of failure classes that replaces stringly-typed job errors.
+// EOSFuzzer and WANA both report per-contract timeouts and crashes as
+// first-class experimental artifacts; to do the same at campaign scale —
+// and to drive the retry-with-degradation policy — a failed job must carry
+// *why* it failed in a form the engine can branch on.
+//
+// The taxonomy is threaded through the layers that can fail a job:
+//
+//   - decode: the contract binary or ABI cannot be decoded, validated, or
+//     instrumented. Deterministic and permanent — never retried.
+//   - trap: an execution fault escalated to job level (injected host
+//     errors, infrastructure invariant violations). Ordinary per-
+//     transaction traps revert the transaction and are fuzzing signal,
+//     not failures.
+//   - timeout: the per-job deadline (or the campaign context) cancelled
+//     the job.
+//   - solver-exhausted: the symbolic stage gave up — the SAT budget was
+//     starved or the unknown-result budget was exhausted.
+//   - panic: a recovered panic (crashing contract, detector, or injected
+//     fault).
+//   - oom-guard: a resource guard tripped (fuel/stack/memory budgets).
+//
+// Errors are classified by wrapping them with Wrap (or constructing them
+// with Newf); ClassOf recovers the class anywhere up the error chain, so
+// intermediate fmt.Errorf("...: %w", err) wrapping is transparent.
+package failure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Class is one failure-taxonomy class.
+type Class int
+
+// The failure classes. None is the zero value (no classified failure).
+const (
+	None Class = iota
+	Decode
+	Trap
+	Timeout
+	SolverExhausted
+	Panic
+	OomGuard
+	// Unclassified is the fallback for errors carrying no class.
+	Unclassified
+)
+
+// Classes lists the real classes in canonical reporting order (None and
+// Unclassified excluded).
+var Classes = []Class{Decode, Trap, Timeout, SolverExhausted, Panic, OomGuard}
+
+// String names the class (the journal and bench tables use these names).
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Decode:
+		return "decode"
+	case Trap:
+		return "trap"
+	case Timeout:
+		return "timeout"
+	case SolverExhausted:
+		return "solver-exhausted"
+	case Panic:
+		return "panic"
+	case OomGuard:
+		return "oom-guard"
+	case Unclassified:
+		return "unclassified"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// ParseClass inverts String. Unknown names parse as Unclassified, so a
+// journal written by a newer version still loads.
+func ParseClass(s string) Class {
+	for _, c := range append([]Class{None}, Classes...) {
+		if c.String() == s {
+			return c
+		}
+	}
+	return Unclassified
+}
+
+// Retryable reports whether a failure of this class may succeed on a
+// retried (possibly degraded) attempt. Decode failures are deterministic
+// properties of the input and never retried; everything else is assumed
+// transient or budget-bound.
+func (c Class) Retryable() bool {
+	switch c {
+	case Timeout, Panic, SolverExhausted, Trap, OomGuard:
+		return true
+	default:
+		return false
+	}
+}
+
+// Error attaches a Class to an underlying error. It satisfies errors.Is /
+// errors.As chains transparently via Unwrap.
+type Error struct {
+	Class Class
+	Err   error
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("[%s] %v", e.Class, e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Wrap classifies err. A nil err returns nil; an err already carrying a
+// class is returned unchanged (the innermost classification wins — it was
+// made closest to the fault).
+func Wrap(c Class, err error) error {
+	if err == nil {
+		return nil
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		return err
+	}
+	return &Error{Class: c, Err: err}
+}
+
+// Newf builds a classified error from a format string.
+func Newf(c Class, format string, args ...any) error {
+	return &Error{Class: c, Err: fmt.Errorf(format, args...)}
+}
+
+// ClassOf recovers the failure class of err: the class of the innermost
+// *Error in the chain, or Timeout for bare context errors, or
+// Unclassified for anything else. A nil err is None.
+func ClassOf(err error) Class {
+	if err == nil {
+		return None
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Class
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return Timeout
+	}
+	return Unclassified
+}

@@ -1,0 +1,71 @@
+package failure
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassRoundTrip(t *testing.T) {
+	for _, c := range append([]Class{None}, Classes...) {
+		if got := ParseClass(c.String()); got != c {
+			t.Errorf("ParseClass(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	if got := ParseClass("no-such-class"); got != Unclassified {
+		t.Errorf("unknown name parsed as %v, want Unclassified", got)
+	}
+}
+
+func TestWrapAndClassOf(t *testing.T) {
+	base := errors.New("boom")
+	err := Wrap(Trap, base)
+	if got := ClassOf(err); got != Trap {
+		t.Fatalf("ClassOf = %v, want Trap", got)
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("Wrap broke the errors.Is chain")
+	}
+	// Intermediate fmt.Errorf wrapping is transparent.
+	outer := fmt.Errorf("job 3: %w", err)
+	if got := ClassOf(outer); got != Trap {
+		t.Fatalf("ClassOf through fmt.Errorf = %v, want Trap", got)
+	}
+	// Re-wrapping with a different class keeps the original classification.
+	if got := ClassOf(Wrap(Timeout, outer)); got != Trap {
+		t.Fatalf("re-wrap overrode class: got %v, want Trap", got)
+	}
+}
+
+func TestClassOfFallbacks(t *testing.T) {
+	if got := ClassOf(nil); got != None {
+		t.Errorf("ClassOf(nil) = %v", got)
+	}
+	if got := ClassOf(context.DeadlineExceeded); got != Timeout {
+		t.Errorf("ClassOf(DeadlineExceeded) = %v, want Timeout", got)
+	}
+	if got := ClassOf(fmt.Errorf("ctx: %w", context.Canceled)); got != Timeout {
+		t.Errorf("ClassOf(wrapped Canceled) = %v, want Timeout", got)
+	}
+	if got := ClassOf(errors.New("bare")); got != Unclassified {
+		t.Errorf("ClassOf(bare) = %v, want Unclassified", got)
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	if Decode.Retryable() {
+		t.Error("decode failures are deterministic and must not retry")
+	}
+	for _, c := range []Class{Timeout, Panic, SolverExhausted, Trap, OomGuard} {
+		if !c.Retryable() {
+			t.Errorf("%v should be retryable", c)
+		}
+	}
+}
+
+func TestWrapNil(t *testing.T) {
+	if Wrap(Trap, nil) != nil {
+		t.Error("Wrap(nil) must be nil")
+	}
+}

@@ -1,0 +1,210 @@
+// Package faultinject is the deterministic chaos layer for the campaign
+// engine: a seeded Plan decides — as a pure function of (job, attempt) —
+// whether a job's attempt is faulted, with which fault kind, and at which
+// call site the fault fires. The retry-with-degradation paths of
+// internal/campaign are themselves exercised under `make verify` by
+// injecting faults Wasabi/chaos-style into the chain host API and the
+// constraint-solver pool, instead of waiting for a real solver blowup or
+// worker crash to happen in production.
+//
+// Everything is deterministic: no wall clock, no process-seeded
+// randomness. The same Plan faults the same jobs the same way at any
+// worker count, so fault-injected campaigns keep the engine's
+// byte-identical-results guarantee.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/failure"
+)
+
+// Kind enumerates the injectable fault kinds.
+type Kind int
+
+// The fault kinds and the layer each fires in.
+const (
+	// KindHostError makes one chain host-API call return an injected
+	// error: the transaction traps and the fault escalates to job level
+	// as a trap failure.
+	KindHostError Kind = iota + 1
+	// KindHostPanic makes one chain host-API call panic, exercising the
+	// engine's panic isolation (failure class: panic).
+	KindHostPanic
+	// KindFuelStarve models a resource guard tripping mid-execution: a
+	// host-API call fails with an oom-guard-classified budget error.
+	KindFuelStarve
+	// KindSolverStarve starves the SAT budget: the solver pool aborts
+	// with a solver-exhausted failure once the fault fires.
+	KindSolverStarve
+)
+
+// AllKinds lists every fault kind in canonical order.
+var AllKinds = []Kind{KindHostError, KindHostPanic, KindFuelStarve, KindSolverStarve}
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHostError:
+		return "host-error"
+	case KindHostPanic:
+		return "host-panic"
+	case KindFuelStarve:
+		return "fuel-starve"
+	case KindSolverStarve:
+		return "solver-starve"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// FailureClass is the failure-taxonomy class an injected fault of this
+// kind escalates as (the fault-matrix tests assert exactly this mapping).
+func (k Kind) FailureClass() failure.Class {
+	switch k {
+	case KindHostError:
+		return failure.Trap
+	case KindHostPanic:
+		return failure.Panic
+	case KindFuelStarve:
+		return failure.OomGuard
+	case KindSolverStarve:
+		return failure.SolverExhausted
+	default:
+		return failure.Unclassified
+	}
+}
+
+// ErrInjected is the sentinel every injected fault wraps: the fuzzer
+// escalates a transaction whose error chains to ErrInjected into a job
+// failure (ordinary contract reverts never do).
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Plan is a seeded fault-injection campaign policy.
+type Plan struct {
+	// Seed drives every injection decision.
+	Seed int64
+	// Rate is the fraction of (job, attempt) pairs that are faulted,
+	// in [0, 1].
+	Rate float64
+	// Kinds restricts the injectable kinds (nil or empty = AllKinds).
+	Kinds []Kind
+	// Attempts makes attempts 0..Attempts-1 eligible for injection
+	// (0 defaults to 1: only a job's first attempt is faulted, so every
+	// retry can demonstrate recovery). Use a large value to fault every
+	// attempt and force terminal failures.
+	Attempts int
+}
+
+func (p *Plan) attempts() int {
+	if p.Attempts <= 0 {
+		return 1
+	}
+	return p.Attempts
+}
+
+func (p *Plan) kinds() []Kind {
+	if len(p.Kinds) == 0 {
+		return AllKinds
+	}
+	return p.Kinds
+}
+
+// For returns the injector for one job attempt, or nil when the plan
+// leaves that attempt unfaulted. The decision is a pure function of
+// (Seed, jobID, attempt).
+func (p *Plan) For(jobID, attempt int) *Injector {
+	if p == nil || attempt >= p.attempts() {
+		return nil
+	}
+	h := mix(uint64(p.Seed), uint64(jobID), uint64(attempt))
+	// Top 53 bits as a uniform fraction in [0, 1).
+	if float64(h>>11)/(1<<53) >= p.Rate {
+		return nil
+	}
+	kinds := p.kinds()
+	kind := kinds[int(mix(h, 1, 0)%uint64(len(kinds)))]
+	// Fire within the first few call sites so even short campaigns hit it.
+	fireAt := mix(h, 2, 0) % 4
+	return &Injector{kind: kind, fireAt: fireAt}
+}
+
+// mix is splitmix64 over the concatenated words — a tiny, deterministic,
+// well-distributed hash (no math/rand, so injectors are allocation-free
+// and trivially worker-count invariant).
+func mix(a, b, c uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9 ^ c*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Injector injects the planned fault for one job attempt. The zero of
+// *Injector (nil) injects nothing; every hook is nil-safe so call sites
+// need no guards.
+type Injector struct {
+	kind    Kind
+	fireAt  uint64
+	hostN   atomic.Uint64
+	solverN atomic.Uint64
+}
+
+// Kind exposes the planned fault kind (tests assert against it).
+func (in *Injector) Kind() Kind {
+	if in == nil {
+		return 0
+	}
+	return in.kind
+}
+
+// HostCall is consulted by the chain before dispatching each host-API
+// call. For host-layer kinds it fires exactly once, at the planned call
+// index: KindHostError and KindFuelStarve return a classified error
+// (trapping the transaction), KindHostPanic panics.
+func (in *Injector) HostCall(api string) error {
+	if in == nil {
+		return nil
+	}
+	switch in.kind {
+	case KindHostError, KindHostPanic, KindFuelStarve:
+	default:
+		return nil
+	}
+	if in.hostN.Add(1)-1 != in.fireAt {
+		return nil
+	}
+	switch in.kind {
+	case KindHostPanic:
+		// Panic with a classified error value: the VM converts panics to
+		// traps but preserves error chains, so ErrInjected (and the panic
+		// class) survive into the transaction receipt for escalation.
+		panic(failure.Wrap(failure.Panic,
+			fmt.Errorf("faultinject: injected panic in host API %s: %w", api, ErrInjected)))
+	case KindFuelStarve:
+		return failure.Wrap(failure.OomGuard,
+			fmt.Errorf("faultinject: injected budget starvation in host API %s: %w", api, ErrInjected))
+	default:
+		return failure.Wrap(failure.Trap,
+			fmt.Errorf("faultinject: injected error in host API %s: %w", api, ErrInjected))
+	}
+}
+
+// SolverFault is consulted by the symbolic solver pool once per query.
+// For KindSolverStarve it fires at the planned query index and keeps
+// firing, modelling a starved SAT budget that no further query can get
+// through; the pool aborts with the classified error.
+func (in *Injector) SolverFault() error {
+	if in == nil || in.kind != KindSolverStarve {
+		return nil
+	}
+	if in.solverN.Add(1)-1 < in.fireAt {
+		return nil
+	}
+	return failure.Wrap(failure.SolverExhausted,
+		fmt.Errorf("faultinject: injected solver budget starvation: %w", ErrInjected))
+}

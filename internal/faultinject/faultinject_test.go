@@ -1,0 +1,141 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/failure"
+)
+
+func TestPlanDeterminism(t *testing.T) {
+	p := &Plan{Seed: 42, Rate: 0.3}
+	for job := 0; job < 200; job++ {
+		a := p.For(job, 0)
+		b := p.For(job, 0)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("job %d: decision not deterministic", job)
+		}
+		if a != nil && (a.kind != b.kind || a.fireAt != b.fireAt) {
+			t.Fatalf("job %d: injector not deterministic: %v/%d vs %v/%d",
+				job, a.kind, a.fireAt, b.kind, b.fireAt)
+		}
+	}
+}
+
+func TestPlanRate(t *testing.T) {
+	p := &Plan{Seed: 7, Rate: 0.2}
+	faulted := 0
+	for job := 0; job < 1000; job++ {
+		if p.For(job, 0) != nil {
+			faulted++
+		}
+	}
+	// 20% ± generous slack for a 1000-sample hash draw.
+	if faulted < 120 || faulted > 280 {
+		t.Fatalf("rate 0.2 faulted %d/1000 jobs", faulted)
+	}
+	if (&Plan{Seed: 7, Rate: 0}).For(3, 0) != nil {
+		t.Fatal("rate 0 must never fault")
+	}
+	if (&Plan{Seed: 7, Rate: 1}).For(3, 0) == nil {
+		t.Fatal("rate 1 must always fault")
+	}
+}
+
+func TestPlanAttemptEligibility(t *testing.T) {
+	p := &Plan{Seed: 1, Rate: 1}
+	if p.For(0, 0) == nil {
+		t.Fatal("attempt 0 must be eligible by default")
+	}
+	if p.For(0, 1) != nil {
+		t.Fatal("attempt 1 must be ineligible with default Attempts")
+	}
+	p.Attempts = 3
+	if p.For(0, 2) == nil {
+		t.Fatal("attempt 2 must be eligible with Attempts=3")
+	}
+}
+
+func TestHostCallFiresOnceAtPlannedIndex(t *testing.T) {
+	in := &Injector{kind: KindHostError, fireAt: 2}
+	for i := 0; i < 10; i++ {
+		err := in.HostCall("read_action_data")
+		if (i == 2) != (err != nil) {
+			t.Fatalf("call %d: err=%v", i, err)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error does not chain to ErrInjected: %v", err)
+			}
+			if got := failure.ClassOf(err); got != failure.Trap {
+				t.Fatalf("host error class = %v, want Trap", got)
+			}
+		}
+	}
+}
+
+func TestFuelStarveClass(t *testing.T) {
+	in := &Injector{kind: KindFuelStarve, fireAt: 0}
+	err := in.HostCall("db_store_i64")
+	if err == nil || failure.ClassOf(err) != failure.OomGuard {
+		t.Fatalf("fuel-starve: got %v, want oom-guard classified error", err)
+	}
+}
+
+func TestHostPanicFires(t *testing.T) {
+	in := &Injector{kind: KindHostPanic, fireAt: 0}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("KindHostPanic did not panic")
+		}
+	}()
+	_ = in.HostCall("require_auth")
+}
+
+func TestSolverFaultKeepsFiring(t *testing.T) {
+	in := &Injector{kind: KindSolverStarve, fireAt: 1}
+	if err := in.SolverFault(); err != nil {
+		t.Fatalf("query 0 fired early: %v", err)
+	}
+	for i := 1; i < 4; i++ {
+		err := in.SolverFault()
+		if err == nil {
+			t.Fatalf("query %d did not fire", i)
+		}
+		if failure.ClassOf(err) != failure.SolverExhausted {
+			t.Fatalf("solver fault class = %v", failure.ClassOf(err))
+		}
+	}
+	// Host hook of a solver injector is inert.
+	if err := in.HostCall("prints"); err != nil {
+		t.Fatalf("solver injector fired on host call: %v", err)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var in *Injector
+	if err := in.HostCall("x"); err != nil {
+		t.Fatal("nil injector host call")
+	}
+	if err := in.SolverFault(); err != nil {
+		t.Fatal("nil injector solver fault")
+	}
+	var p *Plan
+	if p.For(0, 0) != nil {
+		t.Fatal("nil plan")
+	}
+}
+
+func TestKindMapping(t *testing.T) {
+	want := map[Kind]failure.Class{
+		KindHostError:    failure.Trap,
+		KindHostPanic:    failure.Panic,
+		KindFuelStarve:   failure.OomGuard,
+		KindSolverStarve: failure.SolverExhausted,
+	}
+	for k, cl := range want {
+		if k.FailureClass() != cl {
+			t.Errorf("%v maps to %v, want %v", k, k.FailureClass(), cl)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"repro/internal/abi"
 	"repro/internal/chain"
 	"repro/internal/eos"
+	"repro/internal/failure"
+	"repro/internal/faultinject"
 	"repro/internal/instrument"
 	"repro/internal/scanner"
 	"repro/internal/static"
@@ -57,6 +59,12 @@ type Config struct {
 	// defaults), so deep paths are not starved. An explicit Fuel wins over
 	// the static fuel budget.
 	Static *static.Report
+	// Faults, when non-nil, injects the planned fault into the campaign
+	// chain's host API and the solver pool (see internal/faultinject). A
+	// transaction error chaining to faultinject.ErrInjected escalates to a
+	// campaign failure — ordinary contract reverts are fuzzing signal and
+	// never do.
+	Faults *faultinject.Injector
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -100,6 +108,8 @@ type Fuzzer struct {
 	seeds   *pool
 	actions []eos.Name
 
+	ctx context.Context // the campaign context while RunContext is active
+
 	coverage  map[trace.BranchKey]struct{}
 	attempted map[symexec.BranchTarget]bool
 	covSeries []CoveragePoint
@@ -118,7 +128,7 @@ type Fuzzer struct {
 func New(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Fuzzer, error) {
 	res, err := instrument.Instrument(mod, instrument.ModeSparse)
 	if err != nil {
-		return nil, fmt.Errorf("fuzz: instrument: %w", err)
+		return nil, failure.Wrap(failure.Decode, fmt.Errorf("fuzz: instrument: %w", err))
 	}
 	bc := chain.New()
 	bc.Collector = trace.NewCollector()
@@ -131,8 +141,11 @@ func New(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Fuzzer, error) {
 		cfg.SolverConflicts = cfg.Static.SolverBudget(cfg.SolverConflicts)
 	}
 	if err := bc.DeployModule(victimName, res.Module, contractABI, res.Sites); err != nil {
-		return nil, fmt.Errorf("fuzz: deploy target: %w", err)
+		return nil, failure.Wrap(failure.Decode, fmt.Errorf("fuzz: deploy target: %w", err))
 	}
+	// Arm fault injection only after deployment: the faults model runtime
+	// host failures, not broken setup.
+	bc.Faults = cfg.Faults
 	bc.DeployNative(fakeTokenName, &chain.TokenContract{Issuer: fakeTokenName, Sym: eos.EOSSymbol}, abi.TransferABI())
 	bc.DeployNative(agentName, &chain.ForwarderAgent{Victim: victimName}, nil)
 	bc.CreateAccount(attackerName)
@@ -204,10 +217,12 @@ func (f *Fuzzer) Run() (*Result, error) {
 // interpreter on every transaction. On cancellation the context's error is
 // returned and the partial campaign is discarded.
 func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
+	f.ctx = ctx
+	defer func() { f.ctx = nil }()
 	schedule := f.buildSchedule()
 	for f.iter = 0; f.iter < f.cfg.Iterations; f.iter++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, failure.Wrap(failure.Timeout, err)
 		}
 		entry := schedule[f.iter%len(schedule)]
 		if err := f.step(entry.kind, entry.action); err != nil {
@@ -262,7 +277,9 @@ func (f *Fuzzer) step(kind payloadKind, action eos.Name) error {
 	if err != nil {
 		return err
 	}
-	f.observe(kind, seed, rcpt)
+	if err := f.observe(kind, seed, rcpt); err != nil {
+		return err
+	}
 
 	// Transaction-dependency resolution (§3.3.2): when a direct action
 	// reverts after reading a table, run a writer of that table with the
@@ -283,13 +300,17 @@ func (f *Fuzzer) step(kind payloadKind, action eos.Name) error {
 				if err != nil {
 					return err
 				}
-				f.observe(payloadDirectAction, dep, depRcpt)
+				if err := f.observe(payloadDirectAction, dep, depRcpt); err != nil {
+					return err
+				}
 				delete(f.lastRevertRead, action)
 				retry, err := f.execute(kind, seed)
 				if err != nil {
 					return err
 				}
-				f.observe(kind, seed, retry)
+				if err := f.observe(kind, seed, retry); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -298,6 +319,14 @@ func (f *Fuzzer) step(kind payloadKind, action eos.Name) error {
 
 // execute materializes the payload transaction for the seed and pushes it.
 func (f *Fuzzer) execute(kind payloadKind, seed Seed) (*chain.Receipt, error) {
+	// Cancellation checkpoint: one step can push several transactions (the
+	// DBG dependency dance), so the per-iteration check in RunContext alone
+	// would let a timed-out job finish the whole dance first.
+	if f.ctx != nil {
+		if err := f.ctx.Err(); err != nil {
+			return nil, failure.Wrap(failure.Timeout, err)
+		}
+	}
 	params := f.effectiveParams(kind, seed)
 	data := chain.EncodeTransfer(chain.TransferArgs{
 		From:     eos.Name(params[0].U64),
@@ -322,6 +351,13 @@ func (f *Fuzzer) execute(kind payloadKind, seed Seed) (*chain.Receipt, error) {
 	f.bc.CreateAccount(signer)
 	act.Authorization = []chain.PermissionLevel{{Actor: signer, Permission: eos.ActiveAuth}}
 	rcpt := f.bc.PushTransaction(chain.Transaction{Actions: []chain.Action{act}})
+	// Escalate injected faults to campaign level. Ordinary reverts — asserts,
+	// missing rows, bad auth — are the signal the oracles feed on and stay in
+	// the receipt; only errors chaining to the injection sentinel mean the
+	// infrastructure (not the contract) failed.
+	if rcpt.Err != nil && errors.Is(rcpt.Err, faultinject.ErrInjected) {
+		return nil, fmt.Errorf("fuzz: iteration %d: %w", f.iter, rcpt.Err)
+	}
 	return rcpt, nil
 }
 
@@ -356,8 +392,9 @@ func clampAmount(a uint64) uint64 {
 }
 
 // observe updates the scanner, the coverage map, the DBG and the feedback
-// loop from one receipt.
-func (f *Fuzzer) observe(kind payloadKind, seed Seed, rcpt *chain.Receipt) {
+// loop from one receipt. The only error source is the symbolic feedback
+// stage (an injected solver starvation aborting the pool).
+func (f *Fuzzer) observe(kind payloadKind, seed Seed, rcpt *chain.Receipt) error {
 	victimTraces := make([]trace.Trace, 0, len(rcpt.Traces))
 	for _, tr := range rcpt.Traces {
 		if tr.Contract == victimName {
@@ -443,17 +480,20 @@ func (f *Fuzzer) observe(kind payloadKind, seed Seed, rcpt *chain.Receipt) {
 
 	// Symbolic feedback (§3.4): replay, flip, solve, mutate.
 	if f.cfg.DisableFeedback {
-		return
+		return nil
 	}
 	params := f.effectiveParams(kind, seed)
 	for i := range victimTraces {
-		f.feedback(kind, seed, params, &victimTraces[i])
+		if err := f.feedback(kind, seed, params, &victimTraces[i]); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // feedback replays one trace and turns unexplored flipped branches into
 // adaptive seeds.
-func (f *Fuzzer) feedback(kind payloadKind, seed Seed, params []symexec.Param, tr *trace.Trace) {
+func (f *Fuzzer) feedback(kind payloadKind, seed Seed, params []symexec.Param, tr *trace.Trace) error {
 	res, err := symexec.Run(f.mod, tr, params, symexec.Options{
 		Globals:      map[uint32]uint64{0: uint64(victimName)},
 		OpaqueInputs: f.cfg.OpaqueInputs,
@@ -464,7 +504,7 @@ func (f *Fuzzer) feedback(kind payloadKind, seed Seed, params []symexec.Param, t
 		if !errors.Is(err, symexec.ErrNoActionCall) {
 			f.replayErr++
 		}
-		return
+		return nil
 	}
 	// Collect the flip queries for unexplored, unattempted targets and
 	// solve them in parallel (§3.4.4: "we collect the target constraints
@@ -482,9 +522,16 @@ func (f *Fuzzer) feedback(kind payloadKind, seed Seed, params []symexec.Param, t
 		pool = append(pool, symbolic.Query{ID: len(pool), Constraints: q.Constraints})
 	}
 	if len(pool) == 0 {
-		return
+		return nil
 	}
-	answers, stats := symbolic.SolvePoolStats(pool, 0, f.cfg.SolverConflicts)
+	ctx := f.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	answers, stats, poolErr := symbolic.SolvePoolCtx(ctx, pool, symbolic.PoolOptions{
+		MaxConflicts: f.cfg.SolverConflicts,
+		Faults:       f.cfg.Faults,
+	})
 	f.solver.Stats.Queries += stats.Queries
 	f.solver.Stats.FastPathHits += stats.FastPathHits
 	f.solver.Stats.SATCalls += stats.SATCalls
@@ -498,4 +545,8 @@ func (f *Fuzzer) feedback(kind payloadKind, seed Seed, params []symexec.Param, t
 		f.adaptive++
 		f.seeds.queue(seed.Action).pushFront(Seed{Action: seed.Action, Params: mutated})
 	}
+	if poolErr != nil {
+		return fmt.Errorf("fuzz: iteration %d: solver pool: %w", f.iter, poolErr)
+	}
+	return nil
 }

@@ -373,7 +373,9 @@ func (b *blaster) blastUncached(e *Expr) ([]Lit, error) {
 	case KUDiv, KURem, KSDiv, KSRem:
 		return b.blastDiv(e)
 	default:
-		return nil, fmt.Errorf("symbolic: cannot bit-blast %s", e.Kind)
+		// Unsupported expression shapes make the query fall back to Unknown
+		// at the solver layer; they are not a job failure.
+		return nil, fmt.Errorf("symbolic: cannot bit-blast %s", e.Kind) //wasai:rawerr solver falls back to Unknown
 	}
 }
 
@@ -390,7 +392,7 @@ func (b *blaster) blastShift(e *Expr) ([]Lit, error) {
 		return nil, err
 	}
 	if w&(w-1) != 0 {
-		return nil, fmt.Errorf("symbolic: variable shift on non-power-of-two width %d", w)
+		return nil, fmt.Errorf("symbolic: variable shift on non-power-of-two width %d", w) //wasai:rawerr solver falls back to Unknown
 	}
 	stages := bits.TrailingZeros(uint(w)) // log2(w)
 	cur := append([]Lit{}, a...)

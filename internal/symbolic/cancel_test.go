@@ -1,0 +1,91 @@
+package symbolic
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/faultinject"
+)
+
+// unsatConstraints builds a system with no model (x ∉ {0,1,2,3} over a
+// 2-bit domain). The concrete probe can never satisfy it, so deciding it
+// must reach the CDCL search — exactly the path the Stop channel guards.
+func unsatConstraints(c *Ctx) []*Expr {
+	x := c.Var("x", 2)
+	var cs []*Expr
+	for v := uint64(0); v < 4; v++ {
+		cs = append(cs, c.Ne(x, c.Const(v, 2)))
+	}
+	return cs
+}
+
+func TestSolverStopChannel(t *testing.T) {
+	c := NewCtx()
+	cs := unsatConstraints(c)
+	// Sanity: without a stop the system is decidable.
+	mustUnsat(t, cs)
+
+	stop := make(chan struct{})
+	close(stop)
+	s := &Solver{Stop: stop}
+	if _, r := s.Solve(cs); r != Unknown {
+		t.Fatalf("closed Stop channel: got %s, want %s", r, Unknown)
+	}
+	if s.Stats.Unknowns != 1 {
+		t.Errorf("Unknowns = %d, want 1", s.Stats.Unknowns)
+	}
+}
+
+func TestSolvePoolCtxCancelled(t *testing.T) {
+	c := NewCtx()
+	queries := make([]Query, 3)
+	for i := range queries {
+		queries[i] = Query{ID: i, Constraints: unsatConstraints(c)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	answers, _, err := SolvePoolCtx(ctx, queries, PoolOptions{Workers: 2})
+	if err != nil {
+		t.Fatalf("SolvePoolCtx: %v (cancellation is not a pool error)", err)
+	}
+	for _, a := range answers {
+		if a.Result != Unknown {
+			t.Fatalf("query %d under cancelled context: got %s, want %s", a.ID, a.Result, Unknown)
+		}
+	}
+}
+
+func TestSolvePoolFaultAbort(t *testing.T) {
+	plan := &faultinject.Plan{Seed: 1, Rate: 1, Kinds: []faultinject.Kind{faultinject.KindSolverStarve}}
+	inj := plan.For(0, 0)
+	if inj == nil {
+		t.Fatal("rate-1 plan left the job unfaulted")
+	}
+	c := NewCtx()
+	x := c.Var("x", 32)
+	queries := make([]Query, 6)
+	for i := range queries {
+		queries[i] = Query{ID: i, Constraints: []*Expr{c.Eq(x, c.Const(uint64(i), 32))}}
+	}
+	answers, _, err := SolvePoolCtx(context.Background(), queries, PoolOptions{Workers: 2, Faults: inj})
+	if err == nil {
+		t.Fatal("solver-starve injector fired no error over 6 queries")
+	}
+	if got := failure.ClassOf(err); got != failure.SolverExhausted {
+		t.Fatalf("pool error classified %s, want %s (err: %v)", got, failure.SolverExhausted, err)
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("pool error does not chain ErrInjected: %v", err)
+	}
+	unknown := 0
+	for _, a := range answers {
+		if a.Result == Unknown {
+			unknown++
+		}
+	}
+	if unknown == 0 {
+		t.Fatal("no query reported Unknown despite the aborted pool")
+	}
+}

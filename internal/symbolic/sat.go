@@ -60,6 +60,12 @@ type SAT struct {
 	// MaxConflicts bounds the search; 0 means unlimited. Exceeding it makes
 	// Solve return unknown (false, false).
 	MaxConflicts int64
+	// Stop interrupts the search cooperatively: Solve polls the channel
+	// every few hundred loop iterations and returns unknown (false, false)
+	// once it is closed. This is the cancellation checkpoint inside the
+	// DPLL loop — a timed-out campaign job must stop burning its worker
+	// even mid-query, not merely be abandoned by its caller.
+	Stop <-chan struct{}
 
 	unsat bool
 }
@@ -334,7 +340,14 @@ func (s *SAT) Solve() (bool, bool) {
 	restart := int64(1)
 	restartBudget := luby(restart) * 100
 
-	for {
+	for steps := 0; ; steps++ {
+		if steps&255 == 0 && s.Stop != nil {
+			select {
+			case <-s.Stop:
+				return false, false
+			default:
+			}
+		}
 		conf := s.propagate()
 		if conf != nil {
 			s.conflicts++

@@ -1,8 +1,12 @@
 package symbolic
 
 import (
+	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Result is the outcome of a Solve call.
@@ -37,6 +41,9 @@ type Solver struct {
 	MaxConflicts int64
 	// DisableFastPath turns off concrete probing (for ablation benches).
 	DisableFastPath bool
+	// Stop cancels in-flight SAT searches cooperatively (see SAT.Stop);
+	// an interrupted query reports Unknown.
+	Stop <-chan struct{}
 
 	// Stats accumulate across Solve calls.
 	Stats SolverStats
@@ -90,6 +97,7 @@ func (s *Solver) Solve(constraints []*Expr) (Model, Result) {
 		budget = 200_000
 	}
 	b.sat.MaxConflicts = budget
+	b.sat.Stop = s.Stop
 	sat, ok := b.sat.Solve()
 	s.Stats.SATConflicts += b.sat.conflicts
 	if !ok {
@@ -407,6 +415,32 @@ func SolvePool(queries []Query, workers int, maxConflicts int64) []Answer {
 // callers that act on models in sequence (the fuzzer turns them into
 // adaptive seeds) behave identically regardless of worker scheduling.
 func SolvePoolStats(queries []Query, workers int, maxConflicts int64) ([]Answer, SolverStats) {
+	answers, stats, _ := SolvePoolCtx(context.Background(), queries, PoolOptions{
+		Workers: workers, MaxConflicts: maxConflicts,
+	})
+	return answers, stats
+}
+
+// PoolOptions tunes SolvePoolCtx.
+type PoolOptions struct {
+	// Workers bounds pool concurrency (<= 0: one per query, capped at 8).
+	Workers int
+	// MaxConflicts bounds each query's SAT search (0 = default budget).
+	MaxConflicts int64
+	// Faults is the fault-injection hook: it is consulted once per query
+	// and a non-nil error aborts the pool (the error is classified
+	// solver-exhausted by the injector). Nil injects nothing.
+	Faults *faultinject.Injector
+}
+
+// SolvePoolCtx is the resilient form of SolvePoolStats: the context
+// cancels in-flight SAT searches cooperatively (cancelled queries report
+// Unknown), and the fault-injection hook can starve the pool's budget.
+// The returned error is non-nil only when a fault fired; whether a fault
+// fires depends on the injector's deterministic per-job call count, never
+// on worker scheduling, so faulted campaigns stay worker-count invariant.
+func SolvePoolCtx(ctx context.Context, queries []Query, opts PoolOptions) ([]Answer, SolverStats, error) {
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = len(queries)
 		if workers > 8 {
@@ -423,16 +457,32 @@ func SolvePoolStats(queries []Query, workers int, maxConflicts int64) ([]Answer,
 	in := make(chan task)
 	answers := make([]Answer, len(queries))
 	var (
-		mu    sync.Mutex
-		wg    sync.WaitGroup
-		stats SolverStats
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		stats   SolverStats
+		poolErr error
+		aborted atomic.Bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for t := range in {
-				s := &Solver{MaxConflicts: maxConflicts}
+				if aborted.Load() {
+					answers[t.pos] = Answer{ID: t.q.ID, Result: Unknown}
+					continue
+				}
+				if err := opts.Faults.SolverFault(); err != nil {
+					aborted.Store(true)
+					mu.Lock()
+					if poolErr == nil {
+						poolErr = err
+					}
+					mu.Unlock()
+					answers[t.pos] = Answer{ID: t.q.ID, Result: Unknown}
+					continue
+				}
+				s := &Solver{MaxConflicts: opts.MaxConflicts, Stop: ctx.Done()}
 				m, r := s.Solve(t.q.Constraints)
 				answers[t.pos] = Answer{ID: t.q.ID, Model: m, Result: r}
 				mu.Lock()
@@ -450,5 +500,5 @@ func SolvePoolStats(queries []Query, workers int, maxConflicts int64) ([]Answer,
 	}
 	close(in)
 	wg.Wait()
-	return answers, stats
+	return answers, stats, poolErr
 }

@@ -131,9 +131,14 @@ func (vm *VM) exec(f *funcDef, args []uint64) (results []uint64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// Index/slice panics indicate a malformed (unvalidated) body;
-			// convert to a trap rather than crashing the process.
+			// convert to a trap rather than crashing the process. An error
+			// panic value keeps its chain (errors.Is/As through the trap).
+			wrapped := fmt.Errorf("interpreter panic: %v", r)
+			if e, ok := r.(error); ok {
+				wrapped = fmt.Errorf("interpreter panic: %w", e)
+			}
 			results = nil
-			err = &Trap{Kind: TrapHostError, FuncIndex: f.index, Wrapped: fmt.Errorf("interpreter panic: %v", r)}
+			err = &Trap{Kind: TrapHostError, FuncIndex: f.index, Wrapped: wrapped}
 		}
 	}()
 
