@@ -4,13 +4,14 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz lint chaos verify
+.PHONY: build test race fuzz lint chaos bench-regress bench-baseline verify
 
 build:
 	$(GO) build ./...
 
 # Repo-specific lint gate: go vet plus wasai-lint (nondeterminism sources in
-# the deterministic core packages, scanner/static oracle parity).
+# the deterministic core packages, scanner/static oracle parity, error
+# classification, ad-hoc caches outside internal/memo).
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/wasai-lint
@@ -30,6 +31,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wasm/
 	$(GO) test -run=NONE -fuzz=FuzzDecodeTransfer -fuzztime=$(FUZZTIME) ./internal/abi/
 	$(GO) test -run=NONE -fuzz=FuzzCFG    -fuzztime=$(FUZZTIME) ./internal/static/
+	$(GO) test -run=NONE -fuzz=FuzzCanonicalize -fuzztime=$(FUZZTIME) ./internal/symbolic/
 
 # Resilience smoke: run a small campaign with 20% injected faults and
 # retry-with-degradation, and require zero terminal failures plus unchanged
@@ -37,6 +39,18 @@ fuzz:
 chaos:
 	$(GO) run ./cmd/wasai-bench -exp chaos -fault-rate 0.2
 
-verify: build lint chaos
+# Benchmark-regression gate: re-run the fixed two-leg workload, write
+# BENCH_<date>.json, and compare against the committed BENCH_BASELINE.json —
+# a digest change fails as a correctness regression, >10% more DPLL calls or
+# wall-clock as a performance regression. After an intentional behaviour or
+# performance change, regenerate the baseline with `make bench-baseline` and
+# commit it.
+bench-regress:
+	$(GO) run ./cmd/wasai-bench -exp regress
+
+bench-baseline:
+	$(GO) run ./cmd/wasai-bench -exp regress -write-baseline
+
+verify: build lint chaos bench-regress
 	$(GO) test ./...
 	$(GO) test -race ./...

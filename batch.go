@@ -12,6 +12,7 @@ import (
 	"repro/internal/contractgen"
 	"repro/internal/failure"
 	"repro/internal/fuzz"
+	"repro/internal/memo"
 	"repro/internal/scanner"
 	"repro/internal/wasm"
 )
@@ -65,6 +66,12 @@ type BatchConfig struct {
 	// MaxAttempts retries failed contracts with degraded budgets (reduced
 	// fuel, then concrete-only fuzzing). 0 or 1 disables retries.
 	MaxAttempts int
+	// Memo is inherited from Config ("off"/"on"/"shared"): in a batch it
+	// additionally reuses decoded modules across content-identical
+	// submissions and static reports across triage, and with "shared" the
+	// cache outlives the batch (resumed or repeated batches start warm).
+	// Findings are unchanged at any worker count; only duplicated work is
+	// skipped. (The field itself lives on the embedded Config.)
 }
 
 // DefaultBatchConfig returns the paper's per-contract configuration with
@@ -121,6 +128,10 @@ type CampaignReport struct {
 	// Wall is the batch wall-clock time; JobsPerSecond the throughput.
 	Wall          time.Duration
 	JobsPerSecond float64
+	// Memo holds the batch's cache-counter delta when memoization was
+	// active (nil when off). Reporting-only: hit counts can vary with
+	// worker scheduling, findings never do.
+	Memo *memo.Stats
 }
 
 // AnalyzeBatch fuzzes every contract of the batch on a worker pool and
@@ -167,6 +178,10 @@ type Campaign struct {
 // an unopenable journal path, or a resume against a journal written under
 // a different base seed.
 func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
+	mode, err := memo.ParseMode(cfg.Memo)
+	if err != nil {
+		return nil, fmt.Errorf("wasai: %w", err)
+	}
 	eng, err := campaign.Start(ctx, campaign.Config{
 		Workers:      cfg.Workers,
 		QueueDepth:   cfg.QueueDepth,
@@ -176,6 +191,7 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
 		Journal:      cfg.Journal,
 		Resume:       cfg.Resume,
 		Retry:        campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
+		Memo:         mode,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wasai: %w", err)
@@ -233,12 +249,23 @@ func (c *Campaign) Submit(job BatchJob) error {
 	mod := job.Module
 	contractABI := job.ABI
 	if mod == nil {
+		// Decode through the memo module tier (nil-safe: a plain decode
+		// when memoization is off): content-identical binaries across the
+		// batch — or across a resumed rerun with a shared cache — are
+		// decoded and validated once and share one immutable module.
 		var err error
-		if mod, err = wasm.Decode(job.Wasm); err != nil {
+		mod, err = c.eng.MemoCache().Module(job.Wasm, func(bin []byte) (*wasm.Module, error) {
+			m, err := wasm.Decode(bin)
+			if err != nil {
+				return nil, err
+			}
+			if err := wasm.Validate(m); err != nil {
+				return nil, err
+			}
+			return m, nil
+		})
+		if err != nil {
 			return failure.Wrap(failure.Decode, fmt.Errorf("wasai: batch job %d (%s): decode: %w", index, job.Name, err))
-		}
-		if err := wasm.Validate(mod); err != nil {
-			return failure.Wrap(failure.Decode, fmt.Errorf("wasai: batch job %d (%s): validate: %w", index, job.Name, err))
 		}
 	}
 	if contractABI == nil {
@@ -332,6 +359,7 @@ func (c *Campaign) Wait() *CampaignReport {
 	if secs := report.Wall.Seconds(); secs > 0 {
 		report.JobsPerSecond = float64(len(report.Jobs)) / secs
 	}
+	report.Memo = c.eng.MemoStats()
 	return report
 }
 

@@ -8,13 +8,26 @@
 //	wasai-bench -exp rq4    -workers 8 -journal rq4.jsonl
 //	wasai-bench -exp rq4    -journal rq4.jsonl -resume   # pick up a killed run
 //	wasai-bench -exp chaos  -fault-rate 0.2              # resilience smoke
+//	wasai-bench -exp memo                                # memoization differential
+//	wasai-bench -exp regress -baseline BENCH_BASELINE.json
 //
-// Experiments: fig3, table4, table5, table6, rq4, all, plus chaos (run
-// explicitly; it is not part of "all"). Scale multiplies the dataset sizes
-// (1.0 reproduces the full paper-sized benchmark; small scales keep the
-// shapes at a fraction of the runtime). Workers shards the per-contract
-// campaigns across the campaign engine; findings are byte-identical for
-// any worker count.
+// Experiments: fig3, table4, table5, table6, rq4, all, plus chaos, memo and
+// regress (run explicitly; they are not part of "all"). Scale multiplies the
+// dataset sizes (1.0 reproduces the full paper-sized benchmark; small scales
+// keep the shapes at a fraction of the runtime). Workers shards the
+// per-contract campaigns across the campaign engine; findings are
+// byte-identical for any worker count.
+//
+// Memoization: -memo off|on|shared threads the cross-job cache
+// (internal/memo) through the fig3/table/rq4/triage experiments; findings
+// are byte-identical either way. -exp memo runs the cache-on/off
+// differential at worker counts 1/4/8 and exits non-zero unless digests are
+// identical and DPLL solver invocations drop ≥30%. -exp regress runs the
+// fixed benchmark workload, writes a BENCH_<date>.json record (-out
+// overrides the path) and compares it against the committed baseline
+// (-baseline, default BENCH_BASELINE.json), failing on digest changes or
+// >10% solver/wall regressions; -write-baseline regenerates the baseline
+// after an intentional change.
 //
 // Resilience: -journal checkpoints the rq4 sweep to an append-only JSONL
 // file and -resume replays completed contracts from it after a crash or
@@ -31,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/memo"
 )
 
 func main() {
@@ -42,7 +56,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|all (chaos only runs when named)")
+		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|memo|regress|all (chaos/memo/regress only run when named)")
 		scale     = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		iters     = flag.Int("iterations", 240, "fuzzing budget per contract")
@@ -53,10 +67,18 @@ func run() error {
 		resume    = flag.Bool("resume", false, "rq4: replay contracts already recorded in -journal instead of re-running them")
 		retries   = flag.Int("retries", 1, "max attempts per contract; attempts after the first run with degraded budgets")
 		faultRate = flag.Float64("fault-rate", 0.2, "chaos: fraction of jobs whose first attempt is faulted")
+		memoFlag  = flag.String("memo", "", "cross-job memoization: off|on|shared (empty = off); findings are identical either way")
+		baseline  = flag.String("baseline", "BENCH_BASELINE.json", "regress: committed baseline record to compare against")
+		outPath   = flag.String("out", "", "regress: where to write the fresh record (default BENCH_<date>.json)")
+		writeBase = flag.Bool("write-baseline", false, "regress: (re)write -baseline from this run instead of comparing")
 	)
 	flag.Parse()
 	if *triage {
 		*exp = "triage"
+	}
+	memoMode, err := memo.ParseMode(*memoFlag)
+	if err != nil {
+		return err
 	}
 
 	opts := bench.Options{Scale: *scale, Seed: *seed}
@@ -64,6 +86,7 @@ func run() error {
 	evalCfg.FuzzIterations = *iters
 	evalCfg.Seed = *seed
 	evalCfg.Workers = *workers
+	evalCfg.Memo = memoMode
 	tools := []bench.Tool{bench.ToolWASAI, bench.ToolEOSFuzzer, bench.ToolEOSAFE}
 
 	runExp := func(name string, f func() error) error {
@@ -84,6 +107,7 @@ func run() error {
 			cfg.Seed = *seed
 			cfg.Iterations = *iters
 			cfg.Workers = *workers
+			cfg.Memo = memoMode
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 5 {
 				cfg.NumContracts = 5
@@ -166,6 +190,7 @@ func run() error {
 			tcfg.FuzzIterations = *iters
 			tcfg.Seed = *seed
 			tcfg.Workers = *workers
+			tcfg.Memo = memoMode
 			res, err := bench.EvaluateTriage(context.Background(), ds, tcfg)
 			if err != nil {
 				return err
@@ -185,6 +210,7 @@ func run() error {
 			cfg.Journal = *journal
 			cfg.Resume = *resume
 			cfg.MaxAttempts = *retries
+			cfg.Memo = memoMode
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 20 {
 				cfg.NumContracts = 20
@@ -196,6 +222,62 @@ func run() error {
 			fmt.Print(bench.RenderWild(res))
 			if res.TerminalFailures > 0 {
 				return fmt.Errorf("%d contracts failed terminally (see failure-class counts above)", res.TerminalFailures)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "memo" {
+		if err := runExp("Memo (cross-job memoization differential)", func() error {
+			cfg := bench.DefaultMemoConfig()
+			cfg.Seed = *seed
+			cfg.FuzzIterations = *iters
+			res, err := bench.EvaluateMemo(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderMemo(res))
+			if !res.Passed() {
+				return fmt.Errorf("memo experiment failed: digests identical=%v, min DPLL reduction %.1f%% (need ≥30%%)",
+					res.DigestMatch, 100*res.MinReduction())
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "regress" {
+		if err := runExp("Regress (benchmark regression vs baseline)", func() error {
+			cfg := bench.DefaultRegressConfig()
+			current, err := bench.RunRegress(cfg)
+			if err != nil {
+				return err
+			}
+			if *writeBase {
+				if err := bench.WriteRegress(*baseline, current); err != nil {
+					return err
+				}
+				fmt.Print(bench.RenderRegress(nil, current, nil))
+				fmt.Printf("baseline written to %s\n", *baseline)
+				return nil
+			}
+			out := *outPath
+			if out == "" {
+				out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+			}
+			if err := bench.WriteRegress(out, current); err != nil {
+				return err
+			}
+			base, err := bench.LoadRegress(*baseline)
+			if err != nil {
+				return fmt.Errorf("no usable baseline (run with -write-baseline or make bench-baseline): %w", err)
+			}
+			problems := bench.CompareRegress(base, current)
+			fmt.Print(bench.RenderRegress(base, current, problems))
+			fmt.Printf("record written to %s\n", out)
+			if len(problems) > 0 {
+				return fmt.Errorf("benchmark regression: %d problem(s), see above", len(problems))
 			}
 			return nil
 		}); err != nil {

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// localcache.go enforces the memoization-layer invariant: cross-job caching
+// in the analysis pipeline must go through internal/memo, which owns the
+// determinism contract (canonical keys, Unknown never cached, fault-injected
+// attempts bypassed). An ad-hoc `cache map[...]...` hidden in a pipeline
+// package escapes that contract — its keys are unaudited, its lifetime is
+// unbounded, and nothing keeps faulted state out of it. So any map-typed
+// (or sync.Map) declaration that looks like a cache — the identifier or its
+// enclosing struct matches cache/memo — is flagged unless it carries a
+// `//wasai:localcache <reason>` directive asserting it is query- or
+// job-local (or is internal/memo's own sanctioned storage).
+
+// localcacheDirective marks an audited, intentionally local cache.
+const localcacheDirective = "//wasai:localcache"
+
+// localcachePackages are the pipeline packages under the memoization
+// contract, relative to the module root. internal/memo is included: its own
+// raw storage self-annotates, so a second unsanctioned cache inside the
+// cache package would still be caught.
+var localcachePackages = []string{
+	"internal/campaign",
+	"internal/fuzz",
+	"internal/symbolic",
+	"internal/static",
+	"internal/memo",
+}
+
+// localcacheName matches identifiers that advertise cache semantics.
+var localcacheName = regexp.MustCompile(`(?i)cache|memo`)
+
+// checkLocalCaches lints one package directory (non-test files only: test
+// doubles build throwaway caches legitimately).
+func checkLocalCaches(dir string) ([]string, error) {
+	files, err := packageFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var diags []string
+	for _, path := range files {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		allowed := localcacheLines(fset, f)
+		flag := func(pos token.Pos, name string) {
+			p := fset.Position(pos)
+			if allowed[p.Line] || allowed[p.Line-1] {
+				return
+			}
+			diags = append(diags, fmt.Sprintf(
+				"%s: direct map cache %q in pipeline package; route it through internal/memo or annotate with %q if query/job-local",
+				p, name, localcacheDirective+" <reason>"))
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				structMatches := localcacheName.MatchString(n.Name.Name)
+				for _, fld := range st.Fields.List {
+					if !isMapLikeType(fld.Type) {
+						continue
+					}
+					for _, name := range fld.Names {
+						if structMatches || localcacheName.MatchString(name.Name) {
+							flag(name.Pos(), n.Name.Name+"."+name.Name)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if !localcacheName.MatchString(name.Name) {
+						continue
+					}
+					if isMapLikeType(n.Type) || (i < len(n.Values) && isMapValue(n.Values[i])) {
+						flag(name.Pos(), name.Name)
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || !localcacheName.MatchString(id.Name) {
+						continue
+					}
+					if i < len(n.Rhs) && isMapValue(n.Rhs[i]) {
+						flag(id.Pos(), id.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	sort.Strings(diags)
+	return diags, nil
+}
+
+// isMapLikeType reports whether the type expression is a map or sync.Map —
+// the storage shapes an ad-hoc cache is built on.
+func isMapLikeType(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.StarExpr:
+		return isMapLikeType(e.X)
+	case *ast.SelectorExpr:
+		pkg, ok := e.X.(*ast.Ident)
+		return ok && pkg.Name == "sync" && e.Sel.Name == "Map"
+	}
+	return false
+}
+
+// isMapValue reports whether the expression constructs a map: make(map...)
+// or a map composite literal.
+func isMapValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		fn, ok := e.Fun.(*ast.Ident)
+		if !ok || fn.Name != "make" || len(e.Args) == 0 {
+			return false
+		}
+		_, isMap := e.Args[0].(*ast.MapType)
+		return isMap
+	case *ast.CompositeLit:
+		_, isMap := e.Type.(*ast.MapType)
+		return isMap
+	case *ast.UnaryExpr:
+		return e.Op == token.AND && isMapValue(e.X)
+	}
+	return false
+}
+
+// localcacheLines collects line numbers carrying a //wasai:localcache marker.
+func localcacheLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, localcacheDirective) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}

@@ -17,6 +17,13 @@
 //     newly added oracle (an un-flagged oracle would make triage skips
 //     unsound).
 //
+//   - local caches: cross-job caching must go through internal/memo, which
+//     owns the determinism contract (canonical keys, Unknown never cached,
+//     faulted attempts bypassed). Map-typed (or sync.Map) declarations that
+//     advertise cache semantics — the identifier or its enclosing struct
+//     matches cache/memo — are forbidden in the pipeline packages unless
+//     annotated `//wasai:localcache <reason>` as query- or job-local.
+//
 //   - raw errors: in the analysis-pipeline packages (internal/campaign,
 //     internal/fuzz, internal/symbolic, internal/chain) every constructed
 //     error must carry a failure class — failure.Newf / failure.Wrap, or a
@@ -51,6 +58,7 @@ var corePackages = []string{
 	"internal/fuzz",
 	"internal/symbolic",
 	"internal/static",
+	"internal/memo",
 }
 
 func main() {
@@ -62,6 +70,14 @@ func main() {
 	var diags []string
 	for _, pkg := range corePackages {
 		d, err := checkNondeterminism(filepath.Join(root, pkg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wasai-lint:", err)
+			os.Exit(2)
+		}
+		diags = append(diags, d...)
+	}
+	for _, pkg := range localcachePackages {
+		d, err := checkLocalCaches(filepath.Join(root, pkg))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wasai-lint:", err)
 			os.Exit(2)

@@ -33,6 +33,7 @@ var rawerrPackages = []string{
 	"internal/fuzz",
 	"internal/symbolic",
 	"internal/chain",
+	"internal/memo",
 }
 
 // checkRawErrors lints one package directory (non-test files only: test

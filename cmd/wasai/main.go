@@ -34,6 +34,7 @@ func run() error {
 		demo       = flag.Bool("demo", false, "analyze a built-in demo contract instead of files")
 		traceOut   = flag.String("trace-out", "", "write the captured traces to this offline file")
 		vulnerable = flag.Bool("vulnerable", true, "demo: generate the vulnerable variant")
+		memoMode   = flag.String("memo", "", "solver memoization: off|on|shared (empty = off); findings are identical either way")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func run() error {
 	cfg.Iterations = *iterations
 	cfg.Seed = *seed
 	cfg.TraceFile = *traceOut
+	cfg.Memo = *memoMode
 
 	var (
 		bin     []byte

@@ -11,6 +11,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/contractgen"
 	"repro/internal/fuzz"
+	"repro/internal/memo"
 )
 
 // Counts are the confusion-matrix tallies for one detector on one class.
@@ -106,6 +107,10 @@ type EvalConfig struct {
 	Seed            int64
 	// Workers bounds sample-level parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Memo selects cross-job memoization for the WASAI campaigns
+	// (off/on/shared; findings are identical either way — the cache only
+	// removes duplicated solver/decode/static work).
+	Memo memo.Mode
 }
 
 // DefaultEvalConfig mirrors the paper's per-contract budget in deterministic
@@ -120,7 +125,7 @@ func DefaultEvalConfig() EvalConfig {
 // engine (each campaign owns its chain, so they are independent); WASAI
 // campaigns shard as engine jobs, the baselines through campaign.Each.
 func EvaluateAccuracy(ds *Dataset, tools []Tool, cfg EvalConfig) ([]AccuracyResult, error) {
-	engCfg := campaign.Config{Workers: cfg.Workers}
+	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo}
 	results := make([]AccuracyResult, 0, len(tools))
 	for _, tool := range tools {
 		verdicts := make([]bool, len(ds.Samples))

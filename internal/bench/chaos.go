@@ -11,6 +11,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/faultinject"
 	"repro/internal/fuzz"
+	"repro/internal/memo"
 )
 
 // chaos.go is the resilience smoke experiment: it runs the same generated
@@ -31,6 +32,13 @@ type ChaosConfig struct {
 	FaultRate float64
 	// MaxAttempts bounds retries; it must be ≥2 for recovery to be possible.
 	MaxAttempts int
+	// Memo selects memoization for the faulted leg (the clean baseline
+	// always runs cache-off). Running the faulted campaign with the cache
+	// on makes the verdict comparison also prove fault×memo hygiene:
+	// faulted attempts bypass the cache entirely (no reads, no writes, no
+	// hit accounting — see internal/memo), so an injected fault can never
+	// poison results shared with clean jobs.
+	Memo memo.Mode
 }
 
 // DefaultChaosConfig is the verify-gate smoke shape: small population,
@@ -42,6 +50,7 @@ func DefaultChaosConfig() ChaosConfig {
 		Seed:           7,
 		FaultRate:      0.2,
 		MaxAttempts:    3,
+		Memo:           memo.ModeOn,
 	}
 }
 
@@ -107,6 +116,7 @@ func EvaluateChaos(cfg ChaosConfig) (*ChaosResult, error) {
 		Workers: cfg.Workers,
 		Faults:  plan,
 		Retry:   campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
+		Memo:    cfg.Memo,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: chaos faulted run: %w", err)

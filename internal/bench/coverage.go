@@ -10,6 +10,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/contractgen"
 	"repro/internal/fuzz"
+	"repro/internal/memo"
 )
 
 // CoverageConfig tunes the RQ1 experiment: NumContracts "real-world-like"
@@ -23,6 +24,9 @@ type CoverageConfig struct {
 	SamplePoints int
 	// Workers bounds campaign-engine parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Memo selects cross-job memoization for the WASAI campaigns
+	// (coverage curves are identical either way).
+	Memo memo.Mode
 }
 
 // DefaultCoverageConfig mirrors the RQ1 setup at simulator scale.
@@ -57,7 +61,7 @@ func EvaluateCoverage(cfg CoverageConfig) ([]CoverageSeries, error) {
 	// Both tools run on the campaign engine: WASAI campaigns as engine jobs,
 	// the baseline through campaign.Each. Per-contract series are summed
 	// serially afterwards, so the curves are worker-count invariant.
-	engCfg := campaign.Config{Workers: cfg.Workers}
+	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo}
 	jobs := make([]campaign.Job, len(contracts))
 	for i, c := range contracts {
 		jobs[i] = campaign.Job{

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+	"repro/internal/memo"
+)
+
+// regress.go is the benchmark-regression harness behind `make bench-regress`:
+// a fixed two-leg workload (a scaled Table-6 verification-accuracy campaign
+// plus a generated coverage campaign, sharing one memo cache across legs) whose
+// outcome is reduced to a small JSON record — findings digest, DPLL solver
+// invocations, cache hit rate, wall-clock. The record is compared against a
+// committed baseline (BENCH_BASELINE.json): a digest difference is a
+// correctness regression and fails outright; solver-call or wall-clock growth
+// beyond tolerance fails as a performance regression. `wasai-bench
+// -exp regress -write-baseline` regenerates the baseline after an intentional
+// change.
+
+// RegressSchema versions the record format; Compare refuses records written
+// by a different schema.
+const RegressSchema = "wasai-bench-regress/1"
+
+// RegressShape pins the workload parameters inside the record. Compare
+// requires current and baseline shapes to be identical — comparing runs of
+// different workloads would make both tolerances meaningless.
+type RegressShape struct {
+	Scale             float64 `json:"scale"`
+	Iterations        int     `json:"iterations"`
+	CoverageContracts int     `json:"coverage_contracts"`
+	Workers           int     `json:"workers"`
+	Seed              int64   `json:"seed"`
+}
+
+// RegressConfig tunes RunRegress.
+type RegressConfig struct {
+	Shape RegressShape
+}
+
+// DefaultRegressConfig is the smoke shape `make verify` runs: the Table-6
+// verification dataset at 2% scale (each class floored to 4 samples) plus a
+// small coverage corpus. The verification dataset (not Table 4) is the
+// accuracy leg because its §4.3 equality chains are what actually reaches
+// the DPLL — a solver-call budget guarded at a handful of calls would be
+// all floor and no signal.
+func DefaultRegressConfig() RegressConfig {
+	return RegressConfig{Shape: RegressShape{
+		Scale:             0.02,
+		Iterations:        120,
+		CoverageContracts: 8,
+		Workers:           4,
+		Seed:              1,
+	}}
+}
+
+// RegressRecord is one harness run, serialized as the baseline file.
+type RegressRecord struct {
+	Schema string       `json:"schema"`
+	Shape  RegressShape `json:"shape"`
+	// Digest folds both legs' FindingsDigest and StateDigest into one hash.
+	// It is deterministic (worker-count and cache invariant), so baseline
+	// comparison is exact: any difference is a correctness regression.
+	Digest string `json:"digest"`
+	// SATCalls counts DPLL invocations across both legs — the solver-work
+	// metric the 10% tolerance guards. Queries is the total query count
+	// (cache hits included), fixed for a given workload.
+	SATCalls int `json:"sat_calls"`
+	Queries  int `json:"queries"`
+	// CacheHitRate is the shared memo cache's hit fraction over both legs.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// WallMS is wall-clock; machine-dependent, so its tolerance carries an
+	// absolute grace (see Compare).
+	WallMS int64 `json:"wall_ms"`
+}
+
+// Tolerances: solver calls and wall-clock may grow ≤10% over baseline; wall
+// additionally gets a 2s absolute grace so smoke-scale noise on loaded
+// machines does not flake the gate, and solver calls get a slop of one call
+// per worker: with the cache on, workers that miss the same key
+// concurrently both solve it (see internal/memo — the counters are the one
+// deliberately scheduling-dependent output), so cache-on SATCalls can vary
+// by at most the worker count.
+const (
+	regressTolerance  = 0.10
+	regressWallMSSlop = 2000
+)
+
+// RunRegress executes the fixed workload and returns its record.
+func RunRegress(cfg RegressConfig) (*RegressRecord, error) {
+	sh := cfg.Shape
+	ds, err := BuildVerification(Table6Counts, Options{Scale: sh.Scale, Seed: sh.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("bench: regress dataset: %w", err)
+	}
+	// One cache across both legs: the harness pins the cross-campaign
+	// behaviour (campaign.Config.MemoCache sharing), not just single-run
+	// memoization.
+	shared := memo.New()
+	engCfg := campaign.Config{Workers: sh.Workers, MemoCache: shared}
+
+	// Leg 1 — accuracy: the scaled Table-6 verification dataset, one WASAI
+	// campaign per sample, mirroring EvaluateAccuracy's job layout.
+	accJobs := make([]campaign.Job, 0, len(ds.Samples))
+	for _, s := range ds.Samples {
+		accJobs = append(accJobs, campaign.Job{
+			Name:   fmt.Sprintf("sample-%d", s.ID),
+			Module: s.Contract.Module,
+			ABI:    s.Contract.ABI,
+			Config: fuzz.Config{
+				Iterations:      sh.Iterations,
+				SolverConflicts: 50_000,
+				Seed:            sh.Seed + int64(s.ID),
+			},
+		})
+	}
+	acc, err := campaign.Run(context.Background(), accJobs, engCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: regress accuracy leg: %w", err)
+	}
+
+	// Leg 2 — coverage: a generated mixed corpus, mirroring
+	// EvaluateCoverage's WASAI side (the baseline tool adds nothing here).
+	rng := rand.New(rand.NewSource(sh.Seed))
+	covJobs := make([]campaign.Job, 0, sh.CoverageContracts)
+	for i := 0; i < sh.CoverageContracts; i++ {
+		class := contractgen.Classes[rng.Intn(len(contractgen.Classes))]
+		spec := contractgen.RandomSpec(class, rng.Intn(2) == 0, rng)
+		c, err := contractgen.Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: regress coverage corpus %d: %w", i, err)
+		}
+		covJobs = append(covJobs, campaign.Job{
+			Name:   fmt.Sprintf("coverage-%d", i),
+			Module: c.Module,
+			ABI:    c.ABI,
+			Config: fuzz.Config{
+				Iterations:      sh.Iterations,
+				SolverConflicts: 50_000,
+				Seed:            sh.Seed + int64(1000+i),
+			},
+		})
+	}
+	cov, err := campaign.Run(context.Background(), covJobs, engCfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: regress coverage leg: %w", err)
+	}
+
+	h := sha256.New()
+	for _, rep := range []*campaign.Report{acc, cov} {
+		h.Write([]byte(rep.FindingsDigest()))
+		h.Write([]byte{0})
+		h.Write([]byte(rep.StateDigest()))
+		h.Write([]byte{0})
+	}
+	stats := shared.Snapshot()
+	return &RegressRecord{
+		Schema:       RegressSchema,
+		Shape:        sh,
+		Digest:       hex.EncodeToString(h.Sum(nil)),
+		SATCalls:     acc.SolverStats.SATCalls + cov.SolverStats.SATCalls,
+		Queries:      acc.SolverStats.Queries + cov.SolverStats.Queries,
+		CacheHitRate: stats.HitRate(),
+		WallMS:       (acc.Wall + cov.Wall).Milliseconds(),
+	}, nil
+}
+
+// CompareRegress checks a fresh record against the committed baseline and
+// returns the list of regressions (empty = pass).
+func CompareRegress(baseline, current *RegressRecord) []string {
+	var problems []string
+	if baseline.Schema != current.Schema {
+		return []string{fmt.Sprintf("schema mismatch: baseline %q vs current %q — regenerate the baseline (make bench-baseline)",
+			baseline.Schema, current.Schema)}
+	}
+	if baseline.Shape != current.Shape {
+		return []string{fmt.Sprintf("workload shape changed: baseline %+v vs current %+v — regenerate the baseline (make bench-baseline)",
+			baseline.Shape, current.Shape)}
+	}
+	if baseline.Digest != current.Digest {
+		problems = append(problems, fmt.Sprintf("findings digest changed: baseline %s… vs current %s… — behaviour regression (if intentional, make bench-baseline)",
+			baseline.Digest[:12], current.Digest[:12]))
+	}
+	if limit := int(float64(baseline.SATCalls)*(1+regressTolerance)) + baseline.Shape.Workers; current.SATCalls > limit {
+		problems = append(problems, fmt.Sprintf("solver regression: %d DPLL calls vs baseline %d (limit %d, +%.0f%% + %d duplicate-miss slop)",
+			current.SATCalls, baseline.SATCalls, limit, 100*regressTolerance, baseline.Shape.Workers))
+	}
+	if baseline.WallMS > 0 {
+		limit := int64(float64(baseline.WallMS)*(1+regressTolerance)) + regressWallMSSlop
+		if current.WallMS > limit {
+			problems = append(problems, fmt.Sprintf("wall-clock regression: %dms vs baseline %dms (limit %dms)",
+				current.WallMS, baseline.WallMS, limit))
+		}
+	}
+	return problems
+}
+
+// WriteRegress writes the record as indented JSON.
+func WriteRegress(path string, r *RegressRecord) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadRegress reads a record written by WriteRegress.
+func LoadRegress(path string) (*RegressRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RegressRecord
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: regress baseline %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// RenderRegress prints the comparison outcome.
+func RenderRegress(baseline, current *RegressRecord, problems []string) string {
+	var sb strings.Builder
+	sb.WriteString("bench-regress — fixed workload vs committed baseline\n")
+	fmt.Fprintf(&sb, "current:  %d DPLL calls, %d queries, %.1f%% cache hit rate, %dms, digest %s…\n",
+		current.SATCalls, current.Queries, 100*current.CacheHitRate, current.WallMS, current.Digest[:12])
+	if baseline != nil {
+		fmt.Fprintf(&sb, "baseline: %d DPLL calls, %d queries, %.1f%% cache hit rate, %dms, digest %s…\n",
+			baseline.SATCalls, baseline.Queries, 100*baseline.CacheHitRate, baseline.WallMS, baseline.Digest[:12])
+	}
+	if len(problems) == 0 {
+		sb.WriteString("bench-regress: PASS\n")
+	} else {
+		for _, p := range problems {
+			fmt.Fprintf(&sb, "  REGRESSION: %s\n", p)
+		}
+		sb.WriteString("bench-regress: FAIL\n")
+	}
+	return sb.String()
+}

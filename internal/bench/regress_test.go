@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tinyRegressConfig() RegressConfig {
+	return RegressConfig{Shape: RegressShape{
+		Scale:             0.01,
+		Iterations:        25,
+		CoverageContracts: 2,
+		Workers:           2,
+		Seed:              9,
+	}}
+}
+
+func TestRunRegressDeterministicDigest(t *testing.T) {
+	cfg := tinyRegressConfig()
+	a, err := RunRegress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRegress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Schema != RegressSchema {
+		t.Errorf("schema = %q", a.Schema)
+	}
+	if a.Digest != b.Digest {
+		t.Errorf("digest not deterministic across runs: %s vs %s", a.Digest, b.Digest)
+	}
+	if a.Queries != b.Queries {
+		t.Errorf("query count not deterministic: %d vs %d", a.Queries, b.Queries)
+	}
+	if a.Queries == 0 {
+		t.Error("workload issued no solver queries")
+	}
+	// Comparing a run against its twin must pass the gate.
+	if problems := CompareRegress(a, b); len(problems) != 0 {
+		t.Errorf("self-comparison flagged regressions: %v", problems)
+	}
+}
+
+func TestWriteLoadRegressRoundtrip(t *testing.T) {
+	r := &RegressRecord{
+		Schema:       RegressSchema,
+		Shape:        tinyRegressConfig().Shape,
+		Digest:       strings.Repeat("ab", 32),
+		SATCalls:     17,
+		Queries:      420,
+		CacheHitRate: 0.625,
+		WallMS:       1234,
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteRegress(path, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRegress(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *r {
+		t.Errorf("roundtrip mismatch:\n got: %+v\nwant: %+v", got, r)
+	}
+	if _, err := LoadRegress(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadRegress on a missing file succeeded")
+	}
+}
+
+func TestCompareRegress(t *testing.T) {
+	base := func() *RegressRecord {
+		return &RegressRecord{
+			Schema:       RegressSchema,
+			Shape:        RegressShape{Scale: 0.02, Iterations: 120, CoverageContracts: 8, Workers: 4, Seed: 1},
+			Digest:       strings.Repeat("cd", 32),
+			SATCalls:     100,
+			Queries:      500,
+			CacheHitRate: 0.5,
+			WallMS:       10_000,
+		}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*RegressRecord)
+		want   string // substring of the expected problem; "" = pass
+	}{
+		{"identical", func(r *RegressRecord) {}, ""},
+		{"within tolerance", func(r *RegressRecord) { r.SATCalls = 110; r.WallMS = 11_000 }, ""},
+		{"sat calls at limit", func(r *RegressRecord) { r.SATCalls = 114 }, ""}, // 110 + 4 workers slop
+		{"sat calls over limit", func(r *RegressRecord) { r.SATCalls = 115 }, "solver regression"},
+		{"wall over limit", func(r *RegressRecord) { r.WallMS = 13_001 }, "wall-clock regression"}, // 11000 + 2000 slop
+		{"digest changed", func(r *RegressRecord) { r.Digest = strings.Repeat("ef", 32) }, "digest changed"},
+		{"shape changed", func(r *RegressRecord) { r.Shape.Workers = 8 }, "shape changed"},
+		{"schema changed", func(r *RegressRecord) { r.Schema = "wasai-bench-regress/0" }, "schema mismatch"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := base()
+			tc.mutate(cur)
+			problems := CompareRegress(base(), cur)
+			if tc.want == "" {
+				if len(problems) != 0 {
+					t.Errorf("unexpected regressions: %v", problems)
+				}
+				return
+			}
+			if len(problems) != 1 || !strings.Contains(problems[0], tc.want) {
+				t.Errorf("problems = %v, want one containing %q", problems, tc.want)
+			}
+		})
+	}
+	// A faster-than-baseline run always passes and the improvement is not
+	// hidden behind the digest: fewer solver calls with the same digest is
+	// the memo layer doing its job.
+	cur := base()
+	cur.SATCalls = 10
+	cur.WallMS = 100
+	if problems := CompareRegress(base(), cur); len(problems) != 0 {
+		t.Errorf("improvement flagged as regression: %v", problems)
+	}
+	// Zero baseline wall (hand-edited record) disables the wall gate.
+	b := base()
+	b.WallMS = 0
+	cur = base()
+	cur.WallMS = 99_999
+	if problems := CompareRegress(b, cur); len(problems) != 0 {
+		t.Errorf("wall gate active despite zero baseline: %v", problems)
+	}
+}
+
+func TestRenderRegress(t *testing.T) {
+	r := &RegressRecord{Schema: RegressSchema, Digest: strings.Repeat("ab", 32), SATCalls: 5, Queries: 50, WallMS: 7}
+	out := RenderRegress(r, r, nil)
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("pass render: %q", out)
+	}
+	out = RenderRegress(nil, r, []string{"solver regression: details"})
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "solver regression") {
+		t.Errorf("fail render: %q", out)
+	}
+}

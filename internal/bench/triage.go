@@ -99,7 +99,9 @@ func EvaluateTriage(ctx context.Context, ds *Dataset, cfg TriageConfig) (*Triage
 		})
 	}
 
-	ccfg := campaign.Config{Workers: cfg.Workers, BaseSeed: cfg.Seed}
+	// Memo (inherited from EvalConfig) applies to both legs: the digest
+	// gate below then also witnesses cache-on findings invariance.
+	ccfg := campaign.Config{Workers: cfg.Workers, BaseSeed: cfg.Seed, Memo: cfg.Memo}
 	baseline, err := campaign.Run(ctx, jobs, ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("bench: triage baseline: %w", err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/contractgen"
 	"repro/internal/failure"
 	"repro/internal/fuzz"
+	"repro/internal/memo"
 )
 
 // WildConfig tunes the RQ4 reproduction.
@@ -25,6 +26,9 @@ type WildConfig struct {
 	Resume  bool
 	// MaxAttempts retries failed contracts with degraded budgets.
 	MaxAttempts int
+	// Memo selects cross-job memoization (off/on/shared); a resumed sweep
+	// with "shared" starts with the interrupted run's warm cache.
+	Memo memo.Mode
 }
 
 // DefaultWildConfig mirrors §4.4: 991 profitable contracts.
@@ -85,6 +89,7 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		Journal: cfg.Journal,
 		Resume:  cfg.Resume,
 		Retry:   campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
+		Memo:    cfg.Memo,
 	}
 	fuzzCfg := func(i int) fuzz.Config {
 		return fuzz.Config{

@@ -38,6 +38,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/faultinject"
 	"repro/internal/fuzz"
+	"repro/internal/memo"
 	"repro/internal/wasm"
 )
 
@@ -91,6 +92,24 @@ type Config struct {
 	// Faults injects the planned fault into each job attempt's chain and
 	// solver (see internal/faultinject). Nil injects nothing.
 	Faults *faultinject.Plan
+	// Memo selects the cross-job memoization scope (see internal/memo):
+	// off (default) disables caching, on gives this campaign a private
+	// cache, shared uses the process-wide cache. Memoization never
+	// changes findings — FindingsDigest and StateDigest are byte-
+	// identical with the cache on or off at any worker count.
+	Memo memo.Mode
+	// MemoCache overrides the cache instance (implies Memo on). The batch
+	// facade uses it so module decoding at Submit time and the engine's
+	// solver/static tiers share one cache.
+	MemoCache *memo.Cache
+}
+
+// memoCache resolves the cache the engine should use (nil = off).
+func (c Config) memoCache() *memo.Cache {
+	if c.MemoCache != nil {
+		return c.MemoCache
+	}
+	return memo.ForMode(c.Memo)
 }
 
 // workers resolves the pool size.
@@ -166,6 +185,8 @@ type Engine struct {
 	triage  *triageCache          // non-nil when cfg.StaticTriage
 	done    map[int]*journalRecord // journaled outcomes to replay (resume)
 	jw      *journalWriter         // non-nil when cfg.Journal is set
+	memo     *memo.Cache // non-nil when memoization is active
+	memoBase memo.Stats  // counters at Start (delta base for shared caches)
 }
 
 // Start launches the worker pool. The context cancels every in-flight and
@@ -185,8 +206,10 @@ func Start(ctx context.Context, cfg Config) (*Engine, error) {
 		done:    done,
 		jw:      jw,
 	}
+	e.memo = cfg.memoCache()
+	e.memoBase = e.memo.Snapshot()
 	if cfg.StaticTriage {
-		e.triage = newTriageCache()
+		e.triage = newTriageCache(e.memo)
 	}
 	workers := cfg.workers()
 	e.wg.Add(workers)
@@ -227,6 +250,22 @@ func (e *Engine) Submit(job Job) error {
 // Close ends submission; Results delivers the remaining outcomes and then
 // closes. Close is idempotent.
 func (e *Engine) Close() { e.close.Do(func() { close(e.jobs) }) }
+
+// MemoCache exposes the engine's memoization cache (nil when Memo is
+// off). The batch facade decodes modules through it so the module tier is
+// shared with the solver and static tiers.
+func (e *Engine) MemoCache() *memo.Cache { return e.memo }
+
+// MemoStats returns this campaign's cache-counter delta since Start, or
+// nil when memoization is off. Against a shared cache the delta isolates
+// this campaign's hits from other campaigns'.
+func (e *Engine) MemoStats() *memo.Stats {
+	if e.memo == nil {
+		return nil
+	}
+	d := e.memo.Snapshot().Sub(e.memoBase)
+	return &d
+}
 
 // Results streams job outcomes in completion order. The channel closes
 // after Close once every submitted job has been delivered.
@@ -305,6 +344,13 @@ func (e *Engine) attempt(job Job, attempt int) (res *fuzz.Result, mode string, e
 	if e.cfg.Faults != nil {
 		cfg.Faults = e.cfg.Faults.For(job.ID, attempt)
 	}
+	if cfg.Faults == nil {
+		// Faulted attempts run without the memo (the solver pool enforces
+		// the same rule independently): a result shaped by an injected
+		// fault must never reach the shared cache, and no hit may be
+		// served — or counted — on a faulted attempt.
+		cfg.Memo = e.memo.SolverMemo()
+	}
 	f, err := fuzz.New(job.Module, job.ABI, cfg)
 	if err != nil {
 		return nil, mode, fmt.Errorf("campaign: job %d (%s): %w", job.ID, job.Name, err)
@@ -382,7 +428,9 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 		}
 	}
 	//wasai:nondet reporting-only wall-clock aggregate
-	return Aggregate(results, time.Since(start)), nil
+	rep := Aggregate(results, time.Since(start))
+	rep.Memo = e.MemoStats()
+	return rep, nil
 }
 
 // Each runs fn for indices 0..n-1 on the worker pool with the same panic

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/contractgen"
 	"repro/internal/failure"
+	"repro/internal/memo"
 	"repro/internal/symbolic"
 )
 
@@ -41,6 +42,11 @@ type Report struct {
 	AdaptiveSeeds int
 	// SolverStats merges every job's solver statistics.
 	SolverStats symbolic.SolverStats
+	// Memo holds the campaign's cache-counter delta when memoization was
+	// active (nil when off). Counters are reporting-only and excluded
+	// from both digests: concurrent workers racing on one key make exact
+	// hit counts scheduling-dependent (see internal/memo).
+	Memo *memo.Stats
 	// Wall is the batch wall-clock time; JobsPerSecond the throughput.
 	Wall          time.Duration
 	JobsPerSecond float64
@@ -156,6 +162,9 @@ func (r *Report) String() string {
 	if r.Retried > 0 || r.Degraded > 0 || r.Replayed > 0 {
 		fmt.Fprintf(&sb, "  resilience: %d retried, %d degraded, %d replayed from journal\n",
 			r.Retried, r.Degraded, r.Replayed)
+	}
+	if r.Memo != nil {
+		fmt.Fprintf(&sb, "  memo: %s\n", r.Memo)
 	}
 	for _, class := range failure.Classes {
 		if n := r.PerFailure[class]; n > 0 {

@@ -5,22 +5,28 @@ import (
 	"sync"
 
 	"repro/internal/fuzz"
+	"repro/internal/memo"
 	"repro/internal/scanner"
 	"repro/internal/static"
 	"repro/internal/wasm"
 )
 
-// triageCache memoizes static pre-analysis per module, so a batch where many
-// jobs share one module (ablations, seed sweeps) pays for the analysis once.
-// A module that fails to analyze is cached as nil: the job then runs
-// dynamically — triage must never hide a contract it cannot model.
+// triageCache memoizes static pre-analysis per module pointer, so a batch
+// where many jobs share one module (ablations, seed sweeps) pays for the
+// analysis once. When the engine runs with memoization, analysis misses go
+// through the memo static tier, which extends the reuse to content-equal
+// modules across jobs, batches and resumes. A module that fails to analyze
+// is cached as nil: the job then runs dynamically — triage must never hide
+// a contract it cannot model.
 type triageCache struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//wasai:localcache pointer-identity fast path in front of the memo static tier
 	reports map[*wasm.Module]*static.Report
+	memo    *memo.Cache // nil when the engine runs without memoization
 }
 
-func newTriageCache() *triageCache {
-	return &triageCache{reports: map[*wasm.Module]*static.Report{}}
+func newTriageCache(mc *memo.Cache) *triageCache {
+	return &triageCache{reports: map[*wasm.Module]*static.Report{}, memo: mc}
 }
 
 // report returns the module's static report, analyzing on first use. nil
@@ -34,7 +40,8 @@ func (t *triageCache) report(m *wasm.Module) *static.Report {
 	if rep, ok := t.reports[m]; ok {
 		return rep
 	}
-	rep, err := static.Analyze(m)
+	// memo.Static is nil-safe: without a cache it just runs the analysis.
+	rep, err := t.memo.Static(m, static.Analyze)
 	if err != nil {
 		rep = nil
 	}

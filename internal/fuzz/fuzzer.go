@@ -65,6 +65,11 @@ type Config struct {
 	// campaign failure — ordinary contract reverts are fuzzing signal and
 	// never do.
 	Faults *faultinject.Injector
+	// Memo is the cross-job solver-query cache consulted before DPLL
+	// (see internal/memo; nil disables memoization). The solver pool
+	// ignores it whenever Faults is non-nil, so faulted attempts can
+	// neither poison nor be served from a shared cache.
+	Memo symbolic.SolverMemo
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -531,6 +536,7 @@ func (f *Fuzzer) feedback(kind payloadKind, seed Seed, params []symexec.Param, t
 	answers, stats, poolErr := symbolic.SolvePoolCtx(ctx, pool, symbolic.PoolOptions{
 		MaxConflicts: f.cfg.SolverConflicts,
 		Faults:       f.cfg.Faults,
+		Memo:         f.cfg.Memo,
 	})
 	f.solver.Stats.Queries += stats.Queries
 	f.solver.Stats.FastPathHits += stats.FastPathHits

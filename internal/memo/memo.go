@@ -1,0 +1,389 @@
+// Package memo is the cross-job memoization layer of the campaign engine:
+// a concurrency-safe, sharded, content-addressed cache shared by every job
+// in a batch (and, in shared mode, by every batch in the process). WASAI's
+// concolic loop re-solves near-identical flipped-branch constraints many
+// times — within one job every coverage increase resets the attempted set,
+// and across jobs template-generated contracts repeat whole constraint
+// families — and re-decodes/re-analyzes identical modules across jobs and
+// across journal resume. The paper (§3.4.4) parallelizes constraint
+// solving because it dominates end-to-end cost; this layer removes the
+// duplicated fraction of that cost outright.
+//
+// Three tiers, all keyed by 32-byte content hashes:
+//
+//   - solver: canonicalized query -> Sat/Unsat verdict (+ canonical model),
+//     consulted by symbolic.SolvePoolCtx before DPLL. Exact (Ordered-key)
+//     hits replay verdict and model; permutation (Sorted-key) hits serve
+//     Unsat only. See internal/symbolic/canon.go for why this preserves
+//     byte-identical campaign digests.
+//   - module: bytecode hash -> decoded+validated *wasm.Module.
+//   - static: module content hash -> *static.Report (nil-report sentinel
+//     for modules whose analysis failed, so failures are not re-analyzed).
+//
+// Determinism contract: with any Mode, at any worker count, campaign
+// FindingsDigest and StateDigest are byte-identical to a memo-off run.
+// The cache can change only how much work is done, never its outcome:
+// verdicts are semantic properties of the canonical query, modules and
+// reports are pure functions of the bytes, Unknown is never cached, and
+// fault-injected attempts bypass the cache entirely (enforced in
+// symbolic.SolvePoolCtx and internal/campaign). Hit/miss/eviction
+// counters are the one explicitly nondeterministic surface: concurrent
+// workers can miss on the same key simultaneously, so counts may vary by
+// ±worker-count across runs. They feed reports only, never digests.
+//
+// Eviction is per-shard FIFO with a fixed capacity: the oldest entry in
+// the shard is dropped when a new key arrives at a full shard. Evicting
+// never changes results — a dropped entry only means the work is done
+// again on the next encounter.
+package memo
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/static"
+	"repro/internal/symbolic"
+	"repro/internal/wasm"
+)
+
+// Mode selects the cache scope for a campaign.
+type Mode string
+
+// Cache scopes. Off disables memoization; On gives the campaign a fresh
+// private cache; Shared uses one process-wide cache across campaigns
+// (batches of batches, e.g. bench experiments or resumed runs).
+const (
+	ModeOff    Mode = "off"
+	ModeOn     Mode = "on"
+	ModeShared Mode = "shared"
+)
+
+// ParseMode parses a Mode ("" means off).
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "", ModeOff:
+		return ModeOff, nil
+	case ModeOn:
+		return ModeOn, nil
+	case ModeShared:
+		return ModeShared, nil
+	default:
+		//wasai:rawerr flag-validation error surfaced to the CLI, never reaches the failure classifier
+		return ModeOff, fmt.Errorf("memo: unknown mode %q (want off, on or shared)", s)
+	}
+}
+
+// ForMode returns the cache a campaign with this mode should use: nil for
+// off, a fresh cache for on, the process-wide cache for shared.
+func ForMode(m Mode) *Cache {
+	switch m {
+	case ModeOn:
+		return New()
+	case ModeShared:
+		return Shared()
+	default:
+		return nil
+	}
+}
+
+var (
+	sharedOnce sync.Once
+	shared     *Cache
+)
+
+// Shared returns the process-wide cache (created on first use).
+func Shared() *Cache {
+	sharedOnce.Do(func() { shared = New() })
+	return shared
+}
+
+// Stats are cumulative cache counters. Counters are reporting-only: they
+// never influence analysis results (see the package comment for why hit
+// counts are not perfectly worker-count invariant).
+type Stats struct {
+	SolverHits      int64 // Ordered-key verdict replays
+	SolverUnsatHits int64 // Sorted-key Unsat replays
+	SolverMisses    int64
+	SolverEvictions int64
+	ModuleHits      int64
+	ModuleMisses    int64
+	StaticHits      int64
+	StaticMisses    int64
+}
+
+// Sub returns s - prev, the delta between two snapshots (per-campaign
+// accounting against a shared cache).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		SolverHits:      s.SolverHits - prev.SolverHits,
+		SolverUnsatHits: s.SolverUnsatHits - prev.SolverUnsatHits,
+		SolverMisses:    s.SolverMisses - prev.SolverMisses,
+		SolverEvictions: s.SolverEvictions - prev.SolverEvictions,
+		ModuleHits:      s.ModuleHits - prev.ModuleHits,
+		ModuleMisses:    s.ModuleMisses - prev.ModuleMisses,
+		StaticHits:      s.StaticHits - prev.StaticHits,
+		StaticMisses:    s.StaticMisses - prev.StaticMisses,
+	}
+}
+
+// Hits sums hit counters across tiers.
+func (s Stats) Hits() int64 {
+	return s.SolverHits + s.SolverUnsatHits + s.ModuleHits + s.StaticHits
+}
+
+// Misses sums miss counters across tiers.
+func (s Stats) Misses() int64 { return s.SolverMisses + s.ModuleMisses + s.StaticMisses }
+
+// HitRate is Hits / (Hits + Misses), 0 when the cache was never consulted.
+func (s Stats) HitRate() float64 {
+	total := s.Hits() + s.Misses()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits()) / float64(total)
+}
+
+// String renders the counters in the campaign-report style.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"solver hits=%d (unsat-perm %d) misses=%d evictions=%d | module hits=%d misses=%d | static hits=%d misses=%d | hit rate %.1f%%",
+		s.SolverHits+s.SolverUnsatHits, s.SolverUnsatHits, s.SolverMisses, s.SolverEvictions,
+		s.ModuleHits, s.ModuleMisses, s.StaticHits, s.StaticMisses, 100*s.HitRate())
+}
+
+// DefaultShardCap bounds each of the 16 shards of each tier; the
+// per-tier capacity is 16 × DefaultShardCap entries.
+const DefaultShardCap = 4096
+
+// Cache is the three-tier memoization store. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use
+// and nil-safe (a nil *Cache behaves as memoization-off), so call sites
+// need no guards.
+type Cache struct {
+	solver  sharded[symbolic.SolverVerdict] // Ordered key -> verdict
+	unsat   sharded[struct{}]               // Sorted key -> (Unsat)
+	modules sharded[*wasm.Module]           // bytecode hash -> module
+	reports sharded[*static.Report]         // bytecode hash -> report (nil = analyze failed)
+
+	// moduleKeys remembers the content hash of modules this cache
+	// decoded, so the static tier can key reports without re-encoding.
+	//wasai:localcache side index into the cache's own tiers, not an independent cache
+	moduleKeys sync.Map // *wasm.Module -> [32]byte
+
+	solverHits      atomic.Int64
+	solverUnsatHits atomic.Int64
+	solverMisses    atomic.Int64
+	moduleHits      atomic.Int64
+	moduleMisses    atomic.Int64
+	staticHits      atomic.Int64
+	staticMisses    atomic.Int64
+}
+
+// New returns an empty cache with default capacities.
+func New() *Cache {
+	c := &Cache{}
+	c.solver.init(DefaultShardCap)
+	c.unsat.init(DefaultShardCap)
+	c.modules.init(DefaultShardCap / 16) // modules are big; keep fewer
+	c.reports.init(DefaultShardCap / 16)
+	return c
+}
+
+// SolverMemo adapts c to the solver pool's cache interface, returning a
+// nil interface (not a typed-nil) when c is nil so the pool's nil check
+// stays meaningful.
+func (c *Cache) SolverMemo() symbolic.SolverMemo {
+	if c == nil {
+		return nil
+	}
+	return c
+}
+
+// Snapshot returns the current counters.
+func (c *Cache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		SolverHits:      c.solverHits.Load(),
+		SolverUnsatHits: c.solverUnsatHits.Load(),
+		SolverMisses:    c.solverMisses.Load(),
+		SolverEvictions: c.solver.evictions.Load() + c.unsat.evictions.Load() + c.modules.evictions.Load() + c.reports.evictions.Load(),
+		ModuleHits:      c.moduleHits.Load(),
+		ModuleMisses:    c.moduleMisses.Load(),
+		StaticHits:      c.staticHits.Load(),
+		StaticMisses:    c.staticMisses.Load(),
+	}
+}
+
+// --- solver tier (implements symbolic.SolverMemo) ---------------------------
+
+// Lookup serves a memoized verdict: exact (Ordered-key) hits replay
+// verdict and model; Sorted-key hits replay Unsat only.
+func (c *Cache) Lookup(q symbolic.Canon) (symbolic.SolverVerdict, bool) {
+	if c == nil {
+		return symbolic.SolverVerdict{}, false
+	}
+	if v, ok := c.solver.get(q.Ordered); ok {
+		c.solverHits.Add(1)
+		return v, true
+	}
+	if _, ok := c.unsat.get(q.Sorted); ok {
+		c.solverUnsatHits.Add(1)
+		return symbolic.SolverVerdict{Result: symbolic.Unsat}, true
+	}
+	c.solverMisses.Add(1)
+	return symbolic.SolverVerdict{}, false
+}
+
+// Store records a Sat or Unsat verdict; Unknown is dropped (it reflects
+// the budget and cancellation timing, not the query).
+func (c *Cache) Store(q symbolic.Canon, v symbolic.SolverVerdict) {
+	if c == nil {
+		return
+	}
+	switch v.Result {
+	case symbolic.Sat:
+		c.solver.put(q.Ordered, v)
+	case symbolic.Unsat:
+		c.solver.put(q.Ordered, v)
+		c.unsat.put(q.Sorted, struct{}{})
+	}
+}
+
+// --- module tier ------------------------------------------------------------
+
+// Module returns the decoded module for bin, calling decode on first
+// encounter of these bytes. Only successful decodes are cached; decode
+// must be pure (wasm.Decode+Validate is).
+func (c *Cache) Module(bin []byte, decode func([]byte) (*wasm.Module, error)) (*wasm.Module, error) {
+	if c == nil {
+		return decode(bin)
+	}
+	key := sha256.Sum256(bin)
+	if m, ok := c.modules.get(key); ok {
+		c.moduleHits.Add(1)
+		return m, nil
+	}
+	c.moduleMisses.Add(1)
+	m, err := decode(bin)
+	if err != nil {
+		return nil, err
+	}
+	c.modules.put(key, m)
+	c.moduleKeys.Store(m, key)
+	return m, nil
+}
+
+// --- static tier ------------------------------------------------------------
+
+// Static returns the static report for m, calling analyze on first
+// encounter of the module's content. A failed analysis is cached as a
+// nil report and replayed as (nil, nil) — callers already treat a nil
+// report as "no static information".
+func (c *Cache) Static(m *wasm.Module, analyze func(*wasm.Module) (*static.Report, error)) (*static.Report, error) {
+	if c == nil {
+		rep, err := analyze(m)
+		if err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	key, ok := c.moduleKey(m)
+	if !ok {
+		// Module content not hashable (encode failed): analyze uncached.
+		rep, err := analyze(m)
+		if err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	if rep, ok := c.reports.get(key); ok {
+		c.staticHits.Add(1)
+		return rep, nil
+	}
+	c.staticMisses.Add(1)
+	rep, err := analyze(m)
+	if err != nil {
+		c.reports.put(key, nil)
+		return nil, err
+	}
+	c.reports.put(key, rep)
+	return rep, nil
+}
+
+func (c *Cache) moduleKey(m *wasm.Module) ([32]byte, bool) {
+	if k, ok := c.moduleKeys.Load(m); ok {
+		return k.([32]byte), true
+	}
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		return [32]byte{}, false
+	}
+	key := sha256.Sum256(bin)
+	c.moduleKeys.Store(m, key)
+	return key, true
+}
+
+// --- sharded store ----------------------------------------------------------
+
+const numShards = 16
+
+// sharded is a 16-way sharded map keyed by 32-byte content hashes with
+// per-shard FIFO eviction. Sharding keeps lock hold times short under
+// the solver pool's concurrency; the shard index is the key's first
+// byte's low nibble (uniform, since keys are SHA-256 output).
+type sharded[V any] struct {
+	shards    [numShards]shard[V]
+	capacity  int
+	evictions atomic.Int64
+}
+
+type shard[V any] struct {
+	mu sync.Mutex
+	//wasai:localcache shard storage of internal/memo itself
+	m     map[[32]byte]V
+	order [][32]byte // insertion order; order[head:] are live
+	head  int
+}
+
+func (s *sharded[V]) init(capPerShard int) {
+	s.capacity = capPerShard
+	for i := range s.shards {
+		s.shards[i].m = map[[32]byte]V{}
+	}
+}
+
+func (s *sharded[V]) get(key [32]byte) (V, bool) {
+	sh := &s.shards[key[0]&(numShards-1)]
+	sh.mu.Lock()
+	v, ok := sh.m[key]
+	sh.mu.Unlock()
+	return v, ok
+}
+
+func (s *sharded[V]) put(key [32]byte, v V) {
+	sh := &s.shards[key[0]&(numShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		// Refresh in place, keeping the FIFO position: concurrent misses
+		// on one key store equivalent values, so first-in wins is fine.
+		sh.m[key] = v
+		return
+	}
+	if len(sh.m) >= s.capacity {
+		delete(sh.m, sh.order[sh.head])
+		sh.head++
+		s.evictions.Add(1)
+		// Compact the consumed prefix once it dominates the slice.
+		if sh.head > 64 && sh.head*2 > len(sh.order) {
+			sh.order = append(sh.order[:0], sh.order[sh.head:]...)
+			sh.head = 0
+		}
+	}
+	sh.m[key] = v
+	sh.order = append(sh.order, key)
+}

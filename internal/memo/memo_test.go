@@ -1,0 +1,333 @@
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/static"
+	"repro/internal/symbolic"
+	"repro/internal/wasm"
+)
+
+func key(shardByte byte, n int) [32]byte {
+	var k [32]byte
+	k[0] = shardByte
+	k[1] = byte(n)
+	k[2] = byte(n >> 8)
+	return k
+}
+
+func TestShardedFIFOEviction(t *testing.T) {
+	var s sharded[int]
+	s.init(4)
+	// Five inserts into one shard (same low nibble): the first key out.
+	for i := 0; i < 5; i++ {
+		s.put(key(0, i), i)
+	}
+	if _, ok := s.get(key(0, 0)); ok {
+		t.Error("oldest entry survived past capacity")
+	}
+	for i := 1; i < 5; i++ {
+		if v, ok := s.get(key(0, i)); !ok || v != i {
+			t.Errorf("entry %d missing after eviction of older key", i)
+		}
+	}
+	if got := s.evictions.Load(); got != 1 {
+		t.Errorf("evictions = %d, want 1", got)
+	}
+	// Re-putting an existing key refreshes in place without eviction.
+	s.put(key(0, 1), 100)
+	if v, _ := s.get(key(0, 1)); v != 100 {
+		t.Error("refresh did not update the value")
+	}
+	if got := s.evictions.Load(); got != 1 {
+		t.Errorf("refresh evicted: evictions = %d, want 1", got)
+	}
+}
+
+func TestShardedShardIndependence(t *testing.T) {
+	var s sharded[int]
+	s.init(1)
+	// One entry per shard: no shard evicts another's key.
+	for b := 0; b < numShards; b++ {
+		s.put(key(byte(b), 0), b)
+	}
+	for b := 0; b < numShards; b++ {
+		if v, ok := s.get(key(byte(b), 0)); !ok || v != b {
+			t.Errorf("shard %d lost its entry", b)
+		}
+	}
+	if got := s.evictions.Load(); got != 0 {
+		t.Errorf("evictions = %d, want 0", got)
+	}
+}
+
+func TestShardedCompaction(t *testing.T) {
+	var s sharded[int]
+	s.init(8)
+	// Far more inserts than capacity on one shard: the order slice must
+	// not grow without bound (compaction) and the live set stays at cap.
+	for i := 0; i < 1000; i++ {
+		s.put(key(3, i), i)
+	}
+	sh := &s.shards[3]
+	if len(sh.m) != 8 {
+		t.Errorf("live entries = %d, want 8", len(sh.m))
+	}
+	if len(sh.order)-sh.head > 8+64 {
+		t.Errorf("order slice not compacted: len=%d head=%d", len(sh.order), sh.head)
+	}
+	// The newest 8 keys are exactly the survivors.
+	for i := 992; i < 1000; i++ {
+		if _, ok := s.get(key(3, i)); !ok {
+			t.Errorf("newest key %d missing", i)
+		}
+	}
+}
+
+func TestShardedConcurrency(t *testing.T) {
+	var s sharded[int]
+	s.init(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.put(key(byte(i%numShards), i), i)
+				s.get(key(byte((i+g)%numShards), i))
+			}
+		}(g)
+	}
+	wg.Wait() // -race is the assertion here
+}
+
+func TestSolverTierVerdicts(t *testing.T) {
+	c := New()
+	ctx := symbolic.NewCtx()
+	x := ctx.Var("x", 32)
+	sat := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(x, ctx.Const(4, 32))}, 0)
+	uns := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(x, ctx.Const(0, 32)), ctx.Eq(x, ctx.Const(1, 32))}, 0)
+
+	if _, ok := c.Lookup(sat); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Store(sat, symbolic.VerdictOf(sat, symbolic.Model{"x": 4}, symbolic.Sat))
+	c.Store(uns, symbolic.VerdictOf(uns, nil, symbolic.Unsat))
+	c.Store(sat, symbolic.SolverVerdict{Result: symbolic.Unknown}) // must be dropped
+
+	v, ok := c.Lookup(sat)
+	if !ok || v.Result != symbolic.Sat || v.ModelFor(sat)["x"] != 4 {
+		t.Fatalf("Sat replay wrong: ok=%v v=%+v", ok, v)
+	}
+	if v, ok := c.Lookup(uns); !ok || v.Result != symbolic.Unsat {
+		t.Fatalf("Unsat replay wrong: ok=%v v=%+v", ok, v)
+	}
+
+	// A clause-permuted variant of the Unsat query misses the Ordered key
+	// but hits the Sorted tier — and only for Unsat.
+	perm := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(x, ctx.Const(1, 32)), ctx.Eq(x, ctx.Const(0, 32))}, 0)
+	if perm.Ordered == uns.Ordered {
+		t.Fatal("test premise broken: permutation shares the Ordered key")
+	}
+	if v, ok := c.Lookup(perm); !ok || v.Result != symbolic.Unsat {
+		t.Fatalf("Sorted-key Unsat replay failed: ok=%v v=%+v", ok, v)
+	}
+
+	st := c.Snapshot()
+	if st.SolverHits != 2 || st.SolverUnsatHits != 1 {
+		t.Errorf("counters: %+v", st)
+	}
+}
+
+func TestUnknownNeverStored(t *testing.T) {
+	c := New()
+	ctx := symbolic.NewCtx()
+	q := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(ctx.Var("x", 32), ctx.Const(9, 32))}, 0)
+	c.Store(q, symbolic.SolverVerdict{Result: symbolic.Unknown})
+	if _, ok := c.Lookup(q); ok {
+		t.Fatal("Unknown verdict was cached")
+	}
+}
+
+func testModuleBytes(t *testing.T) []byte {
+	t.Helper()
+	c, err := contractgen.Generate(contractgen.Spec{Class: contractgen.ClassFakeEOS, Vulnerable: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := wasm.Encode(c.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func TestModuleTier(t *testing.T) {
+	c := New()
+	bin := testModuleBytes(t)
+	calls := 0
+	decode := func(b []byte) (*wasm.Module, error) {
+		calls++
+		return wasm.Decode(b)
+	}
+	m1, err := c.Module(bin, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.Module(bin, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("decode ran %d times, want 1", calls)
+	}
+	if m1 != m2 {
+		t.Error("cached module is not the same instance")
+	}
+	// Failed decodes are not cached.
+	failCalls := 0
+	fail := func(b []byte) (*wasm.Module, error) { failCalls++; return nil, errors.New("boom") }
+	if _, err := c.Module([]byte("junk"), fail); err == nil {
+		t.Fatal("decode error swallowed")
+	}
+	if _, err := c.Module([]byte("junk"), fail); err == nil {
+		t.Fatal("decode error swallowed on second call")
+	}
+	if failCalls != 2 {
+		t.Errorf("failed decode was cached: %d calls, want 2", failCalls)
+	}
+	st := c.Snapshot()
+	if st.ModuleHits != 1 || st.ModuleMisses != 3 {
+		t.Errorf("module counters: %+v", st)
+	}
+}
+
+func TestStaticTier(t *testing.T) {
+	c := New()
+	bin := testModuleBytes(t)
+	m, err := c.Module(bin, wasm.Decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	analyze := func(mod *wasm.Module) (*static.Report, error) {
+		calls++
+		return static.Analyze(mod)
+	}
+	r1, err := c.Static(m, analyze)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Static(m, analyze)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("analyze ran %d times, want 1", calls)
+	}
+	if r1 != r2 {
+		t.Error("cached report is not the same instance")
+	}
+	// A second decode of the same bytes returns the cached module pointer,
+	// so its report is shared too.
+	m2, err := c.Module(bin, wasm.Decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Static(m2, analyze); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("analyze re-ran for a cached module: %d calls", calls)
+	}
+	// Failed analyses are cached as nil and replayed as (nil, nil).
+	failCalls := 0
+	failing := func(mod *wasm.Module) (*static.Report, error) { failCalls++; return nil, errors.New("nope") }
+	cf := New()
+	mf, err := cf.Module(bin, wasm.Decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.Static(mf, failing); err == nil {
+		t.Fatal("analyze error swallowed")
+	}
+	rep, err := cf.Static(mf, failing)
+	if err != nil || rep != nil {
+		t.Fatalf("cached failure not replayed as (nil, nil): rep=%v err=%v", rep, err)
+	}
+	if failCalls != 1 {
+		t.Errorf("failed analysis re-ran: %d calls, want 1", failCalls)
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	if c.SolverMemo() != nil {
+		t.Error("nil cache's SolverMemo is not a nil interface")
+	}
+	if st := c.Snapshot(); st != (Stats{}) {
+		t.Errorf("nil snapshot: %+v", st)
+	}
+	ctx := symbolic.NewCtx()
+	q := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(ctx.Var("x", 32), ctx.Const(9, 32))}, 0)
+	if _, ok := c.Lookup(q); ok {
+		t.Error("nil cache hit")
+	}
+	c.Store(q, symbolic.SolverVerdict{Result: symbolic.Sat})
+	bin := testModuleBytes(t)
+	if _, err := c.Module(bin, wasm.Decode); err != nil {
+		t.Errorf("nil cache Module: %v", err)
+	}
+	m, _ := wasm.Decode(bin)
+	if _, err := c.Static(m, static.Analyze); err != nil {
+		t.Errorf("nil cache Static: %v", err)
+	}
+}
+
+func TestParseModeForMode(t *testing.T) {
+	for in, want := range map[string]Mode{"": ModeOff, "off": ModeOff, "on": ModeOn, "shared": ModeShared} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode accepted bogus mode")
+	}
+	if ForMode(ModeOff) != nil {
+		t.Error("ForMode(off) != nil")
+	}
+	a, b := ForMode(ModeOn), ForMode(ModeOn)
+	if a == nil || a == b {
+		t.Error("ForMode(on) must return fresh private caches")
+	}
+	s1, s2 := ForMode(ModeShared), ForMode(ModeShared)
+	if s1 == nil || s1 != s2 {
+		t.Error("ForMode(shared) must return the process singleton")
+	}
+}
+
+func TestStatsSubAndString(t *testing.T) {
+	a := Stats{SolverHits: 10, SolverMisses: 4, ModuleHits: 2, StaticMisses: 1}
+	b := Stats{SolverHits: 4, SolverMisses: 1}
+	d := a.Sub(b)
+	if d.SolverHits != 6 || d.SolverMisses != 3 || d.ModuleHits != 2 || d.StaticMisses != 1 {
+		t.Errorf("Sub: %+v", d)
+	}
+	if got := a.Hits(); got != 12 {
+		t.Errorf("Hits = %d, want 12", got)
+	}
+	if got := a.Misses(); got != 5 {
+		t.Errorf("Misses = %d, want 5", got)
+	}
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Errorf("empty HitRate = %v, want 0", r)
+	}
+	if s := fmt.Sprint(a); s == "" {
+		t.Error("empty String")
+	}
+}

@@ -9,7 +9,10 @@ import (
 // Tseitin encoding: one SAT variable per bit, gate clauses per operator.
 
 type blaster struct {
-	sat   *SAT
+	sat *SAT
+	// Per-query Tseitin memo, dead once the query is solved — not a
+	// cross-job cache (those must go through internal/memo).
+	//wasai:localcache single-query node->literal memo, discarded with the blaster
 	cache map[*Expr][]Lit
 	vars  map[string][]Lit // BV variable name -> bit literals (LSB first)
 	tru   Lit              // literal forced true

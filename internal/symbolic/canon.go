@@ -1,0 +1,216 @@
+package symbolic
+
+import (
+	"crypto/sha256"
+	"hash"
+	"sort"
+)
+
+// This file canonicalizes solver queries for cross-job memoization (the
+// internal/memo layer). A query — a conjunction of 1-bit constraints plus
+// a conflict budget — is reduced to two content-addressed keys:
+//
+//   - Ordered: variables α-renamed to first-use order over the given
+//     clause order, budget included. Two queries share an Ordered key iff
+//     they are identical up to a bijective renaming of variables AND list
+//     their clauses in the same order. Because Solve is α-invariant and
+//     clause-order sensitive only in which model it picks (never in the
+//     verdict), an Ordered hit can replay the cached verdict including
+//     the model: the model the solver would have produced is exactly the
+//     cached one translated back through Canon.Vars.
+//   - Sorted: clauses stably sorted by their name-blind shape hash before
+//     renaming, budget excluded. Order-permuted queries converge on one
+//     Sorted key, but a direct solve of a permuted clause list may pick a
+//     different satisfying model — so Sorted hits may only serve Unsat,
+//     which carries no model and (like Unknown) produces no adaptive seed
+//     downstream. Serving Unsat across permutations is sound because
+//     unsatisfiability is a property of the clause multiset, and it is
+//     digest-invisible because Unsat and the miss path's worst case
+//     (re-proving Unsat) are behaviorally identical.
+//
+// Unknown is never cached: it depends on the budget and on cooperative
+// cancellation timing, neither of which is a property of the query.
+
+// DefaultMaxConflicts is the CDCL conflict budget used when a Solver or
+// pool is given MaxConflicts == 0 (the analogue of the paper's 3,000 ms
+// per-query cap as a deterministic budget). Canonicalization normalizes
+// budgets through the same default so 0 and 200_000 share a key.
+const DefaultMaxConflicts = 200_000
+
+// CanonKey is the 32-byte SHA-256 content hash of a canonicalized query.
+type CanonKey [32]byte
+
+// Canon is the canonical form of one solver query.
+type Canon struct {
+	// Ordered is the exact-replay key (α-renamed, clause order kept,
+	// budget included).
+	Ordered CanonKey
+	// Sorted is the permutation-invariant key (clauses shape-sorted,
+	// budget excluded); safe for Unsat verdicts only.
+	Sorted CanonKey
+	// Vars lists the query's free variable names in first-use order over
+	// the original clause order — the translation table between cached
+	// canonical models (indexed by position) and this query's names.
+	Vars []string
+}
+
+// SolverVerdict is a memoized Solve outcome. Vals is present for Sat
+// only: Vals[i] is the model value of the i-th canonical variable.
+type SolverVerdict struct {
+	Result Result
+	Vals   []uint64
+}
+
+// ModelFor translates a Sat verdict's canonical model back into the
+// variable names of the query that produced c.
+func (v SolverVerdict) ModelFor(c Canon) Model {
+	m := Model{}
+	for i, name := range c.Vars {
+		if i < len(v.Vals) {
+			m[name] = v.Vals[i]
+		}
+	}
+	return m
+}
+
+// VerdictOf packages a Solve outcome for storage under canon c.
+func VerdictOf(c Canon, m Model, r Result) SolverVerdict {
+	v := SolverVerdict{Result: r}
+	if r == Sat {
+		v.Vals = make([]uint64, len(c.Vars))
+		for i, name := range c.Vars {
+			v.Vals[i] = m[name]
+		}
+	}
+	return v
+}
+
+// SolverMemo is the solver-query cache consulted by SolvePoolCtx before
+// running DPLL. Implementations must be safe for concurrent use; the
+// canonical implementation is internal/memo (which serves Sorted-key hits
+// for Unsat only — see the package comment there for the determinism
+// argument). The interface lives here so internal/symbolic does not
+// depend on the cache package.
+type SolverMemo interface {
+	// Lookup returns a previously stored verdict for an equivalent query.
+	Lookup(c Canon) (SolverVerdict, bool)
+	// Store records a Sat or Unsat verdict (implementations must drop
+	// Unknown).
+	Store(c Canon, v SolverVerdict)
+}
+
+// Canonicalize reduces a query to its canonical keys. budget is the
+// pool's MaxConflicts (0 is normalized to DefaultMaxConflicts, matching
+// Solve). All constraints must come from one Ctx.
+func Canonicalize(constraints []*Expr, budget int64) Canon {
+	if budget == 0 {
+		budget = DefaultMaxConflicts
+	}
+	oh := newCanonHasher()
+	for _, c := range constraints {
+		oh.u64('K', 0)
+		oh.walk(c)
+	}
+	oh.u64('B', uint64(budget))
+	canon := Canon{Vars: oh.varNames, Ordered: oh.sum()}
+
+	sorted := append([]*Expr(nil), constraints...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].shape < sorted[j].shape })
+	sh := newCanonHasher()
+	for _, c := range sorted {
+		sh.u64('K', 0)
+		sh.walk(c)
+	}
+	canon.Sorted = sh.sum()
+	return canon
+}
+
+// canonHasher serializes an expression DAG into SHA-256 with variables
+// replaced by their first-use index and repeated nodes emitted as
+// backreferences, so the digest is injective on structure modulo
+// α-renaming (equal bytes ⟺ α-equivalent DAGs in traversal order).
+type canonHasher struct {
+	h        hash.Hash
+	buf      [9]byte
+	seen     map[*Expr]int
+	vars     map[string]int
+	varNames []string
+}
+
+func newCanonHasher() *canonHasher {
+	return &canonHasher{h: sha256.New(), seen: map[*Expr]int{}, vars: map[string]int{}}
+}
+
+func (ch *canonHasher) u64(tag byte, v uint64) {
+	ch.buf[0] = tag
+	for i := 0; i < 8; i++ {
+		ch.buf[1+i] = byte(v >> (8 * i))
+	}
+	ch.h.Write(ch.buf[:])
+}
+
+func (ch *canonHasher) walk(e *Expr) {
+	if e == nil {
+		ch.u64('_', 0)
+		return
+	}
+	if id, ok := ch.seen[e]; ok {
+		ch.u64('R', uint64(id))
+		return
+	}
+	ch.seen[e] = len(ch.seen)
+	ch.u64('N', uint64(e.Kind)|uint64(e.Width)<<8|uint64(e.Hi)<<16|uint64(e.Lo)<<24)
+	ch.u64('C', e.Val)
+	if e.Kind == KVar {
+		idx, ok := ch.vars[e.Name]
+		if !ok {
+			idx = len(ch.vars)
+			ch.vars[e.Name] = idx
+			ch.varNames = append(ch.varNames, e.Name)
+		}
+		ch.u64('V', uint64(idx))
+		return
+	}
+	ch.walk(e.A)
+	ch.walk(e.B)
+	ch.walk(e.C)
+}
+
+func (ch *canonHasher) sum() CanonKey {
+	var k CanonKey
+	ch.h.Sum(k[:0])
+	return k
+}
+
+// VarsFirstUse returns the free variables of the conjunction in
+// deterministic first-use order: clause order, then depth-first
+// left-to-right within each clause. This is the iteration order the
+// solver's probe fast path uses (map-range order would make the chosen
+// model depend on Go's map seed — a run-to-run nondeterminism — and would
+// break the α-invariance the Ordered cache key relies on).
+func VarsFirstUse(constraints []*Expr) []*Expr {
+	seen := map[*Expr]bool{}
+	var out []*Expr
+	have := map[string]bool{}
+	var walk func(*Expr)
+	walk = func(x *Expr) {
+		if x == nil || seen[x] {
+			return
+		}
+		seen[x] = true
+		if x.Kind == KVar {
+			if !have[x.Name] {
+				have[x.Name] = true
+				out = append(out, x)
+			}
+			return
+		}
+		walk(x.A)
+		walk(x.B)
+		walk(x.C)
+	}
+	for _, c := range constraints {
+		walk(c)
+	}
+	return out
+}

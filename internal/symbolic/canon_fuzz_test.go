@@ -1,0 +1,177 @@
+package symbolic
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildFuzzConstraints deterministically compiles a byte string into a
+// clause list over variables named prefix0..prefixN: a tiny stack machine
+// whose opcodes push variables/constants, combine the top of stack with
+// binary operators, and pop comparisons off as 1-bit clauses. Total and
+// deterministic for every input, so the fuzz target can compare canonical
+// keys across independent builds of the same program.
+func buildFuzzConstraints(c *Ctx, data []byte, prefix string) []*Expr {
+	var (
+		stack   []*Expr
+		clauses []*Expr
+	)
+	push := func(e *Expr) { stack = append(stack, e) }
+	pop := func() *Expr {
+		if len(stack) == 0 {
+			return c.Const(1, 32)
+		}
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return e
+	}
+	for i := 0; i+1 < len(data); i += 2 {
+		op, arg := data[i], data[i+1]
+		switch op % 12 {
+		case 0, 1:
+			push(c.Var(fmt.Sprintf("%s%d", prefix, arg%5), 32))
+		case 2:
+			push(c.Const(uint64(arg), 32))
+		case 3:
+			b, a := pop(), pop()
+			push(c.Add(a, b))
+		case 4:
+			b, a := pop(), pop()
+			push(c.Xor(a, b))
+		case 5:
+			b, a := pop(), pop()
+			push(c.And(a, b))
+		case 6:
+			b, a := pop(), pop()
+			push(c.Sub(a, b))
+		case 7:
+			a := pop()
+			push(c.Not(a))
+		case 8:
+			b, a := pop(), pop()
+			push(c.Mul(a, b))
+		case 9:
+			b, a := pop(), pop()
+			clauses = append(clauses, c.Eq(a, b))
+		case 10:
+			b, a := pop(), pop()
+			clauses = append(clauses, c.Ult(a, b))
+		case 11:
+			b, a := pop(), pop()
+			clauses = append(clauses, c.Slt(a, b))
+		}
+		// Bound DAG growth: the canon hasher is linear in distinct nodes,
+		// but unconstrained Mul/Add chains can blow up the solver-free
+		// property checks below on pathological inputs.
+		if len(stack) > 32 || len(clauses) > 16 {
+			break
+		}
+	}
+	for len(stack) > 0 && len(clauses) < 16 {
+		clauses = append(clauses, c.Eq(pop(), c.Const(0, 32)))
+	}
+	return clauses
+}
+
+// FuzzCanonicalize fuzzes the canonicalization layer's contracted
+// properties: α-equivalent encodings share both keys, rebuilding is
+// deterministic, appending a clause or changing the budget changes the
+// Ordered key, permutations of shape-distinct clauses share the Sorted
+// key, and hash-consed hashes agree across Ctxs.
+func FuzzCanonicalize(f *testing.F) {
+	f.Add([]byte{0, 0, 2, 5, 9, 0})                                     // v0 == 5
+	f.Add([]byte{0, 0, 0, 1, 3, 0, 2, 200, 10, 0})                      // v0+v1 < 200
+	f.Add([]byte{0, 0, 2, 3, 4, 0, 2, 171, 9, 0, 0, 1, 2, 52, 11, 0})   // xor/slt mix
+	f.Add([]byte{2, 1, 2, 2, 8, 0, 0, 4, 9, 0, 0, 4, 2, 9, 10, 0})      // const folds
+	f.Add([]byte{1, 3, 7, 0, 0, 3, 5, 0, 9, 0, 1, 2, 0, 2, 6, 0, 9, 0}) // not/and/sub
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			return
+		}
+		c1 := buildFuzzConstraints(NewCtx(), data, "v")
+		if len(c1) == 0 {
+			return
+		}
+		k1 := Canonicalize(c1, 0)
+
+		// Determinism: an independent build of the same program.
+		c2 := buildFuzzConstraints(NewCtx(), data, "v")
+		k2 := Canonicalize(c2, 0)
+		if k1.Ordered != k2.Ordered || k1.Sorted != k2.Sorted {
+			t.Fatal("identical programs canonicalize to different keys")
+		}
+
+		// α-equivalence: same program under renamed variables.
+		cr := buildFuzzConstraints(NewCtx(), data, "renamed_")
+		kr := Canonicalize(cr, 0)
+		if k1.Ordered != kr.Ordered {
+			t.Fatal("renamed variables changed the Ordered key")
+		}
+		if k1.Sorted != kr.Sorted {
+			t.Fatal("renamed variables changed the Sorted key")
+		}
+		if len(k1.Vars) != len(kr.Vars) {
+			t.Fatalf("renamed build has %d vars, original %d", len(kr.Vars), len(k1.Vars))
+		}
+
+		// Hash-consing: clause-by-clause, the renamed build shares shape
+		// hashes (name-blind) and the identically-named build shares full
+		// hashes, across independent Ctxs.
+		for i := range c1 {
+			if c1[i].ShapeHash() != cr[i].ShapeHash() {
+				t.Fatalf("clause %d: shape hash differs under renaming", i)
+			}
+			if c1[i].Hash() != c2[i].Hash() {
+				t.Fatalf("clause %d: hash differs across Ctxs for identical structure", i)
+			}
+		}
+
+		// Mutation: appending one distinguishable clause changes both keys.
+		ctx := NewCtx()
+		cm := buildFuzzConstraints(ctx, data, "v")
+		cm = append(cm, ctx.Eq(ctx.Var("mutant", 32), ctx.Const(0x5A5A, 32)))
+		km := Canonicalize(cm, 0)
+		if km.Ordered == k1.Ordered {
+			t.Fatal("appended clause did not change the Ordered key")
+		}
+
+		// Budget: part of the Ordered key (0 normalizes to the default),
+		// never of the Sorted key.
+		kb := Canonicalize(c1, DefaultMaxConflicts)
+		if kb.Ordered != k1.Ordered {
+			t.Fatal("budget 0 and DefaultMaxConflicts disagree on the Ordered key")
+		}
+		kh := Canonicalize(c1, 777)
+		if kh.Ordered == k1.Ordered {
+			t.Fatal("distinct budgets share an Ordered key")
+		}
+		if kh.Sorted != k1.Sorted {
+			t.Fatal("budget leaked into the Sorted key")
+		}
+
+		// Permutation: when every clause has a distinct shape, reversing
+		// the list must converge on the same Sorted key. (With duplicate
+		// shapes the stable sort preserves input order among equals, so
+		// permutation-invariance is not promised — only key diversity,
+		// which costs hits, never correctness.)
+		shapes := map[uint64]bool{}
+		distinct := true
+		for _, cl := range c1 {
+			if shapes[cl.ShapeHash()] {
+				distinct = false
+				break
+			}
+			shapes[cl.ShapeHash()] = true
+		}
+		if distinct && len(c1) > 1 {
+			rev := make([]*Expr, len(c1))
+			for i, cl := range c1 {
+				rev[len(c1)-1-i] = cl
+			}
+			kp := Canonicalize(rev, 0)
+			if kp.Sorted != k1.Sorted {
+				t.Fatal("reversing shape-distinct clauses changed the Sorted key")
+			}
+		}
+	})
+}

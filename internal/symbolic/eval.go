@@ -13,6 +13,7 @@ type Model map[string]uint64
 // (udiv by 0 = all-ones, urem by 0 = dividend), which the bit-blaster
 // encodes identically.
 func Eval(e *Expr, m Model) uint64 {
+	//wasai:localcache single-evaluation DAG memo, dead when Eval returns
 	cache := map[*Expr]uint64{}
 	return eval(e, m, cache)
 }

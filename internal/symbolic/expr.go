@@ -89,7 +89,24 @@ type Expr struct {
 	Hi, Lo uint8
 
 	id uint32 // interning id, stable within a Ctx
+	// hash is the full structural content hash (variable names included)
+	// and shape the name-blind variant (every variable hashes as its
+	// width alone). Both are computed once at intern time from the
+	// children's precomputed hashes, so structural hashing of a DAG node
+	// is O(1) — the hash-consing payoff canonicalization relies on.
+	hash  uint64
+	shape uint64
 }
+
+// Hash returns the structural content hash of e: equal across Ctxs for
+// structurally equal expressions, variable names included.
+func (e *Expr) Hash() uint64 { return e.hash }
+
+// ShapeHash returns the name-blind structural hash of e: two expressions
+// that differ only by a bijective renaming of variables (of equal widths)
+// share a shape hash. Used to sort clauses without looking at names, so
+// the sort itself is α-invariant.
+func (e *Expr) ShapeHash() uint64 { return e.shape }
 
 // exprKey is the structural identity used for hash-consing.
 type exprKey struct {
@@ -125,9 +142,50 @@ func (c *Ctx) intern(k exprKey) *Expr {
 		Kind: k.kind, Width: k.width, Val: k.val, Name: k.name,
 		A: k.a, B: k.b, C: k.c, Hi: k.hi, Lo: k.lo, id: c.nextID,
 	}
+	e.hash, e.shape = hashNode(e)
 	c.nextID++
 	c.interned[k] = e
 	return e
+}
+
+// hashNode computes the content and shape hashes of a node whose children
+// are already interned (and so already carry their hashes). FNV-1a over
+// the node's own fields mixed with the children's hashes.
+func hashNode(e *Expr) (hash, shape uint64) {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	mix := func(h, v uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+		return h
+	}
+	h := mix(offset, uint64(e.Kind))
+	h = mix(h, uint64(e.Width)|uint64(e.Hi)<<8|uint64(e.Lo)<<16)
+	h = mix(h, e.Val)
+	s := h
+	if e.Kind == KVar {
+		for i := 0; i < len(e.Name); i++ {
+			h ^= uint64(e.Name[i])
+			h *= prime
+		}
+		// shape deliberately excludes the name: a variable's shape is
+		// its kind and width alone.
+	}
+	for _, x := range []*Expr{e.A, e.B, e.C} {
+		if x == nil {
+			h = mix(h, 0)
+			s = mix(s, 0)
+			continue
+		}
+		h = mix(h, x.hash)
+		s = mix(s, x.shape)
+	}
+	return h, s
 }
 
 func mask(w uint8) uint64 {

@@ -94,7 +94,7 @@ func (s *Solver) Solve(constraints []*Expr) (Model, Result) {
 	}
 	budget := s.MaxConflicts
 	if budget == 0 {
-		budget = 200_000
+		budget = DefaultMaxConflicts
 	}
 	b.sat.MaxConflicts = budget
 	b.sat.Stop = s.Stop
@@ -135,10 +135,13 @@ func (s *Solver) Solve(constraints []*Expr) (Model, Result) {
 // against constants (paper §4.3's "complicated verification" benchmark is
 // exactly this shape).
 func (s *Solver) probe(constraints []*Expr) (Model, bool) {
-	vars := map[string]*Expr{}
-	for _, c := range constraints {
-		c.Vars(vars)
-	}
+	// First-use order, not map order: the improvement loop below visits
+	// variables in sequence and keeps the first strict improvement, so
+	// the model it lands on depends on iteration order. First-use order
+	// makes that order a pure function of query structure — run-to-run
+	// deterministic and invariant under variable renaming, which the
+	// solver-query memo's Ordered-key replay relies on.
+	vars := VarsFirstUse(constraints)
 	if len(vars) == 0 || len(vars) > 64 {
 		return nil, false
 	}
@@ -150,10 +153,10 @@ func (s *Solver) probe(constraints []*Expr) (Model, bool) {
 		mineCandidates(c, true, addCand)
 	}
 	// Universal fallbacks.
-	for name, v := range vars {
-		addCand(name, 0)
-		addCand(name, 1)
-		addCand(name, mask(v.Width))
+	for _, v := range vars {
+		addCand(v.Name, 0)
+		addCand(v.Name, 1)
+		addCand(v.Name, mask(v.Width))
 	}
 	for name := range cands {
 		sort.Slice(cands[name], func(i, j int) bool { return cands[name][i] < cands[name][j] })
@@ -161,8 +164,8 @@ func (s *Solver) probe(constraints []*Expr) (Model, bool) {
 	}
 
 	m := Model{}
-	for name := range vars {
-		m[name] = 0
+	for _, v := range vars {
+		m[v.Name] = 0
 	}
 	countSat := func() int {
 		n := 0
@@ -177,10 +180,12 @@ func (s *Solver) probe(constraints []*Expr) (Model, bool) {
 	if best == len(constraints) {
 		return m, true
 	}
-	// Greedy coordinate improvement over candidates.
+	// Greedy coordinate improvement over candidates, visiting variables
+	// in first-use order (see above).
 	for pass := 0; pass < 6; pass++ {
 		improved := false
-		for name := range vars {
+		for _, v := range vars {
+			name := v.Name
 			cur := m[name]
 			bestV, bestN := cur, best
 			for _, v := range cands[name] {
@@ -431,6 +436,11 @@ type PoolOptions struct {
 	// and a non-nil error aborts the pool (the error is classified
 	// solver-exhausted by the injector). Nil injects nothing.
 	Faults *faultinject.Injector
+	// Memo is the solver-query cache consulted before DPLL (nil: no
+	// memoization). It is ignored whenever Faults is non-nil: a faulted
+	// attempt must neither be served from nor feed the cache, so an
+	// injected fault can never poison results shared with clean attempts.
+	Memo SolverMemo
 }
 
 // SolvePoolCtx is the resilient form of SolvePoolStats: the context
@@ -449,6 +459,16 @@ func SolvePoolCtx(ctx context.Context, queries []Query, opts PoolOptions) ([]Ans
 	}
 	if workers > len(queries) {
 		workers = len(queries)
+	}
+	memo := opts.Memo
+	if opts.Faults != nil {
+		// Faulted attempts bypass the memo entirely (no read, no write,
+		// no hit/miss accounting): results influenced by an injected
+		// fault must never reach the shared cache, and cache hits must
+		// never mask the planned fault. The fault hook below still runs
+		// once per query first, so the injector's deterministic call
+		// count is identical with the memo on or off.
+		memo = nil
 	}
 	type task struct {
 		pos int
@@ -482,8 +502,30 @@ func SolvePoolCtx(ctx context.Context, queries []Query, opts PoolOptions) ([]Ans
 					answers[t.pos] = Answer{ID: t.q.ID, Result: Unknown}
 					continue
 				}
+				var canon Canon
+				if memo != nil {
+					canon = Canonicalize(t.q.Constraints, opts.MaxConflicts)
+					if v, ok := memo.Lookup(canon); ok {
+						var m Model
+						if v.Result == Sat {
+							m = v.ModelFor(canon)
+						}
+						answers[t.pos] = Answer{ID: t.q.ID, Model: m, Result: v.Result}
+						mu.Lock()
+						// A hit still counts as a query (Queries stays
+						// comparable memo-on vs memo-off) but skips the
+						// fast path and DPLL, so SATCalls/FastPathHits
+						// record only real solving work.
+						stats.Queries++
+						mu.Unlock()
+						continue
+					}
+				}
 				s := &Solver{MaxConflicts: opts.MaxConflicts, Stop: ctx.Done()}
 				m, r := s.Solve(t.q.Constraints)
+				if memo != nil && (r == Sat || r == Unsat) {
+					memo.Store(canon, VerdictOf(canon, m, r))
+				}
 				answers[t.pos] = Answer{ID: t.q.ID, Model: m, Result: r}
 				mu.Lock()
 				stats.Queries += s.Stats.Queries

@@ -36,6 +36,7 @@ import (
 	"repro/internal/abi"
 	"repro/internal/contractgen"
 	"repro/internal/fuzz"
+	"repro/internal/memo"
 	"repro/internal/scanner"
 	"repro/internal/trace"
 	"repro/internal/wasm"
@@ -61,6 +62,13 @@ type Config struct {
 	// CustomAPIDetectors registers extension oracles (paper §5): each
 	// flags the contract when any of its named host APIs is executed.
 	CustomAPIDetectors []APIDetector
+	// Memo selects cross-job memoization ("off"/""/default, "on",
+	// "shared"; see internal/memo): decoded modules, static reports and
+	// canonicalized solver-query verdicts are reused instead of
+	// recomputed. "on" scopes the cache to one campaign or batch,
+	// "shared" to the whole process. Memoization never changes findings;
+	// it only removes duplicated work.
+	Memo string
 }
 
 // APIDetector declares a custom oracle over host-API usage: the detector
@@ -144,6 +152,13 @@ func AnalyzeModule(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Report,
 	for _, d := range cfg.CustomAPIDetectors {
 		customs = append(customs, scanner.NewAPICallDetector(d.Name, mod, d.APIs...))
 	}
+	mode, err := memo.ParseMode(cfg.Memo)
+	if err != nil {
+		return nil, fmt.Errorf("wasai: %w", err)
+	}
+	// Even a single campaign profits from the solver tier: the concolic
+	// loop re-solves unflippable branch queries every time coverage grows.
+	cache := memo.ForMode(mode)
 	f, err := fuzz.New(mod, contractABI, fuzz.Config{
 		Iterations:      cfg.Iterations,
 		SolverConflicts: cfg.SolverConflicts,
@@ -151,6 +166,7 @@ func AnalyzeModule(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Report,
 		Seed:            cfg.Seed,
 		KeepTraces:      cfg.TraceFile != "",
 		CustomDetectors: customs,
+		Memo:            cache.SolverMemo(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wasai: %w", err)
