@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz lint chaos bench-regress bench-baseline verify
+.PHONY: build test race fuzz lint chaos bench-regress bench-baseline incr profile verify
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeTransfer -fuzztime=$(FUZZTIME) ./internal/abi/
 	$(GO) test -run=NONE -fuzz=FuzzCFG    -fuzztime=$(FUZZTIME) ./internal/static/
 	$(GO) test -run=NONE -fuzz=FuzzCanonicalize -fuzztime=$(FUZZTIME) ./internal/symbolic/
+	$(GO) test -run=NONE -fuzz=FuzzSimplify -fuzztime=$(FUZZTIME) ./internal/symbolic/
 
 # Resilience smoke: run a small campaign with 20% injected faults and
 # retry-with-degradation, and require zero terminal failures plus unchanged
@@ -51,6 +52,18 @@ bench-regress:
 bench-baseline:
 	$(GO) run ./cmd/wasai-bench -exp regress -write-baseline
 
-verify: build lint chaos bench-regress
+# Incremental-solver gate: campaign digests must be byte-identical with the
+# prefix-sharing solver off and on at 1/4/8 workers, and the flip-family
+# differential must show ≥30% fewer CDCL conflicts with full verdict/model
+# agreement (exit status is the assertion).
+incr:
+	$(GO) run ./cmd/wasai-bench -exp incr
+
+# Write pprof profiles of the regress workload for solver-hotspot digging:
+# `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
+profile:
+	$(GO) run ./cmd/wasai-bench -exp regress -cpuprofile cpu.pprof -memprofile mem.pprof
+
+verify: build lint chaos bench-regress incr
 	$(GO) test ./...
 	$(GO) test -race ./...

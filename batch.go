@@ -192,6 +192,7 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
 		Resume:       cfg.Resume,
 		Retry:        campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
 		Memo:         mode,
+		Incremental:  cfg.Incremental,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wasai: %w", err)
@@ -295,6 +296,7 @@ func (c *Campaign) Submit(job BatchJob) error {
 			DisableFeedback: jcfg.DisableFeedback,
 			Seed:            seed,
 			CustomDetectors: customs,
+			Incremental:     jcfg.Incremental,
 		},
 	})
 	if err != nil {

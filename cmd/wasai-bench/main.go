@@ -11,23 +11,33 @@
 //	wasai-bench -exp memo                                # memoization differential
 //	wasai-bench -exp regress -baseline BENCH_BASELINE.json
 //
-// Experiments: fig3, table4, table5, table6, rq4, all, plus chaos, memo and
-// regress (run explicitly; they are not part of "all"). Scale multiplies the
-// dataset sizes (1.0 reproduces the full paper-sized benchmark; small scales
-// keep the shapes at a fraction of the runtime). Workers shards the
-// per-contract campaigns across the campaign engine; findings are
-// byte-identical for any worker count.
+// Experiments: fig3, table4, table5, table6, rq4, all, plus chaos, memo,
+// incr and regress (run explicitly; they are not part of "all"). Scale
+// multiplies the dataset sizes (1.0 reproduces the full paper-sized
+// benchmark; small scales keep the shapes at a fraction of the runtime).
+// Workers shards the per-contract campaigns across the campaign engine;
+// findings are byte-identical for any worker count.
 //
 // Memoization: -memo off|on|shared threads the cross-job cache
 // (internal/memo) through the fig3/table/rq4/triage experiments; findings
 // are byte-identical either way. -exp memo runs the cache-on/off
 // differential at worker counts 1/4/8 and exits non-zero unless digests are
-// identical and DPLL solver invocations drop ≥30%. -exp regress runs the
-// fixed benchmark workload, writes a BENCH_<date>.json record (-out
-// overrides the path) and compares it against the committed baseline
-// (-baseline, default BENCH_BASELINE.json), failing on digest changes or
-// >10% solver/wall regressions; -write-baseline regenerates the baseline
-// after an intentional change.
+// identical and DPLL solver invocations drop ≥30%. -incremental threads the
+// prefix-sharing incremental solver (assumption solves on one shared SAT
+// instance per flip family, plus word-level simplification) through the same
+// experiments, again findings-invariant; -exp incr runs the incremental
+// on/off differential at worker counts 1/4/8 and exits non-zero unless
+// digests are identical and total CDCL conflicts drop ≥30%. -exp regress
+// runs the fixed benchmark workload (wall-clock is the median of three
+// legs; solver counters are single-leg exact), writes a BENCH_<date>.json
+// record (-out overrides the path) and compares it against the committed
+// baseline (-baseline, default BENCH_BASELINE.json), failing on digest
+// changes or >10% solver/wall regressions; -write-baseline regenerates the
+// baseline after an intentional change.
+//
+// Profiling: -cpuprofile and -memprofile write pprof profiles of whatever
+// experiment ran (`make profile` captures the regress workload), so perf
+// work starts from evidence instead of guesses.
 //
 // Resilience: -journal checkpoints the rq4 sweep to an append-only JSONL
 // file and -resume replays completed contracts from it after a crash or
@@ -41,6 +51,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -56,7 +68,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|memo|regress|all (chaos/memo/regress only run when named)")
+		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|memo|incr|regress|all (chaos/memo/incr/regress only run when named)")
 		scale     = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		iters     = flag.Int("iterations", 240, "fuzzing budget per contract")
@@ -71,6 +83,9 @@ func run() error {
 		baseline  = flag.String("baseline", "BENCH_BASELINE.json", "regress: committed baseline record to compare against")
 		outPath   = flag.String("out", "", "regress: where to write the fresh record (default BENCH_<date>.json)")
 		writeBase = flag.Bool("write-baseline", false, "regress: (re)write -baseline from this run instead of comparing")
+		incr      = flag.Bool("incremental", false, "incremental prefix-sharing solver for flip queries; findings are identical either way")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
 	flag.Parse()
 	if *triage {
@@ -80,6 +95,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wasai-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wasai-bench: memprofile:", err)
+			}
+		}()
+	}
 
 	opts := bench.Options{Scale: *scale, Seed: *seed}
 	evalCfg := bench.DefaultEvalConfig()
@@ -87,6 +127,7 @@ func run() error {
 	evalCfg.Seed = *seed
 	evalCfg.Workers = *workers
 	evalCfg.Memo = memoMode
+	evalCfg.Incremental = *incr
 	tools := []bench.Tool{bench.ToolWASAI, bench.ToolEOSFuzzer, bench.ToolEOSAFE}
 
 	runExp := func(name string, f func() error) error {
@@ -108,6 +149,7 @@ func run() error {
 			cfg.Iterations = *iters
 			cfg.Workers = *workers
 			cfg.Memo = memoMode
+			cfg.Incremental = *incr
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 5 {
 				cfg.NumContracts = 5
@@ -191,6 +233,7 @@ func run() error {
 			tcfg.Seed = *seed
 			tcfg.Workers = *workers
 			tcfg.Memo = memoMode
+			tcfg.Incremental = *incr
 			res, err := bench.EvaluateTriage(context.Background(), ds, tcfg)
 			if err != nil {
 				return err
@@ -211,6 +254,7 @@ func run() error {
 			cfg.Resume = *resume
 			cfg.MaxAttempts = *retries
 			cfg.Memo = memoMode
+			cfg.Incremental = *incr
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 20 {
 				cfg.NumContracts = 20
@@ -241,6 +285,25 @@ func run() error {
 			if !res.Passed() {
 				return fmt.Errorf("memo experiment failed: digests identical=%v, min DPLL reduction %.1f%% (need ≥30%%)",
 					res.DigestMatch, 100*res.MinReduction())
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "incr" {
+		if err := runExp("Incr (incremental prefix-sharing solver differential)", func() error {
+			cfg := bench.DefaultIncrConfig()
+			cfg.Seed = *seed
+			cfg.FuzzIterations = *iters
+			res, err := bench.EvaluateIncr(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderIncr(res))
+			if !res.Passed() {
+				return fmt.Errorf("incr experiment failed: digests identical=%v, agreement=%v, conflict reduction %.1f%% (need ≥30%%)",
+					res.DigestMatch, res.Chain.Agreement, 100*res.Chain.Reduction())
 			}
 			return nil
 		}); err != nil {

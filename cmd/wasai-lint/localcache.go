@@ -36,8 +36,11 @@ var localcachePackages = []string{
 	"internal/memo",
 }
 
-// localcacheName matches identifiers that advertise cache semantics.
-var localcacheName = regexp.MustCompile(`(?i)cache|memo`)
+// localcacheName matches identifiers that advertise cache semantics. `group`
+// is included for the incremental solver's shared-instance family groups:
+// retained group state is learned-clause reuse, which is under the same
+// audit regime as any cache.
+var localcacheName = regexp.MustCompile(`(?i)cache|memo|group`)
 
 // checkLocalCaches lints one package directory (non-test files only: test
 // doubles build throwaway caches legitimately).
@@ -63,6 +66,15 @@ func checkLocalCaches(dir string) ([]string, error) {
 				"%s: direct map cache %q in pipeline package; route it through internal/memo or annotate with %q if query/job-local",
 				p, name, localcacheDirective+" <reason>"))
 		}
+		flagState := func(pos token.Pos, name string) {
+			p := fset.Position(pos)
+			if allowed[p.Line] || allowed[p.Line-1] {
+				return
+			}
+			diags = append(diags, fmt.Sprintf(
+				"%s: retained solver state %q in pipeline package; learned clauses and branching heuristics persist across queries — annotate with %q stating the reuse scope and why digests stay invariant",
+				p, name, localcacheDirective+" <reason>"))
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.TypeSpec:
@@ -72,6 +84,17 @@ func checkLocalCaches(dir string) ([]string, error) {
 				}
 				structMatches := localcacheName.MatchString(n.Name.Name)
 				for _, fld := range st.Fields.List {
+					if isSolverStateType(fld.Type) {
+						// A struct field holding a SAT instance or blaster is
+						// retained solver state: learned clauses, VSIDS
+						// activity, and phase saving outlive the query that
+						// produced them, which is cache semantics whatever
+						// the field is called. Same audit regime as a map.
+						for _, name := range fld.Names {
+							flagState(name.Pos(), n.Name.Name+"."+name.Name)
+						}
+						continue
+					}
 					if !isMapLikeType(fld.Type) {
 						continue
 					}
@@ -111,6 +134,21 @@ func checkLocalCaches(dir string) ([]string, error) {
 	return diags, nil
 }
 
+// isSolverStateType reports whether the type expression is a SAT instance or
+// bit-blaster (optionally behind a pointer) — the shapes retained solver
+// state is built on. Name-based like the rest of this file's checks: the
+// linter parses without type information, and the two names are this
+// repository's only solver-state types.
+func isSolverStateType(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return isSolverStateType(e.X)
+	case *ast.Ident:
+		return e.Name == "SAT" || e.Name == "blaster"
+	}
+	return false
+}
+
 // isMapLikeType reports whether the type expression is a map or sync.Map —
 // the storage shapes an ad-hoc cache is built on.
 func isMapLikeType(e ast.Expr) bool {
@@ -146,14 +184,24 @@ func isMapValue(e ast.Expr) bool {
 	return false
 }
 
-// localcacheLines collects line numbers carrying a //wasai:localcache marker.
+// localcacheLines collects line numbers covered by a //wasai:localcache
+// marker. A directive anywhere in a comment group covers the whole group, so
+// a multi-line justification ending right above the declaration counts.
 func localcacheLines(fset *token.FileSet, f *ast.File) map[int]bool {
 	lines := map[int]bool{}
 	for _, cg := range f.Comments {
+		marked := false
 		for _, c := range cg.List {
 			if strings.HasPrefix(c.Text, localcacheDirective) {
-				lines[fset.Position(c.Pos()).Line] = true
+				marked = true
+				break
 			}
+		}
+		if !marked {
+			continue
+		}
+		for l := fset.Position(cg.Pos()).Line; l <= fset.Position(cg.End()).Line; l++ {
+			lines[l] = true
 		}
 	}
 	return lines

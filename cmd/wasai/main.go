@@ -35,6 +35,7 @@ func run() error {
 		traceOut   = flag.String("trace-out", "", "write the captured traces to this offline file")
 		vulnerable = flag.Bool("vulnerable", true, "demo: generate the vulnerable variant")
 		memoMode   = flag.String("memo", "", "solver memoization: off|on|shared (empty = off); findings are identical either way")
+		incr       = flag.Bool("incremental", false, "incremental prefix-sharing solver for flip queries; findings are identical either way")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func run() error {
 	cfg.Seed = *seed
 	cfg.TraceFile = *traceOut
 	cfg.Memo = *memoMode
+	cfg.Incremental = *incr
 
 	var (
 		bin     []byte

@@ -111,6 +111,9 @@ type EvalConfig struct {
 	// (off/on/shared; findings are identical either way — the cache only
 	// removes duplicated solver/decode/static work).
 	Memo memo.Mode
+	// Incremental enables the prefix-sharing incremental solver in the
+	// WASAI campaigns (findings are identical either way).
+	Incremental bool
 }
 
 // DefaultEvalConfig mirrors the paper's per-contract budget in deterministic
@@ -125,7 +128,7 @@ func DefaultEvalConfig() EvalConfig {
 // engine (each campaign owns its chain, so they are independent); WASAI
 // campaigns shard as engine jobs, the baselines through campaign.Each.
 func EvaluateAccuracy(ds *Dataset, tools []Tool, cfg EvalConfig) ([]AccuracyResult, error) {
-	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo}
+	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental}
 	results := make([]AccuracyResult, 0, len(tools))
 	for _, tool := range tools {
 		verdicts := make([]bool, len(ds.Samples))

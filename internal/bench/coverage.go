@@ -27,6 +27,9 @@ type CoverageConfig struct {
 	// Memo selects cross-job memoization for the WASAI campaigns
 	// (coverage curves are identical either way).
 	Memo memo.Mode
+	// Incremental enables the prefix-sharing incremental solver
+	// (coverage curves are identical either way).
+	Incremental bool
 }
 
 // DefaultCoverageConfig mirrors the RQ1 setup at simulator scale.
@@ -61,7 +64,7 @@ func EvaluateCoverage(cfg CoverageConfig) ([]CoverageSeries, error) {
 	// Both tools run on the campaign engine: WASAI campaigns as engine jobs,
 	// the baseline through campaign.Each. Per-contract series are summed
 	// serially afterwards, so the curves are worker-count invariant.
-	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo}
+	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental}
 	jobs := make([]campaign.Job, len(contracts))
 	for i, c := range contracts {
 		jobs[i] = campaign.Job{

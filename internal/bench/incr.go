@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+	"repro/internal/symbolic"
+)
+
+// incr.go is the incremental-solver experiment, run as two legs that hold the
+// layer's two contracted properties to a gate at once. `wasai-bench -exp
+// incr` exits non-zero when either fails.
+//
+// Leg 1 (campaign differential) fuzzes a verification-heavy generated corpus
+// with the solver off and on at several worker counts and requires
+// FindingsDigest AND StateDigest byte-identical across every run. This is
+// the end-to-end determinism contract: the incremental path may only ever
+// change *how fast* a verdict is reached, never which verdict (or which
+// model) the fuzzer observes.
+//
+// Leg 2 (solver differential) drives flip families straight through
+// symbolic.SolvePoolCtx and requires a ≥30% cut in total CDCL conflicts plus
+// query-by-query verdict and model agreement. The families are inequality
+// chains (v0 < v1 < ... < vn with mostly-unsat flips of the last conjunct),
+// not the campaign corpus, deliberately: the generated contracts' §4.3
+// verification clauses are equalities, and equalities refute by *unit
+// propagation* through the Tseitin gates — the fresh-solve baseline already
+// reaches Unsat with zero conflicts, so no solver could show a conflict
+// reduction there (the campaign leg's on-run instead shows up as simplifier
+// short-circuits and vanishing propagation counts). Comparator circuits have
+// no such luck: bit-level BCP cannot see transitivity, every Ult chain flip
+// costs the fresh baseline a real CDCL search, and the shared-prefix
+// instance amortizes the learned transitivity clauses across the family.
+// That is exactly the workload the incremental layer exists for, measured at
+// the layer's own API.
+//
+// Where the memo experiment measures *cross-job* redundancy (forked
+// contracts re-solving identical queries), this one measures *within-trace*
+// redundancy: every flip family shares a long path-constraint prefix, so the
+// fresh-solve baseline re-bit-blasts and re-refutes near-identical
+// conjunctions over and over.
+
+// IncrConfig tunes the incremental-solver experiment.
+type IncrConfig struct {
+	// DistinctContracts is the number of distinct generated contracts in the
+	// campaign leg; each is one campaign job (no forks — cross-job sharing
+	// is the memo experiment's subject, not this one's).
+	DistinctContracts int
+	FuzzIterations    int
+	Seed              int64
+	// WorkerCounts are the pool sizes the campaign off/on differential runs
+	// at.
+	WorkerCounts []int
+	// ChainFamilies and ChainLength shape the solver leg: ChainFamilies
+	// inequality chains of ChainLength links over 32-bit variables, each
+	// with ChainLength unsat flips and one sat flip.
+	ChainFamilies, ChainLength int
+	// ChainWorkers and ChainConflicts are the solver leg's pool size and
+	// per-query conflict budget.
+	ChainWorkers   int
+	ChainConflicts int64
+}
+
+// DefaultIncrConfig is the acceptance-gate shape: the campaign leg at the
+// 1/4/8 worker counts the campaign determinism suite uses, and a solver leg
+// sized so the fresh baseline needs tens of thousands of conflicts.
+func DefaultIncrConfig() IncrConfig {
+	return IncrConfig{
+		DistinctContracts: 8,
+		FuzzIterations:    120,
+		Seed:              5,
+		WorkerCounts:      []int{1, 4, 8},
+		ChainFamilies:     4,
+		ChainLength:       5,
+		ChainWorkers:      4,
+		ChainConflicts:    50_000,
+	}
+}
+
+// IncrWorkerRun is the campaign leg's off/on comparison at one worker count.
+type IncrWorkerRun struct {
+	Workers int
+	// OffProps and OnProps are the merged unit-propagation totals of the two
+	// runs; on the verification-clause corpus the saving shows up here (and
+	// in SimplifiedUnsats), not in conflicts — see the file comment.
+	OffProps, OnProps int64
+	// AssumeCalls / AssumeUnsats / SimplifiedUnsats are the on-leg's
+	// incremental-path counters: assumption solves attempted, flip queries
+	// they refuted, and flips short-circuited by the simplifier alone.
+	AssumeCalls, AssumeUnsats, SimplifiedUnsats int
+	// DigestMatch reports whether both runs' FindingsDigest AND
+	// StateDigest equal the experiment-wide reference.
+	DigestMatch bool
+}
+
+// IncrChainLeg is the solver-level differential over the flip families.
+type IncrChainLeg struct {
+	Families, Queries int
+	// OffConflicts / OnConflicts are total CDCL conflicts across all
+	// families, fresh-solve vs incremental; likewise the propagation totals.
+	OffConflicts, OnConflicts int64
+	OffProps, OnProps         int64
+	// AssumeCalls and AssumeUnsats count the on-run's assumption solves and
+	// how many of the flips they refuted.
+	AssumeCalls, AssumeUnsats int
+	// Unknowns is the two runs' combined budget exhaustions (expected 0).
+	Unknowns int
+	// Agreement is the correctness half of the leg: every query's verdict
+	// matches between the runs, and every Sat query's model is identical.
+	Agreement bool
+	// OffWall and OnWall time the two runs (reporting-only).
+	OffWall, OnWall time.Duration
+}
+
+// Reduction is the fraction of CDCL conflicts the incremental path removed.
+func (l IncrChainLeg) Reduction() float64 {
+	if l.OffConflicts == 0 {
+		return 0
+	}
+	return 1 - float64(l.OnConflicts)/float64(l.OffConflicts)
+}
+
+// IncrResult aggregates the experiment.
+type IncrResult struct {
+	Total int
+	Runs  []IncrWorkerRun
+	// DigestMatch is true when every campaign run (off and on, at every
+	// worker count) produced one identical pair of digests.
+	DigestMatch bool
+	// Chain is the solver-level leg.
+	Chain IncrChainLeg
+	// OffWall and OnWall compare campaign wall-clock at the last worker
+	// count (reporting-only).
+	OffWall, OnWall time.Duration
+}
+
+// Passed is the acceptance gate: byte-identical digests at every worker
+// count, full verdict/model agreement on the flip families, and at least 30%
+// fewer CDCL conflicts on them.
+func (r *IncrResult) Passed() bool {
+	return r.DigestMatch && r.Chain.Agreement && r.Chain.Reduction() >= 0.30
+}
+
+// EvaluateIncr runs both legs: the campaign corpus incremental-off and -on
+// at each configured worker count (digest gate), then the flip families
+// through the solver pool (conflict-reduction and agreement gate).
+func EvaluateIncr(cfg IncrConfig) (*IncrResult, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	contracts := make([]*contractgen.Contract, 0, cfg.DistinctContracts)
+	for d := 0; d < cfg.DistinctContracts; d++ {
+		class := memoClasses[d%len(memoClasses)]
+		spec := contractgen.RandomSpec(class, d%2 == 0, rng)
+		spec.Verification = randomVerification(rng, &spec)
+		c, err := contractgen.Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: incr corpus %d: %w", d, err)
+		}
+		contracts = append(contracts, c)
+	}
+	makeJobs := func() []campaign.Job {
+		jobs := make([]campaign.Job, len(contracts))
+		for i, c := range contracts {
+			jobs[i] = campaign.Job{
+				Name:   fmt.Sprintf("incr-%d", i),
+				Module: c.Module,
+				ABI:    c.ABI,
+				Config: fuzz.Config{
+					Iterations:      cfg.FuzzIterations,
+					SolverConflicts: 50_000,
+					Seed:            cfg.Seed + int64(i),
+				},
+			}
+		}
+		return jobs
+	}
+	workerCounts := cfg.WorkerCounts
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 4, 8}
+	}
+
+	res := &IncrResult{Total: len(contracts), DigestMatch: true}
+	var refFindings, refState string
+	for i, workers := range workerCounts {
+		off, err := campaign.Run(context.Background(), makeJobs(), campaign.Config{Workers: workers})
+		if err != nil {
+			return nil, fmt.Errorf("bench: incr off (workers=%d): %w", workers, err)
+		}
+		on, err := campaign.Run(context.Background(), makeJobs(), campaign.Config{Workers: workers, Incremental: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench: incr on (workers=%d): %w", workers, err)
+		}
+		if i == 0 {
+			refFindings, refState = off.FindingsDigest(), off.StateDigest()
+		}
+		match := off.FindingsDigest() == refFindings && off.StateDigest() == refState &&
+			on.FindingsDigest() == refFindings && on.StateDigest() == refState
+		if !match {
+			res.DigestMatch = false
+		}
+		res.Runs = append(res.Runs, IncrWorkerRun{
+			Workers:          workers,
+			OffProps:         off.SolverStats.Propagations,
+			OnProps:          on.SolverStats.Propagations,
+			AssumeCalls:      on.SolverStats.AssumeCalls,
+			AssumeUnsats:     on.SolverStats.AssumeUnsats,
+			SimplifiedUnsats: on.SolverStats.SimplifiedUnsats,
+			DigestMatch:      match,
+		})
+		res.OffWall, res.OnWall = off.Wall, on.Wall
+	}
+
+	chain, err := evaluateIncrChains(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.Chain = chain
+	return res, nil
+}
+
+// evaluateIncrChains builds the flip families and runs each through
+// SolvePoolCtx twice — fresh and incremental — comparing every answer.
+func evaluateIncrChains(cfg IncrConfig) (IncrChainLeg, error) {
+	families, chain := cfg.ChainFamilies, cfg.ChainLength
+	if families <= 0 {
+		families = 4
+	}
+	if chain <= 0 {
+		chain = 5
+	}
+	workers := cfg.ChainWorkers
+	if workers <= 0 {
+		workers = 4
+	}
+	budget := cfg.ChainConflicts
+	if budget <= 0 {
+		budget = 50_000
+	}
+
+	ctx := symbolic.NewCtx()
+	fams := make([][]symbolic.Query, 0, families)
+	id := 0
+	for f := 0; f < families; f++ {
+		vs := make([]*symbolic.Expr, chain+1)
+		for i := range vs {
+			vs[i] = ctx.Var(fmt.Sprintf("f%dv%d", f, i), 32)
+		}
+		// Shared prefix: v0 < v1 < ... < v_chain.
+		prefix := make([]*symbolic.Expr, 0, chain)
+		for i := 0; i < chain; i++ {
+			prefix = append(prefix, ctx.Ult(vs[i], vs[i+1]))
+		}
+		// Unsat flips (v_chain < v_k contradicts the chain) plus one sat
+		// flip, as the concolic loop produces them: same prefix, one negated
+		// tail conjunct per query.
+		qs := make([]symbolic.Query, 0, chain+1)
+		for k := 0; k < chain; k++ {
+			cs := append(append([]*symbolic.Expr{}, prefix...), ctx.Ult(vs[chain], vs[k]))
+			qs = append(qs, symbolic.Query{ID: id, Constraints: cs})
+			id++
+		}
+		cs := append(append([]*symbolic.Expr{}, prefix...), ctx.Ult(vs[0], vs[chain]))
+		qs = append(qs, symbolic.Query{ID: id, Constraints: cs})
+		id++
+		fams = append(fams, qs)
+	}
+
+	leg := IncrChainLeg{Families: families, Queries: id, Agreement: true}
+	run := func(incremental bool) (map[int]symbolic.Answer, symbolic.SolverStats, time.Duration, error) {
+		answers := make(map[int]symbolic.Answer, id)
+		var total symbolic.SolverStats
+		start := time.Now()
+		for _, fam := range fams {
+			ans, st, err := symbolic.SolvePoolCtx(context.Background(), fam, symbolic.PoolOptions{
+				Workers:      workers,
+				MaxConflicts: budget,
+				Incremental:  incremental,
+			})
+			if err != nil {
+				return nil, total, 0, fmt.Errorf("bench: incr chains (incremental=%v): %w", incremental, err)
+			}
+			for _, a := range ans {
+				answers[a.ID] = a
+			}
+			total.SATConflicts += st.SATConflicts
+			total.Propagations += st.Propagations
+			total.Unknowns += st.Unknowns
+			total.AssumeCalls += st.AssumeCalls
+			total.AssumeUnsats += st.AssumeUnsats
+		}
+		return answers, total, time.Since(start), nil
+	}
+
+	offAns, offStats, offWall, err := run(false)
+	if err != nil {
+		return leg, err
+	}
+	onAns, onStats, onWall, err := run(true)
+	if err != nil {
+		return leg, err
+	}
+	leg.OffConflicts, leg.OnConflicts = offStats.SATConflicts, onStats.SATConflicts
+	leg.OffProps, leg.OnProps = offStats.Propagations, onStats.Propagations
+	leg.AssumeCalls, leg.AssumeUnsats = onStats.AssumeCalls, onStats.AssumeUnsats
+	leg.Unknowns = offStats.Unknowns + onStats.Unknowns
+	leg.OffWall, leg.OnWall = offWall, onWall
+	for qid := 0; qid < id; qid++ {
+		off, on := offAns[qid], onAns[qid]
+		if off.Result != on.Result || !modelsEqual(off.Model, on.Model) {
+			leg.Agreement = false
+		}
+	}
+	return leg, nil
+}
+
+// modelsEqual compares two satisfying assignments for byte-equality.
+func modelsEqual(a, b symbolic.Model) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderIncr prints the experiment summary.
+func RenderIncr(r *IncrResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "incr — incremental prefix-sharing solver differential\n")
+	fmt.Fprintf(&sb, "campaign leg (%d contracts):\n", r.Total)
+	for _, run := range r.Runs {
+		fmt.Fprintf(&sb, "  workers=%d: props %d -> %d, digests identical=%v\n",
+			run.Workers, run.OffProps, run.OnProps, run.DigestMatch)
+		fmt.Fprintf(&sb, "    incremental path: %d assumption solves, %d unsat, %d simplified-unsat\n",
+			run.AssumeCalls, run.AssumeUnsats, run.SimplifiedUnsats)
+	}
+	fmt.Fprintf(&sb, "  wall (last worker count): off %.2fs, on %.2fs\n", r.OffWall.Seconds(), r.OnWall.Seconds())
+	c := r.Chain
+	fmt.Fprintf(&sb, "solver leg (%d flip families, %d queries):\n", c.Families, c.Queries)
+	fmt.Fprintf(&sb, "  CDCL conflicts %d -> %d (-%.1f%%), props %d -> %d, unknowns=%d\n",
+		c.OffConflicts, c.OnConflicts, 100*c.Reduction(), c.OffProps, c.OnProps, c.Unknowns)
+	fmt.Fprintf(&sb, "  incremental path: %d assumption solves, %d unsat; verdict+model agreement=%v\n",
+		c.AssumeCalls, c.AssumeUnsats, c.Agreement)
+	fmt.Fprintf(&sb, "  wall: off %.2fs, on %.2fs\n", c.OffWall.Seconds(), c.OnWall.Seconds())
+	if r.Passed() {
+		fmt.Fprintf(&sb, "incr: PASS — byte-identical digests, full agreement, %.1f%% fewer CDCL conflicts (need ≥30%%)\n",
+			100*r.Chain.Reduction())
+	} else {
+		fmt.Fprintf(&sb, "incr: FAIL — digests identical=%v, agreement=%v, conflict reduction %.1f%% (need ≥30%%)\n",
+			r.DigestMatch, r.Chain.Agreement, 100*r.Chain.Reduction())
+	}
+	return sb.String()
+}

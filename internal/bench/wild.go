@@ -29,6 +29,9 @@ type WildConfig struct {
 	// Memo selects cross-job memoization (off/on/shared); a resumed sweep
 	// with "shared" starts with the interrupted run's warm cache.
 	Memo memo.Mode
+	// Incremental enables the prefix-sharing incremental solver
+	// (findings are identical either way).
+	Incremental bool
 }
 
 // DefaultWildConfig mirrors §4.4: 991 profitable contracts.
@@ -85,11 +88,12 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		PerFailure:       map[failure.Class]int{},
 	}
 	engCfg := campaign.Config{
-		Workers: cfg.Workers,
-		Journal: cfg.Journal,
-		Resume:  cfg.Resume,
-		Retry:   campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
-		Memo:    cfg.Memo,
+		Workers:     cfg.Workers,
+		Journal:     cfg.Journal,
+		Resume:      cfg.Resume,
+		Retry:       campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
+		Memo:        cfg.Memo,
+		Incremental: cfg.Incremental,
 	}
 	fuzzCfg := func(i int) fuzz.Config {
 		return fuzz.Config{

@@ -102,6 +102,11 @@ type Config struct {
 	// facade uses it so module decoding at Submit time and the engine's
 	// solver/static tiers share one cache.
 	MemoCache *memo.Cache
+	// Incremental enables the prefix-sharing solver pre-pass in every
+	// job's adaptive-seed stage (see symbolic.PoolOptions.Incremental).
+	// Findings digests are byte-identical on/off at any worker count;
+	// faulted attempts skip the pre-pass just as they skip the memo.
+	Incremental bool
 }
 
 // memoCache resolves the cache the engine should use (nil = off).
@@ -350,6 +355,11 @@ func (e *Engine) attempt(job Job, attempt int) (res *fuzz.Result, mode string, e
 		// fault must never reach the shared cache, and no hit may be
 		// served — or counted — on a faulted attempt.
 		cfg.Memo = e.memo.SolverMemo()
+	}
+	if e.cfg.Incremental {
+		// Campaign-wide opt-in; the solver pool drops the pre-pass on
+		// faulted attempts so the injector's call count is unchanged.
+		cfg.Incremental = true
 	}
 	f, err := fuzz.New(job.Module, job.ABI, cfg)
 	if err != nil {

@@ -70,6 +70,11 @@ type Config struct {
 	// ignores it whenever Faults is non-nil, so faulted attempts can
 	// neither poison nor be served from a shared cache.
 	Memo symbolic.SolverMemo
+	// Incremental enables the prefix-sharing solver pre-pass for the
+	// adaptive-seed flip queries (see symbolic.PoolOptions.Incremental).
+	// Findings are byte-identical on/off; the flag only trades solver
+	// work. Ignored on faulted attempts, like Memo.
+	Incremental bool
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -537,12 +542,17 @@ func (f *Fuzzer) feedback(kind payloadKind, seed Seed, params []symexec.Param, t
 		MaxConflicts: f.cfg.SolverConflicts,
 		Faults:       f.cfg.Faults,
 		Memo:         f.cfg.Memo,
+		Incremental:  f.cfg.Incremental,
 	})
 	f.solver.Stats.Queries += stats.Queries
 	f.solver.Stats.FastPathHits += stats.FastPathHits
 	f.solver.Stats.SATCalls += stats.SATCalls
 	f.solver.Stats.SATConflicts += stats.SATConflicts
 	f.solver.Stats.Unknowns += stats.Unknowns
+	f.solver.Stats.AssumeCalls += stats.AssumeCalls
+	f.solver.Stats.AssumeUnsats += stats.AssumeUnsats
+	f.solver.Stats.SimplifiedUnsats += stats.SimplifiedUnsats
+	f.solver.Stats.Propagations += stats.Propagations
 	for _, a := range answers {
 		if a.Result != symbolic.Sat {
 			continue

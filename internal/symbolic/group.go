@@ -1,0 +1,93 @@
+package symbolic
+
+// Incremental query-group solving for flip families.
+//
+// All flip queries of one trace share a long path-constraint prefix and
+// differ only in the final negated conjunct. A groupSolver bit-blasts each
+// distinct conjunct exactly once into one shared SAT instance, guards it
+// behind an activation literal (¬act ∨ gate), and answers each query as an
+// assumption solve over the activation literals of its conjuncts — retaining
+// learned clauses, VSIDS activity, and saved phases across the whole family.
+//
+// Determinism contract: a groupSolver only ever serves *Unsat* answers. A
+// satisfying assignment found under retained heuristic state can differ from
+// the one the fresh per-query solver would find, and Sat models feed the
+// adaptive-seed queue, so Sat (and Unknown) results always fall back to the
+// unchanged fresh path. Unsat under assumptions implies the plain conjunction
+// is unsat (activation literals only weaken clauses), the verdict carries no
+// model, and FindingsDigest/StateDigest are verdict- and coverage-shaped, so
+// serving it early is byte-invisible to the digests.
+//
+// A groupSolver is NOT safe for concurrent use; the solver pool drives it
+// from the sequential incremental pre-pass only.
+type groupSolver struct {
+	//wasai:localcache shared instance for one flip family (one SolvePoolCtx
+	// call); retained learned clauses only ever serve Unsat proofs, so the
+	// reuse cannot reach a digest (see the determinism contract above).
+	b *blaster
+	//wasai:localcache activation literal per blasted conjunct; lives for one
+	// flip family (one SolvePoolCtx call), discarded with the groupSolver.
+	acts map[*Expr]Lit
+	//wasai:localcache conjuncts whose bit-blast failed (e.g. non-power-of-two
+	// shift width); queries containing them fall back to the fresh path.
+	bad map[*Expr]bool
+}
+
+func newGroupSolver() *groupSolver {
+	return &groupSolver{
+		b:    newBlaster(),
+		acts: make(map[*Expr]Lit),
+		bad:  make(map[*Expr]bool),
+	}
+}
+
+// activate returns the activation literal for conjunct e, blasting it into
+// the shared instance on first sight. The caller must have backtracked the
+// SAT instance to the root level. ok=false marks a conjunct that cannot be
+// blasted; a failed blast may leave orphan gate definitions behind, which is
+// harmless — without an activation clause they constrain nothing.
+func (g *groupSolver) activate(e *Expr) (Lit, bool) {
+	if g.bad[e] {
+		return Lit(0), false
+	}
+	if act, ok := g.acts[e]; ok {
+		return act, true
+	}
+	lits, err := g.b.blast(e)
+	if err != nil {
+		g.bad[e] = true
+		return Lit(0), false
+	}
+	act := g.b.fresh()
+	g.b.sat.AddClause(act.Flip(), lits[0])
+	g.acts[e] = act
+	return act, true
+}
+
+// proveUnsat attempts to prove the conjunction unsatisfiable with one
+// assumption solve on the shared instance, under the given per-call conflict
+// budget. It returns true only on a definite Unsat; Sat, Unknown, budget
+// exhaustion, stop, and unblastable conjuncts all return false so the caller
+// falls back to the fresh per-query path.
+func (g *groupSolver) proveUnsat(constraints []*Expr, maxConflicts int64, stop <-chan struct{}) bool {
+	// AddClause and blast-time unit clauses assume root level; SolveAssuming
+	// also resets, but the clauses are added *before* the solve.
+	g.b.sat.backtrack(0)
+	assumptions := make([]Lit, 0, len(constraints))
+	for _, e := range constraints {
+		act, ok := g.activate(e)
+		if !ok {
+			return false
+		}
+		assumptions = append(assumptions, act)
+	}
+	g.b.sat.MaxConflicts = maxConflicts
+	g.b.sat.Stop = stop
+	sat, ok := g.b.sat.SolveAssuming(assumptions)
+	return ok && !sat
+}
+
+// conflicts and props expose the shared instance's cumulative counters so the
+// pool can report CDCL work saved versus fresh solving.
+func (g *groupSolver) conflicts() int64 { return g.b.sat.conflicts }
+func (g *groupSolver) props() int64     { return g.b.sat.props }

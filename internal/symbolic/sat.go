@@ -53,9 +53,12 @@ type SAT struct {
 
 	activity  []float64
 	varInc    float64
-	order     []int // lazy heap substitute: sorted-on-demand candidate list
+	heap      []int // indexed binary max-heap of branch candidates, keyed on activity
+	hpos      []int // variable -> index in heap, -1 when absent
 	phase     []bool
 	conflicts int64
+	props     int64 // literals dequeued by unit propagation
+	failed    []Lit // failed-assumption set of the last SolveAssuming call
 
 	// MaxConflicts bounds the search; 0 means unlimited. Exceeding it makes
 	// Solve return unknown (false, false).
@@ -80,6 +83,13 @@ func NewSAT(n int) *SAT {
 		activity: make([]float64, n),
 		phase:    make([]bool, n),
 		varInc:   1,
+		heap:     make([]int, n),
+		hpos:     make([]int, n),
+	}
+	// All activities start equal, so ascending variable order is already a
+	// valid heap under better (ties break toward the lower index).
+	for v := 0; v < n; v++ {
+		s.heap[v], s.hpos[v] = v, v
 	}
 	return s
 }
@@ -95,7 +105,85 @@ func (s *SAT) AddVar() int {
 	s.activity = append(s.activity, 0)
 	s.phase = append(s.phase, false)
 	s.watches = append(s.watches, nil, nil)
-	return len(s.assign) - 1
+	v := len(s.assign) - 1
+	s.hpos = append(s.hpos, -1)
+	s.heapPush(v)
+	return v
+}
+
+// --- branching heap ---------------------------------------------------------
+//
+// The heap keeps every unassigned variable (plus, lazily, variables assigned
+// since their last push — pickBranch discards those on pop). It replaces a
+// linear scan over all variables per decision with O(log n) operations.
+
+// better orders the heap: higher activity wins, ties break toward the lower
+// variable index — exactly the variable the old linear scan selected, so
+// decision sequences (and therefore models and digests) are unchanged.
+func (s *SAT) better(a, b int) bool {
+	if s.activity[a] != s.activity[b] {
+		return s.activity[a] > s.activity[b]
+	}
+	return a < b
+}
+
+func (s *SAT) heapUp(i int) {
+	v := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.better(v, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.hpos[s.heap[i]] = i
+		i = p
+	}
+	s.heap[i] = v
+	s.hpos[v] = i
+}
+
+func (s *SAT) heapDown(i int) {
+	v := s.heap[i]
+	n := len(s.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && s.better(s.heap[r], s.heap[c]) {
+			c = r
+		}
+		if !s.better(s.heap[c], v) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.hpos[s.heap[i]] = i
+		i = c
+	}
+	s.heap[i] = v
+	s.hpos[v] = i
+}
+
+func (s *SAT) heapPush(v int) {
+	if s.hpos[v] >= 0 {
+		return
+	}
+	s.heap = append(s.heap, v)
+	s.hpos[v] = len(s.heap) - 1
+	s.heapUp(len(s.heap) - 1)
+}
+
+func (s *SAT) heapPop() int {
+	v := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.hpos[s.heap[0]] = 0
+	s.heap = s.heap[:last]
+	s.hpos[v] = -1
+	if last > 0 {
+		s.heapDown(0)
+	}
+	return v
 }
 
 func (s *SAT) value(l Lit) lbool {
@@ -184,6 +272,7 @@ func (s *SAT) propagate() *clause {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is true
 		s.qhead++
+		s.props++
 		ws := s.watches[p]
 		s.watches[p] = ws[:0:0] // rebuilt below
 		kept := s.watches[p]
@@ -227,10 +316,15 @@ func (s *SAT) propagate() *clause {
 func (s *SAT) bumpVar(v int) {
 	s.activity[v] += s.varInc
 	if s.activity[v] > 1e100 {
+		// Rescaling multiplies every activity by the same factor, so the
+		// heap order is untouched.
 		for i := range s.activity {
 			s.activity[i] *= 1e-100
 		}
 		s.varInc *= 1e-100
+	}
+	if s.hpos[v] >= 0 {
+		s.heapUp(s.hpos[v])
 	}
 }
 
@@ -299,21 +393,23 @@ func (s *SAT) backtrack(level int) {
 		s.phase[v] = s.assign[v] == lTrue
 		s.assign[v] = lUndef
 		s.reason[v] = nil
+		s.heapPush(v)
 	}
 	s.trail = s.trail[:bound]
 	s.trailLim = s.trailLim[:level]
 	s.qhead = bound
 }
 
-// pickBranch selects the unassigned variable with the highest activity.
+// pickBranch selects the unassigned variable with the highest activity
+// (ties toward the lower index) by popping the heap; entries assigned since
+// their push are discarded lazily, and backtrack re-inserts what it frees.
 func (s *SAT) pickBranch() int {
-	best, bestAct := -1, -1.0
-	for v := 0; v < len(s.assign); v++ {
-		if s.assign[v] == lUndef && s.activity[v] > bestAct {
-			best, bestAct = v, s.activity[v]
+	for len(s.heap) > 0 {
+		if v := s.heapPop(); s.assign[v] == lUndef {
+			return v
 		}
 	}
-	return best
+	return -1
 }
 
 // luby computes the Luby restart sequence value for index i (1-based).
@@ -330,13 +426,38 @@ func luby(i int64) int64 {
 
 // Solve searches for a satisfying assignment. It returns (sat, ok): ok is
 // false when the conflict budget was exhausted (result unknown).
-func (s *SAT) Solve() (bool, bool) {
+func (s *SAT) Solve() (bool, bool) { return s.SolveAssuming(nil) }
+
+// SolveAssuming searches for a satisfying assignment under the given
+// assumption literals. Each assumption occupies its own decision level
+// (re-installed by the decide loop after restarts and backjumps), so the
+// learned clauses never mention assumption-dependent facts as implied —
+// assumptions are decisions with no reason clause, and therefore survive
+// into learned clauses as ordinary literals. That makes the entire clause
+// database, the variable activities and the saved phases sound to retain
+// across calls with different assumption sets: everything learned is a
+// consequence of the clause database alone.
+//
+// It returns (sat, ok): ok is false when the per-call conflict budget was
+// exhausted or Stop fired (result unknown). On (false, true) the formula is
+// unsatisfiable under the assumptions; FailedAssumptions then reports a
+// subset of the assumptions sufficient for the contradiction (empty when
+// the clause database is unsatisfiable on its own).
+//
+// MaxConflicts bounds each call independently, not the instance lifetime.
+func (s *SAT) SolveAssuming(assumptions []Lit) (bool, bool) {
+	s.failed = s.failed[:0]
 	if s.unsat {
 		return false, true
 	}
+	// Incremental calls inherit the previous call's trail: rewind to the
+	// root level (level-0 facts are permanent) before searching anew.
+	s.backtrack(0)
 	if conf := s.propagate(); conf != nil {
+		s.unsat = true
 		return false, true
 	}
+	start := s.conflicts
 	restart := int64(1)
 	restartBudget := luby(restart) * 100
 
@@ -351,16 +472,20 @@ func (s *SAT) Solve() (bool, bool) {
 		conf := s.propagate()
 		if conf != nil {
 			s.conflicts++
-			if s.MaxConflicts > 0 && s.conflicts > s.MaxConflicts {
+			if s.MaxConflicts > 0 && s.conflicts-start > s.MaxConflicts {
 				return false, false
 			}
 			if len(s.trailLim) == 0 {
-				return false, true // conflict at root
+				s.unsat = true
+				return false, true // conflict at root: unsat regardless of assumptions
 			}
 			learned, btLevel := s.analyze(conf)
 			s.backtrack(btLevel)
 			if len(learned) == 1 {
 				if !s.enqueue(learned[0], nil) {
+					if len(s.trailLim) == 0 {
+						s.unsat = true
+					}
 					return false, true
 				}
 			} else {
@@ -368,6 +493,9 @@ func (s *SAT) Solve() (bool, bool) {
 				s.clauses = append(s.clauses, c)
 				s.watch(c)
 				if !s.enqueue(learned[0], c) {
+					if len(s.trailLim) == 0 {
+						s.unsat = true
+					}
 					return false, true
 				}
 			}
@@ -377,6 +505,25 @@ func (s *SAT) Solve() (bool, bool) {
 				restart++
 				restartBudget = luby(restart) * 100
 				s.backtrack(0)
+			}
+			continue
+		}
+		// Install the next pending assumption as its own decision level.
+		// Doing it here — not once up front — keeps assumptions in force
+		// across restarts and backjumps below the assumption levels.
+		if len(s.trailLim) < len(assumptions) {
+			p := assumptions[len(s.trailLim)]
+			switch s.value(p) {
+			case lTrue:
+				// Already implied: open an empty level so the level index
+				// keeps matching the assumption index.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case lFalse:
+				s.analyzeFinal(p)
+				return false, true
+			default:
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(p, nil)
 			}
 			continue
 		}
@@ -391,6 +538,41 @@ func (s *SAT) Solve() (bool, bool) {
 		}
 	}
 }
+
+// analyzeFinal computes the failed-assumption set after assumption p was
+// found falsified: p plus the installed assumptions whose propagation chain
+// implies ¬p. The clause database conjoined with that subset alone is
+// unsatisfiable.
+func (s *SAT) analyzeFinal(p Lit) {
+	s.failed = append(s.failed, p)
+	if len(s.trailLim) == 0 {
+		return // ¬p holds at the root: p alone is the contradiction
+	}
+	seen := map[int]bool{p.Var(): true}
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			// A decision above the root is an installed assumption.
+			s.failed = append(s.failed, s.trail[i])
+		} else {
+			for _, l := range s.reason[v].lits {
+				if s.level[l.Var()] > 0 {
+					seen[l.Var()] = true
+				}
+			}
+		}
+	}
+}
+
+// FailedAssumptions returns the failed-assumption set of the last
+// SolveAssuming call that reported unsatisfiable: a subset of its
+// assumptions that contradicts the clause database. It is empty when the
+// database is unsatisfiable without any assumptions. The slice is reused
+// by the next call.
+func (s *SAT) FailedAssumptions() []Lit { return s.failed }
 
 // ValueOf returns the assignment of variable v after a SAT result.
 func (s *SAT) ValueOf(v int) bool { return s.assign[v] == lTrue }

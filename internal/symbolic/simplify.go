@@ -1,0 +1,298 @@
+package symbolic
+
+// Word-level simplification pre-pass for flip-family conjunctions.
+//
+// The adaptive-seed stage asks one query per flippable conjunct of a trace's
+// path condition, so the same prefix expressions reach the solver dozens of
+// times. Before bit-blasting, Simplifier rewrites the conjunction at the word
+// level: constant folding and algebraic identities (by rebuilding every node
+// through the Ctx constructors, which already implement them), conjunction
+// flattening, double-negation and De Morgan pushes, duplicate and
+// complementary-literal detection, equality slicing over concatenations, and
+// equality propagation (substituting constants and variable aliases proved by
+// equality conjuncts into the rest of the conjunction).
+//
+// Every rewrite is equivalence-preserving — equality conjuncts are KEPT and
+// only the *other* conjuncts are rewritten under them, so the output
+// conjunction has exactly the same models as the input, not merely the same
+// satisfiability. That is what lets the differential tests assert verdict
+// agreement in both directions, and what makes a provenFalse result a sound
+// Unsat answer.
+//
+// A Simplifier is NOT safe for concurrent use: it owns a private Ctx and a
+// rebuild memo that are mutated on every call. The solver pool only invokes
+// it from the sequential incremental pre-pass.
+type Simplifier struct {
+	ctx *Ctx
+	//wasai:localcache rebuild memo: maps caller-Ctx nodes to their rebuilt
+	// twins in s.ctx; shared across the queries of one flip family so the
+	// common prefix is rebuilt once, discarded with the Simplifier.
+	rebuilt map[*Expr]*Expr
+}
+
+// NewSimplifier returns a fresh simplifier with its own expression context.
+func NewSimplifier() *Simplifier {
+	return &Simplifier{ctx: NewCtx(), rebuilt: make(map[*Expr]*Expr)}
+}
+
+// simplifyMaxPasses bounds the rewrite fixpoint loop. Substitution chains
+// (a=b, b=c, c=5) resolve one link per pass; anything deeper than this is
+// pathological and simply stays partially simplified — still equivalent.
+const simplifyMaxPasses = 8
+
+// varKey identifies a variable by exact (name, width). The bit-blaster treats
+// equal names at different widths as truncations of one 64-bit variable, so a
+// binding proved at one width must never be substituted at another.
+type varKey struct {
+	name string
+	w    uint8
+}
+
+// Conjunction simplifies the conjunction of constraints. It returns the
+// simplified conjunct list (in deterministic first-use order, interned in the
+// simplifier's private context) and provenFalse=true when the conjunction
+// was shown unsatisfiable at the word level — a sound Unsat short-circuit
+// that skips bit-blasting entirely.
+func (s *Simplifier) Conjunction(constraints []*Expr) ([]*Expr, bool) {
+	cur := make([]*Expr, 0, len(constraints))
+	for _, e := range constraints {
+		cur = append(cur, s.rebuild(e))
+	}
+	for pass := 0; pass < simplifyMaxPasses; pass++ {
+		next, provenFalse, changed := s.pass(cur)
+		if provenFalse {
+			return nil, true
+		}
+		cur = next
+		if !changed {
+			break
+		}
+	}
+	return cur, false
+}
+
+// pass runs one flatten → dedupe → propagate sweep.
+func (s *Simplifier) pass(in []*Expr) (out []*Expr, provenFalse, changed bool) {
+	c := s.ctx
+
+	// Flatten: split 1-bit conjunctions, push negations through disjunctions
+	// (De Morgan) and double negations, and slice equalities over
+	// concatenations into per-part equalities.
+	flat := make([]*Expr, 0, len(in))
+	var push func(e *Expr) bool
+	push = func(e *Expr) bool {
+		switch {
+		case e.IsFalse():
+			return false
+		case e.IsTrue():
+			changed = true
+			return true
+		case e.Kind == KAnd && e.Width == 1:
+			changed = true
+			return push(e.A) && push(e.B)
+		case e.Kind == KXor && e.Width == 1 && e.B.IsTrue():
+			inner := e.A
+			if inner.Kind == KXor && inner.Width == 1 && inner.B.IsTrue() {
+				changed = true // ¬¬x → x
+				return push(inner.A)
+			}
+			if inner.Kind == KOr && inner.Width == 1 {
+				changed = true // ¬(a ∨ b) → ¬a ∧ ¬b
+				return push(c.BoolNot(inner.A)) && push(c.BoolNot(inner.B))
+			}
+			flat = append(flat, e)
+			return true
+		case e.Kind == KEq && e.A.Kind == KConcat:
+			a, b := e.A, e.B
+			if bv, ok := b.IsConst(); ok {
+				changed = true
+				hi := c.Const(bv>>a.B.Width, a.A.Width)
+				lo := c.Const(bv&mask(a.B.Width), a.B.Width)
+				return push(c.Eq(a.A, hi)) && push(c.Eq(a.B, lo))
+			}
+			if b.Kind == KConcat && a.A.Width == b.A.Width {
+				changed = true
+				return push(c.Eq(a.A, b.A)) && push(c.Eq(a.B, b.B))
+			}
+			flat = append(flat, e)
+			return true
+		default:
+			flat = append(flat, e)
+			return true
+		}
+	}
+	for _, e := range in {
+		if !push(e) {
+			return nil, true, true
+		}
+	}
+
+	// Dedupe (hash-consing makes duplicates pointer-equal) and detect
+	// complementary pairs: x together with ¬x proves False. Both orders are
+	// covered — a negated conjunct exposes its operand directly, and
+	// BoolNot of a plain conjunct interns to the same node as its negation.
+	seen := make(map[*Expr]bool, len(flat))
+	dedup := make([]*Expr, 0, len(flat))
+	for _, e := range flat {
+		if seen[e] {
+			changed = true
+			continue
+		}
+		neg := c.BoolNot(e)
+		if e.Kind == KXor && e.Width == 1 && e.B.IsTrue() {
+			neg = e.A
+		}
+		if seen[neg] {
+			return nil, true, true
+		}
+		seen[e] = true
+		dedup = append(dedup, e)
+	}
+
+	// Equality propagation: collect bindings proved by equality conjuncts.
+	// First binding per (name, width) wins; a later conflicting equality is
+	// not a source, so substitution folds it to a constant comparison and a
+	// contradiction surfaces as False. Aliases map the right-hand variable
+	// to the left-hand one, refusing to bind when the target is itself bound
+	// (prevents substitution cycles; chains resolve across passes).
+	binds := make(map[varKey]*Expr)
+	srcKey := make(map[int]varKey) // conjunct index -> binding it sourced
+	bind := func(i int, v, to *Expr) {
+		k := varKey{v.Name, v.Width}
+		if _, dup := binds[k]; dup {
+			return
+		}
+		if to.Kind == KVar {
+			if _, bound := binds[varKey{to.Name, to.Width}]; bound {
+				return
+			}
+		}
+		binds[k] = to
+		srcKey[i] = k
+	}
+	for i, e := range dedup {
+		switch {
+		case e.Kind == KEq && e.A.Kind == KVar:
+			if _, isConst := e.B.IsConst(); isConst || e.B.Kind == KVar {
+				bind(i, e.A, e.B)
+			}
+		case e.Kind == KEq && e.B.Kind == KVar:
+			bind(i, e.B, e.A) // only reachable when e.A is non-var, non-const
+		case e.Kind == KVar && e.Width == 1:
+			bind(i, e, c.True())
+		case e.Kind == KXor && e.Width == 1 && e.B.IsTrue() && e.A.Kind == KVar:
+			bind(i, e.A, c.False())
+		}
+	}
+	if len(binds) == 0 {
+		return dedup, false, changed
+	}
+
+	// Substitute simultaneously into every conjunct, excluding each source
+	// conjunct's own binding so the equality itself survives (keeping the
+	// rewrite equivalence-preserving rather than merely equisatisfiable).
+	out = make([]*Expr, 0, len(dedup))
+	for i, e := range dedup {
+		e2 := s.subst(e, binds, srcKey[i], make(map[*Expr]*Expr))
+		if e2.IsFalse() {
+			return nil, true, true
+		}
+		if e2 != e {
+			changed = true
+		}
+		if e2.IsTrue() {
+			continue
+		}
+		out = append(out, e2)
+	}
+	return out, false, changed
+}
+
+// subst rewrites e replacing bound variables (except the skipped key) by
+// their binding targets, rebuilding through the constructors so folds apply.
+// Binding targets are inserted verbatim — chains resolve across passes, which
+// keeps a single pass terminating even if bindings were cyclic.
+func (s *Simplifier) subst(e *Expr, binds map[varKey]*Expr, skip varKey, memo map[*Expr]*Expr) *Expr {
+	if e.Kind == KConst {
+		return e
+	}
+	if r, ok := memo[e]; ok {
+		return r
+	}
+	c := s.ctx
+	var r *Expr
+	switch e.Kind {
+	case KVar:
+		k := varKey{e.Name, e.Width}
+		if to, ok := binds[k]; ok && k != skip {
+			r = to
+		} else {
+			r = e
+		}
+	case KNot:
+		r = c.Not(s.subst(e.A, binds, skip, memo))
+	case KConcat:
+		r = c.Concat(s.subst(e.A, binds, skip, memo), s.subst(e.B, binds, skip, memo))
+	case KExtract:
+		r = c.Extract(s.subst(e.A, binds, skip, memo), e.Hi, e.Lo)
+	case KZext:
+		r = c.ZExt(s.subst(e.A, binds, skip, memo), e.Width)
+	case KSext:
+		r = c.SExt(s.subst(e.A, binds, skip, memo), e.Width)
+	case KEq:
+		r = c.Eq(s.subst(e.A, binds, skip, memo), s.subst(e.B, binds, skip, memo))
+	case KUlt:
+		r = c.Ult(s.subst(e.A, binds, skip, memo), s.subst(e.B, binds, skip, memo))
+	case KSlt:
+		r = c.Slt(s.subst(e.A, binds, skip, memo), s.subst(e.B, binds, skip, memo))
+	case KIte:
+		r = c.Ite(s.subst(e.A, binds, skip, memo), s.subst(e.B, binds, skip, memo), s.subst(e.C, binds, skip, memo))
+	case KPopcnt:
+		r = c.Popcount(s.subst(e.A, binds, skip, memo))
+	default:
+		r = c.binop(e.Kind, s.subst(e.A, binds, skip, memo), s.subst(e.B, binds, skip, memo))
+	}
+	memo[e] = r
+	return r
+}
+
+// rebuild re-interns e (built in any Ctx) into the simplifier's private
+// context through the public constructors, re-applying constant folding and
+// the algebraic identity rules for free.
+func (s *Simplifier) rebuild(e *Expr) *Expr {
+	if r, ok := s.rebuilt[e]; ok {
+		return r
+	}
+	c := s.ctx
+	var r *Expr
+	switch e.Kind {
+	case KConst:
+		r = c.Const(e.Val, e.Width)
+	case KVar:
+		r = c.Var(e.Name, e.Width)
+	case KNot:
+		r = c.Not(s.rebuild(e.A))
+	case KConcat:
+		r = c.Concat(s.rebuild(e.A), s.rebuild(e.B))
+	case KExtract:
+		r = c.Extract(s.rebuild(e.A), e.Hi, e.Lo)
+	case KZext:
+		r = c.ZExt(s.rebuild(e.A), e.Width)
+	case KSext:
+		r = c.SExt(s.rebuild(e.A), e.Width)
+	case KEq:
+		r = c.Eq(s.rebuild(e.A), s.rebuild(e.B))
+	case KUlt:
+		r = c.Ult(s.rebuild(e.A), s.rebuild(e.B))
+	case KSlt:
+		r = c.Slt(s.rebuild(e.A), s.rebuild(e.B))
+	case KIte:
+		r = c.Ite(s.rebuild(e.A), s.rebuild(e.B), s.rebuild(e.C))
+	case KPopcnt:
+		r = c.Popcount(s.rebuild(e.A))
+	default:
+		r = c.binop(e.Kind, s.rebuild(e.A), s.rebuild(e.B))
+	}
+	s.rebuilt[e] = r
+	return r
+}

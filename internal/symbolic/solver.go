@@ -56,6 +56,18 @@ type SolverStats struct {
 	SATCalls     int
 	SATConflicts int64
 	Unknowns     int
+	// Incremental-path counters (PoolOptions.Incremental). AssumeCalls
+	// counts assumption solves on the shared group instance (deliberately
+	// NOT included in SATCalls, which keeps counting fresh DPLL instances
+	// so cross-run SATCalls comparisons stay meaningful); AssumeUnsats is
+	// how many of those proved Unsat and answered the query early.
+	// SimplifiedUnsats counts queries short-circuited by the word-level
+	// simplifier alone. Propagations totals unit-propagation work across
+	// fresh and shared instances — the denominator for "CDCL work saved".
+	AssumeCalls      int
+	AssumeUnsats     int
+	SimplifiedUnsats int
+	Propagations     int64
 }
 
 // Solve decides the conjunction of constraints (each 1-bit wide). On Sat it
@@ -100,6 +112,7 @@ func (s *Solver) Solve(constraints []*Expr) (Model, Result) {
 	b.sat.Stop = s.Stop
 	sat, ok := b.sat.Solve()
 	s.Stats.SATConflicts += b.sat.conflicts
+	s.Stats.Propagations += b.sat.props
 	if !ok {
 		s.Stats.Unknowns++
 		return nil, Unknown
@@ -441,6 +454,18 @@ type PoolOptions struct {
 	// attempt must neither be served from nor feed the cache, so an
 	// injected fault can never poison results shared with clean attempts.
 	Memo SolverMemo
+	// Incremental enables the sequential prefix-sharing pre-pass: queries
+	// are first simplified at the word level and then attempted as
+	// assumption solves on one shared SAT instance that retains learned
+	// clauses across the flip family. The pre-pass only serves answers
+	// that are byte-identical to the fresh path's (memo hits, trivial
+	// verdicts, deterministic probe models, and Unsat proofs — never a
+	// model found under retained heuristic state), so findings digests are
+	// invariant under this flag. Ignored whenever Faults is non-nil:
+	// faulted attempts bypass group reuse exactly as they bypass the memo,
+	// and skipping the pre-pass keeps the injector's deterministic
+	// per-query call count unchanged.
+	Incremental bool
 }
 
 // SolvePoolCtx is the resilient form of SolvePoolStats: the context
@@ -450,16 +475,6 @@ type PoolOptions struct {
 // fires depends on the injector's deterministic per-job call count, never
 // on worker scheduling, so faulted campaigns stay worker-count invariant.
 func SolvePoolCtx(ctx context.Context, queries []Query, opts PoolOptions) ([]Answer, SolverStats, error) {
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = len(queries)
-		if workers > 8 {
-			workers = 8
-		}
-	}
-	if workers > len(queries) {
-		workers = len(queries)
-	}
 	memo := opts.Memo
 	if opts.Faults != nil {
 		// Faulted attempts bypass the memo entirely (no read, no write,
@@ -470,12 +485,8 @@ func SolvePoolCtx(ctx context.Context, queries []Query, opts PoolOptions) ([]Ans
 		// count is identical with the memo on or off.
 		memo = nil
 	}
-	type task struct {
-		pos int
-		q   Query
-	}
-	in := make(chan task)
 	answers := make([]Answer, len(queries))
+	solved := make([]bool, len(queries))
 	var (
 		mu      sync.Mutex
 		wg      sync.WaitGroup
@@ -483,6 +494,32 @@ func SolvePoolCtx(ctx context.Context, queries []Query, opts PoolOptions) ([]Ans
 		poolErr error
 		aborted atomic.Bool
 	)
+	if opts.Incremental && opts.Faults == nil {
+		// Sequential pre-pass: answer what the shared-instance path can
+		// answer deterministically, leave the rest for the fresh pool.
+		solveIncremental(ctx, queries, opts, memo, answers, solved, &stats)
+	}
+	remaining := 0
+	for _, done := range solved {
+		if !done {
+			remaining++
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = remaining
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers > remaining {
+		workers = remaining
+	}
+	type task struct {
+		pos int
+		q   Query
+	}
+	in := make(chan task)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -533,14 +570,121 @@ func SolvePoolCtx(ctx context.Context, queries []Query, opts PoolOptions) ([]Ans
 				stats.SATCalls += s.Stats.SATCalls
 				stats.SATConflicts += s.Stats.SATConflicts
 				stats.Unknowns += s.Stats.Unknowns
+				stats.Propagations += s.Stats.Propagations
 				mu.Unlock()
 			}
 		}()
 	}
 	for i, q := range queries {
+		if solved[i] {
+			continue
+		}
 		in <- task{pos: i, q: q}
 	}
 	close(in)
 	wg.Wait()
 	return answers, stats, poolErr
+}
+
+// solveIncremental is the prefix-sharing pre-pass behind
+// PoolOptions.Incremental. It walks the flip family sequentially (the shared
+// SAT instance is stateful, and sequential order makes retained-state effects
+// a pure function of the query list) and answers each query from the first
+// source that is provably identical to what the fresh pool would produce:
+//
+//  1. memo hit (same lookup the fresh worker performs first),
+//  2. trivial verdicts (constant-False conjunct / all-True conjunction),
+//  3. the concrete probe — a pure function of the query, so its Sat model
+//     is byte-identical to the fresh path's,
+//  4. word-level simplification proving the conjunction False,
+//  5. an assumption solve on the shared instance — served only when Unsat.
+//
+// Sat under assumptions is never served: retained learned clauses, VSIDS
+// activity, and saved phases can steer CDCL to a different satisfying
+// assignment than a fresh instance would find, and Sat models become
+// adaptive seeds. Those queries (and Unknowns) fall through unanswered and
+// are solved by the unchanged parallel fresh path, which is what keeps
+// FindingsDigest and StateDigest byte-identical incremental on/off at any
+// worker count. Group- and simplifier-proved Unsats are genuinely
+// unsatisfiable, so storing them in the memo is sound; the fresh run may
+// cache Unknown-free subsets differently, which is digest-invisible because
+// only Sat results feed the seed queue.
+func solveIncremental(ctx context.Context, queries []Query, opts PoolOptions, memo SolverMemo, answers []Answer, solved []bool, stats *SolverStats) {
+	budget := opts.MaxConflicts
+	if budget == 0 {
+		budget = DefaultMaxConflicts
+	}
+	simp := NewSimplifier()
+	group := newGroupSolver()
+	prober := &Solver{} // method receiver only; its stats stay untouched
+	for i, q := range queries {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		var canon Canon
+		if memo != nil {
+			canon = Canonicalize(q.Constraints, opts.MaxConflicts)
+			if v, ok := memo.Lookup(canon); ok {
+				var m Model
+				if v.Result == Sat {
+					m = v.ModelFor(canon)
+				}
+				answers[i] = Answer{ID: q.ID, Model: m, Result: v.Result}
+				solved[i] = true
+				stats.Queries++
+				continue
+			}
+		}
+		serve := func(m Model, r Result) {
+			answers[i] = Answer{ID: q.ID, Model: m, Result: r}
+			solved[i] = true
+			stats.Queries++
+			if memo != nil && (r == Sat || r == Unsat) {
+				memo.Store(canon, VerdictOf(canon, m, r))
+			}
+		}
+		// Mirror Solve's trivial filter exactly.
+		var live []*Expr
+		hasFalse := false
+		for _, c := range q.Constraints {
+			if c.IsFalse() {
+				hasFalse = true
+				break
+			}
+			if c.IsTrue() {
+				continue
+			}
+			live = append(live, c)
+		}
+		if hasFalse {
+			serve(nil, Unsat)
+			continue
+		}
+		if len(live) == 0 {
+			serve(Model{}, Sat)
+			continue
+		}
+		if m, ok := prober.probe(live); ok {
+			stats.FastPathHits++
+			serve(m, Sat)
+			continue
+		}
+		simplified, provenFalse := simp.Conjunction(live)
+		if provenFalse {
+			stats.SimplifiedUnsats++
+			serve(nil, Unsat)
+			continue
+		}
+		stats.AssumeCalls++
+		before := group.conflicts()
+		unsat := group.proveUnsat(simplified, budget, ctx.Done())
+		stats.SATConflicts += group.conflicts() - before
+		if unsat {
+			stats.AssumeUnsats++
+			serve(nil, Unsat)
+		}
+	}
+	stats.Propagations += group.props()
 }

@@ -69,6 +69,12 @@ type Config struct {
 	// "shared" to the whole process. Memoization never changes findings;
 	// it only removes duplicated work.
 	Memo string
+	// Incremental enables the prefix-sharing incremental solver for the
+	// adaptive-seed flip queries: one shared SAT instance per trace family
+	// answers flips as assumption solves, retaining learned clauses, plus
+	// a word-level simplification pre-pass. Findings are byte-identical
+	// on/off; the flag only reduces solver work.
+	Incremental bool
 }
 
 // APIDetector declares a custom oracle over host-API usage: the detector
@@ -167,6 +173,7 @@ func AnalyzeModule(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Report,
 		KeepTraces:      cfg.TraceFile != "",
 		CustomDetectors: customs,
 		Memo:            cache.SolverMemo(),
+		Incremental:     cfg.Incremental,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wasai: %w", err)
