@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz lint chaos bench-regress bench-baseline incr profile verify
+.PHONY: build test race fuzz lint chaos bench-regress bench-baseline incr fastvm profile verify
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzCFG    -fuzztime=$(FUZZTIME) ./internal/static/
 	$(GO) test -run=NONE -fuzz=FuzzCanonicalize -fuzztime=$(FUZZTIME) ./internal/symbolic/
 	$(GO) test -run=NONE -fuzz=FuzzSimplify -fuzztime=$(FUZZTIME) ./internal/symbolic/
+	$(GO) test -run=NONE -fuzz=FuzzFastVM -fuzztime=$(FUZZTIME) ./internal/wasm/exec/
 
 # Resilience smoke: run a small campaign with 20% injected faults and
 # retry-with-degradation, and require zero terminal failures plus unchanged
@@ -59,11 +60,18 @@ bench-baseline:
 incr:
 	$(GO) run ./cmd/wasai-bench -exp incr
 
+# Decoded-IR engine gate: campaign digests must be byte-identical with the
+# fast VM off and on at 1/4/8 workers, and the direct-threaded engine must
+# retire ≥2x the instructions/sec of the tree-walker on the hot workload
+# with full result/fuel agreement (exit status is the assertion).
+fastvm:
+	$(GO) run ./cmd/wasai-bench -exp fastvm
+
 # Write pprof profiles of the regress workload for solver-hotspot digging:
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
 profile:
 	$(GO) run ./cmd/wasai-bench -exp regress -cpuprofile cpu.pprof -memprofile mem.pprof
 
-verify: build lint chaos bench-regress incr
+verify: build lint chaos bench-regress incr fastvm
 	$(GO) test ./...
 	$(GO) test -race ./...

@@ -193,6 +193,7 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
 		Retry:        campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
 		Memo:         mode,
 		Incremental:  cfg.Incremental,
+		FastVM:       cfg.FastVM,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wasai: %w", err)
@@ -297,6 +298,7 @@ func (c *Campaign) Submit(job BatchJob) error {
 			Seed:            seed,
 			CustomDetectors: customs,
 			Incremental:     jcfg.Incremental,
+			FastVM:          jcfg.FastVM,
 		},
 	})
 	if err != nil {

@@ -68,7 +68,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|memo|incr|regress|all (chaos/memo/incr/regress only run when named)")
+		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|memo|incr|fastvm|regress|all (chaos/memo/incr/fastvm/regress only run when named)")
 		scale     = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		iters     = flag.Int("iterations", 240, "fuzzing budget per contract")
@@ -84,6 +84,7 @@ func run() error {
 		outPath   = flag.String("out", "", "regress: where to write the fresh record (default BENCH_<date>.json)")
 		writeBase = flag.Bool("write-baseline", false, "regress: (re)write -baseline from this run instead of comparing")
 		incr      = flag.Bool("incremental", false, "incremental prefix-sharing solver for flip queries; findings are identical either way")
+		fastvm    = flag.Bool("fastvm", false, "decoded-IR execution engine; findings are identical either way")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
@@ -128,6 +129,7 @@ func run() error {
 	evalCfg.Workers = *workers
 	evalCfg.Memo = memoMode
 	evalCfg.Incremental = *incr
+	evalCfg.FastVM = *fastvm
 	tools := []bench.Tool{bench.ToolWASAI, bench.ToolEOSFuzzer, bench.ToolEOSAFE}
 
 	runExp := func(name string, f func() error) error {
@@ -150,6 +152,7 @@ func run() error {
 			cfg.Workers = *workers
 			cfg.Memo = memoMode
 			cfg.Incremental = *incr
+			cfg.FastVM = *fastvm
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 5 {
 				cfg.NumContracts = 5
@@ -234,6 +237,7 @@ func run() error {
 			tcfg.Workers = *workers
 			tcfg.Memo = memoMode
 			tcfg.Incremental = *incr
+			tcfg.FastVM = *fastvm
 			res, err := bench.EvaluateTriage(context.Background(), ds, tcfg)
 			if err != nil {
 				return err
@@ -255,6 +259,7 @@ func run() error {
 			cfg.MaxAttempts = *retries
 			cfg.Memo = memoMode
 			cfg.Incremental = *incr
+			cfg.FastVM = *fastvm
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 20 {
 				cfg.NumContracts = 20
@@ -304,6 +309,25 @@ func run() error {
 			if !res.Passed() {
 				return fmt.Errorf("incr experiment failed: digests identical=%v, agreement=%v, conflict reduction %.1f%% (need ≥30%%)",
 					res.DigestMatch, res.Chain.Agreement, 100*res.Chain.Reduction())
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "fastvm" {
+		if err := runExp("FastVM (decoded-IR engine differential)", func() error {
+			cfg := bench.DefaultFastVMConfig()
+			cfg.Seed = *seed
+			cfg.FuzzIterations = *iters
+			res, err := bench.EvaluateFastVM(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderFastVM(res))
+			if !res.Passed() {
+				return fmt.Errorf("fastvm experiment failed: digests identical=%v, agreement=%v, speedup %.2fx (need >=2x)",
+					res.DigestMatch, res.Throughput.ResultsMatch, res.Throughput.Speedup())
 			}
 			return nil
 		}); err != nil {

@@ -34,6 +34,7 @@ var localcachePackages = []string{
 	"internal/symbolic",
 	"internal/static",
 	"internal/memo",
+	"internal/wasm/exec",
 }
 
 // localcacheName matches identifiers that advertise cache semantics. `group`

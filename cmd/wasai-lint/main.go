@@ -59,6 +59,7 @@ var corePackages = []string{
 	"internal/symbolic",
 	"internal/static",
 	"internal/memo",
+	"internal/wasm/exec",
 }
 
 func main() {

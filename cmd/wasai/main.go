@@ -36,6 +36,7 @@ func run() error {
 		vulnerable = flag.Bool("vulnerable", true, "demo: generate the vulnerable variant")
 		memoMode   = flag.String("memo", "", "solver memoization: off|on|shared (empty = off); findings are identical either way")
 		incr       = flag.Bool("incremental", false, "incremental prefix-sharing solver for flip queries; findings are identical either way")
+		fastvm     = flag.Bool("fastvm", false, "decoded-IR execution engine; findings are identical either way")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func run() error {
 	cfg.TraceFile = *traceOut
 	cfg.Memo = *memoMode
 	cfg.Incremental = *incr
+	cfg.FastVM = *fastvm
 
 	var (
 		bin     []byte

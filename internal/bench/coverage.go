@@ -30,6 +30,8 @@ type CoverageConfig struct {
 	// Incremental enables the prefix-sharing incremental solver
 	// (coverage curves are identical either way).
 	Incremental bool
+	// FastVM runs each campaign chain on the decoded-IR execution engine.
+	FastVM bool
 }
 
 // DefaultCoverageConfig mirrors the RQ1 setup at simulator scale.
@@ -64,7 +66,7 @@ func EvaluateCoverage(cfg CoverageConfig) ([]CoverageSeries, error) {
 	// Both tools run on the campaign engine: WASAI campaigns as engine jobs,
 	// the baseline through campaign.Each. Per-contract series are summed
 	// serially afterwards, so the curves are worker-count invariant.
-	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental}
+	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental, FastVM: cfg.FastVM}
 	jobs := make([]campaign.Job, len(contracts))
 	for i, c := range contracts {
 		jobs[i] = campaign.Job{

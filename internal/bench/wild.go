@@ -32,6 +32,8 @@ type WildConfig struct {
 	// Incremental enables the prefix-sharing incremental solver
 	// (findings are identical either way).
 	Incremental bool
+	// FastVM runs each campaign chain on the decoded-IR execution engine.
+	FastVM bool
 }
 
 // DefaultWildConfig mirrors §4.4: 991 profitable contracts.
@@ -94,6 +96,7 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		Retry:       campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
 		Memo:        cfg.Memo,
 		Incremental: cfg.Incremental,
+		FastVM:      cfg.FastVM,
 	}
 	fuzzCfg := func(i int) fuzz.Config {
 		return fuzz.Config{

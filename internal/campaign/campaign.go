@@ -107,6 +107,12 @@ type Config struct {
 	// Findings digests are byte-identical on/off at any worker count;
 	// faulted attempts skip the pre-pass just as they skip the memo.
 	Incremental bool
+	// FastVM runs every job's campaign chain on the decoded-IR execution
+	// engine (exec.NewFastVM). Findings digests are byte-identical on/off
+	// at any worker count; unlike Memo, the flag also applies to faulted
+	// attempts — the engines are observably identical, so a fault lands
+	// on the same host call either way.
+	FastVM bool
 }
 
 // memoCache resolves the cache the engine should use (nil = off).
@@ -360,6 +366,9 @@ func (e *Engine) attempt(job Job, attempt int) (res *fuzz.Result, mode string, e
 		// Campaign-wide opt-in; the solver pool drops the pre-pass on
 		// faulted attempts so the injector's call count is unchanged.
 		cfg.Incremental = true
+	}
+	if e.cfg.FastVM {
+		cfg.FastVM = true
 	}
 	f, err := fuzz.New(job.Module, job.ABI, cfg)
 	if err != nil {

@@ -141,6 +141,10 @@ type Blockchain struct {
 	MaxInlineDepth int
 	// Fuel is the per-action instruction budget for Wasm execution.
 	Fuel int64
+	// FastVM selects the decoded-IR execution engine (exec.NewFastVM).
+	// Behaviour is identical to the tree-walking interpreter; only
+	// throughput changes.
+	FastVM bool
 	// Faults, when non-nil, injects the planned fault ahead of host-API
 	// dispatch (see internal/faultinject). Chains execute transactions
 	// single-threaded, so the host-call order — and therefore which call
@@ -408,6 +412,9 @@ func (bc *Blockchain) applyWasm(ctx *Context, acct *Account) error {
 		return fmt.Errorf("chain: instantiate %s: %w", acct.Name, err)
 	}
 	vm := exec.NewVM(inst)
+	if bc.FastVM {
+		vm = exec.NewFastVM(inst)
+	}
 	vm.SetFuel(bc.Fuel)
 	vm.Context = ctx
 	ctx.vm = vm

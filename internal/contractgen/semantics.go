@@ -1,0 +1,491 @@
+package contractgen
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/wasm"
+)
+
+// This file is the generative side of the fast-engine differential gate
+// (the wasm-semantics-fuzzer approach): seeded, valid, *self-checking*
+// modules — every computation is constant-folded in Go at generation time
+// and the module traps with `unreachable` if the engine disagrees. A
+// conforming engine runs the module to completion, reports each checked
+// value through the imported "sem"."note" host call, and returns a running
+// checksum, so two engines can be compared on traps, return values, final
+// memory and host-call sequences.
+//
+// Covered semantics: integer wrapping arithmetic, shift masking, guarded
+// division/remainder, sign/zero-extending loads, wrapping stores,
+// little-endian byte order, unaligned access, br_table arm selection,
+// if/else and loop control, globals, local tee chains, and memory.grow
+// edge cases (within max, past max, past the 4GiB cap).
+
+// SemProgram is one generated self-checking module with its expected
+// observable outcome on a conforming engine.
+type SemProgram struct {
+	// Module imports one host function "sem"."note" (param i64) and
+	// exports "run" () -> i64.
+	Module *wasm.Module
+	// Checks counts the embedded self-check assertions.
+	Checks int
+	// Return is the expected result of "run".
+	Return uint64
+	// Notes is the expected argument sequence of the "note" host calls.
+	Notes []uint64
+}
+
+// semMemBytes is the byte span of linear memory the generator models; all
+// generated accesses stay below it.
+const semMemBytes = 512
+
+// semGen carries the generation state: the module under construction and
+// the Go-side model of every value the program will compute.
+type semGen struct {
+	rng  *rand.Rand
+	body []wasm.Instr
+
+	mem    [semMemBytes]byte
+	pages  uint64 // current memory size in pages (model)
+	maxPgs uint64
+	glob   [2]uint64
+	l2, l3 uint64 // scratch locals model
+
+	chk    uint64
+	checks int
+	notes  []uint64
+}
+
+// Local layout of "run": 0=tmp (check scratch), 1=checksum, 2/3=scratch.
+const (
+	semLocTmp = 0
+	semLocChk = 1
+	semLocA   = 2
+	semLocB   = 3
+)
+
+// GenerateSemantics deterministically builds the self-checking module for
+// a seed. The same seed always yields a byte-identical module.
+func GenerateSemantics(seed int64) *SemProgram {
+	g := &semGen{rng: rand.New(rand.NewSource(seed)), pages: 1, maxPgs: 2}
+
+	m := &wasm.Module{FuncNames: map[uint32]string{}}
+	noteType := m.AddType(wasm.FuncType{Params: []wasm.ValType{wasm.I64}})
+	runType := m.AddType(wasm.FuncType{Results: []wasm.ValType{wasm.I64}})
+	m.Imports = []wasm.Import{{Module: "sem", Name: "note", Kind: wasm.ExternalFunc, TypeIndex: noteType}}
+	m.Memories = []wasm.MemType{{Limits: wasm.Limits{Min: 1, Max: 2, HasMax: true}}}
+	m.Globals = []wasm.Global{
+		{Type: wasm.GlobalType{Type: wasm.I64, Mutable: true}, Init: []wasm.Instr{wasm.I64Const(0)}},
+		{Type: wasm.GlobalType{Type: wasm.I64, Mutable: true}, Init: []wasm.Instr{wasm.I64Const(int64(g.rng.Uint64()))}},
+	}
+	g.glob[1] = m.Globals[1].Init[0].Imm
+
+	// Seed the first 64 bytes of memory (and the model) from a data segment.
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(g.rng.Intn(256))
+	}
+	copy(g.mem[:], data)
+	m.Data = []wasm.DataSegment{{Offset: []wasm.Instr{wasm.I32Const(0)}, Data: data}}
+
+	segments := 6 + g.rng.Intn(8)
+	for i := 0; i < segments; i++ {
+		switch g.rng.Intn(9) {
+		case 0:
+			g.segI32Chain()
+		case 1:
+			g.segI64Chain()
+		case 2:
+			g.segWrapExtend()
+		case 3:
+			g.segMemory()
+		case 4:
+			g.segBrTable()
+		case 5:
+			g.segGlobals()
+		case 6:
+			g.segTeeChain()
+		case 7:
+			g.segGrow()
+		case 8:
+			g.segControl()
+		}
+	}
+
+	// return the checksum
+	g.emit(wasm.LocalGet(semLocChk), wasm.End())
+
+	m.Funcs = []uint32{runType}
+	m.Code = []wasm.Code{{
+		Locals: []wasm.LocalDecl{{Count: 4, Type: wasm.I64}},
+		Body:   g.body,
+	}}
+	m.Exports = []wasm.Export{{Name: "run", Kind: wasm.ExternalFunc, Index: 1}}
+
+	return &SemProgram{Module: m, Checks: g.checks, Return: g.chk, Notes: g.notes}
+}
+
+func (g *semGen) emit(in ...wasm.Instr) { g.body = append(g.body, in...) }
+
+// check asserts the i64 value on top of the operand stack equals want:
+// trap via unreachable on mismatch, report it through the note host call,
+// and fold it into the checksum.
+func (g *semGen) check(want uint64) {
+	g.emit(
+		wasm.LocalSet(semLocTmp),
+		wasm.LocalGet(semLocTmp), wasm.I64Const(int64(want)), wasm.Op0(wasm.OpI64Ne),
+		wasm.If(), wasm.Unreachable(), wasm.End(),
+		wasm.LocalGet(semLocTmp), wasm.Call(0),
+		wasm.LocalGet(semLocChk), wasm.I64Const(31), wasm.Op0(wasm.OpI64Mul),
+		wasm.LocalGet(semLocTmp), wasm.Op0(wasm.OpI64Add), wasm.LocalSet(semLocChk),
+	)
+	g.chk = g.chk*31 + want
+	g.notes = append(g.notes, want)
+	g.checks++
+}
+
+// checkI32 is check for an i32 value on the stack: it zero-extends first,
+// matching the interpreter's canonical representation.
+func (g *semGen) checkI32(want uint32) {
+	g.emit(wasm.Op0(wasm.OpI64ExtendI32U))
+	g.check(uint64(want))
+}
+
+// segI32Chain emits a constant-folded chain of i32 operations.
+func (g *semGen) segI32Chain() {
+	ops := []wasm.Opcode{
+		wasm.OpI32Add, wasm.OpI32Sub, wasm.OpI32Mul, wasm.OpI32And, wasm.OpI32Or,
+		wasm.OpI32Xor, wasm.OpI32Shl, wasm.OpI32ShrS, wasm.OpI32ShrU,
+		wasm.OpI32Rotl, wasm.OpI32Rotr, wasm.OpI32DivS, wasm.OpI32DivU,
+		wasm.OpI32RemS, wasm.OpI32RemU,
+	}
+	acc := uint32(g.rng.Uint32())
+	g.emit(wasm.I32Const(int32(acc)))
+	for n := 1 + g.rng.Intn(6); n > 0; n-- {
+		op := ops[g.rng.Intn(len(ops))]
+		c := uint32(g.rng.Uint32())
+		switch op {
+		case wasm.OpI32DivS, wasm.OpI32RemS:
+			if c == 0 || (acc == 0x80000000 && c == 0xffffffff) {
+				c = 3
+			}
+		case wasm.OpI32DivU, wasm.OpI32RemU:
+			if c == 0 {
+				c = 3
+			}
+		}
+		g.emit(wasm.I32Const(int32(c)), wasm.Op0(op))
+		acc = evalI32(op, acc, c)
+	}
+	g.checkI32(acc)
+}
+
+func evalI32(op wasm.Opcode, a, b uint32) uint32 {
+	switch op {
+	case wasm.OpI32Add:
+		return a + b
+	case wasm.OpI32Sub:
+		return a - b
+	case wasm.OpI32Mul:
+		return a * b
+	case wasm.OpI32And:
+		return a & b
+	case wasm.OpI32Or:
+		return a | b
+	case wasm.OpI32Xor:
+		return a ^ b
+	case wasm.OpI32Shl:
+		return a << (b & 31)
+	case wasm.OpI32ShrS:
+		return uint32(int32(a) >> (b & 31))
+	case wasm.OpI32ShrU:
+		return a >> (b & 31)
+	case wasm.OpI32Rotl:
+		return bits.RotateLeft32(a, int(b&31))
+	case wasm.OpI32Rotr:
+		return bits.RotateLeft32(a, -int(b&31))
+	case wasm.OpI32DivS:
+		return uint32(int32(a) / int32(b))
+	case wasm.OpI32DivU:
+		return a / b
+	case wasm.OpI32RemS:
+		return uint32(int32(a) % int32(b))
+	case wasm.OpI32RemU:
+		return a % b
+	}
+	return 0
+}
+
+// segI64Chain emits a constant-folded chain of i64 operations.
+func (g *semGen) segI64Chain() {
+	ops := []wasm.Opcode{
+		wasm.OpI64Add, wasm.OpI64Sub, wasm.OpI64Mul, wasm.OpI64And, wasm.OpI64Or,
+		wasm.OpI64Xor, wasm.OpI64Shl, wasm.OpI64ShrS, wasm.OpI64ShrU,
+		wasm.OpI64Rotl, wasm.OpI64Rotr, wasm.OpI64DivS, wasm.OpI64DivU,
+		wasm.OpI64RemS, wasm.OpI64RemU,
+	}
+	acc := g.rng.Uint64()
+	g.emit(wasm.I64Const(int64(acc)))
+	for n := 1 + g.rng.Intn(6); n > 0; n-- {
+		op := ops[g.rng.Intn(len(ops))]
+		c := g.rng.Uint64()
+		switch op {
+		case wasm.OpI64DivS, wasm.OpI64RemS:
+			if c == 0 || (acc == 1<<63 && c == math.MaxUint64) {
+				c = 5
+			}
+		case wasm.OpI64DivU, wasm.OpI64RemU:
+			if c == 0 {
+				c = 5
+			}
+		}
+		g.emit(wasm.I64Const(int64(c)), wasm.Op0(op))
+		acc = evalI64(op, acc, c)
+	}
+	g.check(acc)
+}
+
+func evalI64(op wasm.Opcode, a, b uint64) uint64 {
+	switch op {
+	case wasm.OpI64Add:
+		return a + b
+	case wasm.OpI64Sub:
+		return a - b
+	case wasm.OpI64Mul:
+		return a * b
+	case wasm.OpI64And:
+		return a & b
+	case wasm.OpI64Or:
+		return a | b
+	case wasm.OpI64Xor:
+		return a ^ b
+	case wasm.OpI64Shl:
+		return a << (b & 63)
+	case wasm.OpI64ShrS:
+		return uint64(int64(a) >> (b & 63))
+	case wasm.OpI64ShrU:
+		return a >> (b & 63)
+	case wasm.OpI64Rotl:
+		return bits.RotateLeft64(a, int(b&63))
+	case wasm.OpI64Rotr:
+		return bits.RotateLeft64(a, -int(b&63))
+	case wasm.OpI64DivS:
+		return uint64(int64(a) / int64(b))
+	case wasm.OpI64DivU:
+		return a / b
+	case wasm.OpI64RemS:
+		return uint64(int64(a) % int64(b))
+	case wasm.OpI64RemU:
+		return a % b
+	}
+	return 0
+}
+
+// segWrapExtend checks i32.wrap_i64 / i64.extend chains.
+func (g *semGen) segWrapExtend() {
+	v := g.rng.Uint64()
+	g.emit(wasm.I64Const(int64(v)), wasm.Op0(wasm.OpI32WrapI64))
+	if g.rng.Intn(2) == 0 {
+		g.emit(wasm.Op0(wasm.OpI64ExtendI32S))
+		g.check(uint64(int64(int32(uint32(v)))))
+	} else {
+		g.emit(wasm.Op0(wasm.OpI64ExtendI32U))
+		g.check(uint64(uint32(v)))
+	}
+}
+
+// semStores enumerate store opcode, byte width and operand width (32/64).
+var semStores = []struct {
+	op    wasm.Opcode
+	width int
+	is64  bool
+}{
+	{wasm.OpI32Store8, 1, false}, {wasm.OpI32Store16, 2, false}, {wasm.OpI32Store, 4, false},
+	{wasm.OpI64Store8, 1, true}, {wasm.OpI64Store16, 2, true}, {wasm.OpI64Store32, 4, true},
+	{wasm.OpI64Store, 8, true},
+}
+
+var semLoads = []struct {
+	op    wasm.Opcode
+	width int
+	is64  bool
+}{
+	{wasm.OpI32Load8U, 1, false}, {wasm.OpI32Load8S, 1, false},
+	{wasm.OpI32Load16U, 2, false}, {wasm.OpI32Load16S, 2, false}, {wasm.OpI32Load, 4, false},
+	{wasm.OpI64Load8U, 1, true}, {wasm.OpI64Load8S, 1, true},
+	{wasm.OpI64Load16U, 2, true}, {wasm.OpI64Load16S, 2, true},
+	{wasm.OpI64Load32U, 4, true}, {wasm.OpI64Load32S, 4, true}, {wasm.OpI64Load, 8, true},
+}
+
+// segMemory emits a wrapping store (often unaligned) then a load from the
+// modeled region, both checked against the Go-side byte model.
+func (g *semGen) segMemory() {
+	s := semStores[g.rng.Intn(len(semStores))]
+	val := g.rng.Uint64()
+	base := g.rng.Intn(semMemBytes / 2)
+	off := g.rng.Intn(semMemBytes/2 - 8)
+	g.emit(wasm.I32Const(int32(base)))
+	if s.is64 {
+		g.emit(wasm.I64Const(int64(val)))
+	} else {
+		g.emit(wasm.I32Const(int32(uint32(val))))
+	}
+	g.emit(wasm.Store(s.op, uint32(off)))
+	g.storeModel(base+off, s.width, val)
+
+	l := semLoads[g.rng.Intn(len(semLoads))]
+	lbase := g.rng.Intn(semMemBytes - 8)
+	loff := g.rng.Intn(semMemBytes - 8 - lbase)
+	g.emit(wasm.I32Const(int32(lbase)), wasm.Load(l.op, uint32(loff)))
+	got := g.loadModel(l.op, lbase+loff)
+	if l.is64 {
+		g.check(got)
+	} else {
+		g.checkI32(uint32(got))
+	}
+}
+
+func (g *semGen) storeModel(addr, width int, val uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], val)
+	copy(g.mem[addr:addr+width], buf[:width])
+}
+
+func (g *semGen) loadModel(op wasm.Opcode, addr int) uint64 {
+	p := g.mem[addr:]
+	switch op {
+	case wasm.OpI32Load8U, wasm.OpI64Load8U:
+		return uint64(p[0])
+	case wasm.OpI32Load8S:
+		return uint64(uint32(int32(int8(p[0]))))
+	case wasm.OpI64Load8S:
+		return uint64(int64(int8(p[0])))
+	case wasm.OpI32Load16U, wasm.OpI64Load16U:
+		return uint64(binary.LittleEndian.Uint16(p))
+	case wasm.OpI32Load16S:
+		return uint64(uint32(int32(int16(binary.LittleEndian.Uint16(p)))))
+	case wasm.OpI64Load16S:
+		return uint64(int64(int16(binary.LittleEndian.Uint16(p))))
+	case wasm.OpI32Load, wasm.OpI64Load32U:
+		return uint64(binary.LittleEndian.Uint32(p))
+	case wasm.OpI64Load32S:
+		return uint64(int64(int32(binary.LittleEndian.Uint32(p))))
+	default: // OpI64Load
+		return binary.LittleEndian.Uint64(p)
+	}
+}
+
+// segBrTable emits a br_table ladder and checks the selected arm.
+func (g *semGen) segBrTable() {
+	n := 2 + g.rng.Intn(4)
+	sel := uint32(g.rng.Intn(n + 2)) // sometimes past the table → default
+	def := uint32(g.rng.Intn(n))
+	arms := make([]uint64, n)
+	targets := make([]uint32, n)
+	for i := range arms {
+		arms[i] = g.rng.Uint64()
+		targets[i] = uint32(i)
+	}
+	eff := int(def)
+	if int(sel) < n {
+		eff = int(sel)
+	}
+
+	g.emit(wasm.Block()) // $out
+	for i := 0; i < n; i++ {
+		g.emit(wasm.Block())
+	}
+	g.emit(wasm.I32Const(int32(sel)), wasm.BrTable(targets, def))
+	for i := 0; i < n; i++ {
+		g.emit(wasm.End(), // closes block i: arm i starts here
+			wasm.I64Const(int64(arms[i])), wasm.LocalSet(semLocA),
+			wasm.Br(uint32(n-1-i)))
+	}
+	g.emit(wasm.End()) // $out
+	g.l2 = arms[eff]
+	g.emit(wasm.LocalGet(semLocA))
+	g.check(g.l2)
+}
+
+// segGlobals round-trips mutable globals through set/get and arithmetic.
+func (g *semGen) segGlobals() {
+	gi := uint32(g.rng.Intn(2))
+	v := g.rng.Uint64()
+	g.emit(wasm.I64Const(int64(v)), wasm.GlobalSet(gi))
+	g.glob[gi] = v
+	other := 1 - gi
+	g.emit(wasm.GlobalGet(gi), wasm.GlobalGet(other), wasm.Op0(wasm.OpI64Xor))
+	g.check(g.glob[gi] ^ g.glob[other])
+}
+
+// segTeeChain exercises local.tee and local round-trips.
+func (g *semGen) segTeeChain() {
+	a := g.rng.Uint64()
+	k := g.rng.Uint64()
+	g.emit(
+		wasm.I64Const(int64(a)), wasm.LocalSet(semLocA),
+		wasm.LocalGet(semLocA), wasm.LocalTee(semLocB),
+		wasm.I64Const(int64(k)), wasm.Op0(wasm.OpI64Add), wasm.LocalSet(semLocA),
+	)
+	g.l2, g.l3 = a+k, a
+	g.emit(wasm.LocalGet(semLocA))
+	g.check(g.l2)
+	g.emit(wasm.LocalGet(semLocB))
+	g.check(g.l3)
+}
+
+// segGrow checks memory.grow/memory.size edges against the modeled page
+// count (min 1, max 2): growth within max, past max, and past the hard cap.
+func (g *semGen) segGrow() {
+	reqs := []uint32{0, 1, 2, 70000}
+	req := reqs[g.rng.Intn(len(reqs))]
+	want := g.pages
+	switch {
+	case req == 0:
+		// size query via grow(0)
+	case g.pages+uint64(req) > g.maxPgs:
+		want = 0xffffffff
+	default:
+		g.pages += uint64(req)
+	}
+	g.emit(wasm.I32Const(int32(req)), wasm.Op0(wasm.OpMemoryGrow))
+	g.checkI32(uint32(want))
+	g.emit(wasm.Op0(wasm.OpMemorySize))
+	g.checkI32(uint32(g.pages))
+}
+
+// segControl exercises if/else selection and a counted loop.
+func (g *semGen) segControl() {
+	if g.rng.Intn(2) == 0 {
+		cond := uint32(g.rng.Intn(2))
+		a, b := g.rng.Uint64(), g.rng.Uint64()
+		g.emit(
+			wasm.I32Const(int32(cond)), wasm.IfTyped(wasm.I64),
+			wasm.I64Const(int64(a)), wasm.Else(), wasm.I64Const(int64(b)), wasm.End(),
+		)
+		want := b
+		if cond != 0 {
+			want = a
+		}
+		g.check(want)
+		return
+	}
+	// acc = sum of i for i in [1, k]
+	k := uint64(1 + g.rng.Intn(12))
+	g.emit(
+		wasm.I64Const(0), wasm.LocalSet(semLocA),
+		wasm.I64Const(int64(k)), wasm.LocalSet(semLocB),
+		wasm.Block(), wasm.Loop(),
+		wasm.LocalGet(semLocB), wasm.Op0(wasm.OpI64Eqz), wasm.BrIf(1),
+		wasm.LocalGet(semLocA), wasm.LocalGet(semLocB), wasm.Op0(wasm.OpI64Add), wasm.LocalSet(semLocA),
+		wasm.LocalGet(semLocB), wasm.I64Const(-1), wasm.Op0(wasm.OpI64Add), wasm.LocalSet(semLocB),
+		wasm.Br(0), wasm.End(), wasm.End(),
+	)
+	g.l2 = k * (k + 1) / 2
+	g.l3 = 0
+	g.emit(wasm.LocalGet(semLocA))
+	g.check(g.l2)
+}

@@ -75,6 +75,10 @@ type Config struct {
 	// Findings are byte-identical on/off; the flag only trades solver
 	// work. Ignored on faulted attempts, like Memo.
 	Incremental bool
+	// FastVM runs the campaign chain on the decoded-IR execution engine
+	// (exec.NewFastVM). Findings and traces are byte-identical on/off;
+	// the flag only trades execution throughput.
+	FastVM bool
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -142,6 +146,7 @@ func New(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Fuzzer, error) {
 	}
 	bc := chain.New()
 	bc.Collector = trace.NewCollector()
+	bc.FastVM = cfg.FastVM
 	if cfg.Fuel > 0 {
 		bc.Fuel = cfg.Fuel
 	} else if cfg.Static != nil {

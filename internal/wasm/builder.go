@@ -37,6 +37,11 @@ func Br(depth uint32) Instr { return Instr{Op: OpBr, A: depth} }
 // BrIf builds a br_if instruction.
 func BrIf(depth uint32) Instr { return Instr{Op: OpBrIf, A: depth} }
 
+// BrTable builds a br_table over the given target depths with a default.
+func BrTable(targets []uint32, def uint32) Instr {
+	return Instr{Op: OpBrTable, Table: targets, A: def}
+}
+
 // Block opens a block with no result.
 func Block() Instr { return Instr{Op: OpBlock, A: BlockTypeEmpty} }
 

@@ -19,6 +19,12 @@ type VM struct {
 	fuel  int64
 	depth int
 
+	// prog, when non-nil, selects the decoded-IR fast engine (fastvm.go);
+	// functions its conservative compiler rejected stay nil in prog.funcs
+	// and run on the tree-walker below.
+	prog    *irProgram
+	fastObs FastObserver
+
 	// Context carries host-defined state (the chain's apply context) that
 	// host functions retrieve via vm.Context.
 	Context any
@@ -72,6 +78,9 @@ func (vm *VM) call(f *funcDef, args []uint64) ([]uint64, error) {
 			return nil, &Trap{Kind: TrapHostError, FuncIndex: f.index, Wrapped: err}
 		}
 		return res, nil
+	}
+	if fn := vm.fastCompiled(f); fn != nil {
+		return vm.fastExec(f, fn, args)
 	}
 	return vm.exec(f, args)
 }

@@ -75,6 +75,11 @@ type Config struct {
 	// a word-level simplification pre-pass. Findings are byte-identical
 	// on/off; the flag only reduces solver work.
 	Incremental bool
+	// FastVM runs contract execution on the decoded-IR direct-threaded
+	// engine instead of the tree-walking interpreter. Findings, traces
+	// and digests are byte-identical on/off; the flag only raises
+	// execution throughput.
+	FastVM bool
 }
 
 // APIDetector declares a custom oracle over host-API usage: the detector
@@ -174,6 +179,7 @@ func AnalyzeModule(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Report,
 		CustomDetectors: customs,
 		Memo:            cache.SolverMemo(),
 		Incremental:     cfg.Incremental,
+		FastVM:          cfg.FastVM,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wasai: %w", err)
