@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz lint chaos bench-regress bench-baseline incr fastvm profile verify
+.PHONY: build test race fuzz lint chaos bench-regress bench-baseline incr fastvm verdict profile verify
 
 build:
 	$(GO) build ./...
@@ -22,18 +22,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Short smoke runs of the native fuzz targets (decoders + ABI codec).
-# Seed corpora live under */testdata/fuzz and always run as part of `test`.
+# Short smoke runs of every native fuzz target, discovered with
+# `go test -list 'Fuzz.*'` so new targets join automatically. Seed corpora
+# live under */testdata/fuzz and always run as part of `test`.
 FUZZTIME ?= 15s
 fuzz:
-	$(GO) test -run=NONE -fuzz=FuzzUint   -fuzztime=$(FUZZTIME) ./internal/leb128/
-	$(GO) test -run=NONE -fuzz=FuzzInt    -fuzztime=$(FUZZTIME) ./internal/leb128/
-	$(GO) test -run=NONE -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wasm/
-	$(GO) test -run=NONE -fuzz=FuzzDecodeTransfer -fuzztime=$(FUZZTIME) ./internal/abi/
-	$(GO) test -run=NONE -fuzz=FuzzCFG    -fuzztime=$(FUZZTIME) ./internal/static/
-	$(GO) test -run=NONE -fuzz=FuzzCanonicalize -fuzztime=$(FUZZTIME) ./internal/symbolic/
-	$(GO) test -run=NONE -fuzz=FuzzSimplify -fuzztime=$(FUZZTIME) ./internal/symbolic/
-	$(GO) test -run=NONE -fuzz=FuzzFastVM -fuzztime=$(FUZZTIME) ./internal/wasm/exec/
+	@set -e; for pkg in $$($(GO) list ./...); do \
+		for t in $$($(GO) test -list 'Fuzz.*' $$pkg | grep '^Fuzz' || true); do \
+			echo "=== $$t ($$pkg) ==="; \
+			$(GO) test -run=NONE -fuzz="^$$t$$$$" -fuzztime=$(FUZZTIME) $$pkg; \
+		done; \
+	done
 
 # Resilience smoke: run a small campaign with 20% injected faults and
 # retry-with-degradation, and require zero terminal failures plus unchanged
@@ -67,11 +66,18 @@ incr:
 fastvm:
 	$(GO) run ./cmd/wasai-bench -exp fastvm
 
+# Verdict-engine gate: zero soundness violations in both directions against
+# a dynamic campaign, ≥30% of the wild population resolved statically, and
+# byte-identical findings digests with verdicts off and on at 1/4/8 workers
+# (exit status is the assertion).
+verdict:
+	$(GO) run ./cmd/wasai-bench -exp verdict
+
 # Write pprof profiles of the regress workload for solver-hotspot digging:
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
 profile:
 	$(GO) run ./cmd/wasai-bench -exp regress -cpuprofile cpu.pprof -memprofile mem.pprof
 
-verify: build lint chaos bench-regress incr fastvm
+verify: build lint chaos bench-regress incr fastvm verdict
 	$(GO) test ./...
 	$(GO) test -race ./...

@@ -188,6 +188,7 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
 		JobTimeout:   cfg.JobTimeout,
 		BaseSeed:     cfg.Seed,
 		StaticTriage: cfg.StaticTriage,
+		Verdicts:     cfg.Verdicts,
 		Journal:      cfg.Journal,
 		Resume:       cfg.Resume,
 		Retry:        campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},

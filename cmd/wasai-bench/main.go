@@ -12,7 +12,8 @@
 //	wasai-bench -exp regress -baseline BENCH_BASELINE.json
 //
 // Experiments: fig3, table4, table5, table6, rq4, all, plus chaos, memo,
-// incr and regress (run explicitly; they are not part of "all"). Scale
+// incr, fastvm, verdict and regress (run explicitly; they are not part of
+// "all"). Scale
 // multiplies the dataset sizes (1.0 reproduces the full paper-sized
 // benchmark; small scales keep the shapes at a fraction of the runtime).
 // Workers shards the per-contract campaigns across the campaign engine;
@@ -27,7 +28,14 @@
 // instance per flip family, plus word-level simplification) through the same
 // experiments, again findings-invariant; -exp incr runs the incremental
 // on/off differential at worker counts 1/4/8 and exits non-zero unless
-// digests are identical and total CDCL conflicts drop ≥30%. -exp regress
+// digests are identical and total CDCL conflicts drop ≥30%. -verdicts
+// threads abstract-interpretation verdict triage (internal/static/absint)
+// through the same experiments: all-proven-negative jobs skip execution and
+// proven-positive jobs schedule confirmed-first, findings-invariant either
+// way. -exp verdict runs the verdict gate — per-class soundness against a
+// dynamic campaign in both directions (zero violations), ≥30% of the wild
+// population resolved statically, and byte-identical findings digests with
+// verdicts off/on at worker counts 1/4/8. -exp regress
 // runs the fixed benchmark workload (wall-clock is the median of three
 // legs; solver counters are single-leg exact), writes a BENCH_<date>.json
 // record (-out overrides the path) and compares it against the committed
@@ -68,7 +76,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|memo|incr|fastvm|regress|all (chaos/memo/incr/fastvm/regress only run when named)")
+		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|memo|incr|fastvm|verdict|regress|all (chaos/memo/incr/fastvm/verdict/regress only run when named)")
 		scale     = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		iters     = flag.Int("iterations", 240, "fuzzing budget per contract")
@@ -85,6 +93,7 @@ func run() error {
 		writeBase = flag.Bool("write-baseline", false, "regress: (re)write -baseline from this run instead of comparing")
 		incr      = flag.Bool("incremental", false, "incremental prefix-sharing solver for flip queries; findings are identical either way")
 		fastvm    = flag.Bool("fastvm", false, "decoded-IR execution engine; findings are identical either way")
+		verdicts  = flag.Bool("verdicts", false, "abstract-interpretation verdict triage; findings are identical either way")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
@@ -130,6 +139,7 @@ func run() error {
 	evalCfg.Memo = memoMode
 	evalCfg.Incremental = *incr
 	evalCfg.FastVM = *fastvm
+	evalCfg.Verdicts = *verdicts
 	tools := []bench.Tool{bench.ToolWASAI, bench.ToolEOSFuzzer, bench.ToolEOSAFE}
 
 	runExp := func(name string, f func() error) error {
@@ -153,6 +163,7 @@ func run() error {
 			cfg.Memo = memoMode
 			cfg.Incremental = *incr
 			cfg.FastVM = *fastvm
+			cfg.Verdicts = *verdicts
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 5 {
 				cfg.NumContracts = 5
@@ -238,6 +249,7 @@ func run() error {
 			tcfg.Memo = memoMode
 			tcfg.Incremental = *incr
 			tcfg.FastVM = *fastvm
+			tcfg.Verdicts = *verdicts
 			res, err := bench.EvaluateTriage(context.Background(), ds, tcfg)
 			if err != nil {
 				return err
@@ -260,6 +272,7 @@ func run() error {
 			cfg.Memo = memoMode
 			cfg.Incremental = *incr
 			cfg.FastVM = *fastvm
+			cfg.Verdicts = *verdicts
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 20 {
 				cfg.NumContracts = 20
@@ -328,6 +341,25 @@ func run() error {
 			if !res.Passed() {
 				return fmt.Errorf("fastvm experiment failed: digests identical=%v, agreement=%v, speedup %.2fx (need >=2x)",
 					res.DigestMatch, res.Throughput.ResultsMatch, res.Throughput.Speedup())
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "verdict" {
+		if err := runExp("Verdict (abstract-interpretation verdict engine)", func() error {
+			cfg := bench.DefaultVerdictConfig()
+			cfg.Seed = *seed
+			cfg.FuzzIterations = *iters
+			res, err := bench.EvaluateVerdict(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderVerdict(res))
+			if !res.Passed() {
+				return fmt.Errorf("verdict experiment failed: violations neg=%d pos=%d, wild resolution %.0f%% (need ≥30%%), digests identical=%v",
+					res.NegViolations(), res.PosViolations(), 100*res.Resolution(), res.DigestMatch)
 			}
 			return nil
 		}); err != nil {

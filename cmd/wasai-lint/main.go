@@ -13,9 +13,10 @@
 //
 //   - oracle parity: every vulnerability class the scanner's detectors
 //     reference must have a matching static candidate flag in
-//     internal/static, so static triage can never silently lag behind a
-//     newly added oracle (an un-flagged oracle would make triage skips
-//     unsound).
+//     internal/static AND a verdict implementation in
+//     internal/static/absint, so neither static triage layer can silently
+//     lag behind a newly added oracle (an un-flagged or un-proven oracle
+//     would make triage skips unsound).
 //
 //   - local caches: cross-job caching must go through internal/memo, which
 //     owns the determinism contract (canonical keys, Unknown never cached,

@@ -13,9 +13,11 @@ import (
 // checkOracleParity enforces the triage soundness precondition across
 // packages: every contractgen.Class* constant the scanner's detectors
 // reference (the dynamic oracles) must also be referenced by
-// internal/static (which computes one candidate flag per oracle class). A
-// class detected dynamically but unknown to the static layer would get no
-// candidate flag, and a triage skip could then suppress a real finding.
+// internal/static (which computes one candidate flag per oracle class) AND
+// by internal/static/absint (which proves one three-valued verdict per
+// class). A class detected dynamically but unknown to either static layer
+// would get no candidate flag or verdict, and a triage skip could then
+// suppress a real finding.
 func checkOracleParity(root string) ([]string, error) {
 	scannerClasses, err := classRefs(filepath.Join(root, "internal/scanner"))
 	if err != nil {
@@ -25,11 +27,20 @@ func checkOracleParity(root string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
+	absintClasses, err := classRefs(filepath.Join(root, "internal/static/absint"))
+	if err != nil {
+		return nil, err
+	}
 	var diags []string
 	for _, class := range sortedClassNames(scannerClasses) {
 		if _, ok := staticClasses[class]; !ok {
 			diags = append(diags, fmt.Sprintf(
 				"%s: scanner oracle references contractgen.%s but internal/static has no matching candidate flag",
+				scannerClasses[class], class))
+		}
+		if _, ok := absintClasses[class]; !ok {
+			diags = append(diags, fmt.Sprintf(
+				"%s: scanner oracle references contractgen.%s but internal/static/absint has no verdict implementation",
 				scannerClasses[class], class))
 		}
 	}

@@ -37,6 +37,7 @@ func run() error {
 		memoMode   = flag.String("memo", "", "solver memoization: off|on|shared (empty = off); findings are identical either way")
 		incr       = flag.Bool("incremental", false, "incremental prefix-sharing solver for flip queries; findings are identical either way")
 		fastvm     = flag.Bool("fastvm", false, "decoded-IR execution engine; findings are identical either way")
+		verdicts   = flag.Bool("verdicts", false, "print per-class static verdicts and skip fuzzing when all classes are proven negative; findings are identical either way")
 	)
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func run() error {
 	cfg.Memo = *memoMode
 	cfg.Incremental = *incr
 	cfg.FastVM = *fastvm
+	cfg.Verdicts = *verdicts
 
 	var (
 		bin     []byte
@@ -80,6 +82,28 @@ func run() error {
 	default:
 		flag.Usage()
 		return fmt.Errorf("need -wasm and -abi, or -demo")
+	}
+
+	if *verdicts {
+		vr, err := wasai.AnalyzeVerdicts(bin, abiJSON)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("static verdicts: complete=%v paths=%d dead-edges=%d\n",
+			vr.Complete, vr.Paths, vr.DeadEdges)
+		for _, v := range vr.Verdicts {
+			fmt.Printf("  %-14s %-15s %s\n", v.Class, v.Verdict, v.Reason)
+			if v.Scenario != "" {
+				fmt.Printf("  %-14s witness: scenario=%s", "", v.Scenario)
+				if v.Action != "" {
+					fmt.Printf(" action=%s", v.Action)
+				}
+				for _, a := range v.Assumptions {
+					fmt.Printf(" %s", a)
+				}
+				fmt.Println()
+			}
+		}
 	}
 
 	report, err := wasai.Analyze(bin, abiJSON, cfg)

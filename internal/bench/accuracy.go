@@ -117,6 +117,9 @@ type EvalConfig struct {
 	// FastVM runs each campaign chain on the decoded-IR execution engine;
 	// findings digests are byte-identical either way.
 	FastVM bool
+	// Verdicts enables abstract-interpretation verdict triage in the WASAI
+	// campaigns (findings are identical either way).
+	Verdicts bool
 }
 
 // DefaultEvalConfig mirrors the paper's per-contract budget in deterministic
@@ -131,7 +134,7 @@ func DefaultEvalConfig() EvalConfig {
 // engine (each campaign owns its chain, so they are independent); WASAI
 // campaigns shard as engine jobs, the baselines through campaign.Each.
 func EvaluateAccuracy(ds *Dataset, tools []Tool, cfg EvalConfig) ([]AccuracyResult, error) {
-	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental, FastVM: cfg.FastVM}
+	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental, FastVM: cfg.FastVM, Verdicts: cfg.Verdicts}
 	results := make([]AccuracyResult, 0, len(tools))
 	for _, tool := range tools {
 		verdicts := make([]bool, len(ds.Samples))

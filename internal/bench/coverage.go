@@ -32,6 +32,9 @@ type CoverageConfig struct {
 	Incremental bool
 	// FastVM runs each campaign chain on the decoded-IR execution engine.
 	FastVM bool
+	// Verdicts enables abstract-interpretation verdict triage (coverage
+	// points come only from executed jobs; findings are identical).
+	Verdicts bool
 }
 
 // DefaultCoverageConfig mirrors the RQ1 setup at simulator scale.
@@ -66,7 +69,7 @@ func EvaluateCoverage(cfg CoverageConfig) ([]CoverageSeries, error) {
 	// Both tools run on the campaign engine: WASAI campaigns as engine jobs,
 	// the baseline through campaign.Each. Per-contract series are summed
 	// serially afterwards, so the curves are worker-count invariant.
-	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental, FastVM: cfg.FastVM}
+	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental, FastVM: cfg.FastVM, Verdicts: cfg.Verdicts}
 	jobs := make([]campaign.Job, len(contracts))
 	for i, c := range contracts {
 		jobs[i] = campaign.Job{

@@ -34,6 +34,10 @@ type WildConfig struct {
 	Incremental bool
 	// FastVM runs each campaign chain on the decoded-IR execution engine.
 	FastVM bool
+	// Verdicts enables abstract-interpretation verdict triage: jobs with
+	// all classes proven negative skip execution, proven-positive jobs
+	// schedule confirmed-first (findings are identical either way).
+	Verdicts bool
 }
 
 // DefaultWildConfig mirrors §4.4: 991 profitable contracts.
@@ -97,6 +101,7 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		Memo:        cfg.Memo,
 		Incremental: cfg.Incremental,
 		FastVM:      cfg.FastVM,
+		Verdicts:    cfg.Verdicts,
 	}
 	fuzzCfg := func(i int) fuzz.Config {
 		return fuzz.Config{

@@ -78,6 +78,17 @@ type Config struct {
 	// changes findings — skips are provably-negative only, and reordering
 	// is invisible because seeds derive from job IDs.
 	StaticTriage bool
+	// Verdicts runs the abstract-interpretation verdict engine
+	// (internal/static/absint) over each job's module and ABI before
+	// fuzzing. Jobs with all five oracle classes proven negative are
+	// answered with the same synthesized all-clean result a StaticTriage
+	// skip produces; jobs with a proven-positive class are scheduled
+	// confirmed-first and skip the static fuel/solver budget raise. The
+	// engine never changes findings — skips rest on machine-checked
+	// negative proofs, reordering is invisible because seeds derive from
+	// job IDs, and FindingsDigest is byte-identical with verdicts on or
+	// off at any worker count.
+	Verdicts bool
 	// Retry re-attempts failed jobs with degraded budgets (see retry.go).
 	// The zero value disables retries.
 	Retry RetryPolicy
@@ -187,17 +198,18 @@ func (e *PanicError) Error() string {
 // read results as they complete. For a known slice of jobs use Run, which
 // also preserves order and aggregates.
 type Engine struct {
-	cfg     Config
-	ctx     context.Context
-	jobs    chan Job
-	results chan JobResult
-	wg      sync.WaitGroup
-	close   sync.Once
-	triage  *triageCache          // non-nil when cfg.StaticTriage
-	done    map[int]*journalRecord // journaled outcomes to replay (resume)
-	jw      *journalWriter         // non-nil when cfg.Journal is set
-	memo     *memo.Cache // non-nil when memoization is active
-	memoBase memo.Stats  // counters at Start (delta base for shared caches)
+	cfg      Config
+	ctx      context.Context
+	jobs     chan Job
+	results  chan JobResult
+	wg       sync.WaitGroup
+	close    sync.Once
+	triage   *triageCache           // non-nil when cfg.StaticTriage
+	verdicts *verdictCache          // non-nil when cfg.Verdicts
+	done     map[int]*journalRecord // journaled outcomes to replay (resume)
+	jw       *journalWriter         // non-nil when cfg.Journal is set
+	memo     *memo.Cache            // non-nil when memoization is active
+	memoBase memo.Stats             // counters at Start (delta base for shared caches)
 }
 
 // Start launches the worker pool. The context cancels every in-flight and
@@ -221,6 +233,9 @@ func Start(ctx context.Context, cfg Config) (*Engine, error) {
 	e.memoBase = e.memo.Snapshot()
 	if cfg.StaticTriage {
 		e.triage = newTriageCache(e.memo)
+	}
+	if cfg.Verdicts {
+		e.verdicts = newVerdictCache(e.memo)
 	}
 	workers := cfg.workers()
 	e.wg.Add(workers)
@@ -311,6 +326,11 @@ func (e *Engine) runJob(job Job) (jr JobResult) {
 		return jr
 	}
 
+	if e.verdicts != nil && verdictSkippable(job, e.verdicts.report(job)) {
+		jr = skipResult(job)
+		return jr
+	}
+
 	maxAttempts := e.cfg.Retry.maxAttempts()
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		res, mode, err := e.attempt(job, attempt)
@@ -370,6 +390,15 @@ func (e *Engine) attempt(job Job, attempt int) (res *fuzz.Result, mode string, e
 	if e.cfg.FastVM {
 		cfg.FastVM = true
 	}
+	if e.verdicts != nil && cfg.Static != nil {
+		// A proven-positive job skips the static fuel/solver budget raise:
+		// the positive witness is a concrete run inside the base budget, so
+		// the extra headroom the candidate score would buy cannot be needed
+		// to surface the finding.
+		if rep := e.verdicts.report(job); rep != nil && rep.AnyPositive() {
+			cfg.Static = nil
+		}
+	}
 	f, err := fuzz.New(job.Module, job.ABI, cfg)
 	if err != nil {
 		return nil, mode, fmt.Errorf("campaign: job %d (%s): %w", job.ID, job.Name, err)
@@ -418,11 +447,12 @@ func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
 		order[i] = jobs[i]
 		order[i].ID = i
 	}
-	if e.triage != nil {
-		// Highest static score first (longest-job-first packing). IDs were
-		// assigned above from slice positions, so the reorder is invisible
-		// to seeds and to the results slice.
-		order = orderByScore(order, e.triage)
+	if e.triage != nil || e.verdicts != nil {
+		// Proven-positive jobs first, then highest static score
+		// (longest-job-first packing). IDs were assigned above from slice
+		// positions, so the reorder is invisible to seeds and to the
+		// results slice.
+		order = orderJobs(order, e.triage, e.verdicts)
 	}
 	var submitErr error
 	for _, job := range order {

@@ -1,7 +1,6 @@
 package campaign
 
 import (
-	"sort"
 	"sync"
 
 	"repro/internal/fuzz"
@@ -74,37 +73,4 @@ func skipResult(job Job) JobResult {
 			Custom: map[string]bool{},
 		},
 	}
-}
-
-// orderByScore sorts jobs by descending static triage score (ties broken by
-// ascending ID). High-score contracts — more candidate classes, more tainted
-// sinks, more branches — are both the likeliest to be vulnerable and the
-// most expensive to fuzz, so scheduling them first surfaces findings earlier
-// and packs the worker pool longest-job-first. Reordering cannot change
-// findings: seeds derive from job IDs (which are preserved), results are
-// indexed by ID, and jobs share no state.
-func orderByScore(jobs []Job, t *triageCache) []Job {
-	type scored struct {
-		job   Job
-		score int
-	}
-	out := make([]scored, len(jobs))
-	for i, job := range jobs {
-		s := 0
-		if rep := t.report(job.Module); rep != nil {
-			s = rep.Score()
-		}
-		out[i] = scored{job: job, score: s}
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].score != out[j].score {
-			return out[i].score > out[j].score
-		}
-		return out[i].job.ID < out[j].job.ID
-	})
-	ordered := make([]Job, len(out))
-	for i := range out {
-		ordered[i] = out[i].job
-	}
-	return ordered
 }

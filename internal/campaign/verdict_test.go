@@ -1,0 +1,182 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/memo"
+)
+
+// verdict_test.go holds the engine-level differential for the
+// abstract-interpretation verdict engine: Config.Verdicts may only ever
+// change which jobs execute (proven-negative skips, confirmed-first
+// ordering), never the findings, and must compose with every other engine
+// layer — memoization, static triage, the incremental solver, the fast
+// execution engine, fault-injected retries, and journal kill+resume.
+//
+// Unlike the fastvm differential, only FindingsDigest is compared across
+// the off/on pair: a verdict skip deliberately does no work, so the
+// state digest's coverage counters differ by design (exactly as they do
+// for static-triage skips).
+
+// verdictDigests runs the same population with the flag off and on and
+// requires the findings digests to match byte for byte.
+func verdictDigests(t *testing.T, mk func() []Job, cfg Config) (off, on *Report) {
+	t.Helper()
+	offCfg, onCfg := cfg, cfg
+	offCfg.Verdicts = false
+	onCfg.Verdicts = true
+	off, err := Run(context.Background(), mk(), offCfg)
+	if err != nil {
+		t.Fatalf("verdicts-off run: %v", err)
+	}
+	on, err = Run(context.Background(), mk(), onCfg)
+	if err != nil {
+		t.Fatalf("verdicts-on run: %v", err)
+	}
+	if got, want := on.FindingsDigest(), off.FindingsDigest(); got != want {
+		t.Errorf("FindingsDigest diverged under -verdicts:\n got: %s\nwant: %s", got, want)
+	}
+	return off, on
+}
+
+// TestVerdictDigestInvariance is the flag's core contract at every worker
+// count the determinism suite uses, cross-checked against a single
+// reference so worker count and flag state are both witnessed at once. The
+// verdicts-on runs must also be state-identical to each other across
+// worker counts — skipping is deterministic, not scheduling-dependent.
+func TestVerdictDigestInvariance(t *testing.T) {
+	mk := func() []Job { return testJobs(t, 16, 30, 13) }
+	var refFindings, refOnState string
+	for i, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			off, on := verdictDigests(t, mk, Config{Workers: workers, BaseSeed: 7})
+			if i == 0 {
+				refFindings, refOnState = off.FindingsDigest(), on.StateDigest()
+				return
+			}
+			if off.FindingsDigest() != refFindings {
+				t.Errorf("findings digest drifted across worker counts")
+			}
+			if on.StateDigest() != refOnState {
+				t.Errorf("verdicts-on state digest drifted across worker counts")
+			}
+		})
+	}
+}
+
+// TestVerdictResolvesJobs checks the engine actually does triage work on
+// the standard test population: some jobs skip on all-negative proofs, and
+// every skipped job's digest line still matches the executed reference
+// (already asserted by verdictDigests).
+func TestVerdictResolvesJobs(t *testing.T) {
+	mk := func() []Job { return testJobs(t, 16, 30, 13) }
+	off, on := verdictDigests(t, mk, Config{Workers: 4, BaseSeed: 7})
+	if off.Skipped != 0 {
+		t.Fatalf("verdicts-off run skipped %d jobs with triage disabled", off.Skipped)
+	}
+	if on.Skipped == 0 {
+		t.Error("verdicts-on run skipped nothing: no all-negative proofs on the test population")
+	}
+	t.Logf("verdict skips: %d/%d jobs", on.Skipped, len(on.Results))
+}
+
+// TestVerdictComposesWithEverything stacks the verdict engine on top of
+// cross-job memoization, candidate-level static triage, the incremental
+// solver and the fast execution engine: five layers each promise digest
+// invariance, and this is the witness that the promises hold together.
+// With both triage layers on, the candidate pass skips first and the
+// verdict pass only sees what it left behind.
+func TestVerdictComposesWithEverything(t *testing.T) {
+	mk := func() []Job { return testJobs(t, 16, 30, 13) }
+	verdictDigests(t, mk, Config{
+		Workers:      4,
+		BaseSeed:     7,
+		Memo:         memo.ModeOn,
+		StaticTriage: true,
+		Incremental:  true,
+		FastVM:       true,
+	})
+}
+
+// TestVerdictComposesWithChaos injects faults with retries enabled on both
+// sides of the differential. Verdict analysis runs outside the attempt
+// loop on the decoded module alone, so fault injection cannot perturb it;
+// skipped jobs consume no fault slots, which is safe because the injector
+// plans faults per job ID, not from a shared sequence.
+func TestVerdictComposesWithChaos(t *testing.T) {
+	mk := func() []Job { return testJobs(t, 16, 30, 13) }
+	off, _ := verdictDigests(t, mk, Config{
+		Workers:  4,
+		BaseSeed: 7,
+		Faults:   &faultinject.Plan{Seed: 99, Rate: 0.2},
+		Retry:    RetryPolicy{MaxAttempts: 3},
+	})
+	if off.Failed != 0 {
+		t.Fatalf("%d terminal failures at 20%% fault rate with retries", off.Failed)
+	}
+}
+
+// TestVerdictKillResume kills a verdict-enabled campaign mid-flight and
+// resumes it from the journal: the stitched result's findings must match a
+// verdicts-off reference byte for byte. Replayed records short-circuit
+// before the verdict check, so a job skipped in the first run stays
+// skipped in the resume.
+func TestVerdictKillResume(t *testing.T) {
+	const nJobs = 12
+	mk := func() []Job { return testJobs(t, nJobs, 30, 21) }
+	cfg := Config{Workers: 4, BaseSeed: 5}
+	ref, err := Run(context.Background(), mk(), cfg)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	journal := filepath.Join(t.TempDir(), "campaign.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	vcfg := cfg
+	vcfg.Verdicts = true
+	vcfg.Journal = journal
+	e, err := Start(ctx, vcfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	go func() {
+		defer e.Close()
+		jobs := mk()
+		for i := range jobs {
+			jobs[i].ID = i
+			if err := e.Submit(jobs[i]); err != nil {
+				return // engine cancelled mid-submission; expected
+			}
+		}
+	}()
+	completed := 0
+	for jr := range e.Results() {
+		if jr.Err == nil {
+			completed++
+		}
+		if completed == 4 {
+			cancel()
+		}
+	}
+	if completed < 4 {
+		t.Fatalf("interrupted run completed only %d jobs before draining", completed)
+	}
+
+	rcfg := vcfg
+	rcfg.Resume = true
+	rep, err := Run(context.Background(), mk(), rcfg)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if rep.Replayed == 0 {
+		t.Fatal("resumed run replayed nothing from the journal")
+	}
+	if got, want := rep.FindingsDigest(), ref.FindingsDigest(); got != want {
+		t.Errorf("FindingsDigest diverged after verdict kill+resume:\n got: %s\nwant: %s", got, want)
+	}
+}

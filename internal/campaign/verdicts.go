@@ -1,0 +1,138 @@
+package campaign
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/abi"
+	"repro/internal/eos"
+	"repro/internal/memo"
+	"repro/internal/static/absint"
+	"repro/internal/wasm"
+)
+
+// verdicts.go wires the abstract-interpretation verdict engine
+// (internal/static/absint) into campaign triage. The engine upgrades the
+// boolean candidate flags of internal/static to three-valued per-class
+// verdicts, and the campaign consumes exactly the two proof directions:
+//
+//   - a job whose five classes are all ProvenNegative is answered with the
+//     same synthesized all-clean result a static-triage skip produces
+//     (each negative proof says the dynamic oracle cannot fire on any
+//     harness execution, so the job's findings-digest line is unchanged);
+//   - a job with any ProvenPositive class is scheduled confirmed-first
+//     (reordering is digest-invisible: seeds derive from job IDs) and
+//     skips the static budget raise — the positive witness already fits
+//     the base budget, so the raise would only add headroom the proof
+//     shows is not needed to surface the finding.
+//
+// Everything else — Unknown verdicts, jobs with custom detectors or trace
+// capture — runs the full dynamic campaign unchanged.
+
+// verdictKey identifies one (module, ABI) pair by pointer. Jobs sharing
+// decoded forms (ablations, seed sweeps, memoized decodes) share the
+// analysis; the memo verdict tier extends reuse to content-equal modules.
+type verdictKey struct {
+	m *wasm.Module
+	a *abi.ABI
+}
+
+// verdictCache memoizes absint analysis per (module, ABI) pointer pair in
+// front of the memo verdict tier, mirroring triageCache for the candidate
+// pass.
+type verdictCache struct {
+	mu sync.Mutex
+	//wasai:localcache pointer-identity fast path in front of the memo verdict tier
+	reports map[verdictKey]*absint.Report
+	memo    *memo.Cache // nil when the engine runs without memoization
+}
+
+func newVerdictCache(mc *memo.Cache) *verdictCache {
+	return &verdictCache{reports: map[verdictKey]*absint.Report{}, memo: mc}
+}
+
+// report returns the job's verdict report, analyzing on first use. nil
+// means the job has no module to analyze.
+func (v *verdictCache) report(job Job) *absint.Report {
+	if job.Module == nil {
+		return nil
+	}
+	key := verdictKey{m: job.Module, a: job.ABI}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if rep, ok := v.reports[key]; ok {
+		return rep
+	}
+	// memo.Verdict is nil-safe: without a cache it just runs the analysis.
+	rep := v.memo.Verdict(job.Module, abiActions(job.ABI), absint.Analyze)
+	v.reports[key] = rep
+	return rep
+}
+
+// abiActions lists the ABI's action names in declaration order (the same
+// order the fuzzer derives its action list, so MissAuth quantifies over
+// identical scopes statically and dynamically).
+func abiActions(a *abi.ABI) []eos.Name {
+	if a == nil {
+		return nil
+	}
+	out := make([]eos.Name, 0, len(a.Actions))
+	for _, act := range a.Actions {
+		out = append(out, act.Name)
+	}
+	return out
+}
+
+// verdictSkippable reports whether the verdict report licenses answering
+// the job without execution: every class proven negative, and no observer
+// (custom detector, trace capture) the proofs say nothing about.
+func verdictSkippable(job Job, rep *absint.Report) bool {
+	if rep == nil || !rep.AllNegative() {
+		return false
+	}
+	return len(job.Config.CustomDetectors) == 0 && !job.Config.KeepTraces
+}
+
+// confirmedFirstBoost outranks every static triage score (Score sums
+// bounded structural counts, far below 2^20), so proven-positive jobs
+// always schedule ahead of merely-suspicious ones.
+const confirmedFirstBoost = 1 << 20
+
+// orderJobs sorts jobs for scheduling: proven-positive jobs first
+// (confirmed findings surface immediately), then descending static triage
+// score (longest-job-first packing), ties broken by ascending ID. Either
+// cache may be nil. Reordering cannot change findings: seeds derive from
+// job IDs (which are preserved), results are indexed by ID, and jobs share
+// no state.
+func orderJobs(jobs []Job, t *triageCache, v *verdictCache) []Job {
+	type scored struct {
+		job   Job
+		score int
+	}
+	out := make([]scored, len(jobs))
+	for i, job := range jobs {
+		s := 0
+		if t != nil {
+			if rep := t.report(job.Module); rep != nil {
+				s = rep.Score()
+			}
+		}
+		if v != nil {
+			if rep := v.report(job); rep != nil && rep.AnyPositive() {
+				s += confirmedFirstBoost
+			}
+		}
+		out[i] = scored{job: job, score: s}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].job.ID < out[j].job.ID
+	})
+	ordered := make([]Job, len(out))
+	for i := range out {
+		ordered[i] = out[i].job
+	}
+	return ordered
+}

@@ -9,7 +9,7 @@
 // solving because it dominates end-to-end cost; this layer removes the
 // duplicated fraction of that cost outright.
 //
-// Three tiers, all keyed by 32-byte content hashes:
+// Four tiers, all keyed by 32-byte content hashes:
 //
 //   - solver: canonicalized query -> Sat/Unsat verdict (+ canonical model),
 //     consulted by symbolic.SolvePoolCtx before DPLL. Exact (Ordered-key)
@@ -19,6 +19,9 @@
 //   - module: bytecode hash -> decoded+validated *wasm.Module.
 //   - static: module content hash -> *static.Report (nil-report sentinel
 //     for modules whose analysis failed, so failures are not re-analyzed).
+//   - verdict: module content hash + ABI action list -> *absint.Report,
+//     the abstract-interpretation three-valued verdicts campaign triage
+//     consults (a pure function of module bytes and action names).
 //
 // Determinism contract: with any Mode, at any worker count, campaign
 // FindingsDigest and StateDigest are byte-identical to a memo-off run.
@@ -39,11 +42,14 @@ package memo
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/eos"
 	"repro/internal/static"
+	"repro/internal/static/absint"
 	"repro/internal/symbolic"
 	"repro/internal/wasm"
 )
@@ -111,6 +117,8 @@ type Stats struct {
 	ModuleMisses    int64
 	StaticHits      int64
 	StaticMisses    int64
+	VerdictHits     int64
+	VerdictMisses   int64
 }
 
 // Sub returns s - prev, the delta between two snapshots (per-campaign
@@ -125,16 +133,20 @@ func (s Stats) Sub(prev Stats) Stats {
 		ModuleMisses:    s.ModuleMisses - prev.ModuleMisses,
 		StaticHits:      s.StaticHits - prev.StaticHits,
 		StaticMisses:    s.StaticMisses - prev.StaticMisses,
+		VerdictHits:     s.VerdictHits - prev.VerdictHits,
+		VerdictMisses:   s.VerdictMisses - prev.VerdictMisses,
 	}
 }
 
 // Hits sums hit counters across tiers.
 func (s Stats) Hits() int64 {
-	return s.SolverHits + s.SolverUnsatHits + s.ModuleHits + s.StaticHits
+	return s.SolverHits + s.SolverUnsatHits + s.ModuleHits + s.StaticHits + s.VerdictHits
 }
 
 // Misses sums miss counters across tiers.
-func (s Stats) Misses() int64 { return s.SolverMisses + s.ModuleMisses + s.StaticMisses }
+func (s Stats) Misses() int64 {
+	return s.SolverMisses + s.ModuleMisses + s.StaticMisses + s.VerdictMisses
+}
 
 // HitRate is Hits / (Hits + Misses), 0 when the cache was never consulted.
 func (s Stats) HitRate() float64 {
@@ -148,24 +160,25 @@ func (s Stats) HitRate() float64 {
 // String renders the counters in the campaign-report style.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"solver hits=%d (unsat-perm %d) misses=%d evictions=%d | module hits=%d misses=%d | static hits=%d misses=%d | hit rate %.1f%%",
+		"solver hits=%d (unsat-perm %d) misses=%d evictions=%d | module hits=%d misses=%d | static hits=%d misses=%d | verdict hits=%d misses=%d | hit rate %.1f%%",
 		s.SolverHits+s.SolverUnsatHits, s.SolverUnsatHits, s.SolverMisses, s.SolverEvictions,
-		s.ModuleHits, s.ModuleMisses, s.StaticHits, s.StaticMisses, 100*s.HitRate())
+		s.ModuleHits, s.ModuleMisses, s.StaticHits, s.StaticMisses, s.VerdictHits, s.VerdictMisses, 100*s.HitRate())
 }
 
 // DefaultShardCap bounds each of the 16 shards of each tier; the
 // per-tier capacity is 16 × DefaultShardCap entries.
 const DefaultShardCap = 4096
 
-// Cache is the three-tier memoization store. The zero value is not
+// Cache is the four-tier memoization store. The zero value is not
 // usable; construct with New. All methods are safe for concurrent use
 // and nil-safe (a nil *Cache behaves as memoization-off), so call sites
 // need no guards.
 type Cache struct {
-	solver  sharded[symbolic.SolverVerdict] // Ordered key -> verdict
-	unsat   sharded[struct{}]               // Sorted key -> (Unsat)
-	modules sharded[*wasm.Module]           // bytecode hash -> module
-	reports sharded[*static.Report]         // bytecode hash -> report (nil = analyze failed)
+	solver   sharded[symbolic.SolverVerdict] // Ordered key -> verdict
+	unsat    sharded[struct{}]               // Sorted key -> (Unsat)
+	modules  sharded[*wasm.Module]           // bytecode hash -> module
+	reports  sharded[*static.Report]         // bytecode hash -> report (nil = analyze failed)
+	verdicts sharded[*absint.Report]         // bytecode+actions hash -> verdict report
 
 	// moduleKeys remembers the content hash of modules this cache
 	// decoded, so the static tier can key reports without re-encoding.
@@ -179,6 +192,8 @@ type Cache struct {
 	moduleMisses    atomic.Int64
 	staticHits      atomic.Int64
 	staticMisses    atomic.Int64
+	verdictHits     atomic.Int64
+	verdictMisses   atomic.Int64
 }
 
 // New returns an empty cache with default capacities.
@@ -188,6 +203,7 @@ func New() *Cache {
 	c.unsat.init(DefaultShardCap)
 	c.modules.init(DefaultShardCap / 16) // modules are big; keep fewer
 	c.reports.init(DefaultShardCap / 16)
+	c.verdicts.init(DefaultShardCap / 16)
 	return c
 }
 
@@ -210,11 +226,13 @@ func (c *Cache) Snapshot() Stats {
 		SolverHits:      c.solverHits.Load(),
 		SolverUnsatHits: c.solverUnsatHits.Load(),
 		SolverMisses:    c.solverMisses.Load(),
-		SolverEvictions: c.solver.evictions.Load() + c.unsat.evictions.Load() + c.modules.evictions.Load() + c.reports.evictions.Load(),
+		SolverEvictions: c.solver.evictions.Load() + c.unsat.evictions.Load() + c.modules.evictions.Load() + c.reports.evictions.Load() + c.verdicts.evictions.Load(),
 		ModuleHits:      c.moduleHits.Load(),
 		ModuleMisses:    c.moduleMisses.Load(),
 		StaticHits:      c.staticHits.Load(),
 		StaticMisses:    c.staticMisses.Load(),
+		VerdictHits:     c.verdictHits.Load(),
+		VerdictMisses:   c.verdictMisses.Load(),
 	}
 }
 
@@ -312,6 +330,40 @@ func (c *Cache) Static(m *wasm.Module, analyze func(*wasm.Module) (*static.Repor
 	}
 	c.reports.put(key, rep)
 	return rep, nil
+}
+
+// --- verdict tier -----------------------------------------------------------
+
+// Verdict returns the abstract-interpretation verdict report for m under
+// the given ABI action list, calling analyze on first encounter of the
+// (module content, actions) pair. absint.Analyze is a pure deterministic
+// function of exactly those inputs (the absint determinism test pins it),
+// so replaying a cached report is indistinguishable from re-analyzing.
+func (c *Cache) Verdict(m *wasm.Module, actions []eos.Name, analyze func(*wasm.Module, []eos.Name) *absint.Report) *absint.Report {
+	if c == nil {
+		return analyze(m, actions)
+	}
+	mkey, ok := c.moduleKey(m)
+	if !ok {
+		return analyze(m, actions)
+	}
+	h := sha256.New()
+	h.Write(mkey[:])
+	var buf [8]byte
+	for _, a := range actions {
+		binary.LittleEndian.PutUint64(buf[:], uint64(a))
+		h.Write(buf[:])
+	}
+	var key [32]byte
+	h.Sum(key[:0])
+	if rep, ok := c.verdicts.get(key); ok {
+		c.verdictHits.Add(1)
+		return rep
+	}
+	c.verdictMisses.Add(1)
+	rep := analyze(m, actions)
+	c.verdicts.put(key, rep)
+	return rep
 }
 
 func (c *Cache) moduleKey(m *wasm.Module) ([32]byte, bool) {

@@ -7,7 +7,9 @@ import (
 	"testing"
 
 	"repro/internal/contractgen"
+	"repro/internal/eos"
 	"repro/internal/static"
+	"repro/internal/static/absint"
 	"repro/internal/symbolic"
 	"repro/internal/wasm"
 )
@@ -329,5 +331,57 @@ func TestStatsSubAndString(t *testing.T) {
 	}
 	if s := fmt.Sprint(a); s == "" {
 		t.Error("empty String")
+	}
+}
+
+func TestVerdictTier(t *testing.T) {
+	c := New()
+	bin := testModuleBytes(t)
+	m, err := c.Module(bin, wasm.Decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actions := []eos.Name{eos.MustName("sweep"), eos.MustName("reveal")}
+	calls := 0
+	analyze := func(mod *wasm.Module, acts []eos.Name) *absint.Report {
+		calls++
+		return absint.Analyze(mod, acts)
+	}
+	r1 := c.Verdict(m, actions, analyze)
+	r2 := c.Verdict(m, actions, analyze)
+	if calls != 1 {
+		t.Errorf("analyze ran %d times, want 1", calls)
+	}
+	if r1 != r2 {
+		t.Error("cached verdict report is not the same instance")
+	}
+	// A different action list is a different key: the report must not be
+	// shared, since MissAuth quantifies over the ABI's actions.
+	_ = c.Verdict(m, []eos.Name{eos.MustName("sweep")}, analyze)
+	if calls != 2 {
+		t.Errorf("distinct action list served from cache: %d calls, want 2", calls)
+	}
+	// Content-identical module decoded again shares the cached report.
+	m2, err := c.Module(bin, wasm.Decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 := c.Verdict(m2, actions, analyze); r3 != r1 {
+		t.Error("content-identical module did not share the cached report")
+	}
+	if calls != 2 {
+		t.Errorf("cached module re-analyzed: %d calls, want 2", calls)
+	}
+	st := c.Snapshot()
+	if st.VerdictHits != 2 || st.VerdictMisses != 2 {
+		t.Errorf("verdict counters hits=%d misses=%d, want 2/2", st.VerdictHits, st.VerdictMisses)
+	}
+	// Nil cache: pass-through.
+	var nc *Cache
+	if rep := nc.Verdict(m, actions, analyze); rep == nil {
+		t.Error("nil cache Verdict returned nil report")
+	}
+	if calls != 3 {
+		t.Errorf("nil cache did not call analyze: %d calls, want 3", calls)
 	}
 }

@@ -1,0 +1,273 @@
+package absint
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/contractgen"
+	"repro/internal/eos"
+	"repro/internal/fuzz"
+	"repro/internal/trace"
+)
+
+func abiActions(a *abi.ABI) []eos.Name {
+	var out []eos.Name
+	for _, act := range a.Actions {
+		out = append(out, act.Name)
+	}
+	return out
+}
+
+// runDynamic executes a real fuzzing campaign and returns the scanner's
+// per-class verdicts plus the captured traces.
+func runDynamic(t *testing.T, c *contractgen.Contract, iters int) (map[contractgen.Class]bool, []trace.Trace) {
+	t.Helper()
+	f, err := fuzz.New(c.Module, c.ABI, fuzz.Config{
+		Iterations: iters, SolverConflicts: 50_000, Seed: 1, KeepTraces: true,
+	})
+	if err != nil {
+		t.Fatalf("fuzz.New: %v", err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatalf("fuzz.Run: %v", err)
+	}
+	return res.Report.Vulnerable, res.Traces
+}
+
+// checkSound asserts the two soundness directions of a verdict report
+// against a dynamic campaign's observations.
+func checkSound(t *testing.T, label string, rp *Report, dyn map[contractgen.Class]bool) {
+	t.Helper()
+	for _, class := range contractgen.Classes {
+		v := rp.Verdicts[class]
+		if v.Kind == ProvenNegative && dyn[class] {
+			t.Errorf("%s: %s proven negative but dynamically vulnerable", label, class)
+		}
+		if v.Kind == ProvenPositive && !dyn[class] {
+			t.Errorf("%s: %s proven positive but dynamic oracle never fired", label, class)
+		}
+	}
+}
+
+// checkDeadEdges asserts no captured conditional event contradicts a
+// proven-dead outcome.
+func checkDeadEdges(t *testing.T, label string, rp *Report, traces []trace.Trace) {
+	t.Helper()
+	if len(rp.DeadEdges) == 0 {
+		return
+	}
+	dead := map[[2]uint32][2]bool{}
+	for _, d := range rp.DeadEdges {
+		k := [2]uint32{d.Func, d.PC}
+		e := dead[k]
+		if d.CondTrue {
+			e[0] = true
+		} else {
+			e[1] = true
+		}
+		dead[k] = e
+	}
+	for _, tr := range traces {
+		for _, ev := range tr.Events {
+			if ev.Kind != trace.HookCond {
+				continue
+			}
+			e, ok := dead[[2]uint32{ev.Func, uint32(ev.PC)}]
+			if !ok {
+				continue
+			}
+			outcome := ev.Operand != 0
+			if (outcome && e[0]) || (!outcome && e[1]) {
+				t.Errorf("%s: dead edge (func %d, pc %d, cond %v) observed dynamically",
+					label, ev.Func, ev.PC, outcome)
+			}
+		}
+	}
+}
+
+// soundnessSpecs is the generated-corpus sweep: every class in both
+// vulnerable and safe form, both dispatcher encodings, plus the structural
+// variants that exercise the prover's edge cases.
+func soundnessSpecs() map[string]contractgen.Spec {
+	specs := map[string]contractgen.Spec{}
+	for _, class := range contractgen.Classes {
+		for _, vul := range []bool{true, false} {
+			name := class.String()
+			if vul {
+				name += "/vul"
+			} else {
+				name += "/safe"
+			}
+			specs[name] = contractgen.Spec{Class: class, Vulnerable: vul, Seed: 11}
+		}
+	}
+	specs["Rollback/blockskip"] = contractgen.Spec{
+		Class: contractgen.ClassRollback, Vulnerable: true, Seed: 12,
+		DispatcherStyle: contractgen.DispatchBlockSkip,
+	}
+	specs["BlockinfoDep/inaccessible"] = contractgen.Spec{
+		Class: contractgen.ClassBlockinfoDep, Vulnerable: true, Seed: 13, Inaccessible: true,
+	}
+	specs["BlockinfoDep/branches"] = contractgen.Spec{
+		Class: contractgen.ClassBlockinfoDep, Vulnerable: true, Seed: 14,
+		Branches: []contractgen.BranchCheck{{Field: "amount", Value: 250_000}},
+	}
+	specs["FakeNotif/eosponserpays"] = contractgen.Spec{
+		Class: contractgen.ClassFakeNotif, Vulnerable: true, Seed: 15, EosponserPays: true,
+	}
+	specs["Rollback/dbdependent"] = contractgen.Spec{
+		Class: contractgen.ClassRollback, Vulnerable: true, Seed: 16, DBDependent: true,
+	}
+	return specs
+}
+
+// TestVerdictSoundnessGenerated cross-checks the static verdicts against a
+// real dynamic campaign on the full generated corpus, in both directions.
+func TestVerdictSoundnessGenerated(t *testing.T) {
+	for name, spec := range soundnessSpecs() {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := contractgen.Generate(spec)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			rp := Analyze(c.Module, abiActions(c.ABI))
+			dyn, traces := runDynamic(t, c, 160)
+			checkSound(t, name, rp, dyn)
+			checkDeadEdges(t, name, rp, traces)
+			for _, class := range contractgen.Classes {
+				t.Logf("%-14s %-15s %s", class, rp.Verdicts[class].Kind, rp.Verdicts[class].Reason)
+			}
+			t.Logf("complete=%v paths=%d deadEdges=%d", rp.Complete, rp.Paths, len(rp.DeadEdges))
+		})
+	}
+}
+
+// TestVerdictSoundnessWild repeats the cross-check on a wild population
+// sample, and checks the static engine resolves a sizable share of it.
+func TestVerdictSoundnessWild(t *testing.T) {
+	wild, err := contractgen.GenerateWild(contractgen.DefaultWildOptions(12), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatalf("GenerateWild: %v", err)
+	}
+	resolved := 0
+	for _, w := range wild {
+		w := w
+		rp := Analyze(w.Contract.Module, abiActions(w.Contract.ABI))
+		dyn, traces := runDynamic(t, w.Contract, 160)
+		checkSound(t, w.Name.String(), rp, dyn)
+		checkDeadEdges(t, w.Name.String(), rp, traces)
+		if rp.AllNegative() || rp.AnyPositive() {
+			resolved++
+		}
+		for _, class := range contractgen.Classes {
+			t.Logf("%s: %-14s %-15s truth=%v dyn=%v", w.Name, class,
+				rp.Verdicts[class].Kind, w.Truth[class], dyn[class])
+		}
+	}
+	t.Logf("wild resolution: %d/%d", resolved, len(wild))
+}
+
+// TestVerdictExpectations pins the proofs the engine must find on the
+// canonical generated corpus: safe contracts prove their own class negative,
+// vulnerable templates prove their class positive. The one exception is the
+// single-class Rollback template, whose send_inline hides behind the
+// tapos-derived lottery outcome (Listing 4): no static proof can decide a
+// chain-environment coin flip, so Unknown is the correct verdict and the
+// class falls through to the dynamic campaign.
+func TestVerdictExpectations(t *testing.T) {
+	for _, class := range contractgen.Classes {
+		c, err := contractgen.Generate(contractgen.Spec{Class: class, Vulnerable: false, Seed: 21})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		rp := Analyze(c.Module, abiActions(c.ABI))
+		if v := rp.Verdicts[class]; v.Kind != ProvenNegative {
+			t.Errorf("%s safe: verdict %s (%s), want proven-negative", class, v.Kind, v.Reason)
+		}
+
+		c, err = contractgen.Generate(contractgen.Spec{Class: class, Vulnerable: true, Seed: 21})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		rp = Analyze(c.Module, abiActions(c.ABI))
+		v := rp.Verdicts[class]
+		if class == contractgen.ClassRollback {
+			if v.Kind != Unknown {
+				t.Errorf("Rollback vulnerable (tapos-gated): verdict %s (%s), want unknown", v.Kind, v.Reason)
+			}
+			continue
+		}
+		if v.Kind != ProvenPositive {
+			t.Errorf("%s vulnerable: verdict %s (%s), want proven-positive", class, v.Kind, v.Reason)
+		} else if v.Witness == nil {
+			t.Errorf("%s vulnerable: proven positive without witness", class)
+		}
+	}
+
+	// A Rollback contract built via VulnSet swaps the tapos lottery for the
+	// amount-parity substitute, which the known-bits domain decides: the
+	// inline payout must be provable there.
+	c, err := contractgen.Generate(contractgen.Spec{
+		Class:   contractgen.ClassRollback,
+		VulnSet: map[contractgen.Class]bool{contractgen.ClassRollback: true},
+		Seed:    21,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	rp := Analyze(c.Module, abiActions(c.ABI))
+	if v := rp.Verdicts[contractgen.ClassRollback]; v.Kind != ProvenPositive {
+		t.Errorf("Rollback vulnset: verdict %s (%s), want proven-positive", v.Kind, v.Reason)
+	} else if v.Witness == nil {
+		t.Error("Rollback vulnset: proven positive without witness")
+	}
+}
+
+// TestInaccessibleProvenNegative: a contradictory guard around the
+// vulnerable template must yield a negative proof and dead edges.
+func TestInaccessibleProvenNegative(t *testing.T) {
+	c, err := contractgen.Generate(contractgen.Spec{
+		Class: contractgen.ClassBlockinfoDep, Vulnerable: true, Seed: 31, Inaccessible: true,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	rp := Analyze(c.Module, abiActions(c.ABI))
+	if v := rp.Verdicts[contractgen.ClassBlockinfoDep]; v.Kind != ProvenNegative {
+		t.Errorf("inaccessible blockinfo: verdict %s (%s), want proven-negative", v.Kind, v.Reason)
+	}
+	if !rp.Complete {
+		t.Error("inaccessible blockinfo: universal cover incomplete")
+	}
+	if len(rp.DeadEdges) == 0 {
+		t.Error("inaccessible blockinfo: no dead edges proven")
+	}
+}
+
+// TestAnalyzeDeterministic: byte-identical reports across repeated runs.
+func TestAnalyzeDeterministic(t *testing.T) {
+	c, err := contractgen.Generate(contractgen.Spec{
+		Class: contractgen.ClassMissAuth, Vulnerable: true, Seed: 41,
+		Branches: []contractgen.BranchCheck{{Field: "to", Value: uint64(eos.MustName("bob"))}},
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var prev []byte
+	for i := 0; i < 3; i++ {
+		rp := Analyze(c.Module, abiActions(c.ABI))
+		b, err := json.Marshal(rp)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if prev != nil && string(b) != string(prev) {
+			t.Fatalf("run %d: report differs:\n%s\nvs\n%s", i, b, prev)
+		}
+		prev = b
+	}
+}

@@ -1,0 +1,219 @@
+package absint
+
+// host.go models the chain's host API (internal/chain/hostapi.go) over
+// abstract values. Each intrinsic mirrors two things exactly:
+//
+//   - the oracle-relevant facts internal/scanner derives from its HookCall
+//     events — permission, effect, blockinfo and require_recipient flags are
+//     recorded at call time, before the call can trap, matching the
+//     instrumentation order; and
+//   - its chain semantics — require_auth passes iff the argument names the
+//     transaction signer (always the payload `from`), read_action_data
+//     binds the symbolic payload view, memory-writing intrinsics clobber it.
+//
+// Anything not provably safe forks a trapped terminal so that per-path
+// (∀) facts also cover trap-prefix executions.
+
+// hostCall dispatches one import call. idx is the function index (< nImp).
+func (r *run) hostCall(name string, idx int, args []Value, st *state) []result {
+	nres := r.e.nRes[idx]
+	ret := func(s *state, vs ...Value) []result {
+		out := make([]Value, nres)
+		for i := range out {
+			if i < len(vs) {
+				out[i] = vs[i]
+			} else {
+				out[i] = unknown()
+			}
+		}
+		return []result{{st: s, vals: out}}
+	}
+	// retMayTrap pairs the continuing path with a trapped terminal. In
+	// witness mode (unless the goal already fired at the call itself) the
+	// path ends here: continuing past a possible trap is not replayable.
+	retMayTrap := func(vs ...Value) []result {
+		tr := result{st: st.clone(), trapped: true}
+		if r.witness && r.found == nil {
+			return []result{tr}
+		}
+		return append([]result{tr}, ret(st, vs...)...)
+	}
+	arg := func(i int) Value {
+		if i < len(args) {
+			return r.resolve(st, args[i])
+		}
+		return unknown()
+	}
+	rawArg := func(i int) Value {
+		if i < len(args) {
+			return args[i]
+		}
+		return unknown()
+	}
+
+	// condFork splits on a host-checked condition: pass continues, fail
+	// traps. Reuses the branch machinery so refinements and the witness
+	// assumption budget apply.
+	condFork := func(cond Value) []result {
+		if t, ok := r.truth(st, cond); ok {
+			if t {
+				return ret(st)
+			}
+			return []result{{st: st, trapped: true}}
+		}
+		var out []result
+		pass := st.clone()
+		if r.branchRefine(pass, cond, true) {
+			out = append(out, ret(pass)...)
+		}
+		fail := st.clone()
+		if r.branchRefine(fail, cond, false) {
+			out = append(out, result{st: fail, trapped: true})
+		}
+		return out
+	}
+
+	onEffect := func() {
+		if !st.authSeen {
+			st.hitEffectNoAuth = true
+			r.agg.anyEffectNoAuth = true
+		}
+		r.checkGoal(st)
+	}
+
+	switch name {
+	case "require_auth", "require_auth2":
+		// Permission fact first: the HookCall event precedes the trap.
+		st.authSeen = true
+		p := pred{op: cmpEq, a: arg(0), b: fieldVal(FieldFrom)}
+		return condFork(Value{kind: kBool, pred: &p})
+
+	case "has_auth":
+		st.authSeen = true
+		p := pred{op: cmpEq, a: arg(0), b: fieldVal(FieldFrom)}
+		return ret(st, Value{kind: kBool, pred: &p})
+
+	case "require_recipient":
+		st.reqRecip = true
+		r.agg.anyReqRecip = true
+		return ret(st)
+
+	case "is_account":
+		v := arg(0)
+		for _, k := range []uint64{attackerC, victimC, agentC, fakeTokenC, tokenC} {
+			if r.isDef(st, v, k) {
+				return ret(st, exact(1))
+			}
+		}
+		// The signer's account is created before every transaction.
+		if res, ok := r.decidePred(st, pred{op: cmpEq, a: v, b: fieldVal(FieldFrom)}); ok && res {
+			return ret(st, exact(1))
+		}
+		return ret(st, unknown())
+
+	case "current_receiver":
+		// The analyzed module only ever executes as the victim account.
+		return ret(st, exact(victimC))
+
+	case "eosio_assert":
+		return condFork(rawArg(0))
+
+	case "read_action_data":
+		p := arg(0)
+		if p.kind != kExact {
+			st.clobberAll()
+			return retMayTrap(Value{kind: kDataSize})
+		}
+		base := uint64(uint32(p.c))
+		st.clobberWindow(base, 64) // payloads are well under 64 bytes
+		l := arg(1)
+		if l.kind == kDataSize || (l.kind == kExact && l.c >= payloadFieldBytes+1) {
+			// Full copy: the fixed 32-byte field prefix is freshly written.
+			st.payloadBase = base
+			st.payloadOK = true
+		} else {
+			st.payloadOK = false
+		}
+		if base+64 > r.e.memMin {
+			return retMayTrap(Value{kind: kDataSize})
+		}
+		return ret(st, Value{kind: kDataSize})
+
+	case "action_data_size":
+		return ret(st, Value{kind: kDataSize})
+
+	case "send_inline":
+		st.hitSendInline = true
+		st.hitSend = true
+		r.agg.anySendInline = true
+		r.agg.anySend = true
+		onEffect()
+		return retMayTrap() // the packed action may fail to parse
+
+	case "send_deferred":
+		st.hitSend = true
+		r.agg.anySend = true
+		onEffect()
+		return retMayTrap()
+
+	case "tapos_block_num", "tapos_block_prefix":
+		st.hitTapos = true
+		r.agg.anyTapos = true
+		r.checkGoal(st)
+		return ret(st, unknown())
+
+	case "current_time":
+		return ret(st, unknown())
+
+	case "db_store_i64":
+		onEffect()
+		return retMayTrap(unknown())
+
+	case "db_update_i64", "db_remove_i64":
+		onEffect()
+		return retMayTrap()
+
+	case "db_find_i64", "db_lowerbound_i64", "db_end_i64":
+		return ret(st, unknown())
+
+	case "db_get_i64":
+		p, n := arg(1), arg(2)
+		if p.kind == kExact && n.kind == kExact {
+			st.clobberWindow(uint64(uint32(p.c)), n.c&0xffffffff)
+		} else {
+			st.clobberAll()
+		}
+		return retMayTrap(unknown())
+
+	case "db_next_i64", "db_previous_i64":
+		if p := arg(1); p.kind == kExact {
+			st.clobberWindow(uint64(uint32(p.c)), 8)
+		} else {
+			st.clobberAll()
+		}
+		return retMayTrap(unknown())
+
+	case "prints", "printi", "printn":
+		return ret(st)
+
+	case "prints_l":
+		return retMayTrap()
+
+	case "memcpy", "memset":
+		d, n := arg(0), arg(2)
+		if d.kind == kExact && n.kind == kExact {
+			st.clobberWindow(uint64(uint32(d.c)), n.c&0xffffffff)
+			return retMayTrap(d)
+		}
+		st.clobberAll()
+		return retMayTrap(unknown())
+
+	case "abort":
+		return []result{{st: st, trapped: true}}
+	}
+
+	// Unknown import: assume the worst — arbitrary memory writes, any
+	// results, possible trap.
+	st.clobberAll()
+	return retMayTrap()
+}

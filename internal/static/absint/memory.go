@@ -1,0 +1,126 @@
+package absint
+
+import (
+	"repro/internal/wasm"
+	"repro/internal/wasm/exec"
+)
+
+// The linear-memory model is a per-path overlay of exact-width stores plus a
+// symbolic view of the action-payload buffer read_action_data filled. Stores
+// in the overlay are kept disjoint (a write deletes whatever it overlaps), so
+// an exact key hit is authoritative. Everything outside the overlay is
+// Unknown: the contract instance's memory persists across the campaign's
+// transactions, so even never-stored addresses hold arbitrary bytes.
+
+// payloadFieldBytes covers the fixed from/to/amount/symbol prefix of the
+// transfer ABI layout (8 bytes each); the memo tail past it is deliberately
+// unmodeled because a shorter re-read leaves stale bytes there.
+const payloadFieldBytes = 32
+
+func rangesOverlap(a, alen, b, blen uint64) bool {
+	return a < b+blen && b < a+alen
+}
+
+// zeroExtLoad reports whether op reproduces stored bytes without sign
+// extension, i.e. returns exactly the normalized value the overlay keeps.
+func zeroExtLoad(op wasm.Opcode) bool {
+	switch op {
+	case wasm.OpI32Load, wasm.OpI64Load, wasm.OpF32Load, wasm.OpF64Load,
+		wasm.OpI32Load8U, wasm.OpI32Load16U,
+		wasm.OpI64Load8U, wasm.OpI64Load16U, wasm.OpI64Load32U:
+		return true
+	}
+	return false
+}
+
+// load models one linear-memory read; the second result is may-trap.
+func (r *run) load(st *state, addr Value, in exec.IRInstr) (Value, bool) {
+	av := r.resolve(st, addr)
+	if av.kind != kExact {
+		return unknown(), true
+	}
+	ea := uint64(uint32(av.c)) + uint64(in.B)
+	w := uint64(in.A)
+	mayTrap := ea+w > r.e.memMin
+	op := wasm.Opcode(in.X)
+	if v, ok := st.mem[memKey{addr: ea, width: uint8(w)}]; ok && zeroExtLoad(op) {
+		return v, mayTrap
+	}
+	for k := range st.mem {
+		if rangesOverlap(k.addr, uint64(k.width), ea, w) {
+			return unknown(), mayTrap
+		}
+	}
+	if st.payloadOK && op == wasm.OpI64Load && w == 8 {
+		switch ea {
+		case st.payloadBase:
+			return fieldVal(FieldFrom), mayTrap
+		case st.payloadBase + 8:
+			return fieldVal(FieldTo), mayTrap
+		case st.payloadBase + 16:
+			return fieldVal(FieldAmount), mayTrap
+		case st.payloadBase + 24:
+			return fieldVal(FieldSymbol), mayTrap
+		}
+	}
+	return unknown(), mayTrap
+}
+
+// store models one linear-memory write; the result is may-trap.
+func (r *run) store(st *state, addr, val Value, in exec.IRInstr) bool {
+	av := r.resolve(st, addr)
+	if av.kind != kExact {
+		// Unknown destination: anything may have been overwritten.
+		st.clobberAll()
+		return true
+	}
+	ea := uint64(uint32(av.c)) + uint64(in.B)
+	w := uint64(in.A)
+	mayTrap := ea+w > r.e.memMin
+	v := r.resolve(st, val)
+	wm := widthMask(w)
+	switch v.kind {
+	case kExact:
+		v = exact(v.c & wm) // stored bytes are the low w bytes
+	case kField:
+		v = Value{kind: kField, field: v.field, mask: v.mask & wm}
+	case kBool:
+		// 0/1 survives any truncation
+	default:
+		v = unknown()
+	}
+	key := memKey{addr: ea, width: uint8(w)}
+	for k := range st.mem {
+		if k != key && rangesOverlap(k.addr, uint64(k.width), ea, w) {
+			delete(st.mem, k)
+		}
+	}
+	st.mem[key] = v
+	if st.payloadOK && rangesOverlap(ea, w, st.payloadBase, payloadFieldBytes) {
+		// A field-aligned full-width overwrite is shadowed by the overlay
+		// entry; anything else degrades the symbolic payload view.
+		if w != 8 || (ea-st.payloadBase)%8 != 0 {
+			st.payloadOK = false
+		}
+	}
+	return mayTrap
+}
+
+// clobberWindow forgets everything known about [base, base+n): overlay
+// entries are dropped and an overlapping payload view is degraded.
+func (st *state) clobberWindow(base, n uint64) {
+	for k := range st.mem {
+		if rangesOverlap(k.addr, uint64(k.width), base, n) {
+			delete(st.mem, k)
+		}
+	}
+	if st.payloadOK && rangesOverlap(base, n, st.payloadBase, payloadFieldBytes) {
+		st.payloadOK = false
+	}
+}
+
+// clobberAll forgets the entire memory model (write to unknown address).
+func (st *state) clobberAll() {
+	st.mem = map[memKey]Value{}
+	st.payloadOK = false
+}

@@ -1,0 +1,162 @@
+package absint
+
+import (
+	"repro/internal/eos"
+)
+
+// A scenario models one payload shape of the fuzzing harness
+// (internal/fuzz buildSchedule) as pins and draw distributions over the
+// abstract input fields. Verdict proofs quantify over exactly the
+// executions the harness can produce, so the pins here must match
+// fuzz.effectiveParams and the well-known campaign accounts byte for byte;
+// absint_test.go cross-checks them dynamically.
+type scenario struct {
+	name string
+	// universal marks the "any apply invocation" scenario: code/action and
+	// every payload field unconstrained. It over-approximates all other
+	// scenarios including nested notifications (inline payouts, deferred
+	// actions, require_recipient forwards), because receiver is the only
+	// thing a victim trace pins.
+	universal bool
+	fields    [numFields]fieldSpec
+}
+
+// fieldSpec describes one abstract input field within a scenario.
+type fieldSpec struct {
+	pinned bool
+	pin    uint64
+	// cover is the sound value domain for cover mode (everything the
+	// harness — including solver-fed seeds — may produce).
+	cover fieldDom
+	// witnessPin, when set, treats the field as the given constant in
+	// witness mode only: the random draw produces it with near certainty
+	// (e.g. the symbol field, always EOS in seeds) but cover mode must not
+	// rely on it because feedback mutation can perturb it.
+	witnessPin    bool
+	witnessPinVal uint64
+	// space is the random draw distribution, bounding witness assumptions.
+	space drawSpace
+}
+
+// Well-known campaign constants, mirrored from internal/fuzz and
+// internal/eos.
+var (
+	attackerC  = uint64(eos.MustName("attacker"))
+	victimC    = uint64(eos.MustName("victim"))
+	agentC     = uint64(eos.MustName("fake.notif"))
+	fakeTokenC = uint64(eos.MustName("fake.token"))
+	tokenC     = uint64(eos.TokenContract)
+	transferC  = uint64(eos.ActionTransfer)
+	symbolC    = uint64(eos.EOSSymbol)
+)
+
+// Draw spaces of the harness's random parameters (fuzz.randomParams):
+// names are full-u64 one third of the time, amounts mostly land in
+// [0, 2e6), the symbol is always EOS.
+var (
+	nameSpace      = drawSpace{lo: 0, hi: fullMask}
+	amountSpace    = drawSpace{lo: 0, hi: 1_999_999}
+	amountPosSpace = drawSpace{lo: 1, hi: 1_999_999} // after clampAmount
+)
+
+func pinnedField(v uint64) fieldSpec {
+	d := topDom()
+	d.lo, d.hi = v, v
+	return fieldSpec{pinned: true, pin: v, cover: d, space: drawSpace{lo: v, hi: v}}
+}
+
+func freeField(space drawSpace, cover fieldDom) fieldSpec {
+	return fieldSpec{cover: cover, space: space}
+}
+
+// symbolField: cover-free (solver feedback may perturb it), witness-pinned
+// (every seed draws EOS).
+func symbolField() fieldSpec {
+	return fieldSpec{cover: topDom(), witnessPin: true, witnessPinVal: symbolC,
+		space: drawSpace{lo: symbolC, hi: symbolC}}
+}
+
+func clampedAmountField() fieldSpec {
+	d := topDom()
+	d.lo, d.hi = 1, 1_000_000_000 // clampAmount bounds
+	return freeField(amountPosSpace, d)
+}
+
+// scenarioValid is the genuine eosio.token transfer attacker -> victim:
+// the victim trace runs apply(victim, eosio.token, transfer) with pinned
+// from/to/symbol and a clamped positive amount.
+func scenarioValid() scenario {
+	s := scenario{name: "valid"}
+	s.fields[FieldCode] = pinnedField(tokenC)
+	s.fields[FieldAction] = pinnedField(transferC)
+	s.fields[FieldFrom] = pinnedField(attackerC)
+	s.fields[FieldTo] = pinnedField(victimC)
+	s.fields[FieldAmount] = clampedAmountField()
+	s.fields[FieldSymbol] = pinnedField(symbolC)
+	return s
+}
+
+// scenarioDirectFake invokes the transfer handler directly on the victim:
+// code == victim, everything else seed-controlled.
+func scenarioDirectFake() scenario {
+	s := scenario{name: "directfake"}
+	s.fields[FieldCode] = pinnedField(victimC)
+	s.fields[FieldAction] = pinnedField(transferC)
+	s.fields[FieldFrom] = freeField(nameSpace, topDom())
+	s.fields[FieldTo] = freeField(nameSpace, topDom())
+	s.fields[FieldAmount] = freeField(amountSpace, topDom())
+	s.fields[FieldSymbol] = symbolField()
+	return s
+}
+
+// scenarioFakeToken is the counterfeit-EOS shape: a real transfer on the
+// fake.token contract, notifying the victim with code == fake.token and
+// the same pins as a valid transfer.
+func scenarioFakeToken() scenario {
+	s := scenario{name: "faketoken"}
+	s.fields[FieldCode] = pinnedField(fakeTokenC)
+	s.fields[FieldAction] = pinnedField(transferC)
+	s.fields[FieldFrom] = pinnedField(attackerC)
+	s.fields[FieldTo] = pinnedField(victimC)
+	s.fields[FieldAmount] = clampedAmountField()
+	s.fields[FieldSymbol] = pinnedField(symbolC)
+	return s
+}
+
+// scenarioNotif is the forwarded-notification shape: a genuine transfer
+// attacker -> fake.notif whose agent forwards the notification, so the
+// victim sees code == eosio.token with to == fake.notif.
+func scenarioNotif() scenario {
+	s := scenario{name: "forwardednotif"}
+	s.fields[FieldCode] = pinnedField(tokenC)
+	s.fields[FieldAction] = pinnedField(transferC)
+	s.fields[FieldFrom] = pinnedField(attackerC)
+	s.fields[FieldTo] = pinnedField(agentC)
+	s.fields[FieldAmount] = clampedAmountField()
+	s.fields[FieldSymbol] = pinnedField(symbolC)
+	return s
+}
+
+// scenarioDirectAction invokes one non-transfer ABI action on the victim
+// with a fully seed-controlled payload (the DBG dependency dance replays
+// the same shapes, so it is covered too).
+func scenarioDirectAction(action uint64) scenario {
+	s := scenario{name: "direct"}
+	s.fields[FieldCode] = pinnedField(victimC)
+	s.fields[FieldAction] = pinnedField(action)
+	s.fields[FieldFrom] = freeField(nameSpace, topDom())
+	s.fields[FieldTo] = freeField(nameSpace, topDom())
+	s.fields[FieldAmount] = freeField(amountSpace, topDom())
+	s.fields[FieldSymbol] = symbolField()
+	return s
+}
+
+// scenarioUniversal over-approximates every victim trace the harness can
+// ever produce, nested ones included: only the receiver is pinned.
+func scenarioUniversal() scenario {
+	s := scenario{name: "universal", universal: true}
+	for f := FieldID(1); f < numFields; f++ {
+		s.fields[f] = freeField(nameSpace, topDom())
+	}
+	return s
+}

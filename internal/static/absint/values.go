@@ -1,0 +1,342 @@
+package absint
+
+import (
+	"math/bits"
+
+	"repro/internal/wasm"
+	"repro/internal/wasm/exec"
+)
+
+// evalCmpValues models one comparison: decided comparisons collapse to
+// constants, undecided ones keep their predicate so a later branch can
+// refine the operand's field domain.
+func (r *run) evalCmpValues(st *state, op cmpOp, a, b Value, w32 bool) Value {
+	a, b = r.resolve(st, a), r.resolve(st, b)
+	p := pred{op: op, a: a, b: b, w32: w32}
+	if res, ok := r.decidePred(st, p); ok {
+		return boolOf(res)
+	}
+	// A boolean compared against 0/1 (the i32.eqz-on-a-compare idiom) keeps
+	// its predicate, possibly negated.
+	if op == cmpEq || op == cmpNe {
+		if a.kind == kBool && b.kind == kExact && b.c <= 1 {
+			return Value{kind: kBool, pred: a.pred, neg: a.neg != ((op == cmpEq) == (b.c == 0))}
+		}
+		if b.kind == kBool && a.kind == kExact && a.c <= 1 {
+			return Value{kind: kBool, pred: b.pred, neg: b.neg != ((op == cmpEq) == (a.c == 0))}
+		}
+	}
+	switch {
+	case a.kind == kField || b.kind == kField:
+		pc := p
+		return Value{kind: kBool, pred: &pc}
+	default:
+		return unknown()
+	}
+}
+
+func widthMask(w uint64) uint64 {
+	if w >= 8 {
+		return fullMask
+	}
+	return 1<<(8*w) - 1
+}
+
+// inlineOp interprets the fused single-opcode instructions of the decoded
+// IR (the irI32*/irI64* family). Returns false for an operand underflow.
+func (r *run) inlineOp(st *state, op exec.IROp, stk *[]Value) bool {
+	s := *stk
+	pop2 := func() (a, b Value, ok bool) {
+		if len(s) < 2 {
+			return Value{}, Value{}, false
+		}
+		a, b = s[len(s)-2], s[len(s)-1]
+		s = s[:len(s)-2]
+		return a, b, true
+	}
+	pop1 := func() (Value, bool) {
+		if len(s) == 0 {
+			return Value{}, false
+		}
+		v := s[len(s)-1]
+		s = s[:len(s)-1]
+		return v, true
+	}
+	push := func(v Value) { s = append(s, v) }
+	defer func() { *stk = s }()
+
+	bin := func(f func(x, y uint64) uint64) bool {
+		a, b, ok := pop2()
+		if !ok {
+			return false
+		}
+		a, b = r.resolve(st, a), r.resolve(st, b)
+		if a.kind == kExact && b.kind == kExact {
+			push(exact(f(a.c, b.c)))
+		} else {
+			push(unknown())
+		}
+		return true
+	}
+	cmp := func(op cmpOp, w32 bool) bool {
+		a, b, ok := pop2()
+		if !ok {
+			return false
+		}
+		push(r.evalCmpValues(st, op, a, b, w32))
+		return true
+	}
+	u32 := func(f func(x, y uint32) uint32) func(x, y uint64) uint64 {
+		return func(x, y uint64) uint64 { return uint64(f(uint32(x), uint32(y))) }
+	}
+
+	switch op {
+	case exec.IRI32Add:
+		return bin(u32(func(x, y uint32) uint32 { return x + y }))
+	case exec.IRI32Sub:
+		return bin(u32(func(x, y uint32) uint32 { return x - y }))
+	case exec.IRI32Mul:
+		return bin(u32(func(x, y uint32) uint32 { return x * y }))
+	case exec.IRI32And:
+		return bin(u32(func(x, y uint32) uint32 { return x & y }))
+	case exec.IRI32Or:
+		return bin(u32(func(x, y uint32) uint32 { return x | y }))
+	case exec.IRI32Xor:
+		return bin(u32(func(x, y uint32) uint32 { return x ^ y }))
+	case exec.IRI32Shl:
+		return bin(u32(func(x, y uint32) uint32 { return x << (y & 31) }))
+	case exec.IRI32ShrS:
+		return bin(u32(func(x, y uint32) uint32 { return uint32(int32(x) >> (y & 31)) }))
+	case exec.IRI32ShrU:
+		return bin(u32(func(x, y uint32) uint32 { return x >> (y & 31) }))
+
+	case exec.IRI64Add:
+		return bin(func(x, y uint64) uint64 { return x + y })
+	case exec.IRI64Sub:
+		return bin(func(x, y uint64) uint64 { return x - y })
+	case exec.IRI64Mul:
+		return bin(func(x, y uint64) uint64 { return x * y })
+	case exec.IRI64And:
+		// (field & mask) & const composes, keeping bit-level refinement
+		// (the amount-parity payout guards depend on it).
+		a, b, ok := pop2()
+		if !ok {
+			return false
+		}
+		a, b = r.resolve(st, a), r.resolve(st, b)
+		switch {
+		case a.kind == kExact && b.kind == kExact:
+			push(exact(a.c & b.c))
+		case a.kind == kField && b.kind == kExact:
+			push(Value{kind: kField, field: a.field, mask: a.mask & b.c})
+		case b.kind == kField && a.kind == kExact:
+			push(Value{kind: kField, field: b.field, mask: b.mask & a.c})
+		default:
+			push(unknown())
+		}
+		return true
+	case exec.IRI64Or:
+		return bin(func(x, y uint64) uint64 { return x | y })
+	case exec.IRI64Xor:
+		return bin(func(x, y uint64) uint64 { return x ^ y })
+	case exec.IRI64Shl:
+		return bin(func(x, y uint64) uint64 { return x << (y & 63) })
+	case exec.IRI64ShrS:
+		return bin(func(x, y uint64) uint64 { return uint64(int64(x) >> (y & 63)) })
+	case exec.IRI64ShrU:
+		return bin(func(x, y uint64) uint64 { return x >> (y & 63) })
+
+	case exec.IRI32Eq:
+		return cmp(cmpEq, true)
+	case exec.IRI32Ne:
+		return cmp(cmpNe, true)
+	case exec.IRI32LtS:
+		return cmp(cmpLtS, true)
+	case exec.IRI32LtU:
+		return cmp(cmpLtU, true)
+	case exec.IRI32GtS:
+		return cmp(cmpGtS, true)
+	case exec.IRI32GtU:
+		return cmp(cmpGtU, true)
+	case exec.IRI32Eqz:
+		v, ok := pop1()
+		if !ok {
+			return false
+		}
+		push(r.evalCmpValues(st, cmpEq, v, exact(0), true))
+		return true
+
+	case exec.IRI64Eq, exec.IRI64Ne:
+		a, b, ok := pop2()
+		if !ok {
+			return false
+		}
+		// i64.eq / i64.ne are the instrumented comparison sites the Fake
+		// Notification guard oracle watches: model the HookLogCmp event.
+		r.cmpEvent(st, a, b)
+		if op == exec.IRI64Eq {
+			push(r.evalCmpValues(st, cmpEq, a, b, false))
+		} else {
+			push(r.evalCmpValues(st, cmpNe, a, b, false))
+		}
+		return true
+	case exec.IRI64LtS:
+		return cmp(cmpLtS, false)
+	case exec.IRI64LtU:
+		return cmp(cmpLtU, false)
+	case exec.IRI64GtS:
+		return cmp(cmpGtS, false)
+	case exec.IRI64GtU:
+		return cmp(cmpGtU, false)
+	case exec.IRI64Eqz:
+		v, ok := pop1()
+		if !ok {
+			return false
+		}
+		push(r.evalCmpValues(st, cmpEq, v, exact(0), false))
+		return true
+	}
+	return false
+}
+
+// numeric interprets the non-inline opcodes dispatched through irNumeric.
+// ok=false aborts the path (unsupported opcode, e.g. floats); trapNow ends
+// it trapped; mayTrap forks a trapped terminal alongside the continuation.
+func (r *run) numeric(st *state, op wasm.Opcode, stk *[]Value) (ok, mayTrap, trapNow bool) {
+	s := *stk
+	defer func() { *stk = s }()
+
+	cmp2 := func(c cmpOp, w32 bool) (bool, bool, bool) {
+		if len(s) < 2 {
+			return false, false, false
+		}
+		a, b := s[len(s)-2], s[len(s)-1]
+		s = s[:len(s)-2]
+		s = append(s, r.evalCmpValues(st, c, a, b, w32))
+		return true, false, false
+	}
+	div2 := func(f func(x, y uint64) (uint64, bool)) (bool, bool, bool) {
+		if len(s) < 2 {
+			return false, false, false
+		}
+		a, b := r.resolve(st, s[len(s)-2]), r.resolve(st, s[len(s)-1])
+		s = s[:len(s)-2]
+		if b.kind == kExact && b.c == 0 {
+			return true, false, true // definite division by zero
+		}
+		if a.kind == kExact && b.kind == kExact {
+			if v, trap := f(a.c, b.c); !trap {
+				s = append(s, exact(v))
+				return true, false, false
+			}
+			return true, false, true
+		}
+		s = append(s, unknown())
+		return true, true, false // divisor (or overflow) not provably safe
+	}
+	un := func(f func(x uint64) uint64) (bool, bool, bool) {
+		if len(s) == 0 {
+			return false, false, false
+		}
+		v := r.resolve(st, s[len(s)-1])
+		if v.kind == kExact {
+			s[len(s)-1] = exact(f(v.c))
+		} else {
+			s[len(s)-1] = unknown()
+		}
+		return true, false, false
+	}
+	bin := func(f func(x, y uint64) uint64) (bool, bool, bool) {
+		if len(s) < 2 {
+			return false, false, false
+		}
+		a, b := r.resolve(st, s[len(s)-2]), r.resolve(st, s[len(s)-1])
+		s = s[:len(s)-2]
+		if a.kind == kExact && b.kind == kExact {
+			s = append(s, exact(f(a.c, b.c)))
+		} else {
+			s = append(s, unknown())
+		}
+		return true, false, false
+	}
+
+	switch op {
+	case wasm.OpI32GeS:
+		return cmp2(cmpGeS, true)
+	case wasm.OpI32GeU:
+		return cmp2(cmpGeU, true)
+	case wasm.OpI32LeS:
+		return cmp2(cmpLeS, true)
+	case wasm.OpI32LeU:
+		return cmp2(cmpLeU, true)
+	case wasm.OpI64GeS:
+		return cmp2(cmpGeS, false)
+	case wasm.OpI64GeU:
+		return cmp2(cmpGeU, false)
+	case wasm.OpI64LeS:
+		return cmp2(cmpLeS, false)
+	case wasm.OpI64LeU:
+		return cmp2(cmpLeU, false)
+
+	case wasm.OpI32DivU:
+		return div2(func(x, y uint64) (uint64, bool) { return uint64(uint32(x) / uint32(y)), false })
+	case wasm.OpI32RemU:
+		return div2(func(x, y uint64) (uint64, bool) { return uint64(uint32(x) % uint32(y)), false })
+	case wasm.OpI32DivS:
+		return div2(func(x, y uint64) (uint64, bool) {
+			a, b := int32(uint32(x)), int32(uint32(y))
+			if a == -1<<31 && b == -1 {
+				return 0, true
+			}
+			return uint64(uint32(a / b)), false
+		})
+	case wasm.OpI32RemS:
+		return div2(func(x, y uint64) (uint64, bool) {
+			return uint64(uint32(int32(uint32(x)) % int32(uint32(y)))), false
+		})
+	case wasm.OpI64DivU:
+		return div2(func(x, y uint64) (uint64, bool) { return x / y, false })
+	case wasm.OpI64RemU:
+		return div2(func(x, y uint64) (uint64, bool) { return x % y, false })
+	case wasm.OpI64DivS:
+		return div2(func(x, y uint64) (uint64, bool) {
+			a, b := int64(x), int64(y)
+			if a == -1<<63 && b == -1 {
+				return 0, true
+			}
+			return uint64(a / b), false
+		})
+	case wasm.OpI64RemS:
+		return div2(func(x, y uint64) (uint64, bool) { return uint64(int64(x) % int64(y)), false })
+
+	case wasm.OpI32WrapI64:
+		return un(func(x uint64) uint64 { return uint64(uint32(x)) })
+	case wasm.OpI64ExtendI32U:
+		return un(func(x uint64) uint64 { return uint64(uint32(x)) })
+	case wasm.OpI64ExtendI32S:
+		return un(func(x uint64) uint64 { return uint64(int64(int32(uint32(x)))) })
+
+	case wasm.OpI32Clz:
+		return un(func(x uint64) uint64 { return uint64(bits.LeadingZeros32(uint32(x))) })
+	case wasm.OpI32Ctz:
+		return un(func(x uint64) uint64 { return uint64(bits.TrailingZeros32(uint32(x))) })
+	case wasm.OpI32Popcnt:
+		return un(func(x uint64) uint64 { return uint64(bits.OnesCount32(uint32(x))) })
+	case wasm.OpI64Clz:
+		return un(func(x uint64) uint64 { return uint64(bits.LeadingZeros64(x)) })
+	case wasm.OpI64Ctz:
+		return un(func(x uint64) uint64 { return uint64(bits.TrailingZeros64(x)) })
+	case wasm.OpI64Popcnt:
+		return un(func(x uint64) uint64 { return uint64(bits.OnesCount64(x)) })
+
+	case wasm.OpI32Rotl:
+		return bin(func(x, y uint64) uint64 { return uint64(bits.RotateLeft32(uint32(x), int(uint32(y)&31))) })
+	case wasm.OpI32Rotr:
+		return bin(func(x, y uint64) uint64 { return uint64(bits.RotateLeft32(uint32(x), -int(uint32(y)&31))) })
+	case wasm.OpI64Rotl:
+		return bin(func(x, y uint64) uint64 { return bits.RotateLeft64(x, int(y&63)) })
+	case wasm.OpI64Rotr:
+		return bin(func(x, y uint64) uint64 { return bits.RotateLeft64(x, -int(y&63)) })
+	}
+	return false, false, false
+}

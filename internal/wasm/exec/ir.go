@@ -119,6 +119,12 @@ type irFunc struct {
 	maxStack int
 	nLocals  int // params + declared locals
 	nResults int
+	// src maps each ir-pc back to the source pc (index into the original
+	// body) it was lowered from. It lives in a parallel slice — not in the
+	// 24-byte irInstr — so the hot dispatch loop's cache footprint is
+	// unchanged; only observers (the abstract interpreter, witnesses in
+	// original trace coordinates) read it.
+	src []uint32
 }
 
 // irProgram is the decoded form of one module: per-function compiled
@@ -224,6 +230,8 @@ type tablePatch struct{ table, entry int }
 type compiler struct {
 	m         *wasm.Module
 	out       []irInstr
+	srcs      []uint32 // source pc per emitted instruction, parallel to out
+	curSrc    uint32   // source pc of the instruction being lowered
 	tables    [][]irTarget
 	frames    []cFrame
 	nLocals   int
@@ -242,6 +250,7 @@ type compiler struct {
 
 func (c *compiler) emit(in irInstr) {
 	c.out = append(c.out, in)
+	c.srcs = append(c.srcs, c.curSrc)
 }
 
 func (c *compiler) setBarrier() { c.barrier = len(c.out) }
@@ -280,6 +289,7 @@ func compileFunc(m *wasm.Module, code *wasm.Code, ft wasm.FuncType) (fn *irFunc,
 		fnResults: uint8(len(ft.Results)),
 	}
 	for pc := range code.Body {
+		c.curSrc = uint32(pc)
 		if cerr := c.instr(&code.Body[pc]); cerr != nil {
 			return nil, fmt.Errorf("ir: pc %d: %w", pc, cerr)
 		}
@@ -299,6 +309,7 @@ func compileFunc(m *wasm.Module, code *wasm.Code, ft wasm.FuncType) (fn *irFunc,
 		maxStack: c.maxH,
 		nLocals:  len(ft.Params) + int(code.NumLocals()),
 		nResults: len(ft.Results),
+		src:      c.srcs,
 	}, nil
 }
 
@@ -774,6 +785,7 @@ func (c *compiler) lowerDataOp(in *wasm.Instr) error {
 				cost := p1.cost + p2.cost + 1
 				fi := irInstr{op: fused, cost: cost, a: p2.a, b: p1.a}
 				c.out = c.out[:len(c.out)-2]
+				c.srcs = c.srcs[:len(c.srcs)-2]
 				c.emit(fi)
 				return nil
 			}
@@ -786,4 +798,3 @@ func (c *compiler) lowerDataOp(in *wasm.Instr) error {
 	}
 	return nil
 }
-

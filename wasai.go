@@ -38,6 +38,7 @@ import (
 	"repro/internal/fuzz"
 	"repro/internal/memo"
 	"repro/internal/scanner"
+	"repro/internal/static/absint"
 	"repro/internal/trace"
 	"repro/internal/wasm"
 )
@@ -80,6 +81,15 @@ type Config struct {
 	// and digests are byte-identical on/off; the flag only raises
 	// execution throughput.
 	FastVM bool
+	// Verdicts runs the abstract-interpretation verdict engine
+	// (internal/static/absint) before fuzzing. A contract whose five
+	// classes are all proven negative is answered immediately with the
+	// all-clean report the campaign would have produced (its execution
+	// counters are zero); everything else fuzzes as usual. Trace capture
+	// and custom detectors disable the shortcut — proofs say nothing
+	// about them. Findings are identical on/off; see AnalyzeVerdicts for
+	// the verdicts themselves.
+	Verdicts bool
 }
 
 // APIDetector declares a custom oracle over host-API usage: the detector
@@ -170,6 +180,15 @@ func AnalyzeModule(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Report,
 	// Even a single campaign profits from the solver tier: the concolic
 	// loop re-solves unflippable branch queries every time coverage grows.
 	cache := memo.ForMode(mode)
+	if cfg.Verdicts && len(customs) == 0 && cfg.TraceFile == "" {
+		if vr := cache.Verdict(mod, actionNames(contractABI), absint.Analyze); vr.AllNegative() {
+			report := &Report{Custom: map[string]bool{}}
+			for _, class := range contractgen.Classes {
+				report.Findings = append(report.Findings, Finding{Class: class.String()})
+			}
+			return report, nil
+		}
+	}
 	f, err := fuzz.New(mod, contractABI, fuzz.Config{
 		Iterations:      cfg.Iterations,
 		SolverConflicts: cfg.SolverConflicts,
