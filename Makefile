@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz lint chaos bench-regress bench-baseline incr fastvm verdict profile verify
+.PHONY: build test race fuzz lint chaos serve-chaos bench-regress bench-baseline incr fastvm verdict profile verify
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,14 @@ fuzz:
 # verdicts on the un-faulted jobs (exit status is the assertion).
 chaos:
 	$(GO) run ./cmd/wasai-bench -exp chaos -fault-rate 0.2
+
+# Daemon resilience smoke: flood an in-process wasai-serve past its admission
+# limits with multi-tenant fault-injected campaigns; excess submissions must
+# shed with 429 + Retry-After, every tenant must get work admitted, and every
+# admitted job's findings digest must equal an offline run of the same spec
+# (exit status is the assertion).
+serve-chaos:
+	$(GO) run ./cmd/wasai-bench -exp servechaos -fault-rate 0.2
 
 # Benchmark-regression gate: re-run the fixed two-leg workload, write
 # BENCH_<date>.json, and compare against the committed BENCH_BASELINE.json —
@@ -78,6 +86,6 @@ verdict:
 profile:
 	$(GO) run ./cmd/wasai-bench -exp regress -cpuprofile cpu.pprof -memprofile mem.pprof
 
-verify: build lint chaos bench-regress incr fastvm verdict
+verify: build lint chaos serve-chaos bench-regress incr fastvm verdict
 	$(GO) test ./...
 	$(GO) test -race ./...

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fuzz"
 	"repro/internal/memo"
 	"repro/internal/scanner"
+	"repro/internal/store"
 	"repro/internal/wasm"
 )
 
@@ -182,6 +183,20 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wasai: %w", err)
 	}
+	// StoreDir backs the memo with the shared disk store; it implies
+	// memoization (a private cache when Memo is off).
+	var memoCache *memo.Cache
+	if cfg.StoreDir != "" {
+		memoCache = memo.ForMode(mode)
+		if memoCache == nil {
+			memoCache = memo.New()
+		}
+		disk, err := store.OpenShared(store.Options{Dir: cfg.StoreDir})
+		if err != nil {
+			return nil, fmt.Errorf("wasai: memo store: %w", err)
+		}
+		memoCache.AttachDisk(disk)
+	}
 	eng, err := campaign.Start(ctx, campaign.Config{
 		Workers:      cfg.Workers,
 		QueueDepth:   cfg.QueueDepth,
@@ -193,6 +208,7 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
 		Resume:       cfg.Resume,
 		Retry:        campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
 		Memo:         mode,
+		MemoCache:    memoCache,
 		Incremental:  cfg.Incremental,
 		FastVM:       cfg.FastVM,
 	})

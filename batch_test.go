@@ -219,3 +219,49 @@ func TestBatchJobConfigOverride(t *testing.T) {
 			got.Report.Findings, want.Findings)
 	}
 }
+
+// TestBatchStoreDirWarmStart: BatchConfig.StoreDir persists solver
+// verdicts to the disk store, so a second batch over the same contracts
+// (with a cold in-memory cache) answers queries from disk — with findings
+// identical to a store-less run.
+func TestBatchStoreDirWarmStart(t *testing.T) {
+	const n = 6
+	_, jobs := batchContracts(t, n)
+
+	cfg := DefaultBatchConfig()
+	cfg.Iterations = 40
+	cfg.Seed = 5
+	cfg.Workers = 2
+
+	plain, err := AnalyzeBatch(context.Background(), jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Memo stays off: StoreDir alone must imply a (private) cache, so each
+	// batch starts with cold memory tiers and only the disk is shared.
+	cfg.StoreDir = t.TempDir()
+	cold, err := AnalyzeBatch(context.Background(), jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := AnalyzeBatch(context.Background(), jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range plain.Jobs {
+		for _, r := range []*CampaignReport{cold, warm} {
+			if !reflect.DeepEqual(r.Jobs[i].Report.Findings, plain.Jobs[i].Report.Findings) {
+				t.Errorf("contract %d: findings diverge with StoreDir set:\n got: %+v\nwant: %+v",
+					i, r.Jobs[i].Report.Findings, plain.Jobs[i].Report.Findings)
+			}
+		}
+	}
+	if cold.Memo == nil || warm.Memo == nil {
+		t.Fatalf("StoreDir did not imply memoization: cold=%v warm=%v", cold.Memo, warm.Memo)
+	}
+	if warm.Memo.StoreHits == 0 {
+		t.Errorf("warm batch answered nothing from the disk store: %+v", warm.Memo)
+	}
+}

@@ -8,12 +8,13 @@
 //	wasai-bench -exp rq4    -workers 8 -journal rq4.jsonl
 //	wasai-bench -exp rq4    -journal rq4.jsonl -resume   # pick up a killed run
 //	wasai-bench -exp chaos  -fault-rate 0.2              # resilience smoke
+//	wasai-bench -exp servechaos                          # daemon flood smoke
 //	wasai-bench -exp memo                                # memoization differential
 //	wasai-bench -exp regress -baseline BENCH_BASELINE.json
 //
-// Experiments: fig3, table4, table5, table6, rq4, all, plus chaos, memo,
-// incr, fastvm, verdict and regress (run explicitly; they are not part of
-// "all"). Scale
+// Experiments: fig3, table4, table5, table6, rq4, all, plus chaos,
+// servechaos, memo, incr, fastvm, verdict and regress (run explicitly; they
+// are not part of "all"). Scale
 // multiplies the dataset sizes (1.0 reproduces the full paper-sized
 // benchmark; small scales keep the shapes at a fraction of the runtime).
 // Workers shards the per-contract campaigns across the campaign engine;
@@ -76,7 +77,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|memo|incr|fastvm|verdict|regress|all (chaos/memo/incr/fastvm/verdict/regress only run when named)")
+		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|servechaos|memo|incr|fastvm|verdict|regress|all (chaos/servechaos/memo/incr/fastvm/verdict/regress only run when named)")
 		scale     = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		iters     = flag.Int("iterations", 240, "fuzzing budget per contract")
@@ -420,6 +421,29 @@ func run() error {
 			if !res.Passed() {
 				return fmt.Errorf("chaos experiment failed: %d terminal failures, %d verdict mismatches",
 					res.TerminalFailures, res.VerdictMismatches)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "servechaos" {
+		if err := runExp("Serve-chaos (daemon admission + digest identity under flood)", func() error {
+			cfg := bench.DefaultServeChaosConfig()
+			cfg.Seed = *seed
+			cfg.Workers = *workers
+			cfg.FaultRate = *faultRate
+			if *retries > 1 {
+				cfg.MaxAttempts = *retries
+			}
+			res, err := bench.EvaluateServeChaos(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderServeChaos(res))
+			if !res.Passed() {
+				return fmt.Errorf("servechaos experiment failed: shed=%d failed=%d mismatches=%d tenants=%d/%d",
+					res.Shed, res.Failed, res.DigestMismatches, res.TenantsAdmitted, res.Tenants)
 			}
 			return nil
 		}); err != nil {

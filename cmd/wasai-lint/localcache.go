@@ -35,6 +35,10 @@ var localcachePackages = []string{
 	"internal/static",
 	"internal/memo",
 	"internal/wasm/exec",
+	"internal/wal",
+	"internal/store",
+	"internal/serve",
+	"cmd/wasai-serve",
 }
 
 // localcacheName matches identifiers that advertise cache semantics. `group`

@@ -61,6 +61,10 @@ var corePackages = []string{
 	"internal/static",
 	"internal/memo",
 	"internal/wasm/exec",
+	"internal/wal",
+	"internal/store",
+	"internal/serve",
+	"cmd/wasai-serve",
 }
 
 func main() {

@@ -34,6 +34,9 @@ var rawerrPackages = []string{
 	"internal/symbolic",
 	"internal/chain",
 	"internal/memo",
+	"internal/wal",
+	"internal/store",
+	"internal/serve",
 }
 
 // checkRawErrors lints one package directory (non-test files only: test

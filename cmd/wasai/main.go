@@ -35,6 +35,7 @@ func run() error {
 		traceOut   = flag.String("trace-out", "", "write the captured traces to this offline file")
 		vulnerable = flag.Bool("vulnerable", true, "demo: generate the vulnerable variant")
 		memoMode   = flag.String("memo", "", "solver memoization: off|on|shared (empty = off); findings are identical either way")
+		storeDir   = flag.String("store", "", "disk-backed memo store directory shared across runs (implies memoization); findings are identical either way")
 		incr       = flag.Bool("incremental", false, "incremental prefix-sharing solver for flip queries; findings are identical either way")
 		fastvm     = flag.Bool("fastvm", false, "decoded-IR execution engine; findings are identical either way")
 		verdicts   = flag.Bool("verdicts", false, "print per-class static verdicts and skip fuzzing when all classes are proven negative; findings are identical either way")
@@ -46,6 +47,7 @@ func run() error {
 	cfg.Seed = *seed
 	cfg.TraceFile = *traceOut
 	cfg.Memo = *memoMode
+	cfg.StoreDir = *storeDir
 	cfg.Incremental = *incr
 	cfg.FastVM = *fastvm
 	cfg.Verdicts = *verdicts

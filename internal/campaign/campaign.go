@@ -100,6 +100,12 @@ type Config struct {
 	// seed must match BaseSeed — resuming under a different derivation
 	// would silently mix two campaigns.
 	Resume bool
+	// JournalSync is the journal's explicit fsync policy: fsync after
+	// every N job records (the WAL header is always synced, and Close
+	// syncs the remainder). 0 uses wal.DefaultSyncEvery; 1 syncs every
+	// record; negative disables record fsyncs (tests). A crash loses at
+	// most the last unsynced records — a resume re-runs exactly those.
+	JournalSync int
 	// Faults injects the planned fault into each job attempt's chain and
 	// solver (see internal/faultinject). Nil injects nothing.
 	Faults *faultinject.Plan

@@ -1,10 +1,8 @@
 package campaign
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"sync"
 
@@ -13,15 +11,17 @@ import (
 	"repro/internal/fuzz"
 	"repro/internal/scanner"
 	"repro/internal/symbolic"
+	"repro/internal/wal"
 )
 
-// journal.go implements the checkpoint/resume layer: an append-only JSONL
-// journal that records one self-checksummed record per completed job. A
-// crashed or killed campaign is resumed by re-running with Config.Resume:
-// journaled jobs are answered by replay (no fuzzing), the rest run
-// normally, and the final report is byte-identical to an uninterrupted
-// run's — replay preserves verdicts, counters, degradation modes and even
-// failure strings exactly.
+// journal.go implements the checkpoint/resume layer: an append-only
+// journal that records one record per completed job, on top of the
+// crash-safe WAL (internal/wal — CRC-framed records, explicit fsync
+// policy, torn-tail truncation). A crashed or killed campaign is resumed
+// by re-running with Config.Resume: journaled jobs are answered by replay
+// (no fuzzing), the rest run normally, and the final report is
+// byte-identical to an uninterrupted run's — replay preserves verdicts,
+// counters, degradation modes and even failure strings exactly.
 //
 // The journal deliberately stores outcomes, not progress: jobs are the
 // unit of checkpointing because they are the unit of determinism (seeds
@@ -29,28 +29,23 @@ import (
 // maps) never touches disk. Trace payloads (fuzz.Config.KeepTraces) and
 // the coverage time series are also not journaled — replayed results
 // carry verdicts and scalar counters only.
+//
+// Durability: the WAL fsyncs its header before the first job record and
+// then every Config.JournalSync records (default wal.DefaultSyncEvery), so
+// a SIGKILL loses at most the last unsynced handful of outcomes — which a
+// resume simply re-runs — and never a torn line (the WAL truncates those
+// on open).
 
-// journalKind discriminates journal records.
-const (
-	journalKindHeader = "header"
-	journalKindJob    = "job"
-)
+// journalMeta is the WAL header blob: it pins the seed derivation so a
+// journal cannot be resumed under a different campaign.
+type journalMeta struct {
+	BaseSeed int64 `json:"base_seed"`
+}
 
-// journalRecord is one JSONL line. The Sum field carries an IEEE CRC32 of
-// the record serialized with Sum=0 (Go's json marshaling is deterministic
-// for a fixed struct, so the checksum round-trips): torn or corrupted
-// tail lines from a killed process are detected and dropped rather than
-// trusted or fatal.
+// journalRecord is one journaled job outcome (the payload of one WAL
+// record; framing and checksumming live in internal/wal).
 type journalRecord struct {
-	Kind string `json:"kind"`
-
-	// Header fields. BaseSeed guards against resuming a journal under a
-	// different seed derivation, which would silently mix results from
-	// two different campaigns.
-	BaseSeed int64 `json:"base_seed,omitempty"`
-
-	// Job fields.
-	ID           int                   `json:"id,omitempty"`
+	ID           int                   `json:"id"`
 	Name         string                `json:"name,omitempty"`
 	Err          string                `json:"err,omitempty"`
 	Failure      string                `json:"failure,omitempty"`
@@ -64,26 +59,11 @@ type journalRecord struct {
 	Iterations   int                   `json:"iterations,omitempty"`
 	ReplayErrors int                   `json:"replay_errors,omitempty"`
 	Solver       *symbolic.SolverStats `json:"solver,omitempty"`
-
-	Sum uint32 `json:"sum"`
 }
 
-// checksum computes the record's CRC over its Sum=0 serialization.
-func (rec *journalRecord) checksum() uint32 {
-	saved := rec.Sum
-	rec.Sum = 0
-	b, err := json.Marshal(rec)
-	rec.Sum = saved
-	if err != nil {
-		return 0
-	}
-	return crc32.ChecksumIEEE(b)
-}
-
-// recordOf flattens a completed JobResult into its journal line.
+// recordOf flattens a completed JobResult into its journal record.
 func recordOf(jr JobResult) journalRecord {
 	rec := journalRecord{
-		Kind:         journalKindJob,
 		ID:           jr.Job.ID,
 		Name:         jr.Job.Name,
 		Skipped:      jr.Skipped,
@@ -159,33 +139,31 @@ func (rec *journalRecord) toResult(job Job) JobResult {
 	return jr
 }
 
-// journalWriter appends records to the journal file, serialized across
-// workers. Every record is written line-atomically so a killed process
-// loses at most the line being written — which the CRC then rejects. The
-// first write failure sticks (Err): later appends are dropped rather than
-// interleaving partial lines into a sick file.
+// journalWriter appends job records to the WAL, serialized across workers.
+// Marshal failures stick just like the WAL's own write failures: later
+// appends are dropped rather than mixing a partial stream into a journal
+// that would resume wrong.
 type journalWriter struct {
+	log *wal.Log
+
 	mu  sync.Mutex
-	f   *os.File
 	err error
 }
 
 func (w *journalWriter) append(rec journalRecord) error {
-	rec.Sum = rec.checksum()
+	if err := w.Err(); err != nil {
+		return err
+	}
 	b, err := json.Marshal(rec)
 	if err != nil {
 		err = fmt.Errorf("campaign: journal: %w", err)
 		w.fail(err)
 		return err
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.err != nil {
-		return w.err
-	}
-	if _, err := w.f.Write(append(b, '\n')); err != nil {
-		w.err = fmt.Errorf("campaign: journal: %w", err)
-		return w.err
+	if err := w.log.Append(b); err != nil {
+		err = fmt.Errorf("campaign: journal: %w", err)
+		w.fail(err)
+		return err
 	}
 	return nil
 }
@@ -201,55 +179,32 @@ func (w *journalWriter) fail(err error) {
 // Err returns the sticky first write failure, if any.
 func (w *journalWriter) Err() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.err
-}
-
-func (w *journalWriter) Close() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.f.Close()
-}
-
-// loadJournal reads an existing journal, dropping unparseable or
-// checksum-failing lines (a torn tail from a killed run is expected, not
-// fatal). It returns the journaled job records keyed by ID and the header
-// (nil when the file never got one).
-func loadJournal(path string) (map[int]*journalRecord, *journalRecord, error) {
-	f, err := os.Open(path)
+	err := w.err
+	w.mu.Unlock()
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	defer f.Close()
+	if err := w.log.Err(); err != nil {
+		return fmt.Errorf("campaign: journal: %w", err)
+	}
+	return nil
+}
+
+func (w *journalWriter) Close() error { return w.log.Close() }
+
+// decodeJournal converts replayed WAL payloads into the journaled job map.
+// Records that fail to unmarshal are dropped (the WAL already CRC-checked
+// them, so this only guards against foreign payloads).
+func decodeJournal(replay *wal.Replay) map[int]*journalRecord {
 	done := map[int]*journalRecord{}
-	var header *journalRecord
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
+	for _, payload := range replay.Records {
+		rec := &journalRecord{}
+		if err := json.Unmarshal(payload, rec); err != nil {
 			continue
 		}
-		rec := &journalRecord{}
-		if err := json.Unmarshal(line, rec); err != nil {
-			continue // torn or corrupt line
-		}
-		if rec.Sum != rec.checksum() {
-			continue // bit rot or partial write
-		}
-		switch rec.Kind {
-		case journalKindHeader:
-			if header == nil {
-				header = rec
-			}
-		case journalKindJob:
-			done[rec.ID] = rec
-		}
+		done[rec.ID] = rec
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("campaign: journal %s: %w", path, err)
-	}
-	return done, header, nil
+	return done
 }
 
 // openJournal prepares the engine's journal state from the config: the
@@ -264,42 +219,42 @@ func openJournal(cfg Config) (map[int]*journalRecord, *journalWriter, error) {
 		}
 		return nil, nil, nil
 	}
-	var done map[int]*journalRecord
-	if cfg.Resume {
-		var header *journalRecord
-		var err error
-		done, header, err = loadJournal(cfg.Journal)
-		if err != nil {
-			if os.IsNotExist(err) {
-				// Nothing to resume: behave like a fresh journaled run.
-				done = nil
-			} else {
-				return nil, nil, err
-			}
-		}
-		if header != nil && header.BaseSeed != cfg.BaseSeed {
-			//wasai:rawerr config validation, surfaced before any job runs
-			return nil, nil, fmt.Errorf("campaign: journal %s was written with base seed %d, refusing to resume with %d",
-				cfg.Journal, header.BaseSeed, cfg.BaseSeed)
-		}
-	}
-	flags := os.O_CREATE | os.O_WRONLY
-	if cfg.Resume {
-		flags |= os.O_APPEND
-	} else {
-		flags |= os.O_TRUNC
-	}
-	f, err := os.OpenFile(cfg.Journal, flags, 0o644)
+	meta, err := json.Marshal(journalMeta{BaseSeed: cfg.BaseSeed})
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: journal: %w", err)
 	}
-	w := &journalWriter{f: f}
-	if len(done) == 0 {
-		// Fresh (or effectively fresh) journal: stamp the header.
-		if err := w.append(journalRecord{Kind: journalKindHeader, BaseSeed: cfg.BaseSeed}); err != nil {
-			f.Close()
-			return nil, nil, err
+	opts := wal.Options{SyncEvery: cfg.JournalSync, Meta: meta}
+	if !cfg.Resume {
+		log, err := wal.Create(cfg.Journal, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("campaign: journal: %w", err)
+		}
+		return nil, &journalWriter{log: log}, nil
+	}
+	log, replay, err := wal.Open(cfg.Journal, opts)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Nothing to resume: behave like a fresh journaled run.
+			log, err := wal.Create(cfg.Journal, opts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("campaign: journal: %w", err)
+			}
+			return nil, &journalWriter{log: log}, nil
+		}
+		return nil, nil, fmt.Errorf("campaign: journal: %w", err)
+	}
+	if replay.Meta != nil {
+		var m journalMeta
+		if err := json.Unmarshal(replay.Meta, &m); err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("campaign: journal %s: header: %w", cfg.Journal, err)
+		}
+		if m.BaseSeed != cfg.BaseSeed {
+			log.Close()
+			//wasai:rawerr config validation, surfaced before any job runs
+			return nil, nil, fmt.Errorf("campaign: journal %s was written with base seed %d, refusing to resume with %d",
+				cfg.Journal, m.BaseSeed, cfg.BaseSeed)
 		}
 	}
-	return done, w, nil
+	return decodeJournal(replay), &journalWriter{log: log}, nil
 }

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/wal"
 )
 
 // TestKillResumeDigestIdentity is the tentpole resilience guarantee: a
@@ -106,11 +108,11 @@ func TestJournalCorruptionTolerance(t *testing.T) {
 	if bytes.Count(data, []byte("\n")) != nJobs+1 { // header + one line per job
 		t.Fatalf("journal has %d lines, want %d", bytes.Count(data, []byte("\n")), nJobs+1)
 	}
-	// Tear the final record mid-line, then append garbage and a
-	// well-formed record whose checksum lies.
+	// Tear the final record mid-line, then append garbage and a lying
+	// record that carries no valid CRC frame — the WAL must reject both.
 	torn := data[:len(data)-10]
 	torn = append(torn, []byte("\n{not json at all\n")...)
-	torn = append(torn, []byte(`{"kind":"job","id":0,"name":"evil","sum":1}`+"\n")...)
+	torn = append(torn, []byte(`00000001 {"id":0,"name":"evil"}`+"\n")...)
 	if err := os.WriteFile(cfg.Journal, torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -127,6 +129,59 @@ func TestJournalCorruptionTolerance(t *testing.T) {
 	}
 	if got, want := rep.StateDigest(), ref.StateDigest(); got != want {
 		t.Errorf("StateDigest diverged after corruption+resume:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestJournalTornFinalLineCrash is the journal-durability crash test: a
+// SIGKILL mid-write leaves a half-frame at EOF. The resume must (1) not
+// trust it, (2) physically truncate it so post-resume appends never share
+// a line with the torn bytes, and (3) re-run exactly the torn job,
+// converging on the uninterrupted digests.
+func TestJournalTornFinalLineCrash(t *testing.T) {
+	const nJobs = 6
+	mk := func() []Job { return testJobs(t, nJobs, 25, 13) }
+	cfg := Config{Workers: 2, BaseSeed: 4, Journal: filepath.Join(t.TempDir(), "j.jsonl"), JournalSync: 1}
+
+	ref, err := Run(context.Background(), mk(), cfg)
+	if err != nil {
+		t.Fatalf("journaled run: %v", err)
+	}
+	data, err := os.ReadFile(cfg.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record mid-line, newline and all: the classic shape
+	// of a write interrupted by SIGKILL.
+	torn := data[:len(data)-7]
+	if err := os.WriteFile(cfg.Journal, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rcfg := cfg
+	rcfg.Resume = true
+	rep, err := Run(context.Background(), mk(), rcfg)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if rep.Replayed != nJobs-1 {
+		t.Errorf("replayed %d jobs, want %d (the torn record must re-run)", rep.Replayed, nJobs-1)
+	}
+	if got, want := rep.StateDigest(), ref.StateDigest(); got != want {
+		t.Errorf("StateDigest diverged after torn-line crash+resume:\n got: %s\nwant: %s", got, want)
+	}
+	// The resume repaired the file: the torn line was physically cut off
+	// before the re-run job's record was appended, so a re-open finds a
+	// fully valid journal — nothing dropped, nothing truncated.
+	log, replay, err := wal.Open(cfg.Journal, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+	if replay.Dropped != 0 || replay.Truncated != 0 {
+		t.Errorf("repaired journal still has dropped=%d truncated=%d", replay.Dropped, replay.Truncated)
+	}
+	if len(replay.Records) != nJobs {
+		t.Errorf("repaired journal holds %d records, want %d", len(replay.Records), nJobs)
 	}
 }
 

@@ -50,6 +50,7 @@ import (
 	"repro/internal/eos"
 	"repro/internal/static"
 	"repro/internal/static/absint"
+	"repro/internal/store"
 	"repro/internal/symbolic"
 	"repro/internal/wasm"
 )
@@ -119,6 +120,13 @@ type Stats struct {
 	StaticMisses    int64
 	VerdictHits     int64
 	VerdictMisses   int64
+	// Disk-tier counters (zero unless a store is attached). StoreHits
+	// counts lookups the memory tiers missed but the disk store answered;
+	// StoreMisses and StoreCorrupt mirror the attached store's own
+	// counters (corrupt reads degrade to misses, never to answers).
+	StoreHits    int64
+	StoreMisses  int64
+	StoreCorrupt int64
 }
 
 // Sub returns s - prev, the delta between two snapshots (per-campaign
@@ -135,12 +143,16 @@ func (s Stats) Sub(prev Stats) Stats {
 		StaticMisses:    s.StaticMisses - prev.StaticMisses,
 		VerdictHits:     s.VerdictHits - prev.VerdictHits,
 		VerdictMisses:   s.VerdictMisses - prev.VerdictMisses,
+		StoreHits:       s.StoreHits - prev.StoreHits,
+		StoreMisses:     s.StoreMisses - prev.StoreMisses,
+		StoreCorrupt:    s.StoreCorrupt - prev.StoreCorrupt,
 	}
 }
 
-// Hits sums hit counters across tiers.
+// Hits sums hit counters across tiers (disk-store hits included: they
+// saved the same recomputation a memory hit would have).
 func (s Stats) Hits() int64 {
-	return s.SolverHits + s.SolverUnsatHits + s.ModuleHits + s.StaticHits + s.VerdictHits
+	return s.SolverHits + s.SolverUnsatHits + s.ModuleHits + s.StaticHits + s.VerdictHits + s.StoreHits
 }
 
 // Misses sums miss counters across tiers.
@@ -157,12 +169,18 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits()) / float64(total)
 }
 
-// String renders the counters in the campaign-report style.
+// String renders the counters in the campaign-report style. The disk
+// tier is appended only when it saw traffic, so store-less runs render
+// exactly as before.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"solver hits=%d (unsat-perm %d) misses=%d evictions=%d | module hits=%d misses=%d | static hits=%d misses=%d | verdict hits=%d misses=%d | hit rate %.1f%%",
 		s.SolverHits+s.SolverUnsatHits, s.SolverUnsatHits, s.SolverMisses, s.SolverEvictions,
 		s.ModuleHits, s.ModuleMisses, s.StaticHits, s.StaticMisses, s.VerdictHits, s.VerdictMisses, 100*s.HitRate())
+	if s.StoreHits != 0 || s.StoreMisses != 0 || s.StoreCorrupt != 0 {
+		out += fmt.Sprintf(" | disk hits=%d misses=%d corrupt=%d", s.StoreHits, s.StoreMisses, s.StoreCorrupt)
+	}
+	return out
 }
 
 // DefaultShardCap bounds each of the 16 shards of each tier; the
@@ -185,6 +203,11 @@ type Cache struct {
 	//wasai:localcache side index into the cache's own tiers, not an independent cache
 	moduleKeys sync.Map // *wasm.Module -> [32]byte
 
+	// disk is the optional third tier (see AttachDisk): a durable,
+	// cross-process store consulted after a memory miss on the solver and
+	// unsat tiers, and written through on Store.
+	disk atomic.Pointer[store.Store]
+
 	solverHits      atomic.Int64
 	solverUnsatHits atomic.Int64
 	solverMisses    atomic.Int64
@@ -194,6 +217,7 @@ type Cache struct {
 	staticMisses    atomic.Int64
 	verdictHits     atomic.Int64
 	verdictMisses   atomic.Int64
+	storeHits       atomic.Int64
 }
 
 // New returns an empty cache with default capacities.
@@ -205,6 +229,35 @@ func New() *Cache {
 	c.reports.init(DefaultShardCap / 16)
 	c.verdicts.init(DefaultShardCap / 16)
 	return c
+}
+
+// Disk-tier names inside the attached store. Only solver verdicts
+// persist: they are small, binary-stable (see encodeVerdict) and are
+// what dominates recomputation cost; module/static/verdict tiers hold
+// heavyweight pointers whose decode cost is already amortized in memory.
+const (
+	diskTierSolver = "solver" // Ordered key -> encodeVerdict payload
+	diskTierUnsat  = "unsat"  // Sorted key -> empty payload (Unsat marker)
+)
+
+// AttachDisk plugs a durable store under the solver tiers: memory misses
+// consult it, and Sat/Unsat verdicts are written through so other
+// processes (and future runs) start warm. Attaching nil detaches.
+// Safe to call concurrently with lookups; pass the same *store.Store
+// (e.g. store.OpenShared) to every cache sharing a directory.
+func (c *Cache) AttachDisk(d *store.Store) {
+	if c == nil {
+		return
+	}
+	c.disk.Store(d)
+}
+
+// Disk returns the attached store, if any.
+func (c *Cache) Disk() *store.Store {
+	if c == nil {
+		return nil
+	}
+	return c.disk.Load()
 }
 
 // SolverMemo adapts c to the solver pool's cache interface, returning a
@@ -222,7 +275,14 @@ func (c *Cache) Snapshot() Stats {
 	if c == nil {
 		return Stats{}
 	}
+	var ds store.Stats
+	if d := c.disk.Load(); d != nil {
+		ds = d.Stats()
+	}
 	return Stats{
+		StoreHits:    c.storeHits.Load(),
+		StoreMisses:  ds.Misses,
+		StoreCorrupt: ds.Corrupt,
 		SolverHits:      c.solverHits.Load(),
 		SolverUnsatHits: c.solverUnsatHits.Load(),
 		SolverMisses:    c.solverMisses.Load(),
@@ -252,6 +312,26 @@ func (c *Cache) Lookup(q symbolic.Canon) (symbolic.SolverVerdict, bool) {
 		c.solverUnsatHits.Add(1)
 		return symbolic.SolverVerdict{Result: symbolic.Unsat}, true
 	}
+	if d := c.disk.Load(); d != nil {
+		if raw, ok := d.Get(diskTierSolver, q.Ordered); ok {
+			if v, ok := decodeVerdict(raw); ok {
+				// Promote into the memory tiers so the next lookup skips disk.
+				c.solver.put(q.Ordered, v)
+				if v.Result == symbolic.Unsat {
+					c.unsat.put(q.Sorted, struct{}{})
+				}
+				c.storeHits.Add(1)
+				return v, true
+			}
+			// CRC-valid but semantically undecodable payload (foreign
+			// writer): fall through to a plain miss; never guess a verdict.
+		}
+		if _, ok := d.Get(diskTierUnsat, q.Sorted); ok {
+			c.unsat.put(q.Sorted, struct{}{})
+			c.storeHits.Add(1)
+			return symbolic.SolverVerdict{Result: symbolic.Unsat}, true
+		}
+	}
 	c.solverMisses.Add(1)
 	return symbolic.SolverVerdict{}, false
 }
@@ -262,13 +342,51 @@ func (c *Cache) Store(q symbolic.Canon, v symbolic.SolverVerdict) {
 	if c == nil {
 		return
 	}
+	d := c.disk.Load()
 	switch v.Result {
 	case symbolic.Sat:
 		c.solver.put(q.Ordered, v)
+		d.Put(diskTierSolver, q.Ordered, encodeVerdict(v))
 	case symbolic.Unsat:
 		c.solver.put(q.Ordered, v)
 		c.unsat.put(q.Sorted, struct{}{})
+		d.Put(diskTierSolver, q.Ordered, encodeVerdict(v))
+		d.Put(diskTierUnsat, q.Sorted, nil)
 	}
+}
+
+// encodeVerdict frames a solver verdict for the disk tier: one result
+// byte, then each model value as 8 little-endian bytes. Binary, not
+// JSON: model values are full-range uint64s and must round-trip exactly
+// (digest identity) — JSON numbers would lose precision past 2^53.
+func encodeVerdict(v symbolic.SolverVerdict) []byte {
+	out := make([]byte, 1+8*len(v.Vals))
+	out[0] = byte(v.Result)
+	for i, val := range v.Vals {
+		binary.LittleEndian.PutUint64(out[1+8*i:], val)
+	}
+	return out
+}
+
+// decodeVerdict is the inverse; it rejects shapes encodeVerdict cannot
+// produce (Unknown results, ragged lengths) so a foreign or stale
+// payload degrades to a miss.
+func decodeVerdict(raw []byte) (symbolic.SolverVerdict, bool) {
+	if len(raw) < 1 || (len(raw)-1)%8 != 0 {
+		return symbolic.SolverVerdict{}, false
+	}
+	res := symbolic.Result(raw[0])
+	if res != symbolic.Sat && res != symbolic.Unsat {
+		return symbolic.SolverVerdict{}, false
+	}
+	v := symbolic.SolverVerdict{Result: res}
+	if n := (len(raw) - 1) / 8; n > 0 {
+		v.Vals = make([]uint64, n)
+		for i := range v.Vals {
+			v.Vals[i] = binary.LittleEndian.Uint64(raw[1+8*i:])
+		}
+	}
+	return v, true
 }
 
 // --- module tier ------------------------------------------------------------

@@ -1,8 +1,11 @@
 package memo
 
 import (
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -10,6 +13,7 @@ import (
 	"repro/internal/eos"
 	"repro/internal/static"
 	"repro/internal/static/absint"
+	"repro/internal/store"
 	"repro/internal/symbolic"
 	"repro/internal/wasm"
 )
@@ -383,5 +387,156 @@ func TestVerdictTier(t *testing.T) {
 	}
 	if calls != 3 {
 		t.Errorf("nil cache did not call analyze: %d calls, want 3", calls)
+	}
+}
+
+// --- disk tier --------------------------------------------------------------
+
+func openTestStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	d, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// entryPath mirrors the store's on-disk layout so tests can corrupt
+// entries without exporting internals.
+func entryPath(dir, tier string, k symbolic.CanonKey) string {
+	h := hex.EncodeToString(k[:])
+	return filepath.Join(dir, tier, h[:2], h+".v1")
+}
+
+func TestDiskTierWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := symbolic.NewCtx()
+	x := ctx.Var("x", 32)
+	sat := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(x, ctx.Const(4, 32))}, 0)
+	uns := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(x, ctx.Const(0, 32)), ctx.Eq(x, ctx.Const(1, 32))}, 0)
+
+	// First process: solve and write through.
+	c1 := New()
+	c1.AttachDisk(openTestStore(t, dir))
+	want := symbolic.VerdictOf(sat, symbolic.Model{"x": 4}, symbolic.Sat)
+	c1.Store(sat, want)
+	c1.Store(uns, symbolic.VerdictOf(uns, nil, symbolic.Unsat))
+
+	// Second process: cold memory, warm disk.
+	c2 := New()
+	c2.AttachDisk(openTestStore(t, dir))
+	v, ok := c2.Lookup(sat)
+	if !ok || v.Result != symbolic.Sat || v.ModelFor(sat)["x"] != 4 {
+		t.Fatalf("disk Sat replay wrong: ok=%v v=%+v", ok, v)
+	}
+	if v, ok := c2.Lookup(uns); !ok || v.Result != symbolic.Unsat {
+		t.Fatalf("disk Unsat replay wrong: ok=%v v=%+v", ok, v)
+	}
+	// A clause permutation misses the Ordered disk entry but hits the
+	// Sorted unsat marker, exactly like the memory tiers.
+	perm := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(x, ctx.Const(1, 32)), ctx.Eq(x, ctx.Const(0, 32))}, 0)
+	c3 := New()
+	c3.AttachDisk(openTestStore(t, dir))
+	if v, ok := c3.Lookup(perm); !ok || v.Result != symbolic.Unsat {
+		t.Fatalf("disk Sorted-key Unsat replay failed: ok=%v v=%+v", ok, v)
+	}
+	if st := c3.Snapshot(); st.StoreHits != 1 {
+		t.Errorf("StoreHits = %d, want 1; stats %+v", st.StoreHits, st)
+	}
+	// Promotion: the second lookup on c2 must be a memory hit, not disk.
+	before := c2.Snapshot()
+	if _, ok := c2.Lookup(sat); !ok {
+		t.Fatal("promoted entry missing from memory tier")
+	}
+	after := c2.Snapshot()
+	if after.StoreHits != before.StoreHits || after.SolverHits != before.SolverHits+1 {
+		t.Errorf("promotion failed: before %+v after %+v", before, after)
+	}
+}
+
+// TestDiskTierBitFlipNeverPoisons is the integrity satellite at the memo
+// level: every single-bit flip of a stored verdict file must degrade to
+// a counted miss — the cache must never replay a damaged verdict.
+func TestDiskTierBitFlipNeverPoisons(t *testing.T) {
+	dir := t.TempDir()
+	ctx := symbolic.NewCtx()
+	x := ctx.Var("x", 32)
+	sat := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(x, ctx.Const(4, 32))}, 0)
+
+	seed := New()
+	seed.AttachDisk(openTestStore(t, dir))
+	seed.Store(sat, symbolic.VerdictOf(sat, symbolic.Model{"x": 4}, symbolic.Sat))
+	path := entryPath(dir, "solver", sat.Ordered)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flips := 0
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			corrupted := append([]byte{}, data...)
+			corrupted[off] ^= 1 << bit
+			if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c := New() // cold memory every time: the disk entry is the only source
+			c.AttachDisk(openTestStore(t, dir))
+			if v, ok := c.Lookup(sat); ok {
+				t.Fatalf("bit %d of byte %d flipped and the cache still served %+v", bit, off, v)
+			}
+			st := c.Snapshot()
+			if st.StoreCorrupt != 1 || st.SolverMisses != 1 {
+				t.Fatalf("flip at byte %d bit %d: corrupt=%d misses=%d, want 1/1",
+					off, bit, st.StoreCorrupt, st.SolverMisses)
+			}
+			flips++
+		}
+	}
+	if flips != len(data)*8 {
+		t.Fatalf("exercised %d flips, want %d", flips, len(data)*8)
+	}
+}
+
+// TestDiskTierRejectsForeignPayload: a CRC-valid entry whose payload is
+// not a verdict encoding (wrong writer, wrong tier semantics) is a miss,
+// never a guessed verdict.
+func TestDiskTierRejectsForeignPayload(t *testing.T) {
+	dir := t.TempDir()
+	ctx := symbolic.NewCtx()
+	q := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(ctx.Var("x", 32), ctx.Const(9, 32))}, 0)
+
+	d := openTestStore(t, dir)
+	for _, payload := range [][]byte{
+		{},                         // empty: no result byte
+		{byte(symbolic.Unknown)},   // Unknown is never a valid stored verdict
+		{99},                       // result byte out of range
+		{byte(symbolic.Sat), 1, 2}, // ragged model bytes
+	} {
+		d.Put("solver", q.Ordered, payload)
+		c := New()
+		c.AttachDisk(d)
+		if v, ok := c.Lookup(q); ok {
+			t.Fatalf("foreign payload %v served verdict %+v", payload, v)
+		}
+		os.Remove(entryPath(dir, "solver", q.Ordered))
+		// Reset the content-addressed skip-if-present index for the next shape.
+		d = openTestStore(t, dir)
+	}
+}
+
+func TestAttachDiskNilSafe(t *testing.T) {
+	var c *Cache
+	c.AttachDisk(nil) // must not panic
+	if c.Disk() != nil {
+		t.Fatal("nil cache reported a disk store")
+	}
+	c2 := New()
+	c2.AttachDisk(nil)
+	ctx := symbolic.NewCtx()
+	q := symbolic.Canonicalize([]*symbolic.Expr{ctx.Eq(ctx.Var("x", 32), ctx.Const(9, 32))}, 0)
+	c2.Store(q, symbolic.VerdictOf(q, symbolic.Model{"x": 9}, symbolic.Sat))
+	if _, ok := c2.Lookup(q); !ok {
+		t.Fatal("detached cache lost its memory tier")
 	}
 }

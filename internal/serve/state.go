@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// state.go is the daemon's durable job registry: a crash-safe WAL (see
+// internal/wal) holding one "submit" record per accepted job and one
+// "done" record per finished one. A job whose submit record has no done
+// record is, by definition, interrupted work — after a crash or SIGKILL
+// the restarted daemon re-queues exactly those jobs and resumes their
+// per-job campaign journals, converging on the digests an uninterrupted
+// daemon would have produced.
+//
+// Durability contract: the submit record is fsynced before the HTTP 202
+// leaves the daemon, so an accepted job can never be forgotten; done
+// records are fsynced as written, so a completed job is never re-run on
+// restart. The WAL rotates once enough done records accumulate, keeping
+// unfinished jobs' submits plus a bounded tail of completed history.
+
+// Job statuses.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusCompleted = "completed"
+	StatusFailed    = "failed"
+)
+
+// stateMeta is the registry WAL's header blob.
+type stateMeta struct {
+	Magic string `json:"magic"`
+}
+
+const stateMagic = "wasai-serve/1"
+
+// stateRecord is one registry WAL record. Kind "submit" carries the
+// spec; kind "done" carries the outcome (digests never contain newlines
+// after JSON escaping, so they ride the line-framed WAL verbatim).
+type stateRecord struct {
+	Kind string   `json:"kind"`
+	ID   int      `json:"id"`
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Done fields.
+	Err            string `json:"err,omitempty"`
+	FindingsDigest string `json:"findings_digest,omitempty"`
+	StateDigest    string `json:"state_digest,omitempty"`
+	Completed      int    `json:"completed,omitempty"`
+	Failed         int    `json:"failed,omitempty"`
+	Flagged        int    `json:"flagged,omitempty"`
+	Replayed       int    `json:"replayed,omitempty"`
+}
+
+// JobState is one job's registry entry.
+type JobState struct {
+	ID     int     `json:"id"`
+	Spec   JobSpec `json:"spec"`
+	Status string  `json:"status"`
+	// Resumed marks a job re-queued by a daemon restart (its campaign
+	// journal replays completed contracts instead of re-fuzzing them).
+	Resumed bool `json:"resumed,omitempty"`
+	// Outcome of a finished job.
+	Err            string `json:"err,omitempty"`
+	FindingsDigest string `json:"findings_digest,omitempty"`
+	StateDigest    string `json:"state_digest,omitempty"`
+	Completed      int    `json:"completed,omitempty"`
+	Failed         int    `json:"failed,omitempty"`
+	Flagged        int    `json:"flagged,omitempty"`
+	Replayed       int    `json:"replayed,omitempty"`
+}
+
+// Finished reports whether the job reached a terminal status.
+func (j *JobState) Finished() bool {
+	return j.Status == StatusCompleted || j.Status == StatusFailed
+}
+
+// rotateEvery bounds registry growth: after this many done records the
+// WAL is rewritten, keeping unfinished submits and the freshest
+// completed history.
+const rotateEvery = 256
+
+// keepCompleted is how many finished jobs survive a rotation (older
+// outcomes disappear from /jobs listings after a restart; their
+// campaign journals remain on disk).
+const keepCompleted = 64
+
+// registry is the in-memory view over the WAL. All methods are
+// mutex-serialized; WAL appends happen under the lock so record order
+// matches state order.
+type registry struct {
+	mu        sync.Mutex
+	log       *wal.Log
+	jobs      map[int]*JobState
+	nextID    int
+	doneSince int // done records appended since the last rotation
+}
+
+// openRegistry opens (or creates) the registry WAL under dir and
+// replays it. Returned pending IDs are the interrupted jobs, in
+// submission order — the restart's work queue.
+func openRegistry(dir string) (*registry, []int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	meta, err := json.Marshal(stateMeta{Magic: stateMagic})
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: state: %w", err)
+	}
+	path := filepath.Join(dir, "serve.wal")
+	// Sync every record: submissions and completions are rare next to
+	// solver work, and each must survive the instant it is acknowledged.
+	opts := wal.Options{SyncEvery: 1, Meta: meta}
+	log, replay, err := wal.Open(path, opts)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return nil, nil, fmt.Errorf("serve: state: %w", err)
+		}
+		log, err = wal.Create(path, opts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: state: %w", err)
+		}
+		return &registry{log: log, jobs: map[int]*JobState{}}, nil, nil
+	}
+	if replay.Meta != nil {
+		var m stateMeta
+		if err := json.Unmarshal(replay.Meta, &m); err != nil || m.Magic != stateMagic {
+			log.Close()
+			return nil, nil, fmt.Errorf("serve: state: %s is not a wasai-serve registry", path) //wasai:rawerr startup validation
+		}
+	}
+	r := &registry{log: log, jobs: map[int]*JobState{}}
+	for _, payload := range replay.Records {
+		var rec stateRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			continue // CRC-valid but foreign payload; skip, never guess
+		}
+		switch rec.Kind {
+		case "submit":
+			if rec.Spec == nil {
+				continue
+			}
+			r.jobs[rec.ID] = &JobState{ID: rec.ID, Spec: *rec.Spec, Status: StatusQueued}
+			if rec.ID >= r.nextID {
+				r.nextID = rec.ID + 1
+			}
+		case "done":
+			j, ok := r.jobs[rec.ID]
+			if !ok {
+				continue // rotation dropped the submit; nothing to show
+			}
+			applyDone(j, &rec)
+		}
+	}
+	var pending []int
+	for id, j := range r.jobs {
+		if !j.Finished() {
+			j.Resumed = true
+			pending = append(pending, id)
+		}
+	}
+	sort.Ints(pending)
+	return r, pending, nil
+}
+
+func applyDone(j *JobState, rec *stateRecord) {
+	j.Err = rec.Err
+	j.FindingsDigest = rec.FindingsDigest
+	j.StateDigest = rec.StateDigest
+	j.Completed, j.Failed = rec.Completed, rec.Failed
+	j.Flagged, j.Replayed = rec.Flagged, rec.Replayed
+	if rec.Err != "" {
+		j.Status = StatusFailed
+	} else {
+		j.Status = StatusCompleted
+	}
+}
+
+// submit durably registers a new job and returns its ID. The WAL append
+// is fsynced (SyncEvery=1) before this returns, so the 202 the caller
+// sends is a real promise.
+func (r *registry) submit(spec JobSpec) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.nextID
+	rec := stateRecord{Kind: "submit", ID: id, Spec: &spec}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("serve: state: %w", err)
+	}
+	if err := r.log.Append(b); err != nil {
+		return 0, fmt.Errorf("serve: state: %w", err)
+	}
+	r.nextID++
+	r.jobs[id] = &JobState{ID: id, Spec: spec, Status: StatusQueued}
+	return id, nil
+}
+
+// markRunning flips a job to running (memory-only: "running" is not an
+// outcome; after a crash it correctly degrades back to queued).
+func (r *registry) markRunning(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j, ok := r.jobs[id]; ok && !j.Finished() {
+		j.Status = StatusRunning
+	}
+}
+
+// finish durably records a job's outcome and rotates the WAL when the
+// completed history has grown enough.
+func (r *registry) finish(id int, rec stateRecord) error {
+	rec.Kind, rec.ID = "done", id
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return fmt.Errorf("serve: state: finish of unknown job %d", id) //wasai:rawerr internal invariant
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: state: %w", err)
+	}
+	if err := r.log.Append(b); err != nil {
+		return fmt.Errorf("serve: state: %w", err)
+	}
+	applyDone(j, &rec)
+	r.doneSince++
+	if r.doneSince >= rotateEvery {
+		r.rotateLocked()
+	}
+	return nil
+}
+
+// rotateLocked rewrites the WAL: submits of unfinished jobs, then
+// submit+done pairs of the keepCompleted most recent finished jobs.
+// Best-effort — a failed rotation leaves the old (valid) generation in
+// place and the daemon running.
+func (r *registry) rotateLocked() {
+	var ids []int
+	for id := range r.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var finished []int
+	for _, id := range ids {
+		if r.jobs[id].Finished() {
+			finished = append(finished, id)
+		}
+	}
+	if drop := len(finished) - keepCompleted; drop > 0 {
+		for _, id := range finished[:drop] {
+			delete(r.jobs, id)
+		}
+		finished = finished[drop:]
+	}
+	var keep [][]byte
+	appendRec := func(rec stateRecord) bool {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return false
+		}
+		keep = append(keep, b)
+		return true
+	}
+	for _, id := range ids {
+		j, ok := r.jobs[id]
+		if !ok {
+			continue // dropped above
+		}
+		spec := j.Spec
+		if !appendRec(stateRecord{Kind: "submit", ID: id, Spec: &spec}) {
+			return
+		}
+		if j.Finished() {
+			if !appendRec(stateRecord{
+				Kind: "done", ID: id, Err: j.Err,
+				FindingsDigest: j.FindingsDigest, StateDigest: j.StateDigest,
+				Completed: j.Completed, Failed: j.Failed,
+				Flagged: j.Flagged, Replayed: j.Replayed,
+			}) {
+				return
+			}
+		}
+	}
+	meta, err := json.Marshal(stateMeta{Magic: stateMagic})
+	if err != nil {
+		return
+	}
+	if err := r.log.Rotate(meta, keep); err != nil {
+		return
+	}
+	r.doneSince = 0
+}
+
+// get returns a copy of one job's state.
+func (r *registry) get(id int) (JobState, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	if !ok {
+		return JobState{}, false
+	}
+	return *j, true
+}
+
+// list returns copies of every known job, by ID.
+func (r *registry) list() []JobState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobState, 0, len(r.jobs))
+	for _, j := range r.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// counts tallies statuses for /stats and admission control.
+func (r *registry) counts() (queued, running, completed, failed int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range r.jobs {
+		switch j.Status {
+		case StatusQueued:
+			queued++
+		case StatusRunning:
+			running++
+		case StatusCompleted:
+			completed++
+		case StatusFailed:
+			failed++
+		}
+	}
+	return
+}
+
+// walStats snapshots the registry WAL counters.
+func (r *registry) walStats() wal.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Stats()
+}
+
+// close syncs and closes the WAL.
+func (r *registry) close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.log.Close()
+}

@@ -1,0 +1,407 @@
+// Package store is the durable tier of the memoization layer: a
+// disk-backed, content-addressed key/value store shared across processes
+// and restarts. internal/memo's in-memory shards die with the process;
+// this store is what lets a restarted analysis daemon — or a second
+// process pointed at the same directory — start warm, answering solver
+// queries it has proven before instead of re-running DPLL.
+//
+// Integrity contract: a disk entry can never poison a verdict. Every
+// entry is a versioned file whose payload rides behind a magic+version
+// tag and an IEEE CRC32; a read that fails any check (wrong magic, wrong
+// version, checksum mismatch, short file) deletes the entry, increments
+// the Corrupt counter, and reports a plain cache miss — the caller
+// recomputes, exactly as if the entry had never existed. Keys are
+// 32-byte content hashes (the memo layer's canonical keys), so a stale
+// or truncated value can only ever be detected, never silently served.
+//
+// Layout: dir/<tier>/<hh>/<hex key>.v<version> — one file per entry,
+// fanned out by the key's first byte so directories stay small. Writes
+// are atomic (temp file + rename), so concurrent processes sharing the
+// directory see whole entries or nothing.
+//
+// Eviction is LRU under a byte budget: an in-memory index (rebuilt from
+// the directory on Open, ordered by file mtime) tracks sizes and
+// recency; when a Put pushes the total over MaxBytes, least-recently-used
+// entries are unlinked until it fits. Get refreshes recency in memory and
+// touches the file mtime so recency survives restarts. Evicting never
+// changes results — a dropped entry only means the work is done again.
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// CurrentVersion stamps entry filenames. Bump it when an encoded payload
+// format changes: old-version files are simply invisible (cache misses),
+// so no migration is ever needed.
+const CurrentVersion = 1
+
+// DefaultMaxBytes is the default eviction budget (64 MiB — roughly two
+// orders of magnitude more solver verdicts than a full wild sweep
+// produces, while staying trivial to host).
+const DefaultMaxBytes = 64 << 20
+
+// magic tags every entry file; the byte after it is the format version.
+var magic = [3]byte{'W', 'S', 'S'}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the store's root directory (created if missing).
+	Dir string
+	// MaxBytes is the LRU eviction budget over payload+header bytes.
+	// 0 uses DefaultMaxBytes; negative disables eviction.
+	MaxBytes int64
+}
+
+// Stats are cumulative store counters. Counters are reporting-only; they
+// feed /stats and campaign reports, never results.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Corrupt   int64 // reads rejected by magic/version/CRC validation
+	Evictions int64
+	Writes    int64
+	// Bytes and Entries describe the current resident set.
+	Bytes   int64
+	Entries int
+}
+
+// String renders the counters in the campaign-report style.
+func (s Stats) String() string {
+	return fmt.Sprintf("disk hits=%d misses=%d corrupt=%d evictions=%d writes=%d resident=%d entries (%d bytes)",
+		s.Hits, s.Misses, s.Corrupt, s.Evictions, s.Writes, s.Entries, s.Bytes)
+}
+
+type entryKey struct {
+	tier string
+	key  [32]byte
+}
+
+type entry struct {
+	size int64
+	elem *list.Element // position in the LRU list (front = most recent)
+}
+
+// Store is an open disk store. All methods are safe for concurrent use
+// within a process; across processes, atomic writes plus read validation
+// keep sharing safe (a race can at worst manufacture a miss).
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[entryKey]*entry
+	lru     *list.List // of entryKey; front = most recently used
+	bytes   int64
+
+	hits, misses, corrupt, evictions, writes int64
+}
+
+// Open opens (or creates) the store rooted at opts.Dir and rebuilds the
+// LRU index from the directory contents, oldest-first by mtime.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: Options.Dir is required") //wasai:rawerr config validation
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	maxBytes := opts.MaxBytes
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	s := &Store{
+		dir:      opts.Dir,
+		maxBytes: maxBytes,
+		entries:  map[entryKey]*entry{},
+		lru:      list.New(),
+	}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+var (
+	sharedMu sync.Mutex
+	//wasai:localcache registry of open handles by directory, not a data cache
+	sharedStores = map[string]*Store{}
+)
+
+// OpenShared returns one process-wide Store per directory: a daemon and
+// an in-process campaign pointed at the same path share one index (two
+// independent indexes over one directory would fight over eviction).
+func OpenShared(opts Options) (*Store, error) {
+	abs, err := filepath.Abs(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if s, ok := sharedStores[abs]; ok {
+		return s, nil
+	}
+	opts.Dir = abs
+	s, err := Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	sharedStores[abs] = s
+	return s, nil
+}
+
+// scan rebuilds the index from disk, ordering the LRU by mtime so
+// recency survives restarts.
+func (s *Store) scan() error {
+	type found struct {
+		ek    entryKey
+		size  int64
+		mtime time.Time
+	}
+	var all []found
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(s.dir, path)
+		if err != nil {
+			return nil
+		}
+		tier, key, version, ok := parseEntryPath(rel)
+		if !ok {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		if version != CurrentVersion {
+			// A leftover from an older format: count it corrupt-on-arrival
+			// and remove it — it can never be read again.
+			os.Remove(path)
+			s.corrupt++
+			return nil
+		}
+		all = append(all, found{entryKey{tier, key}, info.Size(), info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: scan %s: %w", s.dir, err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
+	for _, f := range all {
+		e := &entry{size: f.size}
+		e.elem = s.lru.PushFront(f.ek)
+		s.entries[f.ek] = e
+		s.bytes += f.size
+	}
+	return nil
+}
+
+// parseEntryPath recognizes "<tier>/<hh>/<hexkey>.v<version>".
+func parseEntryPath(rel string) (tier string, key [32]byte, version int, ok bool) {
+	parts := strings.Split(filepath.ToSlash(rel), "/")
+	if len(parts) != 3 {
+		return "", key, 0, false
+	}
+	tier = parts[0]
+	name := parts[2] // <64 hex chars>.v<digits>
+	if len(name) < 67 || name[64] != '.' || name[65] != 'v' {
+		return "", key, 0, false
+	}
+	raw, err := hex.DecodeString(name[:64])
+	if err != nil || len(raw) != 32 {
+		return "", key, 0, false
+	}
+	copy(key[:], raw)
+	if _, err := fmt.Sscanf(name[66:], "%d", &version); err != nil {
+		return "", key, 0, false
+	}
+	return tier, key, version, true
+}
+
+// path returns the entry file path for (tier, key).
+func (s *Store) path(tier string, key [32]byte) string {
+	hexKey := hex.EncodeToString(key[:])
+	return filepath.Join(s.dir, tier, hexKey[:2], fmt.Sprintf("%s.v%d", hexKey, CurrentVersion))
+}
+
+// Get returns the payload stored under (tier, key). A missing entry is a
+// miss; an entry that fails validation is deleted, counted in Corrupt,
+// and reported as a miss — corruption degrades to recomputation, never
+// to a wrong answer.
+func (s *Store) Get(tier string, key [32]byte) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	ek := entryKey{tier, key}
+	path := s.path(tier, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.mu.Lock()
+		s.dropLocked(ek, false)
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	payload, ok := decodeEntry(data)
+	if !ok {
+		os.Remove(path)
+		s.mu.Lock()
+		s.dropLocked(ek, false)
+		s.corrupt++
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.mu.Lock()
+	if e, ok := s.entries[ek]; ok {
+		s.lru.MoveToFront(e.elem)
+	} else {
+		// Another process wrote it after our scan: adopt it.
+		e := &entry{size: int64(len(data))}
+		e.elem = s.lru.PushFront(ek)
+		s.entries[ek] = e
+		s.bytes += e.size
+	}
+	s.hits++
+	s.mu.Unlock()
+	// Touch the mtime so LRU recency survives a restart's rescan.
+	//wasai:nondet recency metadata for eviction ordering only, never results
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return payload, true
+}
+
+// Put stores payload under (tier, key). Content-addressed: if the entry
+// already exists it is left alone (same key ⇒ same content). Write
+// failures are silent by design — the store is an accelerator, and a
+// full disk must not fail an analysis.
+func (s *Store) Put(tier string, key [32]byte, payload []byte) {
+	if s == nil {
+		return
+	}
+	ek := entryKey{tier, key}
+	s.mu.Lock()
+	if _, ok := s.entries[ek]; ok {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	path := s.path(tier, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	data := encodeEntry(payload)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+
+	s.mu.Lock()
+	if _, ok := s.entries[ek]; !ok {
+		e := &entry{size: int64(len(data))}
+		e.elem = s.lru.PushFront(ek)
+		s.entries[ek] = e
+		s.bytes += e.size
+	}
+	s.writes++
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// evictLocked unlinks least-recently-used entries until the resident set
+// fits the byte budget.
+func (s *Store) evictLocked() {
+	if s.maxBytes < 0 {
+		return
+	}
+	for s.bytes > s.maxBytes {
+		back := s.lru.Back()
+		if back == nil {
+			return
+		}
+		ek := back.Value.(entryKey)
+		os.Remove(s.path(ek.tier, ek.key))
+		s.dropLocked(ek, true)
+	}
+}
+
+// dropLocked removes an entry from the index (evicted=true counts it).
+func (s *Store) dropLocked(ek entryKey, evicted bool) {
+	e, ok := s.entries[ek]
+	if !ok {
+		return
+	}
+	s.lru.Remove(e.elem)
+	delete(s.entries, ek)
+	s.bytes -= e.size
+	if evicted {
+		s.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Corrupt:   s.corrupt,
+		Evictions: s.evictions,
+		Writes:    s.writes,
+		Bytes:     s.bytes,
+		Entries:   len(s.entries),
+	}
+}
+
+// encodeEntry frames a payload: magic, version byte, CRC32 (IEEE, little
+// endian) of the payload, payload.
+func encodeEntry(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+8)
+	out = append(out, magic[:]...)
+	out = append(out, byte(CurrentVersion))
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	out = append(out, crc[:]...)
+	return append(out, payload...)
+}
+
+// decodeEntry validates a framed entry and returns its payload.
+func decodeEntry(data []byte) ([]byte, bool) {
+	if len(data) < 8 {
+		return nil, false
+	}
+	if data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] {
+		return nil, false
+	}
+	if data[3] != byte(CurrentVersion) {
+		return nil, false
+	}
+	payload := data[8:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:8]) {
+		return nil, false
+	}
+	return payload, true
+}

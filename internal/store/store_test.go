@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func key(s string) [32]byte { return sha256.Sum256([]byte(s)) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{1, 2, 3, 0xff, 0}
+	s.Put("solver", key("q1"), payload)
+	got, ok := s.Get("solver", key("q1"))
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %v, %v; want %v, true", got, ok, payload)
+	}
+	if _, ok := s.Get("solver", key("q2")); ok {
+		t.Fatal("Get of an absent key hit")
+	}
+	if _, ok := s.Get("unsat", key("q1")); ok {
+		t.Fatal("tiers are not isolated")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Writes != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPersistenceAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Put("solver", key("q"), []byte("verdict"))
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("solver", key("q"))
+	if !ok || string(got) != "verdict" {
+		t.Fatalf("second open missed the entry: %q %v", got, ok)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Bytes == 0 {
+		t.Errorf("rescan stats = %+v", st)
+	}
+}
+
+// TestBitFlipDegradesToMiss is the corruption-hygiene satellite: flip one
+// payload bit on disk and the read must become a counted miss (Corrupt
+// incremented, file removed) — never a wrong value.
+func TestBitFlipDegradesToMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("q")
+	s.Put("solver", k, []byte("the truth"))
+	path := s.path("solver", k)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for flip := 0; flip < len(data); flip++ {
+		corrupted := append([]byte{}, data...)
+		corrupted[flip] ^= 0x01
+		if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.Get("solver", k)
+		if ok {
+			t.Fatalf("bit flip at offset %d still served a value: %q", flip, got)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("bit flip at offset %d: corrupt entry not removed", flip)
+		}
+		// Re-seed for the next flip position.
+		s.Put("solver", k, []byte("the truth"))
+	}
+	if st := s.Stats(); st.Corrupt != int64(len(data)) {
+		t.Errorf("Corrupt = %d, want %d (one per flip)", st.Corrupt, len(data))
+	}
+}
+
+// TestTruncatedEntryDegradesToMiss: a short file (torn write from a
+// crashed process without the atomic rename, or filesystem damage) is a
+// counted miss too.
+func TestTruncatedEntryDegradesToMiss(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("q")
+	s.Put("solver", k, []byte("0123456789"))
+	path := s.path("solver", k)
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("solver", k); ok {
+		t.Fatal("truncated entry served a value")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Errorf("Corrupt = %d, want 1", st.Corrupt)
+	}
+}
+
+// TestVersionMismatchIsMiss: entries written under another format version
+// are invisible — removed at scan time and counted corrupt, never read.
+func TestVersionMismatchIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("q")
+	// Forge a version-99 entry file alongside a real one.
+	real := s.path("solver", k)
+	s.Put("solver", k, []byte("v1"))
+	forged := real[:len(real)-1] + "99" // .v1 → .v99
+	if err := os.WriteFile(forged, []byte("WSS\x63xxxxold-format"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(forged); !os.IsNotExist(err) {
+		t.Error("old-version entry survived the rescan")
+	}
+	if st := s2.Stats(); st.Corrupt != 1 {
+		t.Errorf("Corrupt = %d, want 1", st.Corrupt)
+	}
+	if got, ok := s2.Get("solver", k); !ok || string(got) != "v1" {
+		t.Errorf("current-version entry lost: %q %v", got, ok)
+	}
+
+	// And a current-version *file* whose version byte lies is rejected on read.
+	data, _ := os.ReadFile(real)
+	data[3] = 2
+	if err := os.WriteFile(real, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("solver", k); ok {
+		t.Error("version-mismatched payload served a value")
+	}
+}
+
+// TestLRUByteBudgetEviction: pushing past MaxBytes evicts the least
+// recently used entries, and a Get refreshes recency.
+func TestLRUByteBudgetEviction(t *testing.T) {
+	// Each entry: 8-byte header + 100-byte payload = 108 bytes.
+	s, err := Open(Options{Dir: t.TempDir(), MaxBytes: 3 * 108})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 100)
+	for i := 0; i < 3; i++ {
+		s.Put("t", key(fmt.Sprintf("k%d", i)), payload)
+	}
+	// Touch k0 so k1 becomes LRU.
+	if _, ok := s.Get("t", key("k0")); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	s.Put("t", key("k3"), payload)
+	if _, ok := s.Get("t", key("k1")); ok {
+		t.Error("LRU entry k1 survived eviction")
+	}
+	for _, want := range []string{"k0", "k2", "k3"} {
+		if _, ok := s.Get("t", key(want)); !ok {
+			t.Errorf("%s evicted, want k1 only", want)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 3*108 {
+		t.Errorf("resident %d bytes, budget %d", st.Bytes, 3*108)
+	}
+}
+
+func TestPutIsIdempotent(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("q")
+	s.Put("t", k, []byte("v"))
+	s.Put("t", k, []byte("v"))
+	if st := s.Stats(); st.Writes != 1 || st.Entries != 1 {
+		t.Errorf("stats after duplicate Put = %+v", st)
+	}
+}
+
+func TestNilStoreIsOff(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("t", key("k")); ok {
+		t.Fatal("nil store hit")
+	}
+	s.Put("t", key("k"), []byte("v")) // must not panic
+	if st := s.Stats(); st != (Stats{}) {
+		t.Errorf("nil stats = %+v", st)
+	}
+}
+
+func TestOpenShared(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "shared")
+	a, err := OpenShared(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenShared(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("OpenShared returned two handles for one directory")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir(), MaxBytes: 40 * 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("w%d-i%d", w, i%20))
+				s.Put("t", k, bytes.Repeat([]byte{byte(w)}, 64))
+				s.Get("t", k)
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

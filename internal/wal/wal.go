@@ -1,0 +1,438 @@
+// Package wal is the repository's crash-safe write-ahead log: an
+// append-only record file whose readers trust nothing a crash could have
+// produced. It generalizes the campaign checkpoint journal (PR 3) into a
+// reusable layer so the analysis daemon can persist job and queue state
+// with the same guarantee the journal gives campaigns — a SIGKILL at any
+// instant loses at most the record being written, and a restart resumes
+// from exactly the durable prefix.
+//
+// Guarantees:
+//
+//   - CRC-framed records: every record is one line, `%08x %s\n` — an IEEE
+//     CRC32 of the payload in fixed-width hex, a space, and the payload
+//     itself (payloads must be newline-free; JSON is). A frame that fails
+//     to parse or whose checksum disagrees is never surfaced to the
+//     caller.
+//   - torn-tail truncation: Open physically truncates a torn final record
+//     (no trailing newline, or an invalid frame at EOF) so appends from
+//     the resumed process never interleave with a half-written line.
+//     Invalid *interior* lines — bit rot, not crash — are dropped from the
+//     replay and counted, but left on disk.
+//   - configurable fsync policy: the header is always fsynced; records are
+//     fsynced every Options.SyncEvery appends (default DefaultSyncEvery).
+//     Close flushes and syncs whatever is pending.
+//   - generation-stamped rotation: Rotate atomically replaces the log with
+//     a compacted one (write temp, fsync, rename) whose header carries the
+//     next generation number, so readers can tell a compacted log from a
+//     tampered one and tests can observe compaction happening.
+//
+// The WAL stores outcomes the caller can re-derive the world from, not
+// low-level mutations: the campaign journal appends one record per
+// completed job, the serve daemon one record per job submission and
+// completion. Replay is therefore idempotent by construction.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultSyncEvery is the default fsync cadence: one fsync per this many
+// appended records. Chosen so a crashed campaign loses at most a handful
+// of job outcomes (they are simply re-run on resume) while the fsync cost
+// stays amortized across the batch.
+const DefaultSyncEvery = 8
+
+// Options tunes a log.
+type Options struct {
+	// SyncEvery is the fsync cadence: fsync after every N appended
+	// records. 0 means DefaultSyncEvery; negative disables record fsyncs
+	// entirely (the header and Close still sync). 1 syncs every record.
+	SyncEvery int
+	// Meta is an opaque caller blob stored in the header record and
+	// returned verbatim by Open's Replay. The campaign journal pins its
+	// base seed here; the serve daemon its state-format version.
+	Meta json.RawMessage
+}
+
+func (o Options) syncEvery() int {
+	if o.SyncEvery == 0 {
+		return DefaultSyncEvery
+	}
+	return o.SyncEvery
+}
+
+// header is the first record of every generation of a log.
+type header struct {
+	Magic string          `json:"wal"`
+	Gen   uint64          `json:"gen"`
+	Meta  json.RawMessage `json:"meta,omitempty"`
+}
+
+// headerMagic identifies a wal header payload.
+const headerMagic = "wasai-wal/1"
+
+// Replay is what Open recovered from an existing log.
+type Replay struct {
+	// Gen is the log's generation (1 for a never-rotated log).
+	Gen uint64
+	// Meta is the header's caller blob (nil when Open created a fresh
+	// header because the file was empty or its header was torn).
+	Meta json.RawMessage
+	// Records are the validated payloads in append order, header excluded.
+	Records [][]byte
+	// Dropped counts invalid interior lines skipped during replay.
+	Dropped int
+	// Truncated is the byte length of the torn tail Open cut off.
+	Truncated int64
+}
+
+// Stats are a log's cumulative write-side counters (reporting only).
+type Stats struct {
+	Appends   int64
+	Syncs     int64
+	Rotations int64
+	Gen       uint64
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use. The first write failure sticks: later appends return it rather
+// than interleaving partial frames into a sick file.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	opts    Options
+	gen     uint64
+	pending int // appends since the last fsync
+	err     error
+	stats   Stats
+}
+
+// Create truncates (or creates) the file at path and starts generation 1
+// with opts.Meta in the header. The header is fsynced before Create
+// returns.
+func Create(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path, opts: opts, gen: 1}
+	if err := l.writeHeader(header{Magic: headerMagic, Gen: 1, Meta: opts.Meta}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Open reads an existing log, validates every frame, truncates a torn
+// tail, and returns the log opened for appending together with the
+// replayed records. A file with no usable header (empty, or torn before
+// the header's fsync landed) is restarted as a fresh generation-1 log —
+// its Replay carries no records and a nil Meta, so the caller can tell.
+// Opening a missing file fails with an error satisfying os.IsNotExist.
+func Open(path string, opts Options) (*Log, *Replay, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	replay := &Replay{}
+	goodEnd := 0 // offset just past the last fully-valid line
+	var hdr *header
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// Unterminated final line: torn by a crash mid-write.
+			break
+		}
+		line := data[off : off+nl]
+		payload, ok := unframe(line)
+		if !ok {
+			if off+nl+1 >= len(data) {
+				// Invalid final line: also a torn write (the CRC landed,
+				// the payload didn't, or vice versa). Truncate it.
+				break
+			}
+			// Invalid interior line: bit rot. Drop the record but keep
+			// scanning — later records were written by a healthy process.
+			replay.Dropped++
+			off += nl + 1
+			goodEnd = off
+			continue
+		}
+		if hdr == nil {
+			h := &header{}
+			if json.Unmarshal(payload, h) == nil && h.Magic == headerMagic {
+				hdr = h
+			} else {
+				// First valid frame is not a header: a pre-wal or foreign
+				// file. Treat as headerless (restart below).
+				replay.Dropped++
+			}
+		} else {
+			replay.Records = append(replay.Records, payload)
+		}
+		off += nl + 1
+		goodEnd = off
+	}
+	replay.Truncated = int64(len(data) - goodEnd)
+
+	if hdr == nil {
+		// No durable header: nothing in this file can be trusted to belong
+		// to a coherent generation. Restart fresh (the common cause is a
+		// crash before the header fsync on a brand-new log).
+		l, err := Create(path, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return l, &Replay{Gen: 1, Truncated: int64(len(data))}, nil
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if err := f.Truncate(int64(goodEnd)); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(int64(goodEnd), 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	if replay.Truncated > 0 {
+		// Make the repair itself durable before anything is appended past it.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: sync %s: %w", path, err)
+		}
+	}
+	replay.Gen = hdr.Gen
+	replay.Meta = hdr.Meta
+	l := &Log{f: f, path: path, opts: opts, gen: hdr.Gen}
+	l.stats.Gen = hdr.Gen
+	return l, replay, nil
+}
+
+// frame renders one record line (without trailing newline).
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+10)
+	out = append(out, []byte(fmt.Sprintf("%08x ", crc32.ChecksumIEEE(payload)))...)
+	return append(out, payload...)
+}
+
+// unframe validates one line and returns its payload.
+func unframe(line []byte) ([]byte, bool) {
+	if len(line) < 9 || line[8] != ' ' {
+		return nil, false
+	}
+	var sum uint32
+	if _, err := fmt.Sscanf(string(line[:8]), "%08x", &sum); err != nil {
+		return nil, false
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// writeHeader appends and fsyncs a header record (callers hold no lock;
+// only construction paths use it).
+func (l *Log) writeHeader(h header) error {
+	b, err := json.Marshal(h)
+	if err != nil {
+		return fmt.Errorf("wal: header: %w", err)
+	}
+	if _, err := l.f.Write(append(frame(b), '\n')); err != nil {
+		return fmt.Errorf("wal: header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: header sync: %w", err)
+	}
+	l.stats.Syncs++
+	l.stats.Gen = l.gen
+	return nil
+}
+
+// Append frames and writes one record, applying the fsync policy. The
+// payload must not contain a newline (marshal JSON; it never does).
+func (l *Log) Append(payload []byte) error {
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		//wasai:rawerr caller-contract violation surfaced before any write, never classified
+		return fmt.Errorf("wal: record payload contains a newline")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if _, err := l.f.Write(append(frame(payload), '\n')); err != nil {
+		l.err = fmt.Errorf("wal: append: %w", err)
+		return l.err
+	}
+	l.stats.Appends++
+	l.pending++
+	if every := l.opts.syncEvery(); every > 0 && l.pending >= every {
+		if err := l.f.Sync(); err != nil {
+			l.err = fmt.Errorf("wal: sync: %w", err)
+			return l.err
+		}
+		l.stats.Syncs++
+		l.pending = 0
+	}
+	return nil
+}
+
+// Sync forces an fsync regardless of policy (the serve daemon syncs every
+// admission record before acknowledging the client).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: sync: %w", err)
+		return l.err
+	}
+	l.stats.Syncs++
+	l.pending = 0
+	return nil
+}
+
+// Rotate atomically replaces the log with a compacted next generation:
+// a temp file gets a gen+1 header (carrying meta, which may differ from
+// the Open-time meta) plus the kept records, is fsynced, and renamed over
+// the log. On success appends continue on the new generation; on failure
+// the old generation is untouched and stays open.
+func (l *Log) Rotate(meta json.RawMessage, keep [][]byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	tmpPath := l.path + ".rotate"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate %s: %w", l.path, err)
+	}
+	cleanup := func() { tmp.Close(); os.Remove(tmpPath) }
+	hb, err := json.Marshal(header{Magic: headerMagic, Gen: l.gen + 1, Meta: meta})
+	if err != nil {
+		cleanup()
+		return fmt.Errorf("wal: rotate header: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	if _, err := w.Write(append(frame(hb), '\n')); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	for _, rec := range keep {
+		if bytes.IndexByte(rec, '\n') >= 0 {
+			cleanup()
+			//wasai:rawerr caller-contract violation, old generation left untouched
+			return fmt.Errorf("wal: rotate: kept record contains a newline")
+		}
+		if _, err := w.Write(append(frame(rec), '\n')); err != nil {
+			cleanup()
+			return fmt.Errorf("wal: rotate: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("wal: rotate sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: rotate rename: %w", err)
+	}
+	syncDir(l.path)
+	// Swap the open handle to the new generation's file.
+	nf, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		l.err = fmt.Errorf("wal: rotate reopen: %w", err)
+		return l.err
+	}
+	l.f.Close()
+	l.f = nf
+	l.gen++
+	l.pending = 0
+	l.stats.Rotations++
+	l.stats.Syncs++
+	l.stats.Gen = l.gen
+	return nil
+}
+
+// syncDir fsyncs the directory containing path so a rename survives a
+// crash. Best-effort: some filesystems refuse directory syncs, and the
+// rename itself is already atomic.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// Err returns the sticky first write failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Gen returns the current generation.
+func (l *Log) Gen() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+// Stats snapshots the write-side counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Close syncs pending records and closes the file. Safe after a sticky
+// error (the close still happens).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var syncErr error
+	if l.err == nil && l.pending > 0 {
+		if syncErr = l.f.Sync(); syncErr == nil {
+			l.stats.Syncs++
+			l.pending = 0
+		}
+	}
+	closeErr := l.f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: close: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: close: %w", closeErr)
+	}
+	return nil
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/scanner"
 	"repro/internal/static/absint"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/wasm"
 )
@@ -70,6 +71,14 @@ type Config struct {
 	// "shared" to the whole process. Memoization never changes findings;
 	// it only removes duplicated work.
 	Memo string
+	// StoreDir, when non-empty, backs the memo with the disk-based
+	// content-addressed store at that directory (internal/store), shared
+	// across processes and restarts: solver verdicts persist and warm
+	// runs answer repeated queries from disk. Implies memoization (a
+	// private cache when Memo is off). Corrupt or version-mismatched
+	// entries degrade to cache misses — they can cost a solver call,
+	// never change a finding.
+	StoreDir string
 	// Incremental enables the prefix-sharing incremental solver for the
 	// adaptive-seed flip queries: one shared SAT instance per trace family
 	// answers flips as assumption solves, retaining learned clauses, plus
@@ -180,6 +189,16 @@ func AnalyzeModule(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Report,
 	// Even a single campaign profits from the solver tier: the concolic
 	// loop re-solves unflippable branch queries every time coverage grows.
 	cache := memo.ForMode(mode)
+	if cfg.StoreDir != "" {
+		if cache == nil {
+			cache = memo.New()
+		}
+		disk, err := store.OpenShared(store.Options{Dir: cfg.StoreDir})
+		if err != nil {
+			return nil, fmt.Errorf("wasai: memo store: %w", err)
+		}
+		cache.AttachDisk(disk)
+	}
 	if cfg.Verdicts && len(customs) == 0 && cfg.TraceFile == "" {
 		if vr := cache.Verdict(mod, actionNames(contractABI), absint.Analyze); vr.AllNegative() {
 			report := &Report{Custom: map[string]bool{}}
