@@ -184,18 +184,24 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
 		return nil, fmt.Errorf("wasai: %w", err)
 	}
 	// StoreDir backs the memo with the shared disk store; it implies
-	// memoization (a private cache when Memo is off).
+	// memoization (a private cache when Memo is off). Memo="shared" uses
+	// the per-store shared cache, never the plain process-wide one — see
+	// memo.SharedWithDisk for why attaching there would leak globally.
 	var memoCache *memo.Cache
 	if cfg.StoreDir != "" {
-		memoCache = memo.ForMode(mode)
-		if memoCache == nil {
-			memoCache = memo.New()
-		}
 		disk, err := store.OpenShared(store.Options{Dir: cfg.StoreDir})
 		if err != nil {
 			return nil, fmt.Errorf("wasai: memo store: %w", err)
 		}
-		memoCache.AttachDisk(disk)
+		if mode == memo.ModeShared {
+			memoCache = memo.SharedWithDisk(disk)
+		} else {
+			memoCache = memo.ForMode(mode)
+			if memoCache == nil {
+				memoCache = memo.New()
+			}
+			memoCache.AttachDisk(disk)
+		}
 	}
 	eng, err := campaign.Start(ctx, campaign.Config{
 		Workers:      cfg.Workers,

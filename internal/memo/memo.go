@@ -106,6 +106,36 @@ func Shared() *Cache {
 	return shared
 }
 
+var (
+	sharedDiskMu sync.Mutex
+	//wasai:localcache registry of shared caches by disk store, not a data cache
+	sharedDisk = map[*store.Store]*Cache{}
+)
+
+// SharedWithDisk returns the process-wide cache bound to the given disk
+// store (created on first use, one cache per store). The plain Shared()
+// cache never gains a disk tier: attaching one there would be a global
+// side effect — later Memo="shared" campaigns without a StoreDir would
+// silently keep using the disk, and a campaign with a different StoreDir
+// would swap the shared cache's durable tier under everyone. Keying by
+// store (store.OpenShared already dedupes handles by directory) keeps
+// "shared" semantics among campaigns that share a directory and full
+// isolation from everything else. A nil store is the plain Shared cache.
+func SharedWithDisk(d *store.Store) *Cache {
+	if d == nil {
+		return Shared()
+	}
+	sharedDiskMu.Lock()
+	defer sharedDiskMu.Unlock()
+	c, ok := sharedDisk[d]
+	if !ok {
+		c = New()
+		c.AttachDisk(d)
+		sharedDisk[d] = c
+	}
+	return c
+}
+
 // Stats are cumulative cache counters. Counters are reporting-only: they
 // never influence analysis results (see the package comment for why hit
 // counts are not perfectly worker-count invariant).
@@ -280,9 +310,9 @@ func (c *Cache) Snapshot() Stats {
 		ds = d.Stats()
 	}
 	return Stats{
-		StoreHits:    c.storeHits.Load(),
-		StoreMisses:  ds.Misses,
-		StoreCorrupt: ds.Corrupt,
+		StoreHits:       c.storeHits.Load(),
+		StoreMisses:     ds.Misses,
+		StoreCorrupt:    ds.Corrupt,
 		SolverHits:      c.solverHits.Load(),
 		SolverUnsatHits: c.solverUnsatHits.Load(),
 		SolverMisses:    c.solverMisses.Load(),

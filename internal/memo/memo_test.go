@@ -540,3 +540,37 @@ func TestAttachDiskNilSafe(t *testing.T) {
 		t.Fatal("detached cache lost its memory tier")
 	}
 }
+
+// TestSharedWithDisk: the per-store shared-cache registry. The plain
+// Shared() cache must never gain a disk tier as a side effect — a
+// Memo="shared" campaign with a StoreDir would otherwise leak its disk
+// store into every later shared campaign (and a second StoreDir would
+// swap the tier under running ones).
+func TestSharedWithDisk(t *testing.T) {
+	d1 := openTestStore(t, t.TempDir())
+	d2 := openTestStore(t, t.TempDir())
+
+	c1 := SharedWithDisk(d1)
+	if c1 == Shared() {
+		t.Fatal("SharedWithDisk returned the plain shared cache")
+	}
+	if c1.Disk() != d1 {
+		t.Fatal("SharedWithDisk cache not bound to its store")
+	}
+	if Shared().Disk() != nil {
+		t.Fatal("plain shared cache gained a disk tier")
+	}
+	if again := SharedWithDisk(d1); again != c1 {
+		t.Fatal("SharedWithDisk is not stable per store")
+	}
+	c2 := SharedWithDisk(d2)
+	if c2 == c1 {
+		t.Fatal("two stores share one cache: a second StoreDir would swap the first's tier")
+	}
+	if c1.Disk() != d1 || c2.Disk() != d2 {
+		t.Fatalf("disk bindings crossed: c1=%p c2=%p", c1.Disk(), c2.Disk())
+	}
+	if SharedWithDisk(nil) != Shared() {
+		t.Fatal("SharedWithDisk(nil) must be the plain shared cache")
+	}
+}

@@ -284,4 +284,3 @@ func waitFinished(t *testing.T, base string, id int, timeout time.Duration) JobS
 		time.Sleep(10 * time.Millisecond) //wasai:nondet test polling
 	}
 }
-

@@ -214,13 +214,19 @@ func (s *Server) nextLocked() (int, string, bool) {
 	if s.draining || s.runTotal >= s.cfg.Limits.maxRunning() {
 		return 0, "", false
 	}
-	for i, id := range s.pending {
+	for i := 0; i < len(s.pending); {
+		id := s.pending[i]
 		j, ok := s.reg.get(id)
 		if !ok {
+			// Stale entry (rotation only drops finished jobs, so this
+			// should be unreachable): remove it and keep scanning —
+			// returning here would park the caller in cond.Wait with
+			// runnable jobs still behind the stale one.
 			s.pending = append(s.pending[:i], s.pending[i+1:]...)
-			return 0, "", false // slice changed; let the caller retry
+			continue
 		}
 		if s.running[j.Spec.Tenant] >= s.cfg.Limits.tenantMaxRunning() {
+			i++
 			continue
 		}
 		s.pending = append(s.pending[:i], s.pending[i+1:]...)

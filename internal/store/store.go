@@ -37,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -88,9 +89,13 @@ type entryKey struct {
 	key  [32]byte
 }
 
-type entry struct {
+// lruItem is an LRU list element's value. The element carries its own
+// size so the list — not the map — is the source of truth for the byte
+// total: removing any element, even one the map no longer indexes,
+// adjusts s.bytes correctly and eviction always makes progress.
+type lruItem struct {
+	ek   entryKey
 	size int64
-	elem *list.Element // position in the LRU list (front = most recent)
 }
 
 // Store is an open disk store. All methods are safe for concurrent use
@@ -101,8 +106,8 @@ type Store struct {
 	maxBytes int64
 
 	mu      sync.Mutex
-	entries map[entryKey]*entry
-	lru     *list.List // of entryKey; front = most recently used
+	entries map[entryKey]*list.Element // key -> its element in lru
+	lru     *list.List                 // of lruItem; front = most recently used
 	bytes   int64
 
 	hits, misses, corrupt, evictions, writes int64
@@ -124,7 +129,7 @@ func Open(opts Options) (*Store, error) {
 	s := &Store{
 		dir:      opts.Dir,
 		maxBytes: maxBytes,
-		entries:  map[entryKey]*entry{},
+		entries:  map[entryKey]*list.Element{},
 		lru:      list.New(),
 	}
 	if err := s.scan(); err != nil {
@@ -174,6 +179,13 @@ func (s *Store) scan() error {
 		if err != nil || d.IsDir() {
 			return err
 		}
+		if strings.HasSuffix(path, ".tmp") {
+			// A crash between Put's WriteFile and Rename leaves a temp
+			// file behind. It must never be indexed (the rename is what
+			// publishes an entry), so delete it here.
+			os.Remove(path)
+			return nil
+		}
 		rel, err := filepath.Rel(s.dir, path)
 		if err != nil {
 			return nil
@@ -201,15 +213,22 @@ func (s *Store) scan() error {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].mtime.Before(all[j].mtime) })
 	for _, f := range all {
-		e := &entry{size: f.size}
-		e.elem = s.lru.PushFront(f.ek)
-		s.entries[f.ek] = e
+		if old, ok := s.entries[f.ek]; ok {
+			// One key must own exactly one element — a divergent pair
+			// would orphan an element and stall eviction. WalkDir visits
+			// each path once, so this only guards against parse overlap.
+			s.removeElemLocked(old, false)
+		}
+		s.entries[f.ek] = s.lru.PushFront(lruItem{ek: f.ek, size: f.size})
 		s.bytes += f.size
 	}
 	return nil
 }
 
-// parseEntryPath recognizes "<tier>/<hh>/<hexkey>.v<version>".
+// parseEntryPath recognizes "<tier>/<hh>/<hexkey>.v<version>". The
+// version suffix must be digits only, consumed in full: a lax scan here
+// once indexed "<hexkey>.v1.tmp" crash leftovers as live entries,
+// creating two list elements for one key and stalling eviction.
 func parseEntryPath(rel string) (tier string, key [32]byte, version int, ok bool) {
 	parts := strings.Split(filepath.ToSlash(rel), "/")
 	if len(parts) != 3 {
@@ -225,7 +244,13 @@ func parseEntryPath(rel string) (tier string, key [32]byte, version int, ok bool
 		return "", key, 0, false
 	}
 	copy(key[:], raw)
-	if _, err := fmt.Sscanf(name[66:], "%d", &version); err != nil {
+	for i := 66; i < len(name); i++ {
+		if name[i] < '0' || name[i] > '9' {
+			return "", key, 0, false
+		}
+	}
+	version, err = strconv.Atoi(name[66:])
+	if err != nil {
 		return "", key, 0, false
 	}
 	return tier, key, version, true
@@ -266,14 +291,12 @@ func (s *Store) Get(tier string, key [32]byte) ([]byte, bool) {
 		return nil, false
 	}
 	s.mu.Lock()
-	if e, ok := s.entries[ek]; ok {
-		s.lru.MoveToFront(e.elem)
+	if elem, ok := s.entries[ek]; ok {
+		s.lru.MoveToFront(elem)
 	} else {
 		// Another process wrote it after our scan: adopt it.
-		e := &entry{size: int64(len(data))}
-		e.elem = s.lru.PushFront(ek)
-		s.entries[ek] = e
-		s.bytes += e.size
+		s.entries[ek] = s.lru.PushFront(lruItem{ek: ek, size: int64(len(data))})
+		s.bytes += int64(len(data))
 	}
 	s.hits++
 	s.mu.Unlock()
@@ -317,10 +340,8 @@ func (s *Store) Put(tier string, key [32]byte, payload []byte) {
 
 	s.mu.Lock()
 	if _, ok := s.entries[ek]; !ok {
-		e := &entry{size: int64(len(data))}
-		e.elem = s.lru.PushFront(ek)
-		s.entries[ek] = e
-		s.bytes += e.size
+		s.entries[ek] = s.lru.PushFront(lruItem{ek: ek, size: int64(len(data))})
+		s.bytes += int64(len(data))
 	}
 	s.writes++
 	s.evictLocked()
@@ -338,21 +359,31 @@ func (s *Store) evictLocked() {
 		if back == nil {
 			return
 		}
-		ek := back.Value.(entryKey)
-		os.Remove(s.path(ek.tier, ek.key))
-		s.dropLocked(ek, true)
+		it := back.Value.(lruItem)
+		os.Remove(s.path(it.ek.tier, it.ek.key))
+		s.removeElemLocked(back, true)
 	}
 }
 
-// dropLocked removes an entry from the index (evicted=true counts it).
+// dropLocked removes the entry indexed under ek, if any.
 func (s *Store) dropLocked(ek entryKey, evicted bool) {
-	e, ok := s.entries[ek]
-	if !ok {
-		return
+	if elem, ok := s.entries[ek]; ok {
+		s.removeElemLocked(elem, evicted)
 	}
-	s.lru.Remove(e.elem)
-	delete(s.entries, ek)
-	s.bytes -= e.size
+}
+
+// removeElemLocked removes one LRU element (evicted=true counts it).
+// Bytes are adjusted from the element's own recorded size, and the map
+// entry is deleted only when this element is the one it indexes — so
+// even if list and map ever diverged, every removal would still shrink
+// the list and the byte total, and eviction could never spin.
+func (s *Store) removeElemLocked(elem *list.Element, evicted bool) {
+	it := elem.Value.(lruItem)
+	s.lru.Remove(elem)
+	s.bytes -= it.size
+	if cur, ok := s.entries[it.ek]; ok && cur == elem {
+		delete(s.entries, it.ek)
+	}
 	if evicted {
 		s.evictions++
 	}

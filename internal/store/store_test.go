@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func key(s string) [32]byte { return sha256.Sum256([]byte(s)) }
@@ -248,5 +249,120 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	for w := 0; w < 8; w++ {
 		<-done
+	}
+}
+
+// TestParseEntryPathStrict: the version suffix must be digits only,
+// consumed in full. A lax parse once accepted "<key>.v1.tmp" crash
+// leftovers as live entries (see TestScanIgnoresTempLeftovers).
+func TestParseEntryPathStrict(t *testing.T) {
+	hexKey := fmt.Sprintf("%064x", 42)
+	cases := []struct {
+		name    string
+		ok      bool
+		version int
+	}{
+		{hexKey + ".v1", true, 1},
+		{hexKey + ".v12", true, 12},
+		{hexKey + ".v1.tmp", false, 0},
+		{hexKey + ".v1x", false, 0},
+		{hexKey + ".v", false, 0},
+		{hexKey + ".v+1", false, 0},
+		{hexKey + ".v-1", false, 0},
+		{hexKey + ".v 1", false, 0},
+		{hexKey + ".tmp", false, 0},
+	}
+	for _, c := range cases {
+		_, _, version, ok := parseEntryPath("t/aa/" + c.name)
+		if ok != c.ok || version != c.version {
+			t.Errorf("parseEntryPath(%q) = (version=%d, ok=%v), want (version=%d, ok=%v)",
+				c.name, version, ok, c.version, c.ok)
+		}
+	}
+}
+
+// TestScanIgnoresTempLeftovers: a crash between Put's WriteFile and
+// Rename leaves "<key>.v1.tmp" next to (or instead of) the real entry.
+// The rescan must delete it and index only the published entry — the old
+// lax parse indexed both, creating two LRU elements for one key, which
+// made eviction spin forever holding the store mutex.
+func TestScanIgnoresTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("survivor")
+	payload := bytes.Repeat([]byte{1}, 100)
+	s.Put("t", k, payload)
+
+	// Simulate the crash leftover: the temp file beside the real entry.
+	real := s.path("t", k)
+	if err := os.WriteFile(real+".tmp", encodeEntry(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a budget tight enough that the duplicate (if indexed)
+	// would double-count bytes and force eviction into the orphan spin.
+	s2, err := Open(Options{Dir: dir, MaxBytes: 108})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Entries != 1 || st.Bytes != 108 {
+		t.Fatalf("after rescan with .tmp leftover: %+v, want 1 entry / 108 bytes", st)
+	}
+	if _, err := os.Stat(real + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("scan left the .tmp file behind (stat err: %v)", err)
+	}
+
+	// The reproduction from the review: under eviction pressure a
+	// divergent index made Put hang indefinitely. This must return.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 10; i++ {
+			s2.Put("t", key(fmt.Sprintf("fill%d", i)), payload)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Put hung under eviction pressure after rescan with .tmp leftover")
+	}
+	if st := s2.Stats(); st.Bytes > 108 {
+		t.Errorf("resident %d bytes, budget 108", st.Bytes)
+	}
+}
+
+// TestEvictionSurvivesIndexDivergence: even if the LRU list and the
+// entries map diverge (an element the map does not index), eviction must
+// remove the orphan with correct byte accounting instead of spinning.
+func TestEvictionSurvivesIndexDivergence(t *testing.T) {
+	s, err := Open(Options{Dir: t.TempDir(), MaxBytes: 108})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{2}, 100)
+	s.Put("t", key("a"), payload)
+
+	// Manufacture the divergence the old code could not escape: an LRU
+	// element carrying bytes that no map entry indexes.
+	s.mu.Lock()
+	s.lru.PushBack(lruItem{ek: entryKey{tier: "t", key: key("orphan")}, size: 108})
+	s.bytes += 108
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.Put("t", key("b"), payload) // over budget: must evict and return
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Put hung: eviction did not remove the orphaned LRU element")
+	}
+	if st := s.Stats(); st.Bytes > 108 {
+		t.Errorf("orphan bytes not reclaimed: resident %d, budget 108", st.Bytes)
 	}
 }

@@ -190,14 +190,21 @@ func AnalyzeModule(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Report,
 	// loop re-solves unflippable branch queries every time coverage grows.
 	cache := memo.ForMode(mode)
 	if cfg.StoreDir != "" {
-		if cache == nil {
-			cache = memo.New()
-		}
 		disk, err := store.OpenShared(store.Options{Dir: cfg.StoreDir})
 		if err != nil {
 			return nil, fmt.Errorf("wasai: memo store: %w", err)
 		}
-		cache.AttachDisk(disk)
+		if mode == memo.ModeShared {
+			// Never attach the store to the plain shared cache — that
+			// would leak this run's disk tier into every later shared
+			// campaign. Each store gets its own process-wide cache.
+			cache = memo.SharedWithDisk(disk)
+		} else {
+			if cache == nil {
+				cache = memo.New() // StoreDir implies memoization
+			}
+			cache.AttachDisk(disk)
+		}
 	}
 	if cfg.Verdicts && len(customs) == 0 && cfg.TraceFile == "" {
 		if vr := cache.Verdict(mod, actionNames(contractABI), absint.Analyze); vr.AllNegative() {
