@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz lint chaos serve-chaos bench-regress bench-baseline incr fastvm verdict profile verify
+.PHONY: build test race fuzz lint chaos serve-chaos bench-regress bench-baseline incr fastvm verdict onchain profile verify
 
 build:
 	$(GO) build ./...
@@ -75,17 +75,25 @@ fastvm:
 	$(GO) run ./cmd/wasai-bench -exp fastvm
 
 # Verdict-engine gate: zero soundness violations in both directions against
-# a dynamic campaign, ≥30% of the wild population resolved statically, and
-# byte-identical findings digests with verdicts off and on at 1/4/8 workers
-# (exit status is the assertion).
+# a dynamic campaign, ≥30% of the wild (contract, class) verdict matrix
+# decided statically, and byte-identical findings digests with verdicts off
+# and on at 1/4/8 workers (exit status is the assertion).
 verdict:
 	$(GO) run ./cmd/wasai-bench -exp verdict
+
+# On-chain-data oracle gate: every injected-vulnerability fixture (both
+# polarities of all oracle classes, plus intrinsic-free boilerplate)
+# through full campaigns — perfect per-class precision/recall against the
+# generator's ground truth, and byte-identical findings digests at 1/4/8
+# workers (exit status is the assertion).
+onchain:
+	$(GO) run ./cmd/wasai-bench -exp onchain
 
 # Write pprof profiles of the regress workload for solver-hotspot digging:
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
 profile:
 	$(GO) run ./cmd/wasai-bench -exp regress -cpuprofile cpu.pprof -memprofile mem.pprof
 
-verify: build lint chaos serve-chaos bench-regress incr fastvm verdict
+verify: build lint chaos serve-chaos bench-regress incr fastvm verdict onchain
 	$(GO) test ./...
 	$(GO) test -race ./...

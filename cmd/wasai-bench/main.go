@@ -35,8 +35,12 @@
 // proven-positive jobs schedule confirmed-first, findings-invariant either
 // way. -exp verdict runs the verdict gate — per-class soundness against a
 // dynamic campaign in both directions (zero violations), ≥30% of the wild
-// population resolved statically, and byte-identical findings digests with
-// verdicts off/on at worker counts 1/4/8. -exp regress
+// (contract, class) verdict matrix decided statically, and byte-identical
+// findings digests with verdicts off/on at worker counts 1/4/8. -exp
+// onchain runs the on-chain-data oracle gate: every injected fixture (both
+// polarities of all classes plus boilerplate) through full campaigns, with
+// perfect per-class precision/recall against generator ground truth and
+// byte-identical findings digests at worker counts 1/4/8. -exp regress
 // runs the fixed benchmark workload (wall-clock is the median of three
 // legs; solver counters are single-leg exact), writes a BENCH_<date>.json
 // record (-out overrides the path) and compares it against the committed
@@ -77,7 +81,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|servechaos|memo|incr|fastvm|verdict|regress|all (chaos/servechaos/memo/incr/fastvm/verdict/regress only run when named)")
+		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|servechaos|memo|incr|fastvm|verdict|onchain|regress|all (chaos/servechaos/memo/incr/fastvm/verdict/onchain/regress only run when named)")
 		scale     = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		iters     = flag.Int("iterations", 240, "fuzzing budget per contract")
@@ -361,6 +365,25 @@ func run() error {
 			if !res.Passed() {
 				return fmt.Errorf("verdict experiment failed: violations neg=%d pos=%d, wild resolution %.0f%% (need ≥30%%), digests identical=%v",
 					res.NegViolations(), res.PosViolations(), 100*res.Resolution(), res.DigestMatch)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "onchain" {
+		if err := runExp("OnChain (on-chain-data oracle P/R gate)", func() error {
+			cfg := bench.DefaultOnChainConfig()
+			cfg.Seed = *seed
+			cfg.FuzzIterations = *iters
+			res, err := bench.EvaluateOnChain(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderOnChain(res))
+			if !res.Passed() {
+				return fmt.Errorf("onchain experiment failed: %d P/R violations, digests identical=%v",
+					res.Violations(), res.DigestMatch)
 			}
 			return nil
 		}); err != nil {

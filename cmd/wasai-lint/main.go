@@ -3,7 +3,7 @@
 // that go vet cannot know about:
 //
 //   - nondeterminism: the deterministic core packages (internal/campaign,
-//     internal/fuzz, internal/symbolic, internal/static) promise
+//     internal/chain, internal/fuzz, internal/symbolic, internal/static) promise
 //     byte-identical results for identical inputs. Wall-clock reads
 //     (time.Now / time.Since / time.Until) and unseeded math/rand calls
 //     (anything but rand.New / rand.NewSource) break that promise, so they
@@ -17,6 +17,12 @@
 //     internal/static/absint, so neither static triage layer can silently
 //     lag behind a newly added oracle (an un-flagged or un-proven oracle
 //     would make triage skips unsound).
+//
+//   - backend parity: every host-API name constant (API*) declared in
+//     internal/chain must be referenced outside its declaring file — the
+//     constants name the functions a chain.Backend installs and the oracle
+//     sets match on, so an orphaned constant means the pluggable backend
+//     surface silently dropped a host function (or kept a stale name).
 //
 //   - local caches: cross-job caching must go through internal/memo, which
 //     owns the determinism contract (canonical keys, Unknown never cached,
@@ -56,6 +62,7 @@ import (
 // root.
 var corePackages = []string{
 	"internal/campaign",
+	"internal/chain",
 	"internal/fuzz",
 	"internal/symbolic",
 	"internal/static",
@@ -99,6 +106,12 @@ func main() {
 		diags = append(diags, d...)
 	}
 	d, err := checkOracleParity(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wasai-lint:", err)
+		os.Exit(2)
+	}
+	diags = append(diags, d...)
+	d, err = checkBackendParity(root)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wasai-lint:", err)
 		os.Exit(2)

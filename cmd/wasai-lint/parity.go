@@ -47,6 +47,73 @@ func checkOracleParity(root string) ([]string, error) {
 	return diags, nil
 }
 
+// checkBackendParity enforces the pluggable-backend completeness
+// invariant on internal/chain: every host-API name constant (API*) must be
+// referenced outside its declaring file. The constants name the host
+// functions a chain.Backend installs and the oracle sets reason about; a
+// constant nothing else references is a host function the backend surface
+// silently dropped (or a stale name the oracles can no longer match).
+func checkBackendParity(root string) ([]string, error) {
+	files, err := packageFiles(filepath.Join(root, "internal/chain"))
+	if err != nil {
+		return nil, err
+	}
+	decl := map[string]string{}     // API* const name -> declaring position
+	declFile := map[string]string{} // API* const name -> declaring file
+	usedIn := map[string]map[string]bool{}
+	for _, path := range files {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", path, err)
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "API") {
+						decl[name.Name] = fset.Position(name.Pos()).String()
+						declFile[name.Name] = path
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || !strings.HasPrefix(id.Name, "API") {
+				return true
+			}
+			if usedIn[id.Name] == nil {
+				usedIn[id.Name] = map[string]bool{}
+			}
+			usedIn[id.Name][path] = true
+			return true
+		})
+	}
+	var diags []string
+	for _, name := range sortedClassNames(decl) {
+		installed := false
+		for path := range usedIn[name] {
+			if path != declFile[name] {
+				installed = true
+			}
+		}
+		if !installed {
+			diags = append(diags, fmt.Sprintf(
+				"%s: host-API constant %s is declared but no backend or oracle set references it",
+				decl[name], name))
+		}
+	}
+	return diags, nil
+}
+
 // classRefs scans a package's non-test files for contractgen.Class*
 // selector references (excluding the Classes slice itself) and returns each
 // class name with the position of its first use.

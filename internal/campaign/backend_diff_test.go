@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+)
+
+// preBackendGolden is the campaign findings of the full five-class
+// fixture sweep captured BEFORE internal/chain grew the Backend
+// interface (commit 76604e8, Iterations=160, SolverConflicts=5000,
+// Workers=1, BaseSeed=42, Spec.Seed=7). The refactor moved the EOSIO
+// host-API surface behind chain.Backend without changing behaviour, so
+// the same campaign must reproduce these lines byte-for-byte forever.
+// (Rollback fixtures legitimately show BlockinfoDep=true: the
+// single-class Rollback reveal template reads tapos.)
+const preBackendGolden = `job=0 name="Fake EOS-vul=true" Fake EOS=true Fake Notif=false MissAuth=false BlockinfoDep=false Rollback=false
+job=1 name="Fake EOS-vul=false" Fake EOS=false Fake Notif=false MissAuth=false BlockinfoDep=false Rollback=false
+job=2 name="Fake Notif-vul=true" Fake EOS=false Fake Notif=true MissAuth=false BlockinfoDep=false Rollback=false
+job=3 name="Fake Notif-vul=false" Fake EOS=false Fake Notif=false MissAuth=false BlockinfoDep=false Rollback=false
+job=4 name="MissAuth-vul=true" Fake EOS=false Fake Notif=false MissAuth=true BlockinfoDep=false Rollback=false
+job=5 name="MissAuth-vul=false" Fake EOS=false Fake Notif=false MissAuth=false BlockinfoDep=false Rollback=false
+job=6 name="BlockinfoDep-vul=true" Fake EOS=false Fake Notif=false MissAuth=false BlockinfoDep=true Rollback=false
+job=7 name="BlockinfoDep-vul=false" Fake EOS=false Fake Notif=false MissAuth=false BlockinfoDep=false Rollback=false
+job=8 name="Rollback-vul=true" Fake EOS=false Fake Notif=false MissAuth=false BlockinfoDep=true Rollback=true
+job=9 name="Rollback-vul=false" Fake EOS=false Fake Notif=false MissAuth=false BlockinfoDep=true Rollback=false
+`
+
+// originalClasses are the paper's five oracle classes, in Classes order.
+var originalClasses = []contractgen.Class{
+	contractgen.ClassFakeEOS,
+	contractgen.ClassFakeNotif,
+	contractgen.ClassMissAuth,
+	contractgen.ClassBlockinfoDep,
+	contractgen.ClassRollback,
+}
+
+// fiveClassDigest rebuilds the pre-refactor FindingsDigest view from a
+// report: the same per-job line format, restricted to the original five
+// classes (the full digest now also carries the on-chain-data classes,
+// which did not exist when the golden was captured).
+func fiveClassDigest(t *testing.T, rep *Report) string {
+	t.Helper()
+	lines := make([]string, 0, len(rep.Results))
+	for _, jr := range rep.Results {
+		if jr.Err != nil {
+			t.Fatalf("job %q failed: %v", jr.Job.Name, jr.Err)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "job=%d name=%q", jr.Job.ID, jr.Job.Name)
+		for _, class := range originalClasses {
+			fmt.Fprintf(&sb, " %s=%v", class, jr.Result.Report.Vulnerable[class])
+		}
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func goldenJobs(t *testing.T) []Job {
+	t.Helper()
+	var jobs []Job
+	for _, class := range originalClasses {
+		for _, vul := range []bool{true, false} {
+			c, err := contractgen.Generate(contractgen.Spec{Class: class, Vulnerable: vul, Seed: 7})
+			if err != nil {
+				t.Fatalf("generate %v/%v: %v", class, vul, err)
+			}
+			jobs = append(jobs, Job{
+				Name:   fmt.Sprintf("%s-vul=%v", class, vul),
+				Module: c.Module,
+				ABI:    c.ABI,
+				Config: fuzz.Config{Iterations: 160, SolverConflicts: 5000},
+			})
+		}
+	}
+	return jobs
+}
+
+// TestBackendRefactorGoldenDigest is the tentpole's acceptance gate: with
+// the EOSIO personality behind chain.Backend, the five-class fixture
+// campaign reproduces the findings captured before the refactor,
+// byte-identically, at every worker count.
+func TestBackendRefactorGoldenDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fixture sweep is slow in -short mode")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		rep, err := Run(context.Background(), goldenJobs(t), Config{Workers: workers, BaseSeed: 42})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := fiveClassDigest(t, rep); got != preBackendGolden {
+			t.Errorf("workers=%d: five-class findings diverged from the pre-refactor golden\n--- got ---\n%s--- want ---\n%s",
+				workers, got, preBackendGolden)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/fuzz"
+)
+
+// expectedFindings returns the ground-truth verdict vector for one
+// injected single-class fixture: the fixture's own class matches its
+// Vulnerable flag, everything else is false — with one deliberate
+// exception. Single-class Rollback samples keep the paper's Listing 4
+// fidelity and derive the lottery outcome from tapos, so both Rollback
+// polarities legitimately show BlockinfoDep (the pre-refactor golden in
+// backend_diff_test.go pins the same behaviour).
+func expectedFindings(spec contractgen.Spec) map[contractgen.Class]bool {
+	want := map[contractgen.Class]bool{}
+	for _, c := range contractgen.Classes {
+		want[c] = c == spec.Class && spec.Vulnerable
+	}
+	if spec.Class == contractgen.ClassRollback {
+		want[contractgen.ClassBlockinfoDep] = true
+	}
+	return want
+}
+
+// TestInjectedFixturePrecisionRecall drives every injected-vulnerability
+// fixture — both polarities of all eight classes — through a full
+// campaign and scores each oracle class against the generator's ground
+// truth. The gate is exact: precision and recall must both be 1.0 for
+// every class (no false negative on any injected fixture, no false
+// positive on any clean one), which subsumes any fractional floor.
+func TestInjectedFixturePrecisionRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fixture sweep is slow in -short mode")
+	}
+	type fixture struct {
+		spec contractgen.Spec
+		want map[contractgen.Class]bool
+	}
+	var jobs []Job
+	var fixtures []fixture
+	for _, class := range contractgen.Classes {
+		for _, vul := range []bool{true, false} {
+			spec := contractgen.Spec{Class: class, Vulnerable: vul, Seed: 7}
+			c, err := contractgen.Generate(spec)
+			if err != nil {
+				t.Fatalf("generate %v/%v: %v", class, vul, err)
+			}
+			jobs = append(jobs, Job{
+				Name:   fmt.Sprintf("%s-vul=%v", class, vul),
+				Module: c.Module,
+				ABI:    c.ABI,
+				Config: fuzz.Config{Iterations: 160, SolverConflicts: 5000},
+			})
+			fixtures = append(fixtures, fixture{spec: spec, want: expectedFindings(spec)})
+		}
+	}
+	rep, err := Run(context.Background(), jobs, Config{Workers: 4, BaseSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// tp/fp/fn per class, over every (fixture, class) verdict.
+	tp := map[contractgen.Class]int{}
+	fp := map[contractgen.Class]int{}
+	fn := map[contractgen.Class]int{}
+	for _, jr := range rep.Results {
+		if jr.Err != nil {
+			t.Fatalf("job %q failed: %v", jr.Job.Name, jr.Err)
+		}
+		fx := fixtures[jr.Job.ID]
+		for _, class := range contractgen.Classes {
+			got := jr.Result.Report.Vulnerable[class]
+			want := fx.want[class]
+			switch {
+			case got && want:
+				tp[class]++
+			case got && !want:
+				fp[class]++
+				t.Errorf("%s: false positive for %s", jr.Job.Name, class)
+			case !got && want:
+				fn[class]++
+				t.Errorf("%s: false negative for %s", jr.Job.Name, class)
+			}
+		}
+	}
+	for _, class := range contractgen.Classes {
+		if tp[class] == 0 {
+			t.Errorf("%s: no true positive across the fixture sweep (oracle dead?)", class)
+		}
+		t.Logf("%-14s tp=%d fp=%d fn=%d", class, tp[class], fp[class], fn[class])
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/contractgen"
 	"repro/internal/faultinject"
+	"repro/internal/fuzz"
 	"repro/internal/memo"
 )
 
@@ -68,12 +70,28 @@ func TestVerdictDigestInvariance(t *testing.T) {
 	}
 }
 
-// TestVerdictResolvesJobs checks the engine actually does triage work on
-// the standard test population: some jobs skip on all-negative proofs, and
-// every skipped job's digest line still matches the executed reference
-// (already asserted by verdictDigests).
+// TestVerdictResolvesJobs checks the engine actually does triage work: some
+// jobs skip on all-negative proofs, and every skipped job's digest line
+// still matches the executed reference (already asserted by
+// verdictDigests). The canonical fixtures all carry db writes and sends, so
+// the on-chain-data scenario classes are correctly Unknown on them and they
+// must execute; boilerplate contracts with no host intrinsics are the
+// fully-provable population, mirroring the wild distribution where
+// trivial contracts dominate.
 func TestVerdictResolvesJobs(t *testing.T) {
-	mk := func() []Job { return testJobs(t, 16, 30, 13) }
+	mk := func() []Job {
+		jobs := testJobs(t, 16, 30, 13)
+		for i := 0; i < 4; i++ {
+			c := contractgen.Trivial()
+			jobs = append(jobs, Job{
+				Name:   fmt.Sprintf("trivial-%d", i),
+				Module: c.Module,
+				ABI:    c.ABI,
+				Config: fuzz.Config{Iterations: 30, SolverConflicts: 50_000},
+			})
+		}
+		return jobs
+	}
 	off, on := verdictDigests(t, mk, Config{Workers: 4, BaseSeed: 7})
 	if off.Skipped != 0 {
 		t.Fatalf("verdicts-off run skipped %d jobs with triage disabled", off.Skipped)

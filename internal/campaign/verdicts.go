@@ -16,10 +16,12 @@ import (
 // boolean candidate flags of internal/static to three-valued per-class
 // verdicts, and the campaign consumes exactly the two proof directions:
 //
-//   - a job whose five classes are all ProvenNegative is answered with the
-//     same synthesized all-clean result a static-triage skip produces
-//     (each negative proof says the dynamic oracle cannot fire on any
-//     harness execution, so the job's findings-digest line is unchanged);
+//   - a job with every class ProvenNegative — the five trace-oracle
+//     classes and the three on-chain-data scenario classes — is answered
+//     with the same synthesized all-clean result a static-triage skip
+//     produces (each negative proof says the dynamic oracle cannot fire on
+//     any harness execution, scenario replays included, so the job's
+//     findings-digest line is unchanged);
 //   - a job with any ProvenPositive class is scheduled confirmed-first
 //     (reordering is digest-invisible: seeds derive from job IDs) and
 //     skips the static budget raise — the positive witness already fits

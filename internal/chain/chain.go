@@ -150,11 +150,26 @@ type Blockchain struct {
 	// single-threaded, so the host-call order — and therefore which call
 	// the fault lands on — is deterministic.
 	Faults *faultinject.Injector
+	// HoldBlocks freezes the block head: PushTransaction skips the
+	// post-transaction advanceBlock, so block number, time and tapos
+	// prefix stay constant across transactions. The multi-transaction
+	// scenario driver uses this to compare permuted transaction sequences
+	// under identical block state — otherwise every tapos read would
+	// differ between the two orders and mask genuine ordering dependence.
+	HoldBlocks bool
+
+	backend Backend
 }
 
-// New returns a chain with the eosio.token system contract deployed and
-// no other accounts.
-func New() *Blockchain {
+// New returns an EOSIO chain with the eosio.token system contract
+// deployed and no other accounts.
+func New() *Blockchain { return NewWithBackend(EOSIO()) }
+
+// NewWithBackend returns a chain running the given personality: the
+// backend supplies the host-API surface and bootstraps its system
+// contracts; everything else (dispatch, database, rollback, traces) is
+// personality-independent.
+func NewWithBackend(b Backend) *Blockchain {
 	bc := &Blockchain{
 		accounts:       map[eos.Name]*Account{},
 		db:             NewDatabase(),
@@ -163,14 +178,14 @@ func New() *Blockchain {
 		timeUs:         1_577_836_800_000_000, // 2020-01-01T00:00:00Z
 		MaxInlineDepth: 16,
 		Fuel:           exec.DefaultFuel,
+		backend:        b,
 	}
-	bc.accounts[eos.TokenContract] = &Account{
-		Name:   eos.TokenContract,
-		Native: &TokenContract{Issuer: eos.TokenContract, Sym: eos.EOSSymbol},
-		ABI:    abi.TransferABI(),
-	}
+	b.Bootstrap(bc)
 	return bc
 }
+
+// Backend returns the chain's personality.
+func (bc *Blockchain) Backend() Backend { return bc.backend }
 
 // DB exposes the database (tests and detectors inspect it directly).
 func (bc *Blockchain) DB() *Database { return bc.db }
@@ -286,7 +301,9 @@ func (bc *Blockchain) PushTransaction(tx Transaction) *Receipt {
 	} else {
 		bc.deferred = nil
 	}
-	bc.advanceBlock()
+	if !bc.HoldBlocks {
+		bc.advanceBlock()
+	}
 	return rcpt
 }
 

@@ -13,6 +13,7 @@ package chain
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/failure"
 
@@ -120,6 +121,35 @@ func (db *Database) Remove(code, scope, tab eos.Name, id uint64) {
 	if t := db.tableFor(tableKey{code, scope, tab}, false); t != nil {
 		t.remove(id)
 	}
+}
+
+// DumpContract renders every row stored under code's tables in a
+// canonical form: lines "scope/table/key=hex(payload)" sorted by scope,
+// table and primary key. The ordering-dependence oracle compares these
+// dumps across permuted transaction sequences, so the rendering must be
+// a pure function of database content (map iteration order must not
+// leak through).
+func (db *Database) DumpContract(code eos.Name) string {
+	var keys []tableKey
+	for k := range db.tables {
+		if k.Code == code {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Scope != keys[j].Scope {
+			return keys[i].Scope < keys[j].Scope
+		}
+		return keys[i].Table < keys[j].Table
+	})
+	var sb strings.Builder
+	for _, k := range keys {
+		t := db.tables[k]
+		for _, id := range t.keys {
+			fmt.Fprintf(&sb, "%s/%s/%d=%x\n", k.Scope, k.Table, id, t.rows[id])
+		}
+	}
+	return sb.String()
 }
 
 // Rows returns the number of rows in a table.

@@ -2,7 +2,6 @@ package chain
 
 import (
 	"encoding/binary"
-	"fmt"
 
 	"repro/internal/eos"
 	"repro/internal/failure"
@@ -88,135 +87,12 @@ func readCStr(vm *exec.VM, ptr uint32) string {
 }
 
 // resolverFor builds the import resolver for executing a contract under ctx.
-// ctx may be nil at deploy-time link checking.
+// ctx may be nil at deploy-time link checking. The "env" intrinsic surface
+// comes from the chain's backend; the wasai.* instrumentation hooks and the
+// fault injector stay at the chain layer — they are pipeline machinery, not
+// personality semantics, so every backend gets them for free.
 func (bc *Blockchain) resolverFor(ctx *Context) exec.Resolver {
-	env := exec.HostModule{
-		APIRequireAuth: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			return nil, ctxOf(vm).RequireAuth(eos.Name(args[0]))
-		},
-		APIRequireAuth2: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			return nil, ctxOf(vm).RequireAuth(eos.Name(args[0]))
-		},
-		APIHasAuth: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			if ctxOf(vm).HasAuth(eos.Name(args[0])) {
-				return []uint64{1}, nil
-			}
-			return []uint64{0}, nil
-		},
-		APIRequireRecipient: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			ctxOf(vm).RequireRecipient(eos.Name(args[0]))
-			return nil, nil
-		},
-		APIIsAccount: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			if ctxOf(vm).chain.Account(eos.Name(args[0])) != nil {
-				return []uint64{1}, nil
-			}
-			return []uint64{0}, nil
-		},
-		APICurrentReceiver: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			return []uint64{uint64(ctxOf(vm).Receiver)}, nil
-		},
-		APIEosioAssert: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			if uint32(args[0]) != 0 {
-				return nil, nil
-			}
-			return nil, &AssertError{Msg: readCStr(vm, uint32(args[1]))}
-		},
-		APIReadActionData: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			ctx := ctxOf(vm)
-			n := int(uint32(args[1]))
-			if n > len(ctx.Data) {
-				n = len(ctx.Data)
-			}
-			if err := vm.Instance().WriteMemory(uint32(args[0]), ctx.Data[:n]); err != nil {
-				return nil, err
-			}
-			return []uint64{uint64(uint32(n))}, nil
-		},
-		APIActionDataSize: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			return []uint64{uint64(uint32(len(ctxOf(vm).Data)))}, nil
-		},
-		APISendInline: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			p, err := vm.Instance().ReadMemory(uint32(args[0]), uint32(args[1]))
-			if err != nil {
-				return nil, err
-			}
-			act, err := UnpackAction(p)
-			if err != nil {
-				return nil, fmt.Errorf("send_inline: %w", err)
-			}
-			ctxOf(vm).SendInline(act)
-			return nil, nil
-		},
-		APISendDeferred: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			// Simplified signature: (payer i64, ptr i32, len i32).
-			p, err := vm.Instance().ReadMemory(uint32(args[1]), uint32(args[2]))
-			if err != nil {
-				return nil, err
-			}
-			act, err := UnpackAction(p)
-			if err != nil {
-				return nil, fmt.Errorf("send_deferred: %w", err)
-			}
-			ctxOf(vm).SendDeferred(Transaction{Actions: []Action{act}})
-			return nil, nil
-		},
-		APITaposBlockNum: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			return []uint64{uint64(ctxOf(vm).chain.TaposBlockNum())}, nil
-		},
-		APITaposBlockPrefix: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			return []uint64{uint64(ctxOf(vm).chain.TaposBlockPrefix())}, nil
-		},
-		APICurrentTime: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			return []uint64{ctxOf(vm).chain.TimeUs()}, nil
-		},
-		APIPrints: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			ctxOf(vm).Print(readCStr(vm, uint32(args[0])))
-			return nil, nil
-		},
-		APIPrintsL: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			p, err := vm.Instance().ReadMemory(uint32(args[0]), uint32(args[1]))
-			if err != nil {
-				return nil, err
-			}
-			ctxOf(vm).Print(string(p))
-			return nil, nil
-		},
-		APIPrintI: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			ctxOf(vm).Print(fmt.Sprintf("%d", int64(args[0])))
-			return nil, nil
-		},
-		APIPrintN: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			ctxOf(vm).Print(eos.Name(args[0]).String())
-			return nil, nil
-		},
-		APIMemcpy: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			dst, src, n := uint32(args[0]), uint32(args[1]), uint32(args[2])
-			p, err := vm.Instance().ReadMemory(src, n)
-			if err != nil {
-				return nil, err
-			}
-			if err := vm.Instance().WriteMemory(dst, p); err != nil {
-				return nil, err
-			}
-			return []uint64{uint64(dst)}, nil
-		},
-		APIMemset: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			dst, val, n := uint32(args[0]), byte(args[1]), uint32(args[2])
-			p := make([]byte, n)
-			for i := range p {
-				p[i] = val
-			}
-			if err := vm.Instance().WriteMemory(dst, p); err != nil {
-				return nil, err
-			}
-			return []uint64{uint64(dst)}, nil
-		},
-		APIAbort: func(vm *exec.VM, args []uint64) ([]uint64, error) {
-			return nil, &AssertError{Msg: "abort() called"}
-		},
-	}
-	bc.addDBAPIs(env)
+	env := bc.backend.HostEnv(bc)
 	if bc.Faults != nil {
 		// Interpose the fault injector ahead of every env intrinsic. The
 		// wasai.* hook module is left unwrapped: instrumentation callbacks
@@ -235,95 +111,6 @@ func (bc *Blockchain) resolverFor(ctx *Context) exec.Resolver {
 	return exec.Resolver{
 		"env":                 env,
 		instrument.HookModule: bc.hookModule(),
-	}
-}
-
-func (bc *Blockchain) addDBAPIs(env exec.HostModule) {
-	env[APIDBStore] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
-		ctx := ctxOf(vm)
-		scope, tab := eos.Name(args[0]), eos.Name(args[1])
-		id := args[3]
-		p, err := vm.Instance().ReadMemory(uint32(args[4]), uint32(args[5]))
-		if err != nil {
-			return nil, err
-		}
-		ctx.RecordDBOpKey(DBWrite, tab, id)
-		it := ctx.iters.Store(scope, tab, ctx.Receiver, id, p)
-		return []uint64{uint64(uint32(it))}, nil
-	}
-	env[APIDBFind] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
-		ctx := ctxOf(vm)
-		code, scope, tab, id := eos.Name(args[0]), eos.Name(args[1]), eos.Name(args[2]), args[3]
-		ctx.RecordDBOpKey(DBRead, tab, id)
-		return []uint64{uint64(uint32(ctx.iters.Find(code, scope, tab, id)))}, nil
-	}
-	env[APIDBGet] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
-		ctx := ctxOf(vm)
-		row, err := ctx.iters.Get(int32(uint32(args[0])))
-		if err != nil {
-			return nil, err
-		}
-		n := int(uint32(args[2]))
-		if n == 0 {
-			return []uint64{uint64(uint32(len(row)))}, nil
-		}
-		if n > len(row) {
-			n = len(row)
-		}
-		if err := vm.Instance().WriteMemory(uint32(args[1]), row[:n]); err != nil {
-			return nil, err
-		}
-		return []uint64{uint64(uint32(n))}, nil
-	}
-	env[APIDBUpdate] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
-		ctx := ctxOf(vm)
-		p, err := vm.Instance().ReadMemory(uint32(args[2]), uint32(args[3]))
-		if err != nil {
-			return nil, err
-		}
-		ctx.RecordDBOp(DBWrite, eos.Name(0))
-		return nil, ctx.iters.Update(int32(uint32(args[0])), p)
-	}
-	env[APIDBRemove] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
-		ctx := ctxOf(vm)
-		ctx.RecordDBOp(DBWrite, eos.Name(0))
-		return nil, ctx.iters.Remove(int32(uint32(args[0])))
-	}
-	env[APIDBNext] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
-		ctx := ctxOf(vm)
-		it, pk := ctx.iters.Next(int32(uint32(args[0])))
-		if ptr := uint32(args[1]); ptr != 0 && it >= 0 {
-			var buf [8]byte
-			binary.LittleEndian.PutUint64(buf[:], pk)
-			if err := vm.Instance().WriteMemory(ptr, buf[:]); err != nil {
-				return nil, err
-			}
-		}
-		return []uint64{uint64(uint32(it))}, nil
-	}
-	env[APIDBPrevious] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
-		ctx := ctxOf(vm)
-		it, pk := ctx.iters.Previous(int32(uint32(args[0])))
-		if ptr := uint32(args[1]); ptr != 0 && it >= 0 {
-			var buf [8]byte
-			binary.LittleEndian.PutUint64(buf[:], pk)
-			if err := vm.Instance().WriteMemory(ptr, buf[:]); err != nil {
-				return nil, err
-			}
-		}
-		return []uint64{uint64(uint32(it))}, nil
-	}
-	env[APIDBLowerbound] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
-		ctx := ctxOf(vm)
-		code, scope, tab, id := eos.Name(args[0]), eos.Name(args[1]), eos.Name(args[2]), args[3]
-		ctx.RecordDBOp(DBRead, tab)
-		return []uint64{uint64(uint32(ctx.iters.LowerBound(code, scope, tab, id)))}, nil
-	}
-	env[APIDBEnd] = func(vm *exec.VM, args []uint64) ([]uint64, error) {
-		ctx := ctxOf(vm)
-		code, scope, tab := eos.Name(args[0]), eos.Name(args[1]), eos.Name(args[2])
-		ctx.RecordDBOp(DBRead, tab)
-		return []uint64{uint64(uint32(ctx.iters.End(code, scope, tab)))}, nil
 	}
 }
 

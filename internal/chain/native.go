@@ -238,6 +238,26 @@ func (f *ForwarderAgent) ApplyNative(ctx *Context, code, action eos.Name) error 
 	return nil
 }
 
+// EvilNotifier is the adversary contract of the inter-contract call
+// scenario (WACANA's cross-contract family): on any action addressed to
+// itself it notifies the victim, so the victim's apply runs with
+// code == the evil account — the cross-boundary context a contract must
+// never treat as its own. A victim that dispatches privileged logic (or
+// sends inline actions) for foreign-code actions is exploitable: the
+// attacker reaches that logic through the notifier without ever
+// addressing the victim.
+type EvilNotifier struct {
+	Victim eos.Name
+}
+
+// ApplyNative forwards every self-addressed action to the victim.
+func (e *EvilNotifier) ApplyNative(ctx *Context, code, action eos.Name) error {
+	if code == ctx.Receiver && ctx.Receiver != e.Victim {
+		ctx.RequireRecipient(e.Victim)
+	}
+	return nil
+}
+
 // ProxyAgent replays a received action to a target as an inline action —
 // the "evil contract" of the Rollback exploit (paper §2.3.5): it
 // participates and checks the outcome inside one transaction, asserting

@@ -9,7 +9,10 @@ import (
 	"repro/internal/wasm"
 )
 
-// Class enumerates the five vulnerability classes of paper §2.3.
+// Class enumerates the vulnerability classes: the five trace-oracle
+// classes of paper §2.3 plus the three on-chain-data scenario classes
+// (WACANA's state-tampering, transaction-ordering-dependence and
+// inter-contract-call families) the multi-transaction driver detects.
 type Class int
 
 // Vulnerability classes.
@@ -19,6 +22,15 @@ const (
 	ClassMissAuth
 	ClassBlockinfoDep
 	ClassRollback
+	// ClassStateTamper: contract state written under one authority can be
+	// overwritten by a later transaction that carries a different one.
+	ClassStateTamper
+	// ClassOrderDep: the contract's observable outcome depends on the
+	// order of independently submitted transactions.
+	ClassOrderDep
+	// ClassCrossContract: privileged logic dispatches on actions whose
+	// code is a foreign contract, reachable through a malicious notifier.
+	ClassCrossContract
 )
 
 // String names the class as in the paper's tables.
@@ -34,23 +46,48 @@ func (c Class) String() string {
 		return "BlockinfoDep"
 	case ClassRollback:
 		return "Rollback"
+	case ClassStateTamper:
+		return "StateTamper"
+	case ClassOrderDep:
+		return "OrderDep"
+	case ClassCrossContract:
+		return "CrossContract"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
 }
 
-// Classes lists all five classes in table order.
-var Classes = []Class{ClassFakeEOS, ClassFakeNotif, ClassMissAuth, ClassBlockinfoDep, ClassRollback}
+// Classes lists all classes in table order: the paper's five first, then
+// the on-chain-data scenario classes.
+var Classes = []Class{
+	ClassFakeEOS, ClassFakeNotif, ClassMissAuth, ClassBlockinfoDep, ClassRollback,
+	ClassStateTamper, ClassOrderDep, ClassCrossContract,
+}
 
 // Action names used by generated contracts.
 var (
 	ActionDeposit = eos.MustName("deposit")
 	ActionSweep   = eos.MustName("sweep")
 	ActionReveal  = eos.MustName("reveal")
-	TableBets     = eos.MustName("bets")
+	// ActionSettle is the StateTamper archetype's action: it overwrites
+	// the row keyed by the payload's `from`.
+	ActionSettle = eos.MustName("settle")
+	// ActionClaim is the OrderDep archetype's action: it competes for the
+	// shared pot row.
+	ActionClaim = eos.MustName("claim")
+	// ActionRelay is the CrossContract archetype's action: its dispatcher
+	// arm only fires for foreign-code invocations (code != receiver), the
+	// notification context a malicious contract controls.
+	ActionRelay = eos.MustName("relay")
+	TableBets   = eos.MustName("bets")
 	// TableDeposits is written only by the deposit action; reveal's
 	// transaction dependency reads it, so the DBG has to schedule deposit.
 	TableDeposits = eos.MustName("deposits")
+	// TablePot is the single-row table the OrderDep claim races for.
+	TablePot = eos.MustName("pot")
+	// PartnerAccount is the one foreign contract the safe CrossContract
+	// variant accepts relayed actions from.
+	PartnerAccount = eos.MustName("partner")
 )
 
 // DispatcherStyle selects how apply() encodes its action dispatch.
@@ -207,6 +244,24 @@ func Generate(spec Spec) (*Contract, error) {
 		funcs = append(funcs, rv)
 		actions = append(actions, ActionReveal)
 	}
+	if spec.has(ClassStateTamper) {
+		st := b.addFunc("settle", b.actionSig, nil, g.settleBody())
+		tableIdx[ActionSettle] = uint32(len(funcs))
+		funcs = append(funcs, st)
+		actions = append(actions, ActionSettle)
+	}
+	if spec.has(ClassOrderDep) {
+		cl := b.addFunc("claim", b.actionSig, nil, g.claimBody())
+		tableIdx[ActionClaim] = uint32(len(funcs))
+		funcs = append(funcs, cl)
+		actions = append(actions, ActionClaim)
+	}
+	if spec.has(ClassCrossContract) {
+		rl := b.addFunc("relay", b.actionSig, nil, g.relayBody())
+		tableIdx[ActionRelay] = uint32(len(funcs))
+		funcs = append(funcs, rl)
+		actions = append(actions, ActionRelay)
+	}
 
 	b.setActionTable(funcs)
 	apply := b.addFunc("apply", b.m.AddType(ft(p(wasm.I64, wasm.I64, wasm.I64), nil)), nil,
@@ -252,9 +307,26 @@ func (g *gen) applyBody(tableIdx map[eos.Name]uint32) []wasm.Instr {
 	emit(g.dispatch(tableIdx[eos.ActionTransfer])...)
 	emit(wasm.Return(), wasm.End())
 
+	// else if action == N(relay) && code != receiver { [guard] dispatch }
+	// — the cross-contract service arm: it reacts only to notifications,
+	// where code names the contract that originated the action.
+	if ti, ok := tableIdx[ActionRelay]; ok {
+		emit(wasm.LocalGet(2), i64Name(ActionRelay), wasm.Op0(wasm.OpI64Eq), wasm.If())
+		emit(wasm.LocalGet(1), wasm.LocalGet(0), wasm.Op0(wasm.OpI64Ne), wasm.If())
+		if !g.spec.isVul(ClassCrossContract) {
+			// Guard: assert(code == N(partner)) — only the trusted partner
+			// contract may relay actions into us.
+			emit(wasm.LocalGet(1), i64Name(PartnerAccount), wasm.Op0(wasm.OpI64Eq))
+			emit(callAssert()...)
+		}
+		emit(g.dispatch(ti)...)
+		emit(wasm.Return(), wasm.End())
+		emit(wasm.End())
+	}
+
 	// else if code == receiver { EOSIO_API dispatch }
 	emit(wasm.LocalGet(1), wasm.LocalGet(0), wasm.Op0(wasm.OpI64Eq), wasm.If())
-	for _, act := range []eos.Name{ActionDeposit, ActionSweep, ActionReveal} {
+	for _, act := range []eos.Name{ActionDeposit, ActionSweep, ActionReveal, ActionSettle, ActionClaim} {
 		ti, ok := tableIdx[act]
 		if !ok {
 			continue
@@ -284,10 +356,24 @@ func (g *gen) applyBodyBlockSkip(tableIdx map[eos.Name]uint32) []wasm.Instr {
 	emit(g.dispatch(tableIdx[eos.ActionTransfer])...)
 	emit(wasm.Return(), wasm.End())
 
+	// block { if action != relay skip; if code == receiver skip; [guard]
+	// dispatch; return } — the cross-contract service arm.
+	if ti, ok := tableIdx[ActionRelay]; ok {
+		emit(wasm.Block())
+		emit(wasm.LocalGet(2), i64Name(ActionRelay), wasm.Op0(wasm.OpI64Ne), wasm.BrIf(0))
+		emit(wasm.LocalGet(1), wasm.LocalGet(0), wasm.Op0(wasm.OpI64Eq), wasm.BrIf(0))
+		if !g.spec.isVul(ClassCrossContract) {
+			emit(wasm.LocalGet(1), i64Name(PartnerAccount), wasm.Op0(wasm.OpI64Eq))
+			emit(callAssert()...)
+		}
+		emit(g.dispatch(ti)...)
+		emit(wasm.Return(), wasm.End())
+	}
+
 	// block { if code != receiver skip; per-action blocks }
 	emit(wasm.Block())
 	emit(wasm.LocalGet(1), wasm.LocalGet(0), wasm.Op0(wasm.OpI64Ne), wasm.BrIf(0))
-	for _, act := range []eos.Name{ActionDeposit, ActionSweep, ActionReveal} {
+	for _, act := range []eos.Name{ActionDeposit, ActionSweep, ActionReveal, ActionSettle, ActionClaim} {
 		ti, ok := tableIdx[act]
 		if !ok {
 			continue
@@ -429,6 +515,68 @@ func (g *gen) sweepBody() []wasm.Instr {
 	// The payout is deferred so that sweep alone never trips the (crude,
 	// paper-faithful) Rollback oracle, which flags any executed send_inline.
 	ins = append(ins, sendDeferred(2, 3)...)
+	return ins
+}
+
+// settleBody emits the StateTamper archetype: settle(from, ...) rewrites
+// the deposit row keyed by `from`. The safe variant demands the row
+// owner's authority. The vulnerable variant only samples has_auth and
+// drops the result — the check exists (so the MissAuth trace oracle,
+// which counts any permission-API call, stays silent) but gates nothing,
+// and any signer can overwrite any owner's row across transactions.
+func (g *gen) settleBody() []wasm.Instr {
+	var ins []wasm.Instr
+	ins = append(ins, g.verification()...)
+	if g.spec.isVul(ClassStateTamper) {
+		ins = append(ins, wasm.LocalGet(1), wasm.Call(impHasAuth), wasm.Drop())
+	} else {
+		ins = append(ins, wasm.LocalGet(1), wasm.Call(impRequireAuth))
+	}
+	ins = append(ins, g.storeRow(TableDeposits)...)
+	return ins
+}
+
+// claimBody emits the OrderDep archetype: claim(from, ...) competes for a
+// pot. The vulnerable variant is first-claimant-wins — whichever claim
+// lands first creates the one shared row (primary key 0) and every later
+// claim asserts out, so both the per-claimant outcome and the recorded
+// winner depend on transaction order. The safe variant gives every
+// claimant their own row, making the outcome order-invariant.
+func (g *gen) claimBody() []wasm.Instr {
+	var ins []wasm.Instr
+	emit := func(more ...wasm.Instr) { ins = append(ins, more...) }
+	emit(g.verification()...)
+	emit(wasm.LocalGet(1), wasm.Call(impRequireAuth))
+	if g.spec.isVul(ClassOrderDep) {
+		// assert(db_find(_self, _self, pot, 0) < 0): only the first claim
+		// may land.
+		emit(wasm.LocalGet(0), wasm.LocalGet(0), i64Name(TablePot), wasm.I64Const(0),
+			wasm.Call(impDBFind),
+			wasm.I32Const(0), wasm.Op0(wasm.OpI32LtS))
+		emit(callAssert()...)
+		// db_store(_self, pot, _self, 0, &from, 8): record the winner in
+		// the shared row.
+		emit(wasm.I32Const(memScratch), wasm.LocalGet(1), wasm.Store(wasm.OpI64Store, 0))
+		emit(wasm.LocalGet(0), i64Name(TablePot), wasm.LocalGet(0), wasm.I64Const(0),
+			wasm.I32Const(memScratch), wasm.I32Const(8),
+			wasm.Call(impDBStore), wasm.Drop())
+	} else {
+		emit(g.storeRow(TablePot)...)
+	}
+	// Deferred payout: like sweep, claiming alone must not trip the crude
+	// Rollback oracle, which flags any executed send_inline.
+	emit(sendDeferred(1, 3)...)
+	return ins
+}
+
+// relayBody emits the CrossContract archetype's service logic: pay out to
+// the relayed payload's `from`. The body itself carries no guard — the
+// dispatcher arm decides whether the foreign code that relayed the action
+// is trusted (safe) or dispatches unconditionally (vulnerable).
+func (g *gen) relayBody() []wasm.Instr {
+	var ins []wasm.Instr
+	ins = append(ins, g.verification()...)
+	ins = append(ins, sendInline(1, 3)...)
 	return ins
 }
 

@@ -79,6 +79,10 @@ type Config struct {
 	// (exec.NewFastVM). Findings and traces are byte-identical on/off;
 	// the flag only trades execution throughput.
 	FastVM bool
+	// Backend selects the chain personality (host-API surface, bootstrap
+	// accounts, API classification) the campaign and scenario chains run
+	// on. Nil means chain.EOSIO(), the default personality.
+	Backend chain.Backend
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -113,6 +117,7 @@ type Result struct {
 type Fuzzer struct {
 	cfg     Config
 	mod     *wasm.Module // original (pre-instrumentation) module
+	instr   *instrument.Result
 	abi     *abi.ABI
 	bc      *chain.Blockchain
 	scan    *scanner.Scanner
@@ -144,7 +149,11 @@ func New(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Fuzzer, error) {
 	if err != nil {
 		return nil, failure.Wrap(failure.Decode, fmt.Errorf("fuzz: instrument: %w", err))
 	}
-	bc := chain.New()
+	backend := cfg.Backend
+	if backend == nil {
+		backend = chain.EOSIO()
+	}
+	bc := chain.NewWithBackend(backend)
 	bc.Collector = trace.NewCollector()
 	bc.FastVM = cfg.FastVM
 	if cfg.Fuel > 0 {
@@ -178,6 +187,7 @@ func New(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Fuzzer, error) {
 	f := &Fuzzer{
 		cfg:            cfg,
 		mod:            mod,
+		instr:          res,
 		abi:            contractABI,
 		bc:             bc,
 		scan:           scanner.New(mod, victimName),
@@ -244,6 +254,12 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		f.covSeries = append(f.covSeries, CoveragePoint{Iteration: f.iter + 1, Branches: len(f.coverage)})
+	}
+	// On-chain-data scenario pass (WACANA's multi-transaction families):
+	// deterministic replays on fresh chains, feeding only the scenario
+	// oracles — the concolic loop's verdicts above are already final.
+	if err := f.runScenarios(ctx); err != nil {
+		return nil, err
 	}
 	return &Result{
 		Report:           f.scan.Report(),

@@ -81,6 +81,14 @@ type Scanner struct {
 	blockinfoHit bool
 	rollbackHit  bool
 
+	// On-chain-data scenario evidence (WACANA's multi-transaction
+	// families), fed by the fuzzer's scenario driver only — the concolic
+	// main loop never touches these, so the five trace-oracle verdicts
+	// above are independent of the scenario runs.
+	stateTamperHit   bool
+	orderDepHit      bool
+	crossContractHit bool
+
 	customs []CustomDetector
 }
 
@@ -203,6 +211,68 @@ func (s *Scanner) Observe(traces []trace.Trace) {
 	}
 }
 
+// ObserveTamperPair feeds the state-tampering scenario: the same action
+// replayed twice with identical payloads, first under the payload owner's
+// authority, then under the attacker's. The contract is vulnerable when
+// the attacker-signed replay commits AND rewrites a (table, key) the
+// owner-signed transaction wrote — on-chain state established under one
+// authority was overwritten under another. Only the action's own writes
+// count: notification-driven bookkeeping (the eosponser reacting to a
+// payout) is authorized by the token transfer itself and belongs to the
+// Fake EOS / MissAuth oracle domains.
+func (s *Scanner) ObserveTamperPair(action eos.Name, owner, tamper *chain.Receipt) {
+	if owner.Reverted() || tamper.Reverted() {
+		return
+	}
+	type rowKey struct {
+		table eos.Name
+		key   uint64
+	}
+	owned := map[rowKey]bool{}
+	for _, op := range owner.DBOps {
+		if op.Contract == s.self && op.Action == action && op.Kind == chain.DBWrite {
+			owned[rowKey{op.Table, op.Key}] = true
+		}
+	}
+	for _, op := range tamper.DBOps {
+		if op.Contract == s.self && op.Action == action && op.Kind == chain.DBWrite &&
+			owned[rowKey{op.Table, op.Key}] {
+			s.stateTamperHit = true
+		}
+	}
+}
+
+// ObserveOrderOutcome feeds the transaction-ordering scenario: the same
+// set of independently authorized transactions executed in two orders on
+// two fresh chains (with block state frozen, so tapos cannot masquerade
+// as ordering dependence). Each outcome string canonically encodes the
+// per-actor commit results and the victim's database dump; any divergence
+// means the contract's observable behaviour depends on transaction order.
+func (s *Scanner) ObserveOrderOutcome(forward, reversed string) {
+	if forward != reversed {
+		s.orderDepHit = true
+	}
+}
+
+// ObserveNotifyContext feeds the inter-contract call scenario: the victim
+// traces produced while a malicious notifier relays attacker actions, so
+// every trace here runs with code naming the foreign contract. The
+// contract is vulnerable if it performs an inline action send in that
+// context — privileged logic was reachable through a contract boundary
+// the attacker controls.
+func (s *Scanner) ObserveNotifyContext(traces []trace.Trace) {
+	if !s.apis.HasSendInline {
+		return
+	}
+	for i := range traces {
+		for _, ev := range traces[i].Events {
+			if ev.Kind == trace.HookCall && uint32(ev.Operand) == s.apis.SendInline {
+				s.crossContractHit = true
+			}
+		}
+	}
+}
+
 // Report produces the final per-class verdict. The Fake Notif verdict is
 // the timeout-closed form of §3.5: if the guard was never observed by the
 // end of fuzzing, the contract is flagged.
@@ -213,5 +283,8 @@ func (s *Scanner) Report() *Report {
 	r.Vulnerable[contractgen.ClassMissAuth] = s.missAuthHit
 	r.Vulnerable[contractgen.ClassBlockinfoDep] = s.blockinfoHit
 	r.Vulnerable[contractgen.ClassRollback] = s.rollbackHit
+	r.Vulnerable[contractgen.ClassStateTamper] = s.stateTamperHit
+	r.Vulnerable[contractgen.ClassOrderDep] = s.orderDepHit
+	r.Vulnerable[contractgen.ClassCrossContract] = s.crossContractHit
 	return r
 }

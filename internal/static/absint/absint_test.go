@@ -172,13 +172,26 @@ func TestVerdictSoundnessWild(t *testing.T) {
 	t.Logf("wild resolution: %d/%d", resolved, len(wild))
 }
 
+// scenarioClasses are the on-chain-data families decided by the dynamic
+// multi-transaction scenario driver. The single-invocation abstract domain
+// cannot replay those scripts, so on the canonical corpus — where every
+// fixture carries db writes, sends, and a relay arm — Unknown is the
+// correct verdict for them and the classes fall through to the driver. The
+// engine still owes syntactic negatives when the intrinsics are absent
+// module-wide (pinned below on the Trivial contract).
+var scenarioClasses = map[contractgen.Class]bool{
+	contractgen.ClassStateTamper:   true,
+	contractgen.ClassOrderDep:      true,
+	contractgen.ClassCrossContract: true,
+}
+
 // TestVerdictExpectations pins the proofs the engine must find on the
 // canonical generated corpus: safe contracts prove their own class negative,
-// vulnerable templates prove their class positive. The one exception is the
+// vulnerable templates prove their class positive. Two exceptions: the
 // single-class Rollback template, whose send_inline hides behind the
-// tapos-derived lottery outcome (Listing 4): no static proof can decide a
-// chain-environment coin flip, so Unknown is the correct verdict and the
-// class falls through to the dynamic campaign.
+// tapos-derived lottery outcome (Listing 4) — no static proof can decide a
+// chain-environment coin flip — and the scenario classes above; both fall
+// through to dynamic analysis as Unknown.
 func TestVerdictExpectations(t *testing.T) {
 	for _, class := range contractgen.Classes {
 		c, err := contractgen.Generate(contractgen.Spec{Class: class, Vulnerable: false, Seed: 21})
@@ -186,7 +199,11 @@ func TestVerdictExpectations(t *testing.T) {
 			t.Fatalf("Generate: %v", err)
 		}
 		rp := Analyze(c.Module, abiActions(c.ABI))
-		if v := rp.Verdicts[class]; v.Kind != ProvenNegative {
+		if v := rp.Verdicts[class]; scenarioClasses[class] {
+			if v.Kind != Unknown {
+				t.Errorf("%s safe (scenario class): verdict %s (%s), want unknown", class, v.Kind, v.Reason)
+			}
+		} else if v.Kind != ProvenNegative {
 			t.Errorf("%s safe: verdict %s (%s), want proven-negative", class, v.Kind, v.Reason)
 		}
 
@@ -196,9 +213,9 @@ func TestVerdictExpectations(t *testing.T) {
 		}
 		rp = Analyze(c.Module, abiActions(c.ABI))
 		v := rp.Verdicts[class]
-		if class == contractgen.ClassRollback {
+		if class == contractgen.ClassRollback || scenarioClasses[class] {
 			if v.Kind != Unknown {
-				t.Errorf("Rollback vulnerable (tapos-gated): verdict %s (%s), want unknown", v.Kind, v.Reason)
+				t.Errorf("%s vulnerable (dynamic-only): verdict %s (%s), want unknown", class, v.Kind, v.Reason)
 			}
 			continue
 		}
@@ -206,6 +223,16 @@ func TestVerdictExpectations(t *testing.T) {
 			t.Errorf("%s vulnerable: verdict %s (%s), want proven-positive", class, v.Kind, v.Reason)
 		} else if v.Witness == nil {
 			t.Errorf("%s vulnerable: proven positive without witness", class)
+		}
+	}
+
+	// The Trivial contract has no host intrinsics at all: the module-wide
+	// syntactic scan must prove every scenario class negative.
+	triv := contractgen.Trivial()
+	rp := Analyze(triv.Module, abiActions(triv.ABI))
+	for class := range scenarioClasses {
+		if v := rp.Verdicts[class]; v.Kind != ProvenNegative {
+			t.Errorf("Trivial %s: verdict %s (%s), want proven-negative", class, v.Kind, v.Reason)
 		}
 	}
 
@@ -220,7 +247,7 @@ func TestVerdictExpectations(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Generate: %v", err)
 	}
-	rp := Analyze(c.Module, abiActions(c.ABI))
+	rp = Analyze(c.Module, abiActions(c.ABI))
 	if v := rp.Verdicts[contractgen.ClassRollback]; v.Kind != ProvenPositive {
 		t.Errorf("Rollback vulnset: verdict %s (%s), want proven-positive", v.Kind, v.Reason)
 	} else if v.Witness == nil {

@@ -3,6 +3,7 @@ package absint
 import (
 	"sort"
 
+	"repro/internal/chain"
 	"repro/internal/contractgen"
 	"repro/internal/eos"
 	"repro/internal/wasm"
@@ -114,6 +115,81 @@ func unknownReport(reason string) *Report {
 	return rp
 }
 
+// moduleCalledImports returns the host-import names the module can invoke
+// at all: every OpCall immediate naming an import, plus any dispatch-table
+// (elem segment) entry that installs an import directly — the only ways a
+// wasm function space reaches a host function.
+func moduleCalledImports(m *wasm.Module) map[string]bool {
+	importName := map[uint32]string{}
+	idx := uint32(0)
+	for _, imp := range m.Imports {
+		if imp.Kind == wasm.ExternalFunc {
+			importName[idx] = imp.Name
+			idx++
+		}
+	}
+	called := map[string]bool{}
+	for i := range m.Code {
+		for _, in := range m.Code[i].Body {
+			if in.Op == wasm.OpCall {
+				if name, ok := importName[in.A]; ok {
+					called[name] = true
+				}
+			}
+		}
+	}
+	for _, el := range m.Elems {
+		for _, fi := range el.Funcs {
+			if name, ok := importName[fi]; ok {
+				called[name] = true
+			}
+		}
+	}
+	return called
+}
+
+// applyScenarioSyntactic decides the on-chain-data scenario classes
+// (StateTamper, OrderDep, CrossContract) by syntactic intrinsic absence.
+// These families are judged by the multi-transaction scenario driver in
+// internal/fuzz, which the single-invocation abstract domain cannot
+// replay — and crucially, scenario replays enter through dispatcher arms
+// the pinned covers never take (e.g. a relay arm gated on code !=
+// receiver), so any reachability- or cover-based negative here would be
+// unsound. A module-wide scan is not: with no db-write intrinsic anywhere,
+// no replay can overwrite a row (StateTamper); with no persistent-state
+// access and no sends, every transaction outcome is a pure function of its
+// own inputs — each apply runs on a fresh instance — so permutation cannot
+// diverge (OrderDep); with no inline send, the notification-context oracle
+// has nothing to observe (CrossContract). Positive proofs stay Unknown and
+// fall through to the scenario driver.
+func applyScenarioSyntactic(m *wasm.Module, rp *Report) {
+	called := moduleCalledImports(m)
+	anyOf := func(names ...string) bool {
+		for _, n := range names {
+			if called[n] {
+				return true
+			}
+		}
+		return false
+	}
+	dbWrite := anyOf(chain.APIDBStore, chain.APIDBUpdate, chain.APIDBRemove)
+	dbRead := anyOf(chain.APIDBFind, chain.APIDBGet, chain.APIDBLowerbound,
+		chain.APIDBEnd, chain.APIDBNext, chain.APIDBPrevious)
+	send := anyOf(chain.APISendInline, chain.APISendDeferred)
+	if !dbWrite {
+		rp.Verdicts[contractgen.ClassStateTamper] = Verdict{Kind: ProvenNegative,
+			Reason: "no db-write intrinsic anywhere in the module"}
+	}
+	if !dbWrite && !dbRead && !send {
+		rp.Verdicts[contractgen.ClassOrderDep] = Verdict{Kind: ProvenNegative,
+			Reason: "no persistent-state or send intrinsic anywhere in the module"}
+	}
+	if !called[chain.APISendInline] {
+		rp.Verdicts[contractgen.ClassCrossContract] = Verdict{Kind: ProvenNegative,
+			Reason: "no inline-send intrinsic anywhere in the module"}
+	}
+}
+
 // applyArgs are the abstract apply(receiver, code, action) arguments: the
 // receiver is always the victim account; code and action are scenario
 // fields.
@@ -141,6 +217,14 @@ func onlyNoIndirect(r *run) bool {
 // The function never panics on malformed-but-decodable modules: anything
 // unsupported degrades to Unknown verdicts.
 func Analyze(mod *wasm.Module, actions []eos.Name) *Report {
+	rp := analyzeSingleInvocation(mod, actions)
+	applyScenarioSyntactic(mod, rp)
+	return rp
+}
+
+// analyzeSingleInvocation runs the abstract engine over the per-invocation
+// scenario covers and decides the five trace-oracle classes.
+func analyzeSingleInvocation(mod *wasm.Module, actions []eos.Name) *Report {
 	e, err := newEngine(mod)
 	if err != nil {
 		return unknownReport("module shape unsupported: " + err.Error())

@@ -80,7 +80,20 @@ var candidateClasses = []contractgen.Class{
 	contractgen.ClassMissAuth,
 	contractgen.ClassBlockinfoDep,
 	contractgen.ClassRollback,
+	contractgen.ClassStateTamper,
+	contractgen.ClassOrderDep,
+	contractgen.ClassCrossContract,
 }
+
+// dbWriteAPIs and dbReadAPIs split the db_* surface for the on-chain-data
+// candidate flags.
+var (
+	dbWriteAPIs = []string{chain.APIDBStore, chain.APIDBUpdate, chain.APIDBRemove}
+	dbReadAPIs  = []string{
+		chain.APIDBFind, chain.APIDBGet, chain.APIDBLowerbound,
+		chain.APIDBEnd, chain.APIDBNext, chain.APIDBPrevious,
+	}
+)
 
 // Analyze runs the full static pass: CFG per function, call graph,
 // reachability from the exported entry points, taint, and the per-class
@@ -220,6 +233,21 @@ func Analyze(m *wasm.Module) (*Report, error) {
 	r.Candidates[contractgen.ClassMissAuth] = hasAPI(effects...)
 	r.Candidates[contractgen.ClassFakeEOS] = r.IndirectReachable
 	r.Candidates[contractgen.ClassFakeNotif] = r.IndirectReachable
+	// On-chain-data scenario oracles (internal/fuzz scenario driver):
+	//
+	//   StateTamper fires only on an executed db-write intrinsic (the
+	//   overwrite evidence is a victim DBWrite record). OrderDep needs the
+	//   contract to either mutate persistent state (db writes) or make the
+	//   transaction outcome depend on mutable chain state (db reads over
+	//   tables another transaction may have changed, or sends whose
+	//   success hangs on token balances); with none of those, every
+	//   transaction outcome is a pure function of its own inputs — each
+	//   apply runs in a fresh instance — and permutation cannot matter.
+	//   CrossContract fires only on an executed send_inline.
+	r.Candidates[contractgen.ClassStateTamper] = hasAPI(dbWriteAPIs...)
+	r.Candidates[contractgen.ClassOrderDep] = hasAPI(dbWriteAPIs...) ||
+		hasAPI(dbReadAPIs...) || hasAPI(chain.APISendInline, chain.APISendDeferred)
+	r.Candidates[contractgen.ClassCrossContract] = apiSet[chain.APISendInline]
 	return r, nil
 }
 
