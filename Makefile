@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race fuzz lint chaos serve-chaos bench-regress bench-baseline incr fastvm verdict onchain profile verify
+.PHONY: build test race fuzz lint chaos serve-chaos bench-regress bench-baseline incr fastvm verdict onchain adaptive profile verify
 
 build:
 	$(GO) build ./...
@@ -89,11 +89,20 @@ verdict:
 onchain:
 	$(GO) run ./cmd/wasai-bench -exp onchain
 
+# Adaptive-scheduling gate: under equal per-contract budgets the power
+# schedule + fuel ledger must explore at least as many branches and score at
+# least as many ground-truth findings as the static round-robin on every
+# corpus (strictly more coverage somewhere), with byte-identical adaptive
+# digests at 1/4/8 workers and across a journal kill+resume (exit status is
+# the assertion).
+adaptive:
+	$(GO) run ./cmd/wasai-bench -exp adaptive
+
 # Write pprof profiles of the regress workload for solver-hotspot digging:
 # `go tool pprof cpu.pprof` / `go tool pprof mem.pprof`.
 profile:
 	$(GO) run ./cmd/wasai-bench -exp regress -cpuprofile cpu.pprof -memprofile mem.pprof
 
-verify: build lint chaos serve-chaos bench-regress incr fastvm verdict onchain
+verify: build lint chaos serve-chaos bench-regress incr fastvm verdict onchain adaptive
 	$(GO) test ./...
 	$(GO) test -race ./...

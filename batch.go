@@ -14,6 +14,7 @@ import (
 	"repro/internal/fuzz"
 	"repro/internal/memo"
 	"repro/internal/scanner"
+	"repro/internal/schedule"
 	"repro/internal/store"
 	"repro/internal/wasm"
 )
@@ -133,6 +134,10 @@ type CampaignReport struct {
 	// active (nil when off). Reporting-only: hit counts can vary with
 	// worker scheduling, findings never do.
 	Memo *memo.Stats
+	// Sched totals the adaptive scheduler's counters — energy updates,
+	// composite arms fired, saturation skips, and the campaign fuel-ledger
+	// flows. Zero unless BatchConfig.Adaptive.
+	Sched schedule.Counters
 }
 
 // AnalyzeBatch fuzzes every contract of the batch on a worker pool and
@@ -161,9 +166,17 @@ func AnalyzeBatch(ctx context.Context, jobs []BatchJob, cfg BatchConfig) (*Campa
 // desired, then Wait for the aggregate.
 type Campaign struct {
 	cfg     BatchConfig
-	eng     *campaign.Engine
+	eng     *campaign.Engine // nil in adaptive (buffered) mode
 	start   time.Time
 	submits int
+
+	// Adaptive campaigns need a barrier between the fuel-ledger phases,
+	// which a streaming pool cannot provide: submissions are buffered here
+	// and the two-phase driver runs at Wait.
+	ctx     context.Context
+	ccfg    campaign.Config
+	memo    *memo.Cache
+	pending []campaign.Job
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -203,21 +216,44 @@ func NewCampaign(ctx context.Context, cfg BatchConfig) (*Campaign, error) {
 			memoCache.AttachDisk(disk)
 		}
 	}
-	eng, err := campaign.Start(ctx, campaign.Config{
-		Workers:      cfg.Workers,
-		QueueDepth:   cfg.QueueDepth,
-		JobTimeout:   cfg.JobTimeout,
-		BaseSeed:     cfg.Seed,
-		StaticTriage: cfg.StaticTriage,
-		Verdicts:     cfg.Verdicts,
-		Journal:      cfg.Journal,
-		Resume:       cfg.Resume,
-		Retry:        campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
-		Memo:         mode,
-		MemoCache:    memoCache,
-		Incremental:  cfg.Incremental,
-		FastVM:       cfg.FastVM,
-	})
+	ccfg := campaign.Config{
+		Workers:          cfg.Workers,
+		QueueDepth:       cfg.QueueDepth,
+		JobTimeout:       cfg.JobTimeout,
+		BaseSeed:         cfg.Seed,
+		StaticTriage:     cfg.StaticTriage,
+		Verdicts:         cfg.Verdicts,
+		Journal:          cfg.Journal,
+		Resume:           cfg.Resume,
+		Retry:            campaign.RetryPolicy{MaxAttempts: cfg.MaxAttempts},
+		Memo:             mode,
+		MemoCache:        memoCache,
+		Incremental:      cfg.Incremental,
+		FastVM:           cfg.FastVM,
+		Adaptive:         cfg.Adaptive,
+		SaturationWindow: cfg.SaturationWindow,
+	}
+	if cfg.Adaptive {
+		// Buffered mode: the fuel ledger needs every job at a barrier, so
+		// Submit only collects and decodes; the two-phase driver runs at
+		// Wait. Submit-time module decoding shares the cache the driver
+		// will use.
+		if memoCache == nil {
+			memoCache = memo.ForMode(mode)
+			ccfg.MemoCache = memoCache
+		}
+		c := &Campaign{
+			cfg:   cfg,
+			start: time.Now(),
+			out:   make(chan BatchResult),
+			ctx:   ctx,
+			ccfg:  ccfg,
+			memo:  memoCache,
+		}
+		c.cond = sync.NewCond(&c.mu)
+		return c, nil
+	}
+	eng, err := campaign.Start(ctx, ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("wasai: %w", err)
 	}
@@ -279,7 +315,7 @@ func (c *Campaign) Submit(job BatchJob) error {
 		// batch — or across a resumed rerun with a shared cache — are
 		// decoded and validated once and share one immutable module.
 		var err error
-		mod, err = c.eng.MemoCache().Module(job.Wasm, func(bin []byte) (*wasm.Module, error) {
+		mod, err = c.memoCache().Module(job.Wasm, func(bin []byte) (*wasm.Module, error) {
 			m, err := wasm.Decode(bin)
 			if err != nil {
 				return nil, err
@@ -309,26 +345,44 @@ func (c *Campaign) Submit(job BatchJob) error {
 	for _, d := range jcfg.CustomAPIDetectors {
 		customs = append(customs, scanner.NewAPICallDetector(d.Name, mod, d.APIs...))
 	}
-	err := c.eng.Submit(campaign.Job{
+	cjob := campaign.Job{
 		ID:     index,
 		Name:   job.Name,
 		Module: mod,
 		ABI:    contractABI,
 		Config: fuzz.Config{
-			Iterations:      jcfg.Iterations,
-			SolverConflicts: jcfg.SolverConflicts,
-			DisableFeedback: jcfg.DisableFeedback,
-			Seed:            seed,
-			CustomDetectors: customs,
-			Incremental:     jcfg.Incremental,
-			FastVM:          jcfg.FastVM,
+			Iterations:       jcfg.Iterations,
+			SolverConflicts:  jcfg.SolverConflicts,
+			DisableFeedback:  jcfg.DisableFeedback,
+			Seed:             seed,
+			CustomDetectors:  customs,
+			Incremental:      jcfg.Incremental,
+			FastVM:           jcfg.FastVM,
+			Adaptive:         jcfg.Adaptive,
+			SaturationWindow: jcfg.SaturationWindow,
 		},
-	})
-	if err != nil {
+	}
+	if c.eng == nil { // adaptive buffered mode
+		if err := c.ctx.Err(); err != nil {
+			return fmt.Errorf("wasai: submit: %w", err)
+		}
+		c.pending = append(c.pending, cjob)
+		c.submits++
+		return nil
+	}
+	if err := c.eng.Submit(cjob); err != nil {
 		return err
 	}
 	c.submits++
 	return nil
+}
+
+// memoCache resolves the decode-tier cache for Submit (nil-safe when off).
+func (c *Campaign) memoCache() *memo.Cache {
+	if c.eng != nil {
+		return c.eng.MemoCache()
+	}
+	return c.memo
 }
 
 // Results streams per-contract outcomes in completion order. The channel
@@ -338,7 +392,11 @@ func (c *Campaign) Results() <-chan BatchResult { return c.out }
 
 // Wait ends submission, waits for every job, and returns the aggregate
 // with Jobs in submission order. Unconsumed streaming results are drained.
+// In adaptive mode this is where the buffered jobs actually run.
 func (c *Campaign) Wait() *CampaignReport {
+	if c.eng == nil {
+		return c.waitAdaptive()
+	}
 	c.eng.Close()
 	for range c.out { // returns once the forwarder closes the channel
 	}
@@ -354,6 +412,53 @@ func (c *Campaign) Wait() *CampaignReport {
 	for _, br := range all {
 		report.Jobs[br.Index] = br
 	}
+	c.tally(report)
+	report.Memo = c.eng.MemoStats()
+	return report
+}
+
+// waitAdaptive runs the buffered jobs through the two-phase fuel-ledger
+// driver, streams their results, and aggregates. A driver-level failure
+// (cancelled context, unwritable journal) lands on every job: the batch
+// has no per-job outcomes to report in that case.
+func (c *Campaign) waitAdaptive() *CampaignReport {
+	rep, err := campaign.Run(c.ctx, c.pending, c.ccfg)
+	report := &CampaignReport{
+		Jobs:       make([]BatchResult, c.submits),
+		PerClass:   map[string]int{},
+		PerFailure: map[string]int{},
+	}
+	if err != nil {
+		for i := range report.Jobs {
+			br := BatchResult{Index: i, Err: err, FailureClass: failure.ClassOf(err).String()}
+			if i < len(c.pending) {
+				br.Name = c.pending[i].Name
+			}
+			report.Jobs[i] = br
+		}
+	} else {
+		for _, jr := range rep.Results {
+			report.Jobs[jr.Job.ID] = toBatchResult(jr)
+		}
+		report.Memo = rep.Memo
+		report.Sched = rep.Sched
+	}
+	// Deliver the streaming channel late but completely: adaptive results
+	// only exist after the barrier-phase run.
+	go func() {
+		for _, br := range report.Jobs {
+			c.out <- br
+		}
+		close(c.out)
+	}()
+	for range c.out { // drain whatever no external consumer took
+	}
+	c.tally(report)
+	return report
+}
+
+// tally fills the aggregate counters of a report whose Jobs are in place.
+func (c *Campaign) tally(report *CampaignReport) {
 	for _, br := range report.Jobs {
 		if br.Attempts > 1 {
 			report.Retried++
@@ -386,8 +491,6 @@ func (c *Campaign) Wait() *CampaignReport {
 	if secs := report.Wall.Seconds(); secs > 0 {
 		report.JobsPerSecond = float64(len(report.Jobs)) / secs
 	}
-	report.Memo = c.eng.MemoStats()
-	return report
 }
 
 // toBatchResult converts an engine result to the public form.

@@ -13,8 +13,8 @@
 //	wasai-bench -exp regress -baseline BENCH_BASELINE.json
 //
 // Experiments: fig3, table4, table5, table6, rq4, all, plus chaos,
-// servechaos, memo, incr, fastvm, verdict and regress (run explicitly; they
-// are not part of "all"). Scale
+// servechaos, memo, incr, fastvm, verdict, adaptive and regress (run
+// explicitly; they are not part of "all"). Scale
 // multiplies the dataset sizes (1.0 reproduces the full paper-sized
 // benchmark; small scales keep the shapes at a fraction of the runtime).
 // Workers shards the per-contract campaigns across the campaign engine;
@@ -40,7 +40,17 @@
 // onchain runs the on-chain-data oracle gate: every injected fixture (both
 // polarities of all classes plus boilerplate) through full campaigns, with
 // perfect per-class precision/recall against generator ground truth and
-// byte-identical findings digests at worker counts 1/4/8. -exp regress
+// byte-identical findings digests at worker counts 1/4/8. -adaptive
+// threads the coverage-driven power schedule and campaign fuel ledger
+// (internal/schedule) through the fig3/table/rq4 experiments — every
+// scheduling decision is a pure function of (seed, observed coverage), so
+// results stay byte-identical at any worker count, though NOT to a static
+// run of the same budget (the fuel moves). -exp adaptive runs the
+// scheduling gate: under equal budgets the adaptive runs must cover at
+// least as many branches and score at least as many ground-truth findings
+// as the static round-robin on every corpus, strictly more coverage on at
+// least one, with digest identity at workers 1/4/8 and across a journal
+// kill+resume. -exp regress
 // runs the fixed benchmark workload (wall-clock is the median of three
 // legs; solver counters are single-leg exact), writes a BENCH_<date>.json
 // record (-out overrides the path) and compares it against the committed
@@ -81,7 +91,7 @@ func main() {
 
 func run() error {
 	var (
-		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|servechaos|memo|incr|fastvm|verdict|onchain|regress|all (chaos/servechaos/memo/incr/fastvm/verdict/onchain/regress only run when named)")
+		exp       = flag.String("exp", "all", "experiment: fig3|table4|table5|table6|rq4|triage|chaos|servechaos|memo|incr|fastvm|verdict|onchain|adaptive|regress|all (chaos/servechaos/memo/incr/fastvm/verdict/onchain/adaptive/regress only run when named)")
 		scale     = flag.Float64("scale", 0.1, "dataset scale factor (0,1]")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		iters     = flag.Int("iterations", 240, "fuzzing budget per contract")
@@ -99,6 +109,7 @@ func run() error {
 		incr      = flag.Bool("incremental", false, "incremental prefix-sharing solver for flip queries; findings are identical either way")
 		fastvm    = flag.Bool("fastvm", false, "decoded-IR execution engine; findings are identical either way")
 		verdicts  = flag.Bool("verdicts", false, "abstract-interpretation verdict triage; findings are identical either way")
+		adaptive  = flag.Bool("adaptive", false, "coverage-driven power schedule + campaign fuel ledger; deterministic at any worker count but NOT digest-neutral vs a static run")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this path")
 	)
@@ -145,6 +156,7 @@ func run() error {
 	evalCfg.Incremental = *incr
 	evalCfg.FastVM = *fastvm
 	evalCfg.Verdicts = *verdicts
+	evalCfg.Adaptive = *adaptive
 	tools := []bench.Tool{bench.ToolWASAI, bench.ToolEOSFuzzer, bench.ToolEOSAFE}
 
 	runExp := func(name string, f func() error) error {
@@ -169,6 +181,7 @@ func run() error {
 			cfg.Incremental = *incr
 			cfg.FastVM = *fastvm
 			cfg.Verdicts = *verdicts
+			cfg.Adaptive = *adaptive
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 5 {
 				cfg.NumContracts = 5
@@ -278,6 +291,7 @@ func run() error {
 			cfg.Incremental = *incr
 			cfg.FastVM = *fastvm
 			cfg.Verdicts = *verdicts
+			cfg.Adaptive = *adaptive
 			cfg.NumContracts = int(float64(cfg.NumContracts) * *scale)
 			if cfg.NumContracts < 20 {
 				cfg.NumContracts = 20
@@ -384,6 +398,27 @@ func run() error {
 			if !res.Passed() {
 				return fmt.Errorf("onchain experiment failed: %d P/R violations, digests identical=%v",
 					res.Violations(), res.DigestMatch)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if *exp == "adaptive" {
+		if err := runExp("Adaptive (coverage-driven scheduling differential)", func() error {
+			cfg := bench.DefaultAdaptiveConfig()
+			if *workers > 0 {
+				cfg.Workers = *workers
+			}
+			res, err := bench.EvaluateAdaptive(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Print(bench.RenderAdaptive(res))
+			if !res.Passed() {
+				return fmt.Errorf("adaptive experiment failed: coverage≥static=%v findings≥static=%v strictly-better=%v budget=%v digests=%v resume=%v",
+					res.CoverageNeverWorse(), res.FindingsNeverWorse(), res.StrictlyBetter(),
+					res.BudgetRespected(), res.DigestMatch, res.ResumeMatch)
 			}
 			return nil
 		}); err != nil {

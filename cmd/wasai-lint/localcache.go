@@ -31,6 +31,7 @@ const localcacheDirective = "//wasai:localcache"
 var localcachePackages = []string{
 	"internal/campaign",
 	"internal/fuzz",
+	"internal/schedule",
 	"internal/symbolic",
 	"internal/static",
 	"internal/memo",

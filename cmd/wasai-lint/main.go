@@ -64,6 +64,7 @@ var corePackages = []string{
 	"internal/campaign",
 	"internal/chain",
 	"internal/fuzz",
+	"internal/schedule",
 	"internal/symbolic",
 	"internal/static",
 	"internal/memo",

@@ -31,6 +31,7 @@ const rawerrDirective = "//wasai:rawerr"
 var rawerrPackages = []string{
 	"internal/campaign",
 	"internal/fuzz",
+	"internal/schedule",
 	"internal/symbolic",
 	"internal/chain",
 	"internal/memo",

@@ -120,6 +120,10 @@ type EvalConfig struct {
 	// Verdicts enables abstract-interpretation verdict triage in the WASAI
 	// campaigns (findings are identical either way).
 	Verdicts bool
+	// Adaptive runs the WASAI campaigns under the coverage-driven power
+	// schedule and fuel ledger (internal/schedule). Deterministic at any
+	// worker count, but not digest-neutral against a static run.
+	Adaptive bool
 }
 
 // DefaultEvalConfig mirrors the paper's per-contract budget in deterministic
@@ -134,7 +138,7 @@ func DefaultEvalConfig() EvalConfig {
 // engine (each campaign owns its chain, so they are independent); WASAI
 // campaigns shard as engine jobs, the baselines through campaign.Each.
 func EvaluateAccuracy(ds *Dataset, tools []Tool, cfg EvalConfig) ([]AccuracyResult, error) {
-	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental, FastVM: cfg.FastVM, Verdicts: cfg.Verdicts}
+	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental, FastVM: cfg.FastVM, Verdicts: cfg.Verdicts, Adaptive: cfg.Adaptive}
 	results := make([]AccuracyResult, 0, len(tools))
 	for _, tool := range tools {
 		verdicts := make([]bool, len(ds.Samples))

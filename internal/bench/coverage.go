@@ -35,6 +35,9 @@ type CoverageConfig struct {
 	// Verdicts enables abstract-interpretation verdict triage (coverage
 	// points come only from executed jobs; findings are identical).
 	Verdicts bool
+	// Adaptive runs the WASAI side under the coverage-driven power schedule
+	// and fuel ledger; the EOSFuzzer baseline stays static either way.
+	Adaptive bool
 }
 
 // DefaultCoverageConfig mirrors the RQ1 setup at simulator scale.
@@ -69,7 +72,7 @@ func EvaluateCoverage(cfg CoverageConfig) ([]CoverageSeries, error) {
 	// Both tools run on the campaign engine: WASAI campaigns as engine jobs,
 	// the baseline through campaign.Each. Per-contract series are summed
 	// serially afterwards, so the curves are worker-count invariant.
-	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental, FastVM: cfg.FastVM, Verdicts: cfg.Verdicts}
+	engCfg := campaign.Config{Workers: cfg.Workers, Memo: cfg.Memo, Incremental: cfg.Incremental, FastVM: cfg.FastVM, Verdicts: cfg.Verdicts, Adaptive: cfg.Adaptive}
 	jobs := make([]campaign.Job, len(contracts))
 	for i, c := range contracts {
 		jobs[i] = campaign.Job{
@@ -110,8 +113,10 @@ func EvaluateCoverage(cfg CoverageConfig) ([]CoverageSeries, error) {
 		if jr.Err != nil {
 			return nil, jr.Err
 		}
-		for _, p := range jr.Result.CoverageOverTime {
-			wasai[p.Iteration-1] += p.Branches
+		// WASAI records change-points only; expand to the dense series the
+		// Figure 3 accumulation sums. The baseline still records densely.
+		for it, branches := range fuzz.ExpandCoverage(jr.Result.CoverageOverTime, cfg.Iterations) {
+			wasai[it] += branches
 		}
 		for _, p := range eresults[i].CoverageOverTime {
 			eosf[p.Iteration-1] += p.Branches

@@ -83,6 +83,21 @@ type RegressRecord struct {
 	// WallMS is wall-clock; machine-dependent, so its tolerance carries an
 	// absolute grace (see Compare).
 	WallMS int64 `json:"wall_ms"`
+	// Sched carries the adaptive scheduler's counters when the workload ran
+	// with the adaptive schedule on. The regression workload is static, so
+	// the field stays nil and the committed baseline is unchanged; it exists
+	// so records of adaptive workloads share this schema.
+	Sched *RegressSched `json:"sched,omitempty"`
+}
+
+// RegressSched is the JSON form of schedule.Counters in a bench record.
+type RegressSched struct {
+	EnergyUpdates   int `json:"energy_updates"`
+	CompositeFired  int `json:"composite_fired"`
+	SaturationSkips int `json:"saturation_skips"`
+	FuelReturned    int `json:"fuel_returned"`
+	FuelReallocated int `json:"fuel_reallocated"`
+	SaturatedJobs   int `json:"saturated_jobs"`
 }
 
 // Tolerances: solver calls and wall-clock may grow ≤10% over baseline; wall
@@ -205,7 +220,7 @@ func runRegressLeg(sh RegressShape) (*RegressRecord, error) {
 		h.Write([]byte{0})
 	}
 	stats := shared.Snapshot()
-	return &RegressRecord{
+	rec := &RegressRecord{
 		Schema:       RegressSchema,
 		Shape:        sh,
 		Digest:       hex.EncodeToString(h.Sum(nil)),
@@ -213,7 +228,20 @@ func runRegressLeg(sh RegressShape) (*RegressRecord, error) {
 		Queries:      acc.SolverStats.Queries + cov.SolverStats.Queries,
 		CacheHitRate: stats.HitRate(),
 		WallMS:       (acc.Wall + cov.Wall).Milliseconds(),
-	}, nil
+	}
+	sched := acc.Sched
+	sched.Add(cov.Sched)
+	if !sched.Zero() {
+		rec.Sched = &RegressSched{
+			EnergyUpdates:   sched.EnergyUpdates,
+			CompositeFired:  sched.CompositeFired,
+			SaturationSkips: sched.SaturationSkips,
+			FuelReturned:    sched.FuelReturned,
+			FuelReallocated: sched.FuelReallocated,
+			SaturatedJobs:   sched.SaturatedJobs,
+		}
+	}
+	return rec, nil
 }
 
 // CompareRegress checks a fresh record against the committed baseline and

@@ -38,6 +38,10 @@ type WildConfig struct {
 	// all classes proven negative skip execution, proven-positive jobs
 	// schedule confirmed-first (findings are identical either way).
 	Verdicts bool
+	// Adaptive runs the sweep under the coverage-driven power schedule and
+	// campaign fuel ledger. Deterministic at any worker count, but not
+	// digest-neutral against a static sweep — it changes which inputs run.
+	Adaptive bool
 }
 
 // DefaultWildConfig mirrors §4.4: 991 profitable contracts.
@@ -102,6 +106,7 @@ func EvaluateWild(cfg WildConfig) (*WildResult, error) {
 		Incremental: cfg.Incremental,
 		FastVM:      cfg.FastVM,
 		Verdicts:    cfg.Verdicts,
+		Adaptive:    cfg.Adaptive,
 	}
 	fuzzCfg := func(i int) fuzz.Config {
 		return fuzz.Config{

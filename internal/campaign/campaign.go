@@ -130,6 +130,20 @@ type Config struct {
 	// attempts — the engines are observably identical, so a fault lands
 	// on the same host call either way.
 	FastVM bool
+	// Adaptive enables the coverage-driven scheduling layer
+	// (internal/schedule) at both levels: every job runs the intra-job
+	// power schedule (fuzz.Config.Adaptive), and Run becomes a two-phase
+	// campaign with a fuel ledger — jobs that saturate return unspent
+	// iterations at a barrier, and the campaign regrants them to
+	// still-progressing jobs (see adaptive.go). Every decision is a pure
+	// function of (seed, observed coverage), so adaptive campaigns are
+	// digest-identical at any worker count; Adaptive=false is
+	// byte-identical to the historical engine. The streaming Engine cannot
+	// barrier, so Start applies the intra-job schedule only.
+	Adaptive bool
+	// SaturationWindow is the adaptive saturation horizon in iterations
+	// (0 uses fuzz.DefaultSaturationWindow). Ignored unless Adaptive.
+	SaturationWindow int
 }
 
 // memoCache resolves the cache the engine should use (nil = off).
@@ -373,38 +387,8 @@ func (e *Engine) attempt(job Job, attempt int) (res *fuzz.Result, mode string, e
 		ctx, cancel = context.WithTimeout(ctx, e.cfg.JobTimeout)
 		defer cancel()
 	}
-	cfg := job.Config
-	if cfg.Seed == 0 {
-		cfg.Seed = e.cfg.BaseSeed + int64(job.ID)
-	}
-	cfg, mode = degrade(cfg, attempt)
-	if e.cfg.Faults != nil {
-		cfg.Faults = e.cfg.Faults.For(job.ID, attempt)
-	}
-	if cfg.Faults == nil {
-		// Faulted attempts run without the memo (the solver pool enforces
-		// the same rule independently): a result shaped by an injected
-		// fault must never reach the shared cache, and no hit may be
-		// served — or counted — on a faulted attempt.
-		cfg.Memo = e.memo.SolverMemo()
-	}
-	if e.cfg.Incremental {
-		// Campaign-wide opt-in; the solver pool drops the pre-pass on
-		// faulted attempts so the injector's call count is unchanged.
-		cfg.Incremental = true
-	}
-	if e.cfg.FastVM {
-		cfg.FastVM = true
-	}
-	if e.verdicts != nil && cfg.Static != nil {
-		// A proven-positive job skips the static fuel/solver budget raise:
-		// the positive witness is a concrete run inside the base budget, so
-		// the extra headroom the candidate score would buy cannot be needed
-		// to surface the finding.
-		if rep := e.verdicts.report(job); rep != nil && rep.AnyPositive() {
-			cfg.Static = nil
-		}
-	}
+	var cfg fuzz.Config
+	cfg, mode = jobConfig(job, attempt, e.cfg, e.memo, e.verdicts)
 	f, err := fuzz.New(job.Module, job.ABI, cfg)
 	if err != nil {
 		return nil, mode, fmt.Errorf("campaign: job %d (%s): %w", job.ID, job.Name, err)
@@ -435,6 +419,12 @@ func (e *Engine) record(jr JobResult) {
 // seeds are a pure function of position. Run fails only on a cancelled
 // context; per-job failures are reported in Report.Results[i].Err.
 func Run(ctx context.Context, jobs []Job, cfg Config) (*Report, error) {
+	if cfg.Adaptive {
+		// The fuel ledger needs a barrier between the two phases, which the
+		// streaming engine cannot provide; the adaptive driver runs its own
+		// pool over the same per-job machinery.
+		return runAdaptive(ctx, jobs, cfg)
+	}
 	start := time.Now() //wasai:nondet Report.Wall is reporting-only, never fed back
 	e, err := Start(ctx, cfg)
 	if err != nil {

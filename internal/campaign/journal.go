@@ -10,6 +10,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/fuzz"
 	"repro/internal/scanner"
+	"repro/internal/schedule"
 	"repro/internal/symbolic"
 	"repro/internal/wal"
 )
@@ -59,6 +60,30 @@ type journalRecord struct {
 	Iterations   int                   `json:"iterations,omitempty"`
 	ReplayErrors int                   `json:"replay_errors,omitempty"`
 	Solver       *symbolic.SolverStats `json:"solver,omitempty"`
+	Sched        *schedRecord          `json:"sched,omitempty"`
+}
+
+// schedRecord checkpoints a job's adaptive-scheduling state: the final
+// counters (replayed into the state digest) and the phase-1 summary the
+// fuel ledger ranked the job by. The summary is what makes kill+resume
+// reproduce the same adaptive digest — a resumed campaign feeds replayed
+// summaries and live ones into the same pure Reallocate, so the remaining
+// jobs receive exactly the grants of the uninterrupted run.
+type schedRecord struct {
+	// Final result state.
+	Saturated bool `json:"saturated,omitempty"`
+	Energy    int  `json:"energy,omitempty"`
+	Composite int  `json:"composite,omitempty"`
+	Skips     int  `json:"skips,omitempty"`
+	// Phase-1 summary (ledger recomputation on resume). Executed marks a
+	// job whose phase 1 completed — failed-later jobs still contribute.
+	Executed    bool `json:"p1_ok,omitempty"`
+	P1Saturated bool `json:"p1_saturated,omitempty"`
+	Unspent     int  `json:"unspent,omitempty"`
+	Score       int  `json:"score,omitempty"`
+	P1Coverage  int  `json:"p1_coverage,omitempty"`
+	P1Iters     int  `json:"p1_iters,omitempty"`
+	Grant       int  `json:"grant,omitempty"`
 }
 
 // recordOf flattens a completed JobResult into its journal record.
@@ -89,6 +114,14 @@ func recordOf(jr JobResult) journalRecord {
 	if res.SolverStats != (symbolic.SolverStats{}) {
 		stats := res.SolverStats
 		rec.Solver = &stats
+	}
+	if !res.Sched.Zero() || res.Saturated {
+		rec.Sched = &schedRecord{
+			Saturated: res.Saturated,
+			Energy:    res.Sched.EnergyUpdates,
+			Composite: res.Sched.CompositeFired,
+			Skips:     res.Sched.SaturationSkips,
+		}
 	}
 	return rec
 }
@@ -135,6 +168,14 @@ func (rec *journalRecord) toResult(job Job) JobResult {
 	}
 	if rec.Solver != nil {
 		jr.Result.SolverStats = *rec.Solver
+	}
+	if rec.Sched != nil {
+		jr.Result.Saturated = rec.Sched.Saturated
+		jr.Result.Sched = schedule.Counters{
+			EnergyUpdates:   rec.Sched.Energy,
+			CompositeFired:  rec.Sched.Composite,
+			SaturationSkips: rec.Sched.Skips,
+		}
 	}
 	return jr
 }

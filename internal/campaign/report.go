@@ -9,6 +9,7 @@ import (
 	"repro/internal/contractgen"
 	"repro/internal/failure"
 	"repro/internal/memo"
+	"repro/internal/schedule"
 	"repro/internal/symbolic"
 )
 
@@ -47,6 +48,10 @@ type Report struct {
 	// from both digests: concurrent workers racing on one key make exact
 	// hit counts scheduling-dependent (see internal/memo).
 	Memo *memo.Stats
+	// Sched sums the adaptive scheduler's counters across completed jobs,
+	// plus the campaign fuel-ledger totals (filled by the adaptive driver).
+	// Zero when Adaptive is off.
+	Sched schedule.Counters
 	// Wall is the batch wall-clock time; JobsPerSecond the throughput.
 	Wall          time.Duration
 	JobsPerSecond float64
@@ -86,6 +91,7 @@ func Aggregate(results []JobResult, wall time.Duration) *Report {
 		res := jr.Result
 		r.Iterations += res.Iterations
 		r.AdaptiveSeeds += res.AdaptiveSeeds
+		r.Sched.Add(res.Sched)
 		r.SolverStats.Queries += res.SolverStats.Queries
 		r.SolverStats.FastPathHits += res.SolverStats.FastPathHits
 		r.SolverStats.SATCalls += res.SolverStats.SATCalls
@@ -144,6 +150,15 @@ func (r *Report) digest(withState bool) string {
 			}
 			if withState {
 				fmt.Fprintf(&sb, " coverage=%d adaptive=%d", jr.Result.Coverage, jr.Result.AdaptiveSeeds)
+				// The adaptive scheduler's per-job state, appended only when
+				// it did something, so Adaptive=off digests are unchanged.
+				// Iterations join here because saturation and fuel grants
+				// make them vary per job under the adaptive schedule.
+				if !jr.Result.Sched.Zero() || jr.Result.Saturated {
+					s := jr.Result.Sched
+					fmt.Fprintf(&sb, " sched=[iters=%d energy=%d composite=%d skips=%d sat=%v]",
+						jr.Result.Iterations, s.EnergyUpdates, s.CompositeFired, s.SaturationSkips, jr.Result.Saturated)
+				}
 			}
 		}
 		// Degradation is part of the finding's provenance: a verdict from a
@@ -169,6 +184,10 @@ func (r *Report) String() string {
 	}
 	if r.Memo != nil {
 		fmt.Fprintf(&sb, "  memo: %s\n", r.Memo)
+	}
+	if !r.Sched.Zero() {
+		fmt.Fprintf(&sb, "  adaptive: %d energy updates, %d composite arms, %d saturated jobs, %d/%d fuel reallocated\n",
+			r.Sched.EnergyUpdates, r.Sched.CompositeFired, r.Sched.SaturatedJobs, r.Sched.FuelReallocated, r.Sched.FuelReturned)
 	}
 	for _, class := range failure.Classes {
 		if n := r.PerFailure[class]; n > 0 {

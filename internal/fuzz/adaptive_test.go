@@ -1,0 +1,196 @@
+package fuzz
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/contractgen"
+	"repro/internal/schedule"
+	"repro/internal/symexec"
+)
+
+// TestChangePointCoverageSeries: CoverageOverTime records only coverage
+// change points (plus the closing sample), and ExpandCoverage reconstructs
+// the dense monotone series curve consumers sum.
+func TestChangePointCoverageSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	spec := contractgen.RandomSpec(contractgen.ClassBlockinfoDep, true, rng)
+	cfg := DefaultConfig()
+	res := runCampaign(t, spec, cfg)
+
+	points := res.CoverageOverTime
+	if len(points) == 0 {
+		t.Fatal("no coverage points recorded")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Iteration <= points[i-1].Iteration {
+			t.Fatalf("iterations not strictly increasing: %+v", points)
+		}
+		if points[i].Branches < points[i-1].Branches {
+			t.Fatalf("branches not monotone: %+v", points)
+		}
+	}
+	// Every point but the closing sample marks a strict gain.
+	for i := 1; i < len(points)-1; i++ {
+		if points[i].Branches == points[i-1].Branches {
+			t.Fatalf("non-change point %d recorded: %+v", i, points)
+		}
+	}
+	if got := points[len(points)-1]; got.Iteration != res.Iterations || got.Branches != res.Coverage {
+		t.Fatalf("closing sample %+v, want iteration %d at %d branches", got, res.Iterations, res.Coverage)
+	}
+
+	dense := ExpandCoverage(points, cfg.Iterations)
+	if len(dense) != cfg.Iterations {
+		t.Fatalf("dense length %d, want %d", len(dense), cfg.Iterations)
+	}
+	for i := 1; i < len(dense); i++ {
+		if dense[i] < dense[i-1] {
+			t.Fatalf("dense series not monotone at %d: %v", i, dense)
+		}
+	}
+	if dense[len(dense)-1] != res.Coverage {
+		t.Fatalf("dense final %d, want total coverage %d", dense[len(dense)-1], res.Coverage)
+	}
+	for _, p := range points {
+		if dense[p.Iteration-1] != p.Branches {
+			t.Fatalf("dense[%d] = %d, want change point %d", p.Iteration-1, dense[p.Iteration-1], p.Branches)
+		}
+	}
+}
+
+// TestSeedQueueRingEquivalence drives the fixed-ring queue and a plain
+// slice model through the same randomized push/pushFront/next script and
+// requires identical served seeds — the ring must keep the historical
+// slice semantics (append drops on a full queue, pushFront evicts the
+// oldest, next rotates head to tail) byte for byte.
+func TestSeedQueueRingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var q seedQueue
+	var model []uint64 // logical queue of seed IDs, head first
+	id := uint64(0)
+	mkSeed := func(v uint64) Seed {
+		return Seed{Params: []symexec.Param{{U64: v}}}
+	}
+	for step := 0; step < 10_000; step++ {
+		switch op := rng.Intn(4); op {
+		case 0: // push
+			id++
+			q.push(mkSeed(id))
+			if len(model) < maxQueue {
+				model = append(model, id)
+			}
+		case 1: // pushFront
+			id++
+			q.pushFront(mkSeed(id))
+			model = append([]uint64{id}, model...)
+			if len(model) > maxQueue {
+				model = model[:maxQueue]
+			}
+		default: // next (twice as likely, so the queue drains too)
+			s, ok := q.next()
+			if ok != (len(model) > 0) {
+				t.Fatalf("step %d: next ok=%v, model len %d", step, ok, len(model))
+			}
+			if !ok {
+				continue
+			}
+			want := model[0]
+			model = append(model[1:], want)
+			if got := s.Params[0].U64; got != want {
+				t.Fatalf("step %d: next served %d, model head %d", step, got, want)
+			}
+		}
+		if q.len() != len(model) {
+			t.Fatalf("step %d: ring len %d, model len %d", step, q.len(), len(model))
+		}
+	}
+}
+
+// TestSeedQueueWeightedEqualEnergyOrder: with untouched (equal) energies
+// the smooth weighted round-robin serves the live slots in logical order,
+// so the adaptive selection degenerates to the static rotation until the
+// first energy update.
+func TestSeedQueueWeightedEqualEnergyOrder(t *testing.T) {
+	var q seedQueue
+	for v := uint64(1); v <= 5; v++ {
+		q.push(Seed{Params: []symexec.Param{{U64: v}}})
+	}
+	for round := 0; round < 3; round++ {
+		for v := uint64(1); v <= 5; v++ {
+			s, _, _, ok := q.nextWeighted()
+			if !ok || s.Params[0].U64 != v {
+				t.Fatalf("round %d: served %v (ok=%v), want %d", round, s.Params, ok, v)
+			}
+		}
+	}
+}
+
+// TestSeedQueueObserveGeneration: an energy update with a stale generation
+// (the slot was recycled mid-step) is dropped.
+func TestSeedQueueObserveGeneration(t *testing.T) {
+	var q seedQueue
+	q.push(Seed{})
+	_, pos, gen, ok := q.nextWeighted()
+	if !ok {
+		t.Fatal("nextWeighted on non-empty queue failed")
+	}
+	q.set(pos, Seed{}, schedule.BaseEnergy) // recycle the slot
+	if n := q.observe(pos, gen, true); n != 0 {
+		t.Fatalf("stale observe applied %d updates, want 0", n)
+	}
+	_, pos, gen, _ = q.nextWeighted()
+	if n := q.observe(pos, gen, true); n != 1 {
+		t.Fatalf("fresh observe applied %d updates, want 1", n)
+	}
+	if e := q.energy[pos]; e != 2*schedule.BaseEnergy {
+		t.Fatalf("energy after gain = %d, want %d", e, 2*schedule.BaseEnergy)
+	}
+}
+
+// TestAdaptiveRunDeterministic: the adaptive schedule is a pure function
+// of (seed, observed coverage) — two runs of the same job are identical in
+// verdicts, coverage series and scheduler counters.
+func TestAdaptiveRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	spec := contractgen.RandomSpec(contractgen.ClassRollback, true, rng)
+	cfg := DefaultConfig()
+	cfg.Adaptive = true
+	a := runCampaign(t, spec, cfg)
+	b := runCampaign(t, spec, cfg)
+	if !reflect.DeepEqual(a.Report.Vulnerable, b.Report.Vulnerable) {
+		t.Errorf("verdicts diverged: %v vs %v", a.Report.Vulnerable, b.Report.Vulnerable)
+	}
+	if a.Coverage != b.Coverage || a.Iterations != b.Iterations || a.Saturated != b.Saturated {
+		t.Errorf("coverage/iterations diverged: %d/%d/%v vs %d/%d/%v",
+			a.Coverage, a.Iterations, a.Saturated, b.Coverage, b.Iterations, b.Saturated)
+	}
+	if !reflect.DeepEqual(a.CoverageOverTime, b.CoverageOverTime) {
+		t.Errorf("coverage series diverged")
+	}
+	if a.Sched != b.Sched {
+		t.Errorf("scheduler counters diverged: %+v vs %+v", a.Sched, b.Sched)
+	}
+}
+
+// TestAdaptiveOffIdentical: Adaptive=false must be byte-identical to the
+// historical fixed round-robin — the zero-value config path cannot shift
+// by the scheduling layer's presence.
+func TestAdaptiveOffIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	spec := contractgen.RandomSpec(contractgen.ClassFakeEOS, true, rng)
+	cfg := DefaultConfig()
+	off := runCampaign(t, spec, cfg)
+	if !off.Sched.Zero() {
+		t.Errorf("static run reported scheduler counters: %+v", off.Sched)
+	}
+	if off.Saturated {
+		t.Error("static run reported saturation")
+	}
+	cfg.Adaptive = true
+	on := runCampaign(t, spec, cfg)
+	if on.Sched.Zero() {
+		t.Error("adaptive run reported no scheduler activity")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/instrument"
 	"repro/internal/scanner"
+	"repro/internal/schedule"
 	"repro/internal/static"
 	"repro/internal/symbolic"
 	"repro/internal/symexec"
@@ -83,7 +84,26 @@ type Config struct {
 	// accounts, API classification) the campaign and scenario chains run
 	// on. Nil means chain.EOSIO(), the default personality.
 	Backend chain.Backend
+	// Adaptive replaces the fixed round-robin schedule with the
+	// coverage-driven power schedule of internal/schedule: payload arms and
+	// queued seeds carry energies updated from coverage deltas, DBG
+	// writer→reader pairs become composite arms, and the loop stops early
+	// at saturation (no new coverage over SaturationWindow iterations) so
+	// the campaign fuel ledger can reallocate the unspent budget. Every
+	// decision is a pure function of (seed, observed coverage), so adaptive
+	// runs stay reproducible; Adaptive=false is byte-identical to the
+	// historical schedule.
+	Adaptive bool
+	// SaturationWindow is the adaptive saturation horizon in iterations
+	// (0 means DefaultSaturationWindow). Ignored unless Adaptive.
+	SaturationWindow int
 }
+
+// DefaultSaturationWindow is the default adaptive saturation horizon: a job
+// with no new branch over this many consecutive iterations stops and
+// returns its remaining fuel. A multiple of the schedule length, so every
+// payload kind gets several shots before the job is declared saturated.
+const DefaultSaturationWindow = 48
 
 // DefaultConfig returns the evaluation configuration.
 func DefaultConfig() Config {
@@ -111,6 +131,31 @@ type Result struct {
 	Custom map[string]bool
 	// Traces holds the target's traces when Config.KeepTraces is set.
 	Traces []trace.Trace
+	// Sched holds the adaptive scheduler's counters (zero when Adaptive
+	// is off). Reporting-only: excluded from findings digests, included in
+	// the campaign state digest like coverage.
+	Sched schedule.Counters
+	// Saturated reports that the adaptive loop stopped early for lack of
+	// new coverage.
+	Saturated bool
+}
+
+// ExpandCoverage reconstructs the dense per-iteration coverage series from
+// the change-point encoding of CoverageOverTime: the value at iteration i
+// (1-based) is the latest recorded point at or before i, zero before the
+// first point. This is exactly the series the fuzzer used to record
+// eagerly, so consumers plotting coverage curves stay equivalent.
+func ExpandCoverage(points []CoveragePoint, iterations int) []int {
+	dense := make([]int, iterations)
+	cur, pi := 0, 0
+	for i := 1; i <= iterations; i++ {
+		for pi < len(points) && points[pi].Iteration <= i {
+			cur = points[pi].Branches
+			pi++
+		}
+		dense[i-1] = cur
+	}
+	return dense
 }
 
 // Fuzzer is the WASAI engine bound to one target contract.
@@ -136,8 +181,31 @@ type Fuzzer struct {
 	replayErr int
 	iter      int
 
+	// Phase/adaptive state (see RunPhase): the iteration budget grows via
+	// ContinuePhase grants, the planner drives arm selection when
+	// Config.Adaptive, and lastSeed/seedUpdates carry the served seed slot
+	// from step to the energy update after it.
+	budget      int
+	started     bool
+	finished    bool
+	saturated   bool
+	lastGain    int
+	planner     *schedule.Planner
+	arms        []scheduleEntry
+	seedUpdates int
+	lastSeed    seedRef
+
 	lastRevertRead map[eos.Name]chain.DBOp // action -> the failing read (table + key)
 	kept           []trace.Trace
+}
+
+// seedRef points at the queue slot a step served, so the adaptive loop can
+// feed the step's coverage outcome back into that seed's energy.
+type seedRef struct {
+	q   *seedQueue
+	pos int
+	gen uint32
+	ok  bool
 }
 
 // New prepares a campaign against the contract `mod` with its ABI: it
@@ -228,6 +296,7 @@ const (
 	payloadFakeToken                             // counterfeit EOS via fake.token
 	payloadForwardedNotif                        // real EOS through fake.notif
 	payloadDirectAction                          // invoke a non-transfer action
+	payloadComposite                             // DBG writer→reader pair (adaptive only)
 )
 
 // Run executes the Algorithm 1 fuzzing loop for the configured budget and
@@ -242,24 +311,144 @@ func (f *Fuzzer) Run() (*Result, error) {
 // interpreter on every transaction. On cancellation the context's error is
 // returned and the partial campaign is discarded.
 func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
+	if _, err := f.RunPhase(ctx); err != nil {
+		return nil, err
+	}
+	return f.Finish(ctx)
+}
+
+// PhaseReport summarises a fuzzing phase for the campaign fuel ledger.
+type PhaseReport struct {
+	// Saturated reports the adaptive early stop (no new coverage over the
+	// saturation window).
+	Saturated bool
+	// Iterations is the iteration count executed so far.
+	Iterations int
+	// Coverage is the distinct-branch count so far.
+	Coverage int
+	// FuelUnspent is the budget the phase left unexecuted (saturation).
+	FuelUnspent int
+}
+
+// RunPhase executes the Algorithm 1 fuzzing loop for the configured budget
+// — the whole budget when Adaptive is off, or until saturation when on —
+// and reports what it spent. The campaign may then grant extra budget with
+// ContinuePhase; Finish runs the scenario pass and builds the Result.
+func (f *Fuzzer) RunPhase(ctx context.Context) (PhaseReport, error) {
+	if !f.started {
+		f.started = true
+		f.budget = f.cfg.Iterations
+		f.arms = f.buildSchedule()
+		if f.cfg.Adaptive {
+			f.planner = schedule.NewPlanner()
+			for _, e := range f.arms {
+				f.planner.AddArm(int(e.kind), uint64(e.action), uint64(e.writer), schedule.BaseEnergy)
+			}
+		}
+	}
+	if err := f.runLoop(ctx); err != nil {
+		return PhaseReport{}, err
+	}
+	return f.phaseReport(), nil
+}
+
+// ContinuePhase extends the iteration budget by a fuel-ledger grant and
+// resumes the loop: the fuzzer keeps its coverage, seed energies, DBG and
+// scanner state, so the extra fuel continues the same campaign rather than
+// restarting one. A phase-2 saturation just leaves the remainder unspent.
+func (f *Fuzzer) ContinuePhase(ctx context.Context, extra int) (PhaseReport, error) {
+	f.budget += extra
+	f.saturated = false
+	// Grant a fresh saturation window measured from here, not from the
+	// last gain: the grant is a deliberate second chance.
+	f.lastGain = f.iter
+	if err := f.runLoop(ctx); err != nil {
+		return PhaseReport{}, err
+	}
+	return f.phaseReport(), nil
+}
+
+func (f *Fuzzer) phaseReport() PhaseReport {
+	return PhaseReport{
+		Saturated:   f.saturated,
+		Iterations:  f.iter,
+		Coverage:    len(f.coverage),
+		FuelUnspent: f.budget - f.iter,
+	}
+}
+
+// runLoop spends budgeted iterations. Adaptive=off walks the fixed
+// round-robin exactly as before; Adaptive=on draws arms from the power
+// schedule and feeds coverage deltas back into arm and seed energies.
+func (f *Fuzzer) runLoop(ctx context.Context) error {
 	f.ctx = ctx
 	defer func() { f.ctx = nil }()
-	schedule := f.buildSchedule()
-	for f.iter = 0; f.iter < f.cfg.Iterations; f.iter++ {
-		if err := ctx.Err(); err != nil {
-			return nil, failure.Wrap(failure.Timeout, err)
-		}
-		entry := schedule[f.iter%len(schedule)]
-		if err := f.step(entry.kind, entry.action); err != nil {
-			return nil, err
-		}
-		f.covSeries = append(f.covSeries, CoveragePoint{Iteration: f.iter + 1, Branches: len(f.coverage)})
+	window := f.cfg.SaturationWindow
+	if window <= 0 {
+		window = DefaultSaturationWindow
 	}
-	// On-chain-data scenario pass (WACANA's multi-transaction families):
-	// deterministic replays on fresh chains, feeding only the scenario
-	// oracles — the concolic loop's verdicts above are already final.
+	for ; f.iter < f.budget; f.iter++ {
+		if err := ctx.Err(); err != nil {
+			return failure.Wrap(failure.Timeout, err)
+		}
+		if f.cfg.Adaptive && f.iter-f.lastGain >= window {
+			f.saturated = true
+			f.planner.SaturationSkipped(f.budget - f.iter)
+			break
+		}
+		before := len(f.coverage)
+		if f.cfg.Adaptive {
+			arm := f.planner.Next()
+			entry := f.arms[arm]
+			if err := f.stepArm(entry); err != nil {
+				return err
+			}
+			gained := len(f.coverage) > before
+			f.planner.Observe(arm, gained)
+			if f.lastSeed.ok {
+				f.seedUpdates += f.lastSeed.q.observe(f.lastSeed.pos, f.lastSeed.gen, gained)
+				f.lastSeed = seedRef{}
+			}
+		} else {
+			entry := f.arms[f.iter%len(f.arms)]
+			if err := f.step(entry.kind, entry.action); err != nil {
+				return err
+			}
+		}
+		if len(f.coverage) > before {
+			f.lastGain = f.iter
+		}
+		// Change-point coverage recording: O(distinct deltas) memory
+		// instead of O(iterations); ExpandCoverage reconstructs the dense
+		// series for curve consumers.
+		if len(f.coverage) != before {
+			f.covSeries = append(f.covSeries, CoveragePoint{Iteration: f.iter + 1, Branches: len(f.coverage)})
+		}
+	}
+	return nil
+}
+
+// Finish runs the on-chain-data scenario pass (WACANA's multi-transaction
+// families: deterministic replays on fresh chains, feeding only the
+// scenario oracles — the concolic loop's verdicts are already final) and
+// assembles the campaign Result.
+func (f *Fuzzer) Finish(ctx context.Context) (*Result, error) {
+	if f.finished {
+		return nil, fmt.Errorf("fuzz: Finish called twice") //wasai:rawerr API-misuse guard, never reached by the drivers
+	}
+	f.finished = true
+	// Close the change-point series with a final sample so the series
+	// records how long the campaign ran.
+	if n := len(f.covSeries); f.iter > 0 && (n == 0 || f.covSeries[n-1].Iteration != f.iter) {
+		f.covSeries = append(f.covSeries, CoveragePoint{Iteration: f.iter, Branches: len(f.coverage)})
+	}
 	if err := f.runScenarios(ctx); err != nil {
 		return nil, err
+	}
+	var sched schedule.Counters
+	if f.planner != nil {
+		sched = f.planner.Counters()
+		sched.EnergyUpdates += f.seedUpdates
 	}
 	return &Result{
 		Report:           f.scan.Report(),
@@ -271,12 +460,17 @@ func (f *Fuzzer) RunContext(ctx context.Context) (*Result, error) {
 		SolverStats:      f.solver.Stats,
 		Custom:           f.scan.CustomResults(),
 		Traces:           f.kept,
+		Sched:            sched,
+		Saturated:        f.saturated,
 	}, nil
 }
 
 type scheduleEntry struct {
 	kind   payloadKind
 	action eos.Name
+	// writer is set on composite arms only: the table-writing action the
+	// arm schedules immediately before `action` (DBG sequence mutation).
+	writer eos.Name
 }
 
 func (f *Fuzzer) buildSchedule() []scheduleEntry {
@@ -294,12 +488,70 @@ func (f *Fuzzer) buildSchedule() []scheduleEntry {
 	return sched
 }
 
+// stepArm dispatches one adaptive arm: plain payload arms reuse step;
+// composite arms run the writer→reader pair.
+func (f *Fuzzer) stepArm(entry scheduleEntry) error {
+	if entry.kind == payloadComposite {
+		return f.stepComposite(entry.action, entry.writer)
+	}
+	return f.step(entry.kind, entry.action)
+}
+
+// stepComposite is the DBG-aware sequence mutation: run a writer of a table
+// the reader depends on, then the reader, as one scheduled unit — dependent
+// transactions are explored together instead of waiting for the reader to
+// revert first.
+func (f *Fuzzer) stepComposite(reader, writer eos.Name) error {
+	seed, pos, gen, ok := f.seeds.queue(reader).nextWeighted()
+	if !ok {
+		seed = Seed{Action: reader, Params: randomParams(f.rng, []eos.Name{attackerName, victimName})}
+	} else {
+		f.lastSeed = seedRef{q: f.seeds.queue(reader), pos: pos, gen: gen, ok: true}
+	}
+	dep := seed.clone()
+	dep.Action = writer
+	// Fine-grained mode: steer the writer's key parameter to the exact key
+	// the reader last failed on, when one was observed.
+	if readOp, failed := f.lastRevertRead[reader]; failed {
+		if pi, ok := f.dbg.KeyParam(readOp.Table, writer); ok && pi < len(dep.Params) {
+			dep.Params[pi].U64 = readOp.Key
+		}
+	}
+	depRcpt, err := f.execute(payloadDirectAction, dep)
+	if err != nil {
+		return err
+	}
+	if err := f.observe(payloadDirectAction, dep, depRcpt); err != nil {
+		return err
+	}
+	rcpt, err := f.execute(payloadDirectAction, seed)
+	if err != nil {
+		return err
+	}
+	if err := f.observe(payloadDirectAction, seed, rcpt); err != nil {
+		return err
+	}
+	f.planner.CompositeFired()
+	return nil
+}
+
 // step runs one fuzzing iteration: select a seed, execute, scan, feed back.
 func (f *Fuzzer) step(kind payloadKind, action eos.Name) error {
 	if kind != payloadDirectAction {
 		action = eos.ActionTransfer
 	}
-	seed, ok := f.seeds.queue(action).next()
+	var seed Seed
+	var ok bool
+	if f.cfg.Adaptive {
+		var pos int
+		var gen uint32
+		seed, pos, gen, ok = f.seeds.queue(action).nextWeighted()
+		if ok {
+			f.lastSeed = seedRef{q: f.seeds.queue(action), pos: pos, gen: gen, ok: true}
+		}
+	} else {
+		seed, ok = f.seeds.queue(action).next()
+	}
 	if !ok {
 		seed = Seed{Action: action, Params: randomParams(f.rng, []eos.Name{attackerName, victimName})}
 	}
@@ -320,6 +572,13 @@ func (f *Fuzzer) step(kind payloadKind, action eos.Name) error {
 		if readOp, failed := f.lastRevertRead[action]; failed {
 			tb := readOp.Table
 			if writer, ok := f.dbg.WriterFor(tb, action); ok {
+				// A discovered dependency becomes a composite arm: the
+				// adaptive schedule keeps exploring the writer→reader pair
+				// on its own energy instead of waiting for another revert.
+				if f.cfg.Adaptive && !f.planner.HasArm(int(payloadComposite), uint64(action), uint64(writer)) {
+					f.arms = append(f.arms, scheduleEntry{kind: payloadComposite, action: action, writer: writer})
+					f.planner.AddArm(int(payloadComposite), uint64(action), uint64(writer), 2*schedule.BaseEnergy)
+				}
 				dep := seed.clone()
 				dep.Action = writer
 				// Fine-grained mode: steer the writer's key parameter to

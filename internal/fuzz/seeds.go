@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"repro/internal/eos"
+	"repro/internal/schedule"
 	"repro/internal/symexec"
 )
 
@@ -31,42 +32,137 @@ func (s Seed) clone() Seed {
 	return Seed{Action: s.Action, Params: params}
 }
 
-// seedQueue is the circular per-action queue of §3.3.2: Engine pops the
-// head and pushes it back to the tail.
+// seedQueue is the circular per-action queue of §3.3.2, stored as a fixed
+// ring so the hot loop's rotation is index arithmetic instead of slice
+// reshuffling: `next` advances the head (the popped seed stays, now at the
+// logical tail — the same rotation the old slice version expressed with an
+// append), and neither selection path allocates.
+//
+// Each slot also carries the power-schedule state for Config.Adaptive:
+// an energy score (boosted by coverage, decayed by dry streaks), the
+// smooth-WRR credit, and a generation counter so an energy update after a
+// step can detect that its slot was evicted mid-step (the elitism pushFront
+// in observe can overwrite the tail).
 type seedQueue struct {
-	items []Seed
+	items  [maxQueue]Seed
+	energy [maxQueue]int
+	credit [maxQueue]int
+	dry    [maxQueue]int
+	gen    [maxQueue]uint32
+	head   int
+	count  int
 }
 
 // maxQueue caps a per-action queue; the oldest tail entries are evicted.
 const maxQueue = 32
 
+// set overwrites a slot with a fresh seed at the given energy.
+func (q *seedQueue) set(pos int, s Seed, energy int) {
+	q.items[pos] = s
+	q.energy[pos] = energy
+	q.credit[pos] = 0
+	q.dry[pos] = 0
+	q.gen[pos]++
+}
+
+// push appends at the tail; a full queue drops the new seed (the historical
+// slice semantics: append-then-truncate cut the appended item).
 func (q *seedQueue) push(s Seed) {
-	q.items = append(q.items, s)
-	if len(q.items) > maxQueue {
-		q.items = q.items[:maxQueue]
+	if q.count == maxQueue {
+		return
 	}
+	q.set((q.head+q.count)%maxQueue, s, schedule.BaseEnergy)
+	q.count++
 }
 
 // pushFront queues an adaptive or coverage-increasing seed for immediate
-// (and repeated) use.
+// (and repeated) use; a full queue evicts the oldest tail entry. Privileged
+// seeds start hot: the solver aimed them at a specific branch.
 func (q *seedQueue) pushFront(s Seed) {
-	q.items = append([]Seed{s}, q.items...)
-	if len(q.items) > maxQueue {
-		q.items = q.items[:maxQueue]
+	q.head = (q.head - 1 + maxQueue) % maxQueue
+	q.set(q.head, s, 2*schedule.BaseEnergy)
+	if q.count < maxQueue {
+		q.count++
 	}
 }
 
+// next pops the head and rotates it to the tail — the Adaptive=off path,
+// byte-identical to the historical round-robin. The live window is
+// [head, head+count): rotation copies the head slot to the slot one past
+// the window and advances the head (a no-op copy when the ring is full).
 func (q *seedQueue) next() (Seed, bool) {
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return Seed{}, false
 	}
-	s := q.items[0]
-	q.items = append(q.items[1:], s)
+	s := q.items[q.head]
+	if tail := (q.head + q.count) % maxQueue; tail != q.head {
+		q.items[tail] = q.items[q.head]
+		q.energy[tail] = q.energy[q.head]
+		q.credit[tail] = q.credit[q.head]
+		q.dry[tail] = q.dry[q.head]
+		q.gen[tail]++
+	}
+	q.head = (q.head + 1) % maxQueue
 	return s, true
 }
 
+// nextWeighted is the Adaptive=on selection: smooth weighted round-robin
+// over the live slots (credit grows by energy; highest credit fires, ties
+// to the lowest logical index; the winner repays the total), returning the
+// slot and its generation so the caller can feed the outcome back with
+// observe. The head does not move — rotation is subsumed by the credits.
+func (q *seedQueue) nextWeighted() (Seed, int, uint32, bool) {
+	if q.count == 0 {
+		return Seed{}, -1, 0, false
+	}
+	best, total := -1, 0
+	for i := 0; i < q.count; i++ {
+		pos := (q.head + i) % maxQueue
+		q.credit[pos] += q.energy[pos]
+		total += q.energy[pos]
+		if best == -1 || q.credit[pos] > q.credit[best] {
+			best = pos
+		}
+	}
+	q.credit[best] -= total
+	return q.items[best], best, q.gen[best], true
+}
+
+// observe feeds a step's coverage outcome back into the served slot's
+// energy (double on gain, halve after a dry streak). A stale generation
+// means the slot was recycled mid-step; the update is dropped. Returns the
+// number of energy changes applied (0 or 1) for the scheduler counters.
+func (q *seedQueue) observe(pos int, gen uint32, gained bool) int {
+	if pos < 0 || q.gen[pos] != gen {
+		return 0
+	}
+	e := q.energy[pos]
+	if gained {
+		q.dry[pos] = 0
+		e *= 2
+	} else {
+		q.dry[pos]++
+		if q.dry[pos] < schedule.DecayAfter {
+			return 0
+		}
+		q.dry[pos] = 0
+		e /= 2
+	}
+	if e < schedule.MinEnergy {
+		e = schedule.MinEnergy
+	}
+	if e > schedule.MaxEnergy {
+		e = schedule.MaxEnergy
+	}
+	if e == q.energy[pos] {
+		return 0
+	}
+	q.energy[pos] = e
+	return 1
+}
+
 // Len returns the queue length.
-func (q *seedQueue) len() int { return len(q.items) }
+func (q *seedQueue) len() int { return q.count }
 
 // pool is the seed pool: a mapping from action name to its queue.
 type pool struct {
@@ -173,12 +269,21 @@ func (g *DBG) AddRead(tb, action eos.Name) {
 	g.readers[tb][action] = true
 }
 
-// WriterFor returns an action that writes tb, excluding `not`.
+// WriterFor returns an action that writes tb, excluding `not`. With several
+// candidate writers the lowest action name wins — a deterministic pick, now
+// load-bearing because the adaptive schedule registers composite arms from
+// it (map iteration order here would leak into arm energies and break the
+// 1/4/8-worker digest identity).
 func (g *DBG) WriterFor(tb, not eos.Name) (eos.Name, bool) {
+	var best eos.Name
+	found := false
 	for a := range g.writers[tb] {
-		if a != not {
-			return a, true
+		if a == not {
+			continue
+		}
+		if !found || a < best {
+			best, found = a, true
 		}
 	}
-	return 0, false
+	return best, found
 }

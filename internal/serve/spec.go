@@ -49,6 +49,12 @@ type JobSpec struct {
 	FastVM       bool   `json:"fastvm,omitempty"`
 	Verdicts     bool   `json:"verdicts,omitempty"`
 	StaticTriage bool   `json:"static_triage,omitempty"`
+	// Adaptive turns on the coverage-driven scheduling layer (power
+	// schedules + campaign fuel ledger). Not digest-neutral against a
+	// non-adaptive run — it changes which inputs are fuzzed — but still
+	// deterministic: the same spec yields the same adaptive digest at any
+	// worker count and across daemon restarts.
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
 // Validate rejects specs the daemon cannot run deterministically or that
@@ -116,6 +122,7 @@ func CampaignConfig(spec JobSpec, journal string, resume bool, cache *memo.Cache
 		FastVM:       spec.FastVM,
 		Verdicts:     spec.Verdicts,
 		StaticTriage: spec.StaticTriage,
+		Adaptive:     spec.Adaptive,
 	}
 	if cache != nil && mode != memo.ModeOff {
 		cfg.MemoCache = cache

@@ -90,6 +90,21 @@ type Config struct {
 	// and digests are byte-identical on/off; the flag only raises
 	// execution throughput.
 	FastVM bool
+	// Adaptive enables the coverage-driven power schedule
+	// (internal/schedule): payload/action arms and seed-pool entries carry
+	// energy scores updated from coverage deltas, and the DBG writer→reader
+	// composite arm mutates call sequences. In a batch (AnalyzeBatch /
+	// Campaign) it additionally runs the campaign fuel ledger: saturated
+	// jobs return unspent iterations at a barrier and the campaign regrants
+	// them to still-progressing jobs. Every decision is a pure function of
+	// (seed, observed coverage), so adaptive results are identical at any
+	// worker count; Adaptive=false is byte-identical to previous releases.
+	Adaptive bool
+	// SaturationWindow is the adaptive saturation horizon: a campaign whose
+	// coverage has not grown for this many iterations stops early and
+	// returns its unspent budget. 0 uses the engine default. Ignored unless
+	// Adaptive.
+	SaturationWindow int
 	// Verdicts runs the abstract-interpretation verdict engine
 	// (internal/static/absint) before fuzzing. A contract whose five
 	// classes are all proven negative is answered immediately with the
@@ -216,15 +231,17 @@ func AnalyzeModule(mod *wasm.Module, contractABI *abi.ABI, cfg Config) (*Report,
 		}
 	}
 	f, err := fuzz.New(mod, contractABI, fuzz.Config{
-		Iterations:      cfg.Iterations,
-		SolverConflicts: cfg.SolverConflicts,
-		DisableFeedback: cfg.DisableFeedback,
-		Seed:            cfg.Seed,
-		KeepTraces:      cfg.TraceFile != "",
-		CustomDetectors: customs,
-		Memo:            cache.SolverMemo(),
-		Incremental:     cfg.Incremental,
-		FastVM:          cfg.FastVM,
+		Iterations:       cfg.Iterations,
+		SolverConflicts:  cfg.SolverConflicts,
+		DisableFeedback:  cfg.DisableFeedback,
+		Seed:             cfg.Seed,
+		KeepTraces:       cfg.TraceFile != "",
+		CustomDetectors:  customs,
+		Memo:             cache.SolverMemo(),
+		Incremental:      cfg.Incremental,
+		FastVM:           cfg.FastVM,
+		Adaptive:         cfg.Adaptive,
+		SaturationWindow: cfg.SaturationWindow,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("wasai: %w", err)
